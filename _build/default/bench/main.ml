@@ -1,0 +1,752 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5), plus the extensions listed in DESIGN.md.
+
+   Usage: main.exe [--figure ID]... [--scale S] [--quick]
+     IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro all
+   Default: everything, at time_scale 0.1 (stage durations shrunk 10x;
+   service times, think times and all rates untouched, so shapes match the
+   paper's full-length runs). *)
+
+module S = Tiersim.Scenario
+module Workload = Tiersim.Workload
+module Faults = Tiersim.Faults
+module Metrics = Tiersim.Metrics
+module Service = Tiersim.Service
+module Correlator = Core.Correlator
+module Accuracy = Core.Accuracy
+module Pattern = Core.Pattern
+module Aggregate = Core.Aggregate
+module Latency = Core.Latency
+module Report = Core.Report
+module Nesting = Core.Nesting
+module Transform = Core.Transform
+module ST = Simnet.Sim_time
+
+let time_scale = ref 0.1
+let quick = ref false
+
+(* ---- memoised scenario runs and correlations ---- *)
+
+let outcomes : (S.spec, S.outcome) Hashtbl.t = Hashtbl.create 64
+
+let run spec =
+  match Hashtbl.find_opt outcomes spec with
+  | Some o -> o
+  | None ->
+      let o = S.run spec in
+      Hashtbl.replace outcomes spec o;
+      o
+
+let correlations : (S.spec * int, Correlator.result) Hashtbl.t = Hashtbl.create 64
+
+let correlate ?(window = ST.ms 10) spec =
+  let key = (spec, ST.span_ns window) in
+  match Hashtbl.find_opt correlations key with
+  | Some r -> r
+  | None ->
+      let outcome = run spec in
+      let cfg = Correlator.config ~transform:outcome.S.transform ~window () in
+      let r = Correlator.correlate cfg outcome.S.logs in
+      Hashtbl.replace correlations key r;
+      r
+
+let base_spec () = { S.default with S.time_scale = !time_scale }
+
+let clients_grid () =
+  if !quick then [ 100; 400; 700; 1000 ]
+  else [ 100; 200; 300; 400; 500; 600; 700; 800; 900; 1000 ]
+
+(* The ViewItem-like pattern: the most frequent pattern that visits the
+   database twice (ViewItem is its dominant class). *)
+let viewitem_pattern result =
+  let patterns = Pattern.classify result.Correlator.cags in
+  let visits_db_twice p =
+    List.length (String.split_on_char '>' p.Pattern.name |> List.filter (String.equal "mysqld"))
+    >= 2
+  in
+  match List.find_opt visits_db_twice patterns with
+  | Some p -> p
+  | None -> List.hd patterns
+
+let paper_components =
+  [ "httpd2httpd"; "httpd2java"; "java2httpd"; "java2java"; "java2mysqld"; "mysqld2java";
+    "mysqld2mysqld" ]
+
+let component_row avg =
+  let pcts = Aggregate.component_percentages avg in
+  List.map
+    (fun label ->
+      let v =
+        List.fold_left
+          (fun acc (c, v) -> if String.equal (Latency.component_label c) label then v else acc)
+          0.0 pcts
+      in
+      Report.cell_pct v)
+    paper_components
+
+(* ---- table (5.2): accuracy ---- *)
+
+let bench_accuracy () =
+  let t =
+    Report.table ~title:"Table (5.2): path accuracy across configurations"
+      ~columns:
+        [ "mix"; "clients"; "window"; "skew"; "noise"; "requests"; "paths"; "accuracy"; "FP"; "FN" ]
+  in
+  let base = base_spec () in
+  let cases =
+    List.map (fun c -> ({ base with S.clients = c }, ST.ms 10)) [ 100; 400; 700; 1000 ]
+    @ List.map (fun w -> ({ base with S.clients = 300 }, w)) [ ST.ms 1; ST.ms 100; ST.sec 10 ]
+    @ List.map
+        (fun skew_ms -> ({ base with S.clients = 300; skew = ST.ms skew_ms }, ST.ms 2))
+        [ 1; 100; 500 ]
+    @ [
+        ({ base with S.clients = 300; mix = Workload.Default }, ST.ms 10);
+        ({ base with S.clients = 300; noise = S.Paper_noise { db_connections = 4 } }, ST.ms 2);
+        ( {
+            base with
+            S.clients = 300;
+            noise = S.Paper_noise { db_connections = 4 };
+            skew = ST.ms 200;
+          },
+          ST.ms 2 );
+      ]
+  in
+  List.iter
+    (fun (spec, window) ->
+      let outcome = run spec in
+      let result = correlate ~window spec in
+      let verdict = Accuracy.check ~ground_truth:outcome.S.ground_truth result.Correlator.cags in
+      Report.add_row t
+        [
+          Workload.mix_to_string spec.S.mix;
+          Report.cell_int spec.S.clients;
+          Report.cell_span window;
+          Report.cell_span spec.S.skew;
+          (match spec.S.noise with S.No_noise -> "no" | S.Paper_noise _ -> "yes");
+          Report.cell_int verdict.Accuracy.total_requests;
+          Report.cell_int (List.length result.Correlator.cags);
+          Report.cell_pct verdict.Accuracy.accuracy;
+          Report.cell_int verdict.false_positives;
+          Report.cell_int verdict.false_negatives;
+        ])
+    cases;
+  Report.print t
+
+(* ---- Fig. 8 ---- *)
+
+let bench_fig8 () =
+  let t =
+    Report.table ~title:"Fig. 8: serviced requests vs concurrent clients (Browse_only)"
+      ~columns:[ "clients"; "requests"; "throughput (req/s)" ]
+  in
+  List.iter
+    (fun clients ->
+      let outcome = run { (base_spec ()) with S.clients } in
+      Report.add_row t
+        [
+          Report.cell_int clients;
+          Report.cell_int (Metrics.total_recorded outcome.S.metrics);
+          Report.cell_float ~decimals:1 outcome.S.summary.Metrics.throughput_rps;
+        ])
+    (clients_grid ());
+  Report.print t
+
+(* ---- Fig. 9 ---- *)
+
+let bench_fig9 () =
+  let t =
+    Report.table ~title:"Fig. 9: correlation time vs serviced requests (window 10 ms)"
+      ~columns:[ "clients"; "requests"; "activities"; "correlation time (s)"; "us/request" ]
+  in
+  List.iter
+    (fun clients ->
+      let spec = { (base_spec ()) with S.clients } in
+      let outcome = run spec in
+      let result = correlate spec in
+      let n = List.length result.Correlator.cags in
+      Report.add_row t
+        [
+          Report.cell_int clients;
+          Report.cell_int n;
+          Report.cell_int outcome.S.activity_count;
+          Report.cell_float ~decimals:4 result.correlation_time;
+          Report.cell_float ~decimals:2 (result.correlation_time /. float_of_int (max 1 n) *. 1e6);
+        ])
+    (clients_grid ());
+  Report.print t
+
+(* ---- Figs. 10-11 ---- *)
+
+let window_grid () =
+  if !quick then [ ST.ms 1; ST.sec 1 ]
+  else [ ST.ms 1; ST.ms 10; ST.ms 100; ST.sec 1; ST.sec 10; ST.sec 100 ]
+
+let bench_fig10_11 () =
+  let t10 =
+    Report.table ~title:"Fig. 10: correlation time vs sliding window size"
+      ~columns:[ "clients"; "window"; "correlation time (s)" ]
+  in
+  let t11 =
+    Report.table ~title:"Fig. 11: correlator memory vs sliding window size"
+      ~columns:[ "clients"; "window"; "peak records"; "approx MB" ]
+  in
+  List.iter
+    (fun clients ->
+      let spec = { (base_spec ()) with S.clients } in
+      List.iter
+        (fun window ->
+          let result = correlate ~window spec in
+          Report.add_row t10
+            [
+              Report.cell_int clients;
+              Report.cell_span window;
+              Report.cell_float ~decimals:4 result.Correlator.correlation_time;
+            ];
+          Report.add_row t11
+            [
+              Report.cell_int clients;
+              Report.cell_span window;
+              Report.cell_int result.peak_memory_proxy;
+              Report.cell_float ~decimals:2
+                (float_of_int result.memory_bytes_estimate /. 1048576.0);
+            ])
+        (window_grid ()))
+    [ 200; 500; 800 ];
+  Report.print t10;
+  Report.print t11
+
+(* ---- Figs. 12-13 ---- *)
+
+let bench_fig12_13 () =
+  let t12 =
+    Report.table ~title:"Fig. 12: throughput, tracing disabled vs enabled"
+      ~columns:[ "clients"; "disabled (req/s)"; "enabled (req/s)"; "overhead" ]
+  in
+  let t13 =
+    Report.table ~title:"Fig. 13: average response time, tracing disabled vs enabled"
+      ~columns:[ "clients"; "disabled (ms)"; "enabled (ms)"; "increase" ]
+  in
+  let max_tp = ref 0.0 and max_rt = ref 0.0 in
+  List.iter
+    (fun clients ->
+      let on = run { (base_spec ()) with S.clients } in
+      let off = run { (base_spec ()) with S.clients; tracing = false } in
+      let tp_on = on.S.summary.Metrics.throughput_rps in
+      let tp_off = off.S.summary.Metrics.throughput_rps in
+      let rt_on = on.S.summary.Metrics.mean_rt_s *. 1e3 in
+      let rt_off = off.S.summary.Metrics.mean_rt_s *. 1e3 in
+      let tp_drop = if tp_off > 0.0 then (tp_off -. tp_on) /. tp_off else 0.0 in
+      let rt_incr = if rt_off > 0.0 then (rt_on -. rt_off) /. rt_off else 0.0 in
+      if tp_drop > !max_tp then max_tp := tp_drop;
+      if rt_incr > !max_rt then max_rt := rt_incr;
+      Report.add_row t12
+        [
+          Report.cell_int clients;
+          Report.cell_float ~decimals:1 tp_off;
+          Report.cell_float ~decimals:1 tp_on;
+          Report.cell_pct tp_drop;
+        ];
+      Report.add_row t13
+        [
+          Report.cell_int clients;
+          Report.cell_float ~decimals:1 rt_off;
+          Report.cell_float ~decimals:1 rt_on;
+          Report.cell_pct rt_incr;
+        ])
+    (clients_grid ());
+  Report.print t12;
+  Report.print t13;
+  Printf.printf
+    "max throughput overhead %.1f%% (paper: 3.7%%); max RT increase %.1f%% (paper: <30%%)\n\n"
+    (100.0 *. !max_tp) (100.0 *. !max_rt)
+
+(* ---- Fig. 14 ---- *)
+
+let bench_fig14 () =
+  let t =
+    Report.table ~title:"Fig. 14: correlation time with and without noise (window 2 ms)"
+      ~columns:
+        [ "clients"; "activities"; "noise activities"; "no_noise (s)"; "noise (s)"; "accuracy" ]
+  in
+  let clients_list = if !quick then [ 100; 500 ] else [ 100; 300; 500; 700; 900 ] in
+  List.iter
+    (fun clients ->
+      let clean_spec = { (base_spec ()) with S.clients } in
+      let noisy_spec =
+        { (base_spec ()) with S.clients; noise = S.Paper_noise { db_connections = 4 } }
+      in
+      let clean = correlate ~window:(ST.ms 2) clean_spec in
+      let noisy = correlate ~window:(ST.ms 2) noisy_spec in
+      let noisy_outcome = run noisy_spec in
+      let clean_outcome = run clean_spec in
+      let verdict =
+        Accuracy.check ~ground_truth:noisy_outcome.S.ground_truth noisy.Correlator.cags
+      in
+      Report.add_row t
+        [
+          Report.cell_int clients;
+          Report.cell_int clean_outcome.S.activity_count;
+          Report.cell_int (noisy_outcome.S.activity_count - clean_outcome.S.activity_count);
+          Report.cell_float ~decimals:4 clean.Correlator.correlation_time;
+          Report.cell_float ~decimals:4 noisy.Correlator.correlation_time;
+          Report.cell_pct verdict.Accuracy.accuracy;
+        ])
+    clients_list;
+  Report.print t
+
+(* ---- Fig. 15 ---- *)
+
+let bench_fig15 () =
+  let t =
+    Report.table
+      ~title:"Fig. 15: latency percentages of components, ViewItem-like path (MaxThreads=40)"
+      ~columns:("clients" :: paper_components)
+  in
+  List.iter
+    (fun clients ->
+      let result = correlate { (base_spec ()) with S.clients } in
+      let avg = Aggregate.of_pattern (viewitem_pattern result) in
+      Report.add_row t (Report.cell_int clients :: component_row avg))
+    [ 500; 600; 700; 800 ];
+  Report.print t
+
+(* ---- Fig. 16 ---- *)
+
+let bench_fig16 () =
+  let t =
+    Report.table ~title:"Fig. 16: performance for MaxThreads 40 vs 250"
+      ~columns:[ "clients"; "TP_MT40"; "TP_MT250"; "RT_MT40 (ms)"; "RT_MT250 (ms)" ]
+  in
+  List.iter
+    (fun clients ->
+      let mt40 = run { (base_spec ()) with S.clients } in
+      let mt250 = run { (base_spec ()) with S.clients; max_threads = 250 } in
+      Report.add_row t
+        [
+          Report.cell_int clients;
+          Report.cell_float ~decimals:1 mt40.S.summary.Metrics.throughput_rps;
+          Report.cell_float ~decimals:1 mt250.S.summary.Metrics.throughput_rps;
+          Report.cell_float ~decimals:1 (mt40.S.summary.Metrics.mean_rt_s *. 1e3);
+          Report.cell_float ~decimals:1 (mt250.S.summary.Metrics.mean_rt_s *. 1e3);
+        ])
+    (clients_grid ());
+  Report.print t
+
+(* ---- Fig. 17 ---- *)
+
+let bench_fig17 () =
+  let t =
+    Report.table
+      ~title:"Fig. 17: latency percentages for normal and abnormal cases (300 clients)"
+      ~columns:("case" :: paper_components)
+  in
+  let base = { (base_spec ()) with S.clients = 300 } in
+  let cases =
+    [
+      ("normal", base);
+      ("EJB_Delay", { base with S.faults = [ Faults.ejb_delay ] });
+      ("Database_Lock", { base with S.faults = [ Faults.database_lock ] });
+      ("EJB_Network", { base with S.faults = [ Faults.ejb_network ] });
+    ]
+  in
+  let profiles =
+    List.map
+      (fun (name, spec) ->
+        let result = correlate spec in
+        let avg = Aggregate.of_pattern (viewitem_pattern result) in
+        Report.add_row t (name :: component_row avg);
+        (name, avg))
+      cases
+  in
+  Report.print t;
+  (* And run the paper's diagnosis methodology on each abnormal case. *)
+  match profiles with
+  | (_, normal) :: abnormal ->
+      List.iter
+        (fun (name, avg) ->
+          let report = Core.Analysis.diagnose ~baseline:normal ~observed:avg in
+          Format.printf "diagnosis for %s:@." name;
+          (match report.Core.Analysis.suspects with
+          | s :: _ -> Format.printf "  prime suspect: %s (%s)@." s.Core.Analysis.subject s.reason
+          | [] -> Format.printf "  no suspect found@.");
+          Format.printf "@.")
+        abnormal
+  | [] -> ()
+
+(* ---- ext-1: nesting baseline ---- *)
+
+let bench_baseline () =
+  let t =
+    Report.table
+      ~title:"ext-1: PreciseTracer vs black-box baselines (nesting = Project5/WAP5-style,               DPM = pairwise causality graph)"
+      ~columns:
+        [ "clients"; "requests"; "precisetracer"; "nesting"; "nesting w/ 400ms skew";
+          "dpm paths"; "dpm phantoms" ]
+  in
+  let clients_list = if !quick then [ 1; 150 ] else [ 1; 50; 150; 300 ] in
+  List.iter
+    (fun clients ->
+      let spec = { (base_spec ()) with S.clients } in
+      let outcome = run spec in
+      let precise =
+        Accuracy.check ~ground_truth:outcome.S.ground_truth (correlate spec).Correlator.cags
+      in
+      let nesting_of spec =
+        let outcome = run spec in
+        let prepared = Transform.apply outcome.S.transform outcome.S.logs in
+        (Nesting.score ~ground_truth:outcome.ground_truth (Nesting.infer prepared))
+          .Accuracy.accuracy
+      in
+      let dpm_stats =
+        let prepared = Transform.apply outcome.S.transform outcome.S.logs in
+        Core.Dpm.evaluate ~max_paths:100_000 ~ground_truth:outcome.ground_truth
+          (Core.Dpm.build prepared)
+      in
+      Report.add_row t
+        [
+          Report.cell_int clients;
+          Report.cell_int precise.Accuracy.total_requests;
+          Report.cell_pct precise.accuracy;
+          Report.cell_pct (nesting_of spec);
+          Report.cell_pct (nesting_of { spec with S.skew = ST.ms 400 });
+          Printf.sprintf "%d%s" dpm_stats.Core.Dpm.paths_found
+            (if dpm_stats.truncated then "+" else "");
+          Report.cell_int dpm_stats.phantom_paths;
+        ])
+    clients_list;
+  Report.print t
+
+(* ---- ext-2: loss ---- *)
+
+let bench_loss () =
+  let t =
+    Report.table ~title:"ext-2: activity loss vs deformed CAGs (300 clients)"
+      ~columns:[ "loss rate"; "finished"; "deformed"; "accuracy"; "deformed share" ]
+  in
+  let spec = { (base_spec ()) with S.clients = 300 } in
+  let outcome = run spec in
+  List.iter
+    (fun p ->
+      let rng = Simnet.Rng.create ~seed:99 in
+      let logs = Trace.Loss.drop ~rng ~p outcome.S.logs in
+      let cfg = Correlator.config ~transform:outcome.S.transform () in
+      let result = Correlator.correlate cfg logs in
+      let verdict = Accuracy.check ~ground_truth:outcome.ground_truth result.Correlator.cags in
+      let finished = List.length result.Correlator.cags in
+      let deformed = List.length result.deformed in
+      Report.add_row t
+        [
+          Report.cell_pct p;
+          Report.cell_int finished;
+          Report.cell_int deformed;
+          Report.cell_pct verdict.Accuracy.accuracy;
+          Report.cell_pct (float_of_int deformed /. float_of_int (max 1 (finished + deformed)));
+        ])
+    [ 0.0; 0.001; 0.005; 0.02; 0.05 ];
+  Report.print t
+
+(* ---- ext-6: mechanism ablations ---- *)
+
+let bench_ablation () =
+  let t =
+    Report.table
+      ~title:
+        "ext-7: what each ranker mechanism buys (300 clients; Rule 1 and promotion          disabled in turn)"
+      ~columns:
+        [ "variant"; "accuracy"; "FP"; "FN"; "noise discards"; "forced discards"; "promotions" ]
+  in
+  (* Noise plus skew with a tiny window is the regime where every
+     mechanism earns its keep (promotions resolve receive-blocked heads). *)
+  let spec =
+    {
+      (base_spec ()) with
+      S.clients = 300;
+      noise = S.Paper_noise { db_connections = 4 };
+      skew = ST.ms 200;
+    }
+  in
+  let outcome = run spec in
+  let variants =
+    [
+      ("full algorithm", Core.Ranker.no_ablation);
+      ("no Rule 1", { Core.Ranker.disable_rule1 = true; disable_promotion = false });
+      ("no promotion", { Core.Ranker.disable_rule1 = false; disable_promotion = true });
+      ("neither", { Core.Ranker.disable_rule1 = true; disable_promotion = true });
+    ]
+  in
+  List.iter
+    (fun (name, ablation) ->
+      let cfg =
+        Correlator.config ~transform:outcome.S.transform ~window:(ST.ms 2) ~ablation ()
+      in
+      let result = Correlator.correlate cfg outcome.S.logs in
+      let verdict = Accuracy.check ~ground_truth:outcome.S.ground_truth result.Correlator.cags in
+      let rs = result.ranker_stats in
+      Report.add_row t
+        [
+          name;
+          Report.cell_pct verdict.Accuracy.accuracy;
+          Report.cell_int verdict.false_positives;
+          Report.cell_int verdict.false_negatives;
+          Report.cell_int rs.Core.Ranker.noise_discarded;
+          Report.cell_int rs.forced_discards;
+          Report.cell_int rs.promotions;
+        ])
+    variants;
+  Report.print t
+
+(* ---- ext-4: skew estimation and corrected latency percentages ---- *)
+
+let bench_skewfix () =
+  let t =
+    Report.table
+      ~title:
+        "ext-4: interaction latency percentages under 400 ms skew, raw vs skew-corrected          (300 clients; 0-skew run as reference)"
+      ~columns:("variant" :: paper_components)
+  in
+  let spec_skewed = { (base_spec ()) with S.clients = 300; skew = ST.ms 400 } in
+  let spec_clean = { (base_spec ()) with S.clients = 300 } in
+  let result_skewed = correlate spec_skewed in
+  let result_clean = correlate spec_clean in
+  let est = Core.Skew_estimator.estimate result_skewed.Correlator.cags in
+  let profile breakdown_of result =
+    let pattern = viewitem_pattern result in
+    let sums = Hashtbl.create 8 in
+    let n = ref 0 in
+    List.iter
+      (fun cag ->
+        incr n;
+        List.iter
+          (fun (c, span) ->
+            let key = Latency.component_label c in
+            let v = ST.span_to_float_s span in
+            Hashtbl.replace sums key (v +. Option.value ~default:0.0 (Hashtbl.find_opt sums key)))
+          (breakdown_of cag))
+      pattern.Pattern.cags;
+    let total = Hashtbl.fold (fun _ v acc -> acc +. v) sums 0.0 in
+    List.map
+      (fun label ->
+        Report.cell_pct (Option.value ~default:0.0 (Hashtbl.find_opt sums label) /. total))
+      paper_components
+  in
+  Report.add_row t ("raw (400ms skew)" :: profile Latency.breakdown result_skewed);
+  Report.add_row t
+    ("corrected (400ms skew)"
+    :: profile (Core.Skew_estimator.corrected_breakdown est) result_skewed);
+  Report.add_row t ("reference (no skew)" :: profile Latency.breakdown result_clean);
+  Report.print t;
+  Format.printf "estimated clock offsets (truth: web1 +0, app1 +400ms, db1 -400ms):@.";
+  List.iter
+    (fun e ->
+      Format.printf "  %-8s %+10.3f ms (%d pairs)@." e.Core.Skew_estimator.host
+        (ST.span_to_float_s e.offset *. 1e3)
+        e.pairs_used)
+    (Core.Skew_estimator.offsets est);
+  Format.printf "@."
+
+(* ---- ext-5: online correlation lag ---- *)
+
+let bench_online () =
+  let t =
+    Report.table
+      ~title:"ext-5: online vs offline correlation (replayed feed, 10 ms window)"
+      ~columns:
+        [ "clients"; "paths offline"; "paths online"; "identical"; "emitted before close" ]
+  in
+  List.iter
+    (fun clients ->
+      let spec = { (base_spec ()) with S.clients } in
+      let outcome = run spec in
+      let offline = correlate spec in
+      let cfg = Correlator.config ~transform:outcome.S.transform () in
+      let hosts = List.map Trace.Log.hostname outcome.S.logs in
+      let online = Core.Online.create ~config:cfg ~hosts () in
+      let merged =
+        List.concat_map Trace.Log.to_list outcome.S.logs
+        |> List.stable_sort Trace.Activity.compare_by_time
+      in
+      List.iter (Core.Online.observe online) merged;
+      let before_close = List.length (Core.Online.paths online) in
+      Core.Online.finish online;
+      let online_paths = Core.Online.paths online in
+      let identical =
+        List.length online_paths = List.length offline.Correlator.cags
+        && List.for_all2
+             (fun a b ->
+               String.equal (Pattern.signature_of a) (Pattern.signature_of b))
+             offline.Correlator.cags online_paths
+      in
+      Report.add_row t
+        [
+          Report.cell_int clients;
+          Report.cell_int (List.length offline.Correlator.cags);
+          Report.cell_int (List.length online_paths);
+          (if identical then "yes" else "NO");
+          Report.cell_pct
+            (float_of_int before_close /. float_of_int (max 1 (List.length online_paths)));
+        ])
+    (if !quick then [ 100; 500 ] else [ 100; 300; 500 ]);
+  Report.print t
+
+(* ---- ext-8: trace format sizes ---- *)
+
+let bench_formats () =
+  let t =
+    Report.table ~title:"ext-8: trace log formats (text vs binary)"
+      ~columns:
+        [ "clients"; "activities"; "text bytes"; "binary bytes"; "ratio"; "decode ok" ]
+  in
+  List.iter
+    (fun clients ->
+      let outcome = run { (base_spec ()) with S.clients } in
+      let collection = outcome.S.logs in
+      let text =
+        List.fold_left
+          (fun acc log ->
+            List.fold_left
+              (fun acc a -> acc + String.length (Trace.Raw_format.to_line a) + 1)
+              acc (Trace.Log.to_list log))
+          0 collection
+      in
+      let encoded = Trace.Binary_format.encode collection in
+      let ok =
+        match Trace.Binary_format.decode encoded with
+        | Ok loaded -> Trace.Log.total loaded = Trace.Log.total collection
+        | Error _ -> false
+      in
+      Report.add_row t
+        [
+          Report.cell_int clients;
+          Report.cell_int outcome.S.activity_count;
+          Report.cell_int text;
+          Report.cell_int (String.length encoded);
+          Report.cell_float ~decimals:1 (float_of_int text /. float_of_int (String.length encoded));
+          (if ok then "yes" else "NO");
+        ])
+    (if !quick then [ 100 ] else [ 100; 300; 500 ]);
+  Report.print t
+
+(* ---- bechamel micro-benchmarks ---- *)
+
+let micro_tests () =
+  let spec = { (base_spec ()) with S.clients = 100; time_scale = 0.02 } in
+  let outcome = run spec in
+  let prepared = Transform.apply outcome.S.transform outcome.S.logs in
+  let correlate_once () =
+    let engine = Core.Cag_engine.create () in
+    let ranker =
+      Core.Ranker.create ~window:(ST.ms 10)
+        ~has_mmap_send:(Core.Cag_engine.has_mmap_send engine)
+        prepared
+    in
+    let rec loop () =
+      match Core.Ranker.rank ranker with
+      | None -> ()
+      | Some a ->
+          Core.Cag_engine.step engine a;
+          loop ()
+    in
+    loop ();
+    Core.Cag_engine.finished engine
+  in
+  let cags = correlate_once () in
+  let one_line =
+    Trace.Raw_format.to_line (List.concat_map Trace.Log.to_list prepared |> List.hd)
+  in
+  let open Bechamel in
+  [
+    Test.make ~name:"correlate-trace" (Staged.stage (fun () -> ignore (correlate_once ())));
+    Test.make ~name:"pattern-signature"
+      (Staged.stage (fun () -> ignore (Pattern.signature_of (List.hd cags))));
+    Test.make ~name:"classify-patterns" (Staged.stage (fun () -> ignore (Pattern.classify cags)));
+    Test.make ~name:"critical-path"
+      (Staged.stage (fun () -> ignore (Latency.critical_path (List.hd cags))));
+    Test.make ~name:"raw-parse"
+      (Staged.stage (fun () -> ignore (Trace.Raw_format.of_line one_line)));
+  ]
+
+let bench_micro () =
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Bechamel.Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let grouped = Test.make_grouped ~name:"kernel" ~fmt:"%s %s" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline "== bechamel micro-benchmarks (ns/run, OLS) ==";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "%-28s %12.1f\n" name est
+      | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+(* ---- driver ---- *)
+
+let all_figures =
+  [
+    ("accuracy", bench_accuracy);
+    ("8", bench_fig8);
+    ("9", bench_fig9);
+    ("10", bench_fig10_11);
+    ("12", bench_fig12_13);
+    ("14", bench_fig14);
+    ("15", bench_fig15);
+    ("16", bench_fig16);
+    ("17", bench_fig17);
+    ("baseline", bench_baseline);
+    ("loss", bench_loss);
+    ("ablation", bench_ablation);
+    ("formats", bench_formats);
+    ("skewfix", bench_skewfix);
+    ("online", bench_online);
+    ("micro", bench_micro);
+  ]
+
+let resolve = function
+  | "11" -> Some ("10", bench_fig10_11)
+  | "13" -> Some ("12", bench_fig12_13)
+  | id -> List.find_opt (fun (name, _) -> String.equal name id) all_figures
+
+let () =
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--figure" :: id :: rest ->
+        (match resolve id with
+        | Some f -> selected := f :: !selected
+        | None when String.equal id "all" -> selected := List.rev all_figures @ !selected
+        | None -> Printf.eprintf "unknown figure %S\n" id);
+        parse rest
+    | "--scale" :: s :: rest ->
+        time_scale := float_of_string s;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | arg :: rest ->
+        Printf.eprintf "unknown argument %S\n" arg;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let figures =
+    match List.rev !selected with
+    | [] -> all_figures
+    | fs ->
+        let seen = Hashtbl.create 8 in
+        List.filter
+          (fun (name, _) ->
+            if Hashtbl.mem seen name then false
+            else begin
+              Hashtbl.replace seen name ();
+              true
+            end)
+          fs
+  in
+  Printf.printf
+    "PreciseTracer evaluation harness (time_scale %.2f%s). Shapes are comparable to the paper; \
+     absolute numbers are not (simulated substrate).\n\n"
+    !time_scale
+    (if !quick then ", quick grids" else "");
+  List.iter (fun (_, f) -> f ()) figures

@@ -1,0 +1,307 @@
+(* The precisetracer command-line tool.
+
+   Subcommands:
+     simulate   run the simulated three-tier testbed, optionally saving
+                per-node TCP_TRACE files
+     correlate  turn a directory of trace files into causal paths
+     evaluate   simulate + correlate + score against the oracle
+     diagnose   compare a suspect configuration against a healthy baseline
+                and print the suspected components *)
+
+module S = Tiersim.Scenario
+module Workload = Tiersim.Workload
+module Faults = Tiersim.Faults
+module Metrics = Tiersim.Metrics
+module ST = Simnet.Sim_time
+open Cmdliner
+
+(* ---- shared options ---- *)
+
+let clients =
+  Arg.(value & opt int 300 & info [ "c"; "clients" ] ~docv:"N" ~doc:"Concurrent emulated clients.")
+
+let mix =
+  let parse s =
+    match Workload.mix_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg "expected Browse_only or Default")
+  in
+  let print ppf m = Format.pp_print_string ppf (Workload.mix_to_string m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Workload.Browse_only
+    & info [ "mix" ] ~docv:"MIX" ~doc:"Workload mix: Browse_only or Default.")
+
+let max_threads =
+  Arg.(
+    value & opt int 40
+    & info [ "max-threads" ] ~docv:"N" ~doc:"App-server thread pool size (JBoss MaxThreads).")
+
+let time_scale =
+  Arg.(
+    value & opt float 0.1
+    & info [ "scale" ] ~docv:"F"
+        ~doc:"Stage-duration scale; 1.0 reproduces the paper's 10.5-minute runs.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let skew_ms =
+  Arg.(
+    value & opt int 0
+    & info [ "skew-ms" ] ~docv:"MS" ~doc:"Cross-node clock skew magnitude, milliseconds.")
+
+let noise =
+  Arg.(
+    value & flag
+    & info [ "noise" ]
+        ~doc:
+          "Add the paper's noise environment: rlogin/ssh chatter plus mysql clients on the \
+           service database.")
+
+let faults =
+  let fault =
+    Arg.enum
+      [
+        ("ejb-delay", Faults.ejb_delay);
+        ("db-lock", Faults.database_lock);
+        ("ejb-network", Faults.ejb_network);
+      ]
+  in
+  Arg.(
+    value & opt_all fault []
+    & info [ "fault" ] ~docv:"FAULT"
+        ~doc:
+          "Inject a performance problem: $(b,ejb-delay), $(b,db-lock) or $(b,ejb-network). \
+           Repeatable.")
+
+let window_ms =
+  Arg.(
+    value & opt float 10.0
+    & info [ "window-ms" ] ~docv:"MS" ~doc:"Correlator sliding-window size, milliseconds.")
+
+let spec_of clients mix max_threads time_scale seed skew_ms noise faults =
+  {
+    S.default with
+    S.clients;
+    mix;
+    max_threads;
+    time_scale;
+    seed;
+    skew = ST.ms skew_ms;
+    noise = (if noise then S.Paper_noise { db_connections = 4 } else S.No_noise);
+    faults;
+  }
+
+let spec_term =
+  Term.(
+    const spec_of $ clients $ mix $ max_threads $ time_scale $ seed $ skew_ms $ noise $ faults)
+
+let window_of ms = ST.span_of_float_s (ms /. 1e3)
+
+(* ---- simulate ---- *)
+
+let print_summary outcome =
+  let s = outcome.S.summary in
+  Format.printf "completed %d requests over the whole run; runtime session: %a@."
+    (Metrics.total_recorded outcome.S.metrics)
+    Metrics.pp_summary s;
+  Format.printf "captured %d activities on %d nodes@." outcome.S.activity_count
+    (List.length outcome.S.logs)
+
+let simulate_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Save per-node TCP_TRACE files into $(docv).")
+  in
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Save one compact binary file (traces.ptb) instead of per-node text files.")
+  in
+  let run spec out binary =
+    let outcome = S.run spec in
+    print_summary outcome;
+    match out with
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        if binary then
+          Trace.Binary_format.save outcome.S.logs ~path:(Filename.concat dir "traces.ptb")
+        else Trace.Log.save outcome.S.logs ~dir;
+        Trace.Ground_truth.save outcome.S.ground_truth
+          ~path:(Filename.concat dir "ground_truth.txt");
+        Format.printf "%s and ground_truth.txt written to %s@."
+          (if binary then "traces.ptb" else "trace files")
+          dir
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the simulated three-tier testbed.")
+    Term.(const run $ spec_term $ out $ binary)
+
+(* ---- correlate ---- *)
+
+let correlate_logs ~window ~entry logs =
+  let transform =
+    Core.Transform.config ~entry_points:[ entry ]
+      ~drop_programs:[ "rlogin"; "rlogind"; "ssh"; "sshd"; "mysql" ]
+      ()
+  in
+  Core.Correlator.correlate (Core.Correlator.config ~transform ~window ()) logs
+
+let print_correlation result =
+  let open Core in
+  Format.printf "%d causal paths (%d deformed) in %.3f s; peak memory ~%.1f MB@."
+    (List.length result.Correlator.cags)
+    (List.length result.Correlator.deformed)
+    result.Correlator.correlation_time
+    (float_of_int result.Correlator.memory_bytes_estimate /. 1048576.0);
+  let rs = result.Correlator.ranker_stats in
+  Format.printf "ranker: %d candidates, %d noise discarded, %d promotions@." rs.Ranker.candidates
+    rs.noise_discarded rs.promotions;
+  let patterns = Pattern.classify result.Correlator.cags in
+  List.iter (fun p -> Format.printf "  %a@." Pattern.pp p) patterns;
+  match patterns with
+  | p :: _ ->
+      Format.printf "@.%a@." Aggregate.pp (Aggregate.of_pattern p);
+      Format.printf "@.%a@." Aggregate.pp_tails p
+  | [] -> ()
+
+let entry_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ ip; port ] -> (
+        match (Simnet.Address.ip_of_string ip, int_of_string_opt port) with
+        | ip, Some port -> Ok (Simnet.Address.endpoint ip port)
+        | exception Invalid_argument m -> Error (`Msg m)
+        | _, None -> Error (`Msg "bad port"))
+    | _ -> Error (`Msg "expected IP:PORT")
+  in
+  let print ppf e = Simnet.Address.pp_endpoint ppf e in
+  Arg.(
+    value
+    & opt (conv (parse, print))
+        (Simnet.Address.endpoint (Simnet.Address.ip_of_string "10.0.1.1") 80)
+    & info [ "entry" ] ~docv:"IP:PORT" ~doc:"The service's entry endpoint (the web tier).")
+
+let correlate_cmd =
+  let dir =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc:"Directory of .trace files.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Export all causal paths as JSON to $(docv).")
+  in
+  let show =
+    Arg.(
+      value & opt int 0
+      & info [ "show" ] ~docv:"N" ~doc:"Render the first $(docv) causal paths as swimlanes.")
+  in
+  let load_traces dir =
+    let binary = Filename.concat dir "traces.ptb" in
+    if Sys.file_exists binary then Trace.Binary_format.load ~path:binary
+    else Trace.Log.load ~dir
+  in
+  let run dir window_ms entry json_out show =
+    match load_traces dir with
+    | Error e -> `Error (false, e)
+    | Ok logs ->
+        Format.printf "loaded %d activities from %d nodes@." (Trace.Log.total logs)
+          (List.length logs);
+        let result = correlate_logs ~window:(window_of window_ms) ~entry logs in
+        print_correlation result;
+        List.iteri
+          (fun i cag ->
+            if i < show then Format.printf "@.%s" (Core.Cag_render.render cag))
+          result.Core.Correlator.cags;
+        (match json_out with
+        | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc
+                  (Core.Json.to_string ~indent:true
+                     (Core.Cag_export.paths_to_json result.Core.Correlator.cags)));
+            Format.printf "@.paths exported to %s@." file
+        | None -> ());
+        (* score against a saved oracle when one sits next to the traces *)
+        let gt_path = Filename.concat dir "ground_truth.txt" in
+        if Sys.file_exists gt_path then begin
+          match Trace.Ground_truth.load ~path:gt_path with
+          | Ok gt ->
+              let verdict = Core.Accuracy.check ~ground_truth:gt result.Core.Correlator.cags in
+              Format.printf "@.%a@." Core.Accuracy.pp_verdict verdict
+          | Error e -> Format.printf "@.could not read %s: %s@." gt_path e
+        end;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "correlate" ~doc:"Correlate saved trace files into causal paths.")
+    Term.(ret (const run $ dir $ window_ms $ entry_arg $ json_out $ show))
+
+(* ---- evaluate ---- *)
+
+let evaluate_cmd =
+  let run spec window_ms =
+    let outcome = S.run spec in
+    print_summary outcome;
+    let cfg =
+      Core.Correlator.config ~transform:outcome.S.transform ~window:(window_of window_ms) ()
+    in
+    let result = Core.Correlator.correlate cfg outcome.S.logs in
+    print_correlation result;
+    let verdict =
+      Core.Accuracy.check ~ground_truth:outcome.S.ground_truth result.Core.Correlator.cags
+    in
+    Format.printf "@.%a@." Core.Accuracy.pp_verdict verdict
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Simulate, correlate, and score accuracy against the oracle.")
+    Term.(const run $ spec_term $ window_ms)
+
+(* ---- diagnose ---- *)
+
+let diagnose_cmd =
+  let baseline_clients =
+    Arg.(
+      value & opt int 300
+      & info [ "baseline-clients" ] ~docv:"N" ~doc:"Client count of the healthy baseline run.")
+  in
+  let run spec baseline_clients =
+    let viewitem_avg spec =
+      let outcome = S.run spec in
+      let cfg = Core.Correlator.config ~transform:outcome.S.transform () in
+      let result = Core.Correlator.correlate cfg outcome.S.logs in
+      let patterns = Core.Pattern.classify result.Core.Correlator.cags in
+      let two_db p =
+        List.length
+          (String.split_on_char '>' p.Core.Pattern.name |> List.filter (String.equal "mysqld"))
+        >= 2
+      in
+      let p = match List.find_opt two_db patterns with Some p -> p | None -> List.hd patterns in
+      Core.Aggregate.of_pattern p
+    in
+    let baseline =
+      viewitem_avg { spec with S.clients = baseline_clients; faults = []; max_threads = 250 }
+    in
+    let observed = viewitem_avg spec in
+    Format.printf "%a@." Core.Analysis.pp_report (Core.Analysis.diagnose ~baseline ~observed)
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:
+         "Compare the given configuration's latency-percentage profile against a healthy \
+          baseline and rank suspect components.")
+    Term.(const run $ spec_term $ baseline_clients)
+
+let () =
+  let info =
+    Cmd.info "precisetracer" ~version:"1.0.0"
+      ~doc:"Precise request tracing for multi-tier services of black boxes (DSN 2009), reproduced."
+  in
+  exit (Cmd.eval (Cmd.group info [ simulate_cmd; correlate_cmd; evaluate_cmd; diagnose_cmd ]))

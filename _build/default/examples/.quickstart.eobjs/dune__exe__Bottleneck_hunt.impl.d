@@ -1,0 +1,1 @@
+examples/bottleneck_hunt.ml: Core Format List String Tiersim

@@ -1,0 +1,1 @@
+examples/online_monitor.ml: Core Format List Simnet Tiersim Trace

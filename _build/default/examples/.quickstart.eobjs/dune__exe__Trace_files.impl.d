@@ -1,0 +1,1 @@
+examples/trace_files.ml: Array Core Filename Format List String Sys Tiersim Trace Unix

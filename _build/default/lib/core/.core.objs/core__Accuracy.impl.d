@@ -1,0 +1,1 @@
+lib/core/accuracy.ml: Cag Format Hashtbl List Printf Simnet Trace

@@ -1,0 +1,1 @@
+lib/core/accuracy.mli: Cag Format Simnet Trace

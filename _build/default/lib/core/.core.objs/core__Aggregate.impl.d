@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Array Cag Float Format Hashtbl Latency List Pattern Simnet

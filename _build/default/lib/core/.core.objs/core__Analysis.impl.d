@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Aggregate Float Format Hashtbl Latency List Printf String

@@ -1,0 +1,1 @@
+lib/core/cag.ml: Buffer Format Hashtbl List Printf Result Simnet Trace

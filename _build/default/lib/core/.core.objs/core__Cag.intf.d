@@ -1,0 +1,1 @@
+lib/core/cag.mli: Format Simnet Trace

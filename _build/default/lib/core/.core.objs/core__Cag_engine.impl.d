@@ -1,0 +1,1 @@
+lib/core/cag_engine.ml: Cag Deque Hashtbl List Simnet Trace

@@ -1,0 +1,1 @@
+lib/core/cag_engine.mli: Cag Simnet Trace

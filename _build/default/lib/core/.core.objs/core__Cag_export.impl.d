@@ -1,0 +1,1 @@
+lib/core/cag_export.ml: Accuracy Aggregate Cag Format Hashtbl Json Latency List Pattern Simnet Trace

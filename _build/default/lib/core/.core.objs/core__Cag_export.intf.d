@@ -1,0 +1,1 @@
+lib/core/cag_export.mli: Accuracy Cag Json Pattern

@@ -1,0 +1,1 @@
+lib/core/cag_render.ml: Buffer Bytes Cag Format Hashtbl List Pattern Printf Simnet Skew_estimator String Trace

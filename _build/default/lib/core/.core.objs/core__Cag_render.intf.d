@@ -1,0 +1,1 @@
+lib/core/cag_render.mli: Cag Format Skew_estimator

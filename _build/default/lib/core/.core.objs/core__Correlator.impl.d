@@ -1,0 +1,1 @@
+lib/core/correlator.ml: Cag Cag_engine Ranker Simnet Trace Transform Unix

@@ -1,0 +1,1 @@
+lib/core/correlator.mli: Cag Cag_engine Ranker Simnet Trace Transform

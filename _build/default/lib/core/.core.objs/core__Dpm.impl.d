@@ -1,0 +1,1 @@
+lib/core/dpm.ml: Accuracy Array Hashtbl List Queue Simnet Trace

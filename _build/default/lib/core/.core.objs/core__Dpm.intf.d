@@ -1,0 +1,1 @@
+lib/core/dpm.mli: Simnet Trace

@@ -1,0 +1,1 @@
+lib/core/drift.ml: Array Cag Float Format Hashtbl Latency List Pattern String

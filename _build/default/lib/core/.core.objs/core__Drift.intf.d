@@ -1,0 +1,1 @@
+lib/core/drift.mli: Cag Format Latency

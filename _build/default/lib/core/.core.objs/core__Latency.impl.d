@@ -1,0 +1,1 @@
+lib/core/latency.ml: Cag Hashtbl List Option Simnet String Trace

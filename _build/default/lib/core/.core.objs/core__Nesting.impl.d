@@ -1,0 +1,1 @@
+lib/core/nesting.ml: Accuracy Hashtbl List Queue Simnet Trace

@@ -1,0 +1,1 @@
+lib/core/nesting.mli: Accuracy Simnet Trace

@@ -1,0 +1,1 @@
+lib/core/online.ml: Cag_engine Correlator Ranker Trace Transform

@@ -1,0 +1,1 @@
+lib/core/online.mli: Cag Cag_engine Correlator Ranker Trace

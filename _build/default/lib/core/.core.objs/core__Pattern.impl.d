@@ -1,0 +1,1 @@
+lib/core/pattern.ml: Buffer Cag Format Hashtbl Int Latency List Printf String Trace

@@ -1,0 +1,1 @@
+lib/core/ranker.ml: Array Deque List Simnet String Trace

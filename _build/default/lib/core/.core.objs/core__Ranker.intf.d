@@ -1,0 +1,1 @@
+lib/core/ranker.mli: Simnet Trace

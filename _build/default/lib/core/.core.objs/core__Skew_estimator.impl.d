@@ -1,0 +1,1 @@
+lib/core/skew_estimator.ml: Cag Hashtbl Latency List Queue Simnet String Trace

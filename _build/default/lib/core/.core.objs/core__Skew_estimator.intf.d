@@ -1,0 +1,1 @@
+lib/core/skew_estimator.mli: Cag Latency Simnet Trace

@@ -1,0 +1,1 @@
+lib/core/transform.ml: List Simnet String Trace

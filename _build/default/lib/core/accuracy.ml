@@ -1,0 +1,127 @@
+module Activity = Trace.Activity
+module Ground_truth = Trace.Ground_truth
+module Sim_time = Simnet.Sim_time
+
+type verdict = {
+  accuracy : float;
+  correct : int;
+  total_requests : int;
+  false_positives : int;
+  false_negatives : int;
+  mismatches : (int * string) list;
+}
+
+let visits_of_cag cag =
+  let order = ref [] in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (v : Cag.vertex) ->
+      let a = v.Cag.activity in
+      let c = a.Activity.context in
+      let key = (c.Activity.host, c.program, c.pid, c.tid) in
+      match Hashtbl.find_opt table key with
+      | Some visit ->
+          Hashtbl.replace table key
+            {
+              visit with
+              Ground_truth.begin_ts = Sim_time.min visit.Ground_truth.begin_ts a.timestamp;
+              end_ts = Sim_time.max visit.Ground_truth.end_ts a.timestamp;
+            }
+      | None ->
+          order := key :: !order;
+          Hashtbl.replace table key
+            { Ground_truth.context = c; begin_ts = a.timestamp; end_ts = a.timestamp })
+    (Cag.vertices cag);
+  List.rev_map (fun key -> Hashtbl.find table key) !order
+
+let within tol a b =
+  let d = Sim_time.span_ns (Sim_time.diff a b) in
+  abs d <= Sim_time.span_ns tol
+
+let visits_match tol (derived : Ground_truth.visit list) (truth : Ground_truth.visit list) =
+  List.length derived = List.length truth
+  && List.for_all2
+       (fun (d : Ground_truth.visit) (t : Ground_truth.visit) ->
+         Activity.equal_context d.context t.context
+         && within tol d.begin_ts t.begin_ts
+         && within tol d.end_ts t.end_ts)
+       derived truth
+
+let check_visits ?(tolerance = Sim_time.us 500) ~requests visits_list =
+  let total_requests = List.length requests in
+  (* Index requests by their entry context; within a context they are
+     sequential, so a timestamp window resolves the candidate. *)
+  let by_entry : (string * string * int * int, (Ground_truth.request * bool ref) list ref) Hashtbl.t
+      =
+    Hashtbl.create 256
+  in
+  let context_key (c : Activity.context) = (c.Activity.host, c.program, c.pid, c.tid) in
+  List.iter
+    (fun (r : Ground_truth.request) ->
+      match r.visits with
+      | [] -> ()
+      | first :: _ ->
+          let key = context_key first.context in
+          let cell =
+            match Hashtbl.find_opt by_entry key with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace by_entry key l;
+                l
+          in
+          cell := (r, ref false) :: !cell)
+    requests;
+  let correct = ref 0 and false_positives = ref 0 in
+  List.iter
+    (fun derived ->
+      match derived with
+      | [] -> incr false_positives
+      | (first : Ground_truth.visit) :: _ -> (
+          let key = context_key first.Ground_truth.context in
+          let candidates =
+            match Hashtbl.find_opt by_entry key with Some l -> !l | None -> []
+          in
+          let matching =
+            List.find_opt
+              (fun ((r : Ground_truth.request), used) ->
+                (not !used) && visits_match tolerance derived r.visits)
+              candidates
+          in
+          match matching with
+          | Some (_, used) ->
+              used := true;
+              incr correct
+          | None -> incr false_positives))
+    visits_list;
+  let unmatched =
+    Hashtbl.fold
+      (fun _ cell acc ->
+        List.fold_left
+          (fun acc ((r : Ground_truth.request), used) -> if !used then acc else r :: acc)
+          acc !cell)
+      by_entry []
+  in
+  let mismatches =
+    List.filteri (fun i _ -> i < 10) unmatched
+    |> List.map (fun (r : Ground_truth.request) ->
+           (r.Ground_truth.id, Printf.sprintf "request %s not matched by any path" r.kind))
+  in
+  {
+    accuracy =
+      (if total_requests = 0 then 1.0 else float_of_int !correct /. float_of_int total_requests);
+    correct = !correct;
+    total_requests;
+    false_positives = !false_positives;
+    false_negatives = List.length unmatched;
+    mismatches;
+  }
+
+let check ?tolerance ~ground_truth cags =
+  check_visits ?tolerance
+    ~requests:(Ground_truth.requests ground_truth)
+    (List.map visits_of_cag cags)
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "accuracy %.2f%% (%d/%d correct, %d false positive, %d false negative)"
+    (v.accuracy *. 100.0) v.correct v.total_requests v.false_positives v.false_negatives

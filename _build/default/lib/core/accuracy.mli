@@ -1,0 +1,47 @@
+(** Path accuracy against the ground truth (§5.2).
+
+    The paper validates PreciseTracer by tagging RUBiS requests with
+    globally unique IDs and logging, per tier, the servicing interval and
+    execution entity; a derived causal path is {e correct} when all those
+    attributes are consistent with exactly one logged request. Here the
+    oracle comes from {!Trace.Ground_truth} and consistency means: the
+    same set of contexts, visited in the same first-touch order, with
+    per-context intervals matching within a tolerance (the app-level
+    oracle and the kernel-level probe stamp the "same" instant a few
+    syscall-overheads apart — the paper's modified RUBiS had the same
+    skewlet).
+
+    {v path accuracy = correct paths / all logged requests v} *)
+
+type verdict = {
+  accuracy : float;  (** correct / ground-truth requests. *)
+  correct : int;
+  total_requests : int;  (** Completed ground-truth requests. *)
+  false_positives : int;  (** Derived paths matching no request. *)
+  false_negatives : int;  (** Requests matched by no derived path. *)
+  mismatches : (int * string) list;
+      (** Up to 10 unmatched request ids with a reason, for debugging. *)
+}
+
+val visits_of_cag : Cag.t -> Trace.Ground_truth.visit list
+(** Per-context (first ts, last ts) intervals, in first-touch order —
+    the derived counterpart of the oracle's records. *)
+
+val check :
+  ?tolerance:Simnet.Sim_time.span ->
+  ground_truth:Trace.Ground_truth.t ->
+  Cag.t list ->
+  verdict
+(** Match each derived path against at most one request (greedy in path
+    order; requests are consumed once matched). Default tolerance:
+    500 us. *)
+
+val check_visits :
+  ?tolerance:Simnet.Sim_time.span ->
+  requests:Trace.Ground_truth.request list ->
+  Trace.Ground_truth.visit list list ->
+  verdict
+(** The underlying matcher, usable by any tracer that can express its
+    paths as visit lists (e.g. the {!Nesting} baseline). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

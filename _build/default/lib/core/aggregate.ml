@@ -1,0 +1,142 @@
+module Sim_time = Simnet.Sim_time
+
+type hop_stat = { comp : Latency.component; mean_s : float; std_s : float }
+
+type t = {
+  pattern_name : string;
+  count : int;
+  hops : hop_stat list;
+  mean_total_s : float;
+}
+
+let of_pattern ?normalize (pattern : Pattern.t) =
+  let members = List.filter Cag.is_finished pattern.Pattern.cags in
+  if members = [] then invalid_arg "Aggregate.of_pattern: no finished CAGs";
+  let paths = List.map (Latency.critical_path ?normalize) members in
+  let n = List.length paths in
+  let hop_count = List.length (List.hd paths) in
+  let () =
+    List.iter
+      (fun p ->
+        if List.length p <> hop_count then
+          invalid_arg "Aggregate.of_pattern: members are not isomorphic")
+      paths
+  in
+  let matrix = List.map Array.of_list paths in
+  let hops =
+    List.init hop_count (fun i ->
+        let samples =
+          List.map
+            (fun row -> Sim_time.span_to_float_s row.(i).Latency.span)
+            matrix
+        in
+        let mean = List.fold_left ( +. ) 0.0 samples /. float_of_int n in
+        let var =
+          List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples
+          /. float_of_int n
+        in
+        {
+          comp = (List.hd matrix).(i).Latency.comp;
+          mean_s = mean;
+          std_s = sqrt var;
+        })
+  in
+  let mean_total_s =
+    List.fold_left (fun acc cag -> acc +. Sim_time.span_to_float_s (Cag.duration cag)) 0.0 members
+    /. float_of_int n
+  in
+  { pattern_name = pattern.Pattern.name; count = n; hops; mean_total_s }
+
+let component_latencies t =
+  let order = ref [] in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun h ->
+      let key = Latency.component_label h.comp in
+      match Hashtbl.find_opt table key with
+      | Some total -> Hashtbl.replace table key (total +. h.mean_s)
+      | None ->
+          order := h.comp :: !order;
+          Hashtbl.replace table key h.mean_s)
+    t.hops;
+  List.rev_map (fun c -> (c, Hashtbl.find table (Latency.component_label c))) !order
+
+let component_percentages t =
+  let parts = component_latencies t in
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 parts in
+  if total = 0.0 then List.map (fun (c, _) -> (c, 0.0)) parts
+  else List.map (fun (c, s) -> (c, s /. total)) parts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>average path %s (n=%d, mean total %.3f ms)" t.pattern_name t.count
+    (t.mean_total_s *. 1e3);
+  List.iter
+    (fun (c, pct) ->
+      Format.fprintf ppf "@,  %-18s %5.1f%%" (Latency.component_label c) (pct *. 100.0))
+    (component_percentages t);
+  Format.fprintf ppf "@]"
+
+type hop_tail = {
+  tail_comp : Latency.component;
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
+  tail_max_s : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(max 0 (min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1))))))
+
+let finished_paths ?normalize (pattern : Pattern.t) =
+  let members = List.filter Cag.is_finished pattern.Pattern.cags in
+  if members = [] then invalid_arg "Aggregate: no finished CAGs";
+  (members, List.map (Latency.critical_path ?normalize) members)
+
+let hop_tails ?normalize pattern =
+  let _, paths = finished_paths ?normalize pattern in
+  let matrix = List.map Array.of_list paths in
+  let hop_count = Array.length (List.hd matrix) in
+  List.init hop_count (fun i ->
+      let samples =
+        List.map (fun row -> Sim_time.span_to_float_s row.(i).Latency.span) matrix
+        |> Array.of_list
+      in
+      Array.sort Float.compare samples;
+      {
+        tail_comp = (List.hd matrix).(i).Latency.comp;
+        p50_s = percentile samples 0.50;
+        p90_s = percentile samples 0.90;
+        p99_s = percentile samples 0.99;
+        tail_max_s = samples.(Array.length samples - 1);
+      })
+
+type total_tail = { t_p50_s : float; t_p90_s : float; t_p99_s : float; t_max_s : float }
+
+let total_tail pattern =
+  let members, _ = finished_paths pattern in
+  let samples =
+    List.map (fun cag -> Sim_time.span_to_float_s (Cag.duration cag)) members |> Array.of_list
+  in
+  Array.sort Float.compare samples;
+  {
+    t_p50_s = percentile samples 0.50;
+    t_p90_s = percentile samples 0.90;
+    t_p99_s = percentile samples 0.99;
+    t_max_s = samples.(Array.length samples - 1);
+  }
+
+let pp_tails ppf pattern =
+  let tt = total_tail pattern in
+  Format.fprintf ppf "@[<v>tail of %s (n=%d): total p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms"
+    pattern.Pattern.name
+    (List.length (List.filter Cag.is_finished pattern.Pattern.cags))
+    (tt.t_p50_s *. 1e3) (tt.t_p90_s *. 1e3) (tt.t_p99_s *. 1e3) (tt.t_max_s *. 1e3);
+  List.iter
+    (fun h ->
+      Format.fprintf ppf "@,  %-18s p50 %7.3fms  p90 %7.3fms  p99 %7.3fms"
+        (Latency.component_label h.tail_comp)
+        (h.p50_s *. 1e3) (h.p90_s *. 1e3) (h.p99_s *. 1e3))
+    (hop_tails pattern);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,157 @@
+type delta = {
+  comp : Latency.component;
+  baseline_pct : float;
+  observed_pct : float;
+  change_pp : float;
+}
+
+type suspect = { subject : string; reason : string; severity : float }
+type report = { deltas : delta list; suspects : suspect list }
+
+let internal_threshold = 0.08
+let interaction_threshold = 0.08
+let collapse_threshold = -0.04
+
+let union_components baseline observed =
+  let keys = Hashtbl.create 16 in
+  let order = ref [] in
+  let note (c, _) =
+    let key = Latency.component_label c in
+    if not (Hashtbl.mem keys key) then begin
+      Hashtbl.replace keys key ();
+      order := c :: !order
+    end
+  in
+  List.iter note baseline;
+  List.iter note observed;
+  List.rev !order
+
+let lookup profile c =
+  match List.find_opt (fun (c', _) -> Latency.equal_component c c') profile with
+  | Some (_, v) -> v
+  | None -> 0.0
+
+let tiers_of deltas =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let note p =
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.replace seen p ();
+      order := p :: !order
+    end
+  in
+  List.iter
+    (fun d ->
+      note d.comp.Latency.src;
+      note d.comp.Latency.dst)
+    deltas;
+  List.rev !order
+
+let pct x = x *. 100.0
+
+let compare_profiles ~baseline ~observed =
+  let deltas =
+    union_components baseline observed
+    |> List.map (fun c ->
+           let b = lookup baseline c and o = lookup observed c in
+           { comp = c; baseline_pct = b; observed_pct = o; change_pp = o -. b })
+    |> List.sort (fun a b -> Float.compare (Float.abs b.change_pp) (Float.abs a.change_pp))
+  in
+  let internal_of tier =
+    List.find_opt
+      (fun d -> String.equal d.comp.Latency.src tier && String.equal d.comp.Latency.dst tier)
+      deltas
+  in
+  let tier_suspects =
+    List.filter_map
+      (fun tier ->
+        match internal_of tier with
+        | Some d when d.change_pp >= internal_threshold ->
+            Some
+              {
+                subject = "tier " ^ tier;
+                reason =
+                  Printf.sprintf "internal share %s rose %.0f%% -> %.0f%%"
+                    (Latency.component_label d.comp)
+                    (pct d.baseline_pct) (pct d.observed_pct);
+                severity = d.change_pp;
+              }
+        | Some _ | None -> None)
+      (tiers_of deltas)
+  in
+  let interaction_suspects =
+    List.filter_map
+      (fun d ->
+        if
+          (not (String.equal d.comp.Latency.src d.comp.Latency.dst))
+          && d.change_pp >= interaction_threshold
+        then
+          Some
+            {
+              subject =
+                Printf.sprintf "interaction %s->%s" d.comp.Latency.src d.comp.Latency.dst;
+              reason =
+                Printf.sprintf
+                  "share %s rose %.0f%% -> %.0f%%: admission at %s (queueing, thread pool) or \
+                   the network between them"
+                  (Latency.component_label d.comp)
+                  (pct d.baseline_pct) (pct d.observed_pct) d.comp.Latency.dst;
+              severity = d.change_pp;
+            }
+        else None)
+      deltas
+  in
+  let network_suspects =
+    List.filter_map
+      (fun tier ->
+        let touching =
+          List.filter
+            (fun d ->
+              (not (String.equal d.comp.Latency.src d.comp.Latency.dst))
+              && (String.equal d.comp.Latency.src tier || String.equal d.comp.Latency.dst tier))
+            deltas
+        in
+        let rise = List.fold_left (fun acc d -> acc +. Float.max 0.0 d.change_pp) 0.0 touching in
+        let grew = List.length (List.filter (fun d -> d.change_pp > 0.01) touching) in
+        match internal_of tier with
+        | Some d when rise >= 0.08 && grew >= 2 && d.change_pp <= collapse_threshold ->
+            Some
+              {
+                subject = "network of tier " ^ tier;
+                reason =
+                  Printf.sprintf
+                    "interactions around %s gained %.0f points across %d components while %s \
+                     collapsed %.0f%% -> %.0f%%"
+                    tier (pct rise) grew
+                    (Latency.component_label d.comp)
+                    (pct d.baseline_pct) (pct d.observed_pct);
+                severity = rise;
+              }
+        | Some _ | None -> None)
+      (tiers_of deltas)
+  in
+  let suspects =
+    tier_suspects @ network_suspects @ interaction_suspects
+    |> List.sort (fun a b -> Float.compare b.severity a.severity)
+  in
+  { deltas; suspects }
+
+let diagnose ~baseline ~observed =
+  compare_profiles
+    ~baseline:(Aggregate.component_percentages baseline)
+    ~observed:(Aggregate.component_percentages observed)
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>component shares (baseline -> observed):";
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "@,  %-18s %5.1f%% -> %5.1f%%  (%+.1f)"
+        (Latency.component_label d.comp)
+        (pct d.baseline_pct) (pct d.observed_pct) (pct d.change_pp))
+    r.deltas;
+  (match r.suspects with
+  | [] -> Format.fprintf ppf "@,no suspect: profiles are consistent"
+  | suspects ->
+      Format.fprintf ppf "@,suspects:";
+      List.iter (fun s -> Format.fprintf ppf "@,  %-24s %s" s.subject s.reason) suspects);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Performance debugging from latency-percentage profiles (§5.4).
+
+    The paper's methodology: compute the average causal path of the most
+    frequent pattern under a healthy baseline and under the suspect
+    condition, compare per-component latency percentages, and reason from
+    the components whose share changed dramatically:
+
+    - a tier's internal share ([T2T]) rising points at tier [T] itself
+      (the EJB_Delay and Database_Lock cases);
+    - an interaction share ([A2B], with [A <> B]) rising points at the
+      boundary: [B]'s admission path (accept queue, thread pool) or the
+      network between them (the MaxThreads case);
+    - several interactions adjacent to one tier rising together while
+      that tier's internal share collapses points at the tier's network
+      (the EJB_Network case). *)
+
+type delta = {
+  comp : Latency.component;
+  baseline_pct : float;  (** Share in the baseline profile, [0,1]. *)
+  observed_pct : float;
+  change_pp : float;  (** observed - baseline, in percentage points /100. *)
+}
+
+type suspect = {
+  subject : string;  (** Tier or interaction under suspicion. *)
+  reason : string;  (** One-sentence justification citing the deltas. *)
+  severity : float;  (** Magnitude of the supporting change, [0,1]. *)
+}
+
+type report = { deltas : delta list; suspects : suspect list }
+
+val compare_profiles :
+  baseline:(Latency.component * float) list ->
+  observed:(Latency.component * float) list ->
+  report
+(** [deltas] covers the union of components, sorted by decreasing
+    |change|; [suspects] is ranked by severity. Components absent from one
+    profile count as 0 there. *)
+
+val diagnose :
+  baseline:Aggregate.t -> observed:Aggregate.t -> report
+(** Convenience wrapper over {!Aggregate.component_percentages}. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,213 @@
+module Activity = Trace.Activity
+module Sim_time = Simnet.Sim_time
+
+type edge_kind = Context_edge | Message_edge
+
+let pp_edge_kind ppf = function
+  | Context_edge -> Format.pp_print_string ppf "ctx"
+  | Message_edge -> Format.pp_print_string ppf "msg"
+
+type vertex = {
+  vid : int;
+  mutable activity : Activity.t;
+  mutable parents : (edge_kind * vertex) list;
+  mutable children : (edge_kind * vertex) list;
+  mutable cag : t option;
+  mutable unreceived : int;
+}
+
+and t = {
+  cag_id : int;
+  root : vertex;
+  mutable rev_vertices : vertex list;
+  mutable vertex_count : int;
+  mutable finished : bool;
+}
+
+module Builder = struct
+  let next_vid = ref 0
+
+  let fresh_vertex activity =
+    let vid = !next_vid in
+    incr next_vid;
+    {
+      vid;
+      activity;
+      parents = [];
+      children = [];
+      cag = None;
+      unreceived = (match activity.Activity.kind with Send -> activity.message.size | _ -> 0);
+    }
+
+  let create ~cag_id root =
+    let t = { cag_id; root; rev_vertices = [ root ]; vertex_count = 1; finished = false } in
+    root.cag <- Some t;
+    t
+
+  let adopt t v =
+    (match v.cag with
+    | Some _ -> invalid_arg "Cag.Builder.adopt: vertex already in a CAG"
+    | None -> ());
+    v.cag <- Some t;
+    t.rev_vertices <- v :: t.rev_vertices;
+    t.vertex_count <- t.vertex_count + 1
+
+  let add_edge kind ~parent ~child =
+    let violation msg = invalid_arg ("Cag.Builder.add_edge: " ^ msg) in
+    (match (kind, child.parents, child.activity.Activity.kind) with
+    | _, [], _ -> ()
+    | Message_edge, [ (Context_edge, _) ], Activity.Receive -> ()
+    | Context_edge, [ (Message_edge, _) ], Activity.Receive -> ()
+    | _, [ _ ], _ -> violation "second parent only allowed on a RECEIVE, one per kind"
+    | _, _ :: _ :: _, _ -> violation "vertex already has two parents");
+    child.parents <- (kind, parent) :: child.parents;
+    parent.children <- parent.children @ [ (kind, child) ]
+
+  let grow_send v extra =
+    let a = v.activity in
+    v.activity <- { a with Activity.message = { a.message with size = a.message.size + extra } };
+    v.unreceived <- v.unreceived + extra
+
+  let consume v n =
+    v.unreceived <- v.unreceived - n;
+    v.unreceived
+
+  let set_full_size v size =
+    let a = v.activity in
+    v.activity <- { a with Activity.message = { a.message with size } }
+
+  let refresh_receive v ~timestamp ~size =
+    let a = v.activity in
+    v.activity <- { a with Activity.timestamp; message = { a.message with size } }
+
+  let finish t = t.finished <- true
+end
+
+let root t = t.root
+let is_finished t = t.finished
+let vertices t = List.rev t.rev_vertices
+let size t = t.vertex_count
+let begin_ts t = t.root.activity.Activity.timestamp
+
+let end_ts t =
+  match t.rev_vertices with
+  | last :: _ -> last.activity.Activity.timestamp
+  | [] -> assert false
+
+let duration t = Sim_time.diff (end_ts t) (begin_ts t)
+
+let edges t =
+  List.concat_map
+    (fun child -> List.map (fun (kind, parent) -> (parent, kind, child)) (List.rev child.parents))
+    (vertices t)
+
+let contexts t =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun v ->
+      let c = v.activity.Activity.context in
+      let key = (c.Activity.host, c.program, c.pid, c.tid) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.replace seen key ();
+        Some c
+      end)
+    (vertices t)
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let vs = vertices t in
+  let* () =
+    match vs with
+    | v :: _ when v == t.root -> Ok ()
+    | _ -> fail "CAG %d: first vertex is not the root" t.cag_id
+  in
+  let* () =
+    if t.finished then
+      match (t.root.activity.Activity.kind, (List.hd t.rev_vertices).activity.Activity.kind) with
+      | Activity.Begin, Activity.End_ -> Ok ()
+      | k1, k2 ->
+          fail "CAG %d: finished but spans %s..%s" t.cag_id (Activity.kind_to_string k1)
+            (Activity.kind_to_string k2)
+    else Ok ()
+  in
+  let check_vertex acc v =
+    let* () = acc in
+    let* () =
+      match v.parents with
+      | [] ->
+          if v == t.root then Ok () else fail "CAG %d: vertex %d is parentless" t.cag_id v.vid
+      | [ _ ] -> Ok ()
+      | [ (k1, _); (k2, _) ] ->
+          if not (Activity.equal_kind v.activity.Activity.kind Activity.Receive) then
+            fail "CAG %d: non-RECEIVE vertex %d has two parents" t.cag_id v.vid
+          else if k1 = k2 then
+            fail "CAG %d: vertex %d has two parents of the same relation" t.cag_id v.vid
+          else Ok ()
+      | _ -> fail "CAG %d: vertex %d has more than two parents" t.cag_id v.vid
+    in
+    let check_parent acc (_, p) =
+      let* () = acc in
+      if p.vid >= v.vid then
+        fail "CAG %d: edge %d -> %d violates causal order" t.cag_id p.vid v.vid
+      else
+        match p.cag with
+        | Some c when c == t -> Ok ()
+        | Some _ | None -> fail "CAG %d: parent %d of %d is outside the CAG" t.cag_id p.vid v.vid
+    in
+    List.fold_left check_parent (Ok ()) v.parents
+  in
+  let* () = List.fold_left check_vertex (Ok ()) vs in
+  (* Reachability from the root. *)
+  let reached = Hashtbl.create 16 in
+  let rec visit v =
+    if not (Hashtbl.mem reached v.vid) then begin
+      Hashtbl.replace reached v.vid ();
+      List.iter (fun (_, c) -> visit c) v.children
+    end
+  in
+  visit t.root;
+  List.fold_left
+    (fun acc v ->
+      let* () = acc in
+      if Hashtbl.mem reached v.vid then Ok ()
+      else fail "CAG %d: vertex %d unreachable from root" t.cag_id v.vid)
+    (Ok ()) vs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>CAG %d (%s, %d vertices)" t.cag_id
+    (if t.finished then "finished" else "open")
+    t.vertex_count;
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "@,  [%d] %a" v.vid Activity.pp v.activity;
+      List.iter
+        (fun (k, p) -> Format.fprintf ppf "@,        <-%a- [%d]" pp_edge_kind k p.vid)
+        (List.rev v.parents))
+    (vertices t);
+  Format.fprintf ppf "@]"
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph cag_%d {\n  rankdir=LR;\n" t.cag_id);
+  List.iter
+    (fun v ->
+      let a = v.activity in
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d [label=\"%s\\n%s[%d/%d]\\n%d ns\"];\n" v.vid
+           (Activity.kind_to_string a.Activity.kind)
+           a.context.program a.context.pid a.context.tid
+           (Sim_time.to_ns a.timestamp)))
+    (vertices t);
+  List.iter
+    (fun (p, kind, c) ->
+      let style =
+        match kind with
+        | Context_edge -> "color=red"
+        | Message_edge -> "color=blue, style=dashed"
+      in
+      Buffer.add_string buf (Printf.sprintf "  v%d -> v%d [%s];\n" p.vid c.vid style))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

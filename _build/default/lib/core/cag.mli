@@ -1,0 +1,106 @@
+(** Component activity graphs (CAGs) — §3.2 of the paper.
+
+    A CAG is the causal path of one request: a rooted directed acyclic
+    graph whose vertices are activities and whose edges are either
+    {e adjacent context relations} (x happened right before y in the same
+    execution entity) or {e message relations} (x sent the message y
+    received). Every vertex has at most two parents, and only a RECEIVE
+    vertex may have two — one of each relation kind ({!validate} checks
+    this structural invariant).
+
+    Vertices are added in correlation order, which respects causality, so
+    the vertex list is always a topological order. *)
+
+type edge_kind = Context_edge | Message_edge
+
+val pp_edge_kind : Format.formatter -> edge_kind -> unit
+
+type vertex = private {
+  vid : int;  (** Unique per correlator run; increasing in causal order. *)
+  mutable activity : Trace.Activity.t;
+      (** For merged SENDs/ENDs the size accumulates the whole logical
+          message; for a matched RECEIVE it is the full message size and
+          the timestamp is the completing chunk's. *)
+  mutable parents : (edge_kind * vertex) list;
+  mutable children : (edge_kind * vertex) list;
+  mutable cag : t option;  (** [None] while the vertex is an orphan. *)
+  mutable unreceived : int;
+      (** SEND bookkeeping: bytes not yet covered by RECEIVE activities. *)
+}
+
+and t = private {
+  cag_id : int;
+  root : vertex;
+  mutable rev_vertices : vertex list;
+  mutable vertex_count : int;
+  mutable finished : bool;
+}
+
+module Builder : sig
+  (** Mutating operations, reserved for the correlation engine. *)
+
+  val fresh_vertex : Trace.Activity.t -> vertex
+  (** An orphan vertex (no CAG, no edges). *)
+
+  val create : cag_id:int -> vertex -> t
+  (** A new unfinished CAG rooted at the given vertex (normally a BEGIN). *)
+
+  val adopt : t -> vertex -> unit
+  (** Append an orphan vertex to the CAG.
+      @raise Invalid_argument if it already belongs to a CAG. *)
+
+  val add_edge : edge_kind -> parent:vertex -> child:vertex -> unit
+  (** @raise Invalid_argument if it would break the two-parent invariant. *)
+
+  val grow_send : vertex -> int -> unit
+  (** Merge a further SEND syscall's bytes into a SEND (or END) vertex. *)
+
+  val consume : vertex -> int -> int
+  (** [consume v n] subtracts [n] received bytes from [v.unreceived] and
+      returns the new value (negative means a crossed message boundary). *)
+
+  val set_full_size : vertex -> int -> unit
+  (** Rewrite a RECEIVE vertex's size to the full logical message size. *)
+
+  val refresh_receive : vertex -> timestamp:Simnet.Sim_time.t -> size:int -> unit
+  (** Extend a RECEIVE vertex to a later completion of the same (grown)
+      message: bump its timestamp and full size. *)
+
+  val finish : t -> unit
+end
+
+val root : t -> vertex
+val is_finished : t -> bool
+val vertices : t -> vertex list
+(** In insertion (= topological, = causal) order. *)
+
+val size : t -> int
+
+val begin_ts : t -> Simnet.Sim_time.t
+(** Root timestamp (the entry node's local clock). *)
+
+val end_ts : t -> Simnet.Sim_time.t
+(** Timestamp of the last vertex added (the END for finished CAGs). *)
+
+val duration : t -> Simnet.Sim_time.span
+(** [end_ts - begin_ts]. Both stamps come from the entry node's clock for
+    finished CAGs, so the value is skew-free. *)
+
+val edges : t -> (vertex * edge_kind * vertex) list
+(** Every (parent, kind, child), in child insertion order. *)
+
+val validate : t -> (unit, string) result
+(** Check the paper's structural invariants: single root; every non-root
+    vertex reachable from it; at most two parents; two parents only on a
+    RECEIVE, one per relation kind; parents precede children (acyclicity);
+    finished CAGs start with BEGIN and end with END. *)
+
+val contexts : t -> Trace.Activity.context list
+(** Distinct contexts in first-touch order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line listing of vertices and their parent edges. *)
+
+val to_dot : t -> string
+(** Graphviz rendering: red solid arrows for context relations, blue
+    dashed for message relations — the paper's Fig. 1 conventions. *)

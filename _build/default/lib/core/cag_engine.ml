@@ -1,0 +1,309 @@
+module Activity = Trace.Activity
+module Address = Simnet.Address
+module Sim_time = Simnet.Sim_time
+
+module Context_table = Hashtbl.Make (struct
+  type t = Activity.context
+
+  let equal = Activity.equal_context
+  let hash = Activity.hash_context
+end)
+
+type stats = {
+  cags_started : int;
+  cags_finished : int;
+  send_merges : int;
+  end_merges : int;
+  receive_merges : int;
+  partial_receives : int;
+  unmatched_receives : int;
+  thread_reuse_blocked : int;
+  orphans : int;
+  crossed_boundaries : int;
+  mmap_entries : int;
+  live_vertices : int;
+  peak_live_vertices : int;
+}
+
+type t = {
+  mmap : Cag.vertex Deque.t Address.Flow_table.t;
+  cmap : Cag.vertex Context_table.t;
+  on_finished : Cag.t -> unit;
+  mutable rev_finished : Cag.t list;
+  mutable open_cags : Cag.t list;  (* unfinished, most recent first *)
+  mutable next_cag_id : int;
+  mutable cags_started : int;
+  mutable cags_finished : int;
+  mutable send_merges : int;
+  mutable end_merges : int;
+  mutable receive_merges : int;
+  mutable partial_receives : int;
+  mutable unmatched_receives : int;
+  mutable thread_reuse_blocked : int;
+  mutable orphans : int;
+  mutable crossed_boundaries : int;
+  mutable mmap_count : int;
+  mutable live_vertices : int;
+  mutable peak_live : int;
+}
+
+let create ?(on_finished = fun _ -> ()) () =
+  {
+    mmap = Address.Flow_table.create 1024;
+    cmap = Context_table.create 256;
+    on_finished;
+    rev_finished = [];
+    open_cags = [];
+    next_cag_id = 0;
+    cags_started = 0;
+    cags_finished = 0;
+    send_merges = 0;
+    end_merges = 0;
+    receive_merges = 0;
+    partial_receives = 0;
+    unmatched_receives = 0;
+    thread_reuse_blocked = 0;
+    orphans = 0;
+    crossed_boundaries = 0;
+    mmap_count = 0;
+    live_vertices = 0;
+    peak_live = 0;
+  }
+
+let has_mmap_send t flow =
+  match Address.Flow_table.find_opt t.mmap flow with
+  | Some q -> not (Deque.is_empty q)
+  | None -> false
+
+let mmap_deque t flow =
+  match Address.Flow_table.find_opt t.mmap flow with
+  | Some q -> q
+  | None ->
+      let q = Deque.create () in
+      Address.Flow_table.replace t.mmap flow q;
+      q
+
+let mmap_push t flow vertex =
+  Deque.push_back (mmap_deque t flow) vertex;
+  t.mmap_count <- t.mmap_count + 1
+
+(* Re-register a SEND whose earlier bytes were already fully consumed but
+   which just grew by a merged syscall. It logically precedes any newer
+   outstanding SEND on the flow, hence the front. *)
+let mmap_push_front t flow vertex =
+  Deque.push_front (mmap_deque t flow) vertex;
+  t.mmap_count <- t.mmap_count + 1
+
+let mmap_front t flow =
+  match Address.Flow_table.find_opt t.mmap flow with
+  | Some q -> Deque.peek_front q
+  | None -> None
+
+let mmap_pop t flow =
+  match Address.Flow_table.find_opt t.mmap flow with
+  | Some q when not (Deque.is_empty q) ->
+      ignore (Deque.pop_front q);
+      t.mmap_count <- t.mmap_count - 1;
+      if Deque.is_empty q then Address.Flow_table.remove t.mmap flow
+  | Some _ | None -> ()
+
+let bump_live t n =
+  t.live_vertices <- t.live_vertices + n;
+  if t.live_vertices > t.peak_live then t.peak_live <- t.live_vertices
+
+(* The CAG a vertex belongs to, unless that CAG has already been output:
+   attaching new activities to a finished CAG would corrupt emitted
+   results (DESIGN.md clarification on recycled entities after discarded
+   noise). *)
+let open_cag_of (v : Cag.vertex) =
+  match v.Cag.cag with Some cag when not (Cag.is_finished cag) -> Some cag | _ -> None
+
+let same_open_cag a b =
+  match (open_cag_of a, open_cag_of b) with
+  | Some ca, Some cb -> ca == cb
+  | _ -> false
+
+let cmap_parent t (a : Activity.t) = Context_table.find_opt t.cmap a.context
+let cmap_set t (a : Activity.t) v = Context_table.replace t.cmap a.context v
+
+(* Attach [v] under [parent]'s open CAG (if any) with a context edge. *)
+let attach_context t ~parent v =
+  match open_cag_of parent with
+  | Some cag ->
+      Cag.Builder.adopt cag v;
+      Cag.Builder.add_edge Cag.Context_edge ~parent ~child:v
+  | None -> t.orphans <- t.orphans + 1
+
+let handle_begin t (a : Activity.t) =
+  let root = Cag.Builder.fresh_vertex a in
+  let cag = Cag.Builder.create ~cag_id:t.next_cag_id root in
+  t.next_cag_id <- t.next_cag_id + 1;
+  t.cags_started <- t.cags_started + 1;
+  t.open_cags <- cag :: t.open_cags;
+  bump_live t 1;
+  cmap_set t a root
+
+let finish_cag t cag =
+  Cag.Builder.finish cag;
+  t.cags_finished <- t.cags_finished + 1;
+  t.rev_finished <- cag :: t.rev_finished;
+  t.open_cags <- List.filter (fun c -> c != cag) t.open_cags;
+  t.live_vertices <- t.live_vertices - Cag.size cag;
+  t.on_finished cag
+
+let handle_end t (a : Activity.t) =
+  match cmap_parent t a with
+  | Some parent
+    when Activity.equal_kind parent.Cag.activity.Activity.kind Activity.End_
+         && Address.flow_equal parent.Cag.activity.Activity.message.flow a.message.flow ->
+      (* A multi-part response: fold this syscall into the END vertex. *)
+      Cag.Builder.grow_send parent a.message.size;
+      t.end_merges <- t.end_merges + 1
+  | Some parent ->
+      let v = Cag.Builder.fresh_vertex a in
+      bump_live t 1;
+      (match open_cag_of parent with
+      | Some cag ->
+          Cag.Builder.adopt cag v;
+          Cag.Builder.add_edge Cag.Context_edge ~parent ~child:v;
+          cmap_set t a v;
+          finish_cag t cag
+      | None ->
+          t.orphans <- t.orphans + 1;
+          cmap_set t a v)
+  | None ->
+      let v = Cag.Builder.fresh_vertex a in
+      bump_live t 1;
+      t.orphans <- t.orphans + 1;
+      cmap_set t a v
+
+let handle_send t (a : Activity.t) =
+  match cmap_parent t a with
+  | Some parent
+    when Activity.equal_kind parent.Cag.activity.Activity.kind Activity.Send
+         && Address.flow_equal parent.Cag.activity.Activity.message.flow a.message.flow ->
+      (* Consecutive sends of one logical message: accumulate size. If the
+         earlier bytes were already fully matched (a fast receiver drained
+         them before this syscall was ranked — possible because Rule 1
+         outranks Rule 2), the vertex left the mmap and must re-enter it. *)
+      let was_drained = parent.Cag.unreceived = 0 in
+      Cag.Builder.grow_send parent a.message.size;
+      if was_drained then mmap_push_front t a.message.flow parent;
+      t.send_merges <- t.send_merges + 1
+  | Some parent ->
+      let v = Cag.Builder.fresh_vertex a in
+      bump_live t 1;
+      attach_context t ~parent v;
+      cmap_set t a v;
+      mmap_push t a.message.flow v
+  | None ->
+      (* First activity seen in this context (e.g. an untraced peer): the
+         SEND still enters the mmap so its RECEIVEs correlate. *)
+      let v = Cag.Builder.fresh_vertex a in
+      bump_live t 1;
+      t.orphans <- t.orphans + 1;
+      cmap_set t a v;
+      mmap_push t a.message.flow v
+
+(* The existing RECEIVE vertex of [sender]'s message in context [a.context],
+   if the message was completed once already and has since grown. *)
+let existing_receive_of t sender (a : Activity.t) =
+  let is_that_child (kind, (c : Cag.vertex)) =
+    kind = Cag.Message_edge
+    && Activity.equal_kind c.Cag.activity.Activity.kind Activity.Receive
+    && Activity.equal_context c.Cag.activity.Activity.context a.context
+  in
+  match List.find_opt is_that_child sender.Cag.children with
+  | Some (_, child) -> (
+      (* Only reuse it while it is still the context's latest activity;
+         otherwise fall back to a fresh vertex. *)
+      match cmap_parent t a with Some v when v == child -> Some child | _ -> None)
+  | None -> None
+
+let handle_receive t (a : Activity.t) =
+  match mmap_front t a.message.flow with
+  | None -> t.unmatched_receives <- t.unmatched_receives + 1
+  | Some sender ->
+      let remaining = Cag.Builder.consume sender a.message.size in
+      if remaining > 0 then t.partial_receives <- t.partial_receives + 1
+      else begin
+        if remaining < 0 then t.crossed_boundaries <- t.crossed_boundaries + 1;
+        mmap_pop t a.message.flow;
+        let full_size = sender.Cag.activity.Activity.message.size in
+        match existing_receive_of t sender a with
+        | Some v ->
+            (* The message completed before (its SEND grew afterwards):
+               extend the same RECEIVE vertex to the new completion. *)
+            Cag.Builder.refresh_receive v ~timestamp:a.timestamp ~size:full_size;
+            t.receive_merges <- t.receive_merges + 1
+        | None ->
+            let v = Cag.Builder.fresh_vertex a in
+            bump_live t 1;
+            Cag.Builder.set_full_size v full_size;
+            (match open_cag_of sender with
+            | Some cag ->
+                Cag.Builder.adopt cag v;
+                Cag.Builder.add_edge Cag.Message_edge ~parent:sender ~child:v;
+                (* Thread-reuse check (pseudo-code lines 29-32): the adjacent
+                   context edge is added only if both parents share the CAG. *)
+                (match cmap_parent t a with
+                | Some parent_cntx when same_open_cag parent_cntx sender ->
+                    Cag.Builder.add_edge Cag.Context_edge ~parent:parent_cntx ~child:v
+                | Some _ -> t.thread_reuse_blocked <- t.thread_reuse_blocked + 1
+                | None -> ())
+            | None -> t.orphans <- t.orphans + 1);
+            cmap_set t a v
+      end
+
+let step t (a : Activity.t) =
+  match a.kind with
+  | Activity.Begin -> handle_begin t a
+  | Activity.End_ -> handle_end t a
+  | Activity.Send -> handle_send t a
+  | Activity.Receive -> handle_receive t a
+
+let live_vertices t = t.live_vertices
+let mmap_entries t = t.mmap_count
+
+let gc t ~older_than =
+  let evicted = ref 0 in
+  let stale_flows = ref [] in
+  Address.Flow_table.iter
+    (fun flow q ->
+      (* Entries are FIFO per flow, so stale ones sit at the front. *)
+      let continue = ref true in
+      while !continue do
+        match Deque.peek_front q with
+        | Some (v : Cag.vertex)
+          when Sim_time.(v.Cag.activity.Activity.timestamp < older_than) ->
+            ignore (Deque.pop_front q);
+            t.mmap_count <- t.mmap_count - 1;
+            incr evicted;
+            (match v.Cag.cag with
+            | None -> t.live_vertices <- t.live_vertices - 1
+            | Some _ -> ())
+        | Some _ | None -> continue := false
+      done;
+      if Deque.is_empty q then stale_flows := flow :: !stale_flows)
+    t.mmap;
+  List.iter (Address.Flow_table.remove t.mmap) !stale_flows;
+  !evicted
+let finished t = List.rev t.rev_finished
+let unfinished t = List.rev t.open_cags
+
+let stats t =
+  {
+    cags_started = t.cags_started;
+    cags_finished = t.cags_finished;
+    send_merges = t.send_merges;
+    end_merges = t.end_merges;
+    receive_merges = t.receive_merges;
+    partial_receives = t.partial_receives;
+    unmatched_receives = t.unmatched_receives;
+    thread_reuse_blocked = t.thread_reuse_blocked;
+    orphans = t.orphans;
+    crossed_boundaries = t.crossed_boundaries;
+    mmap_entries = t.mmap_count;
+    live_vertices = t.live_vertices;
+    peak_live_vertices = t.peak_live;
+  }

@@ -1,0 +1,86 @@
+module Activity = Trace.Activity
+module Address = Simnet.Address
+module Sim_time = Simnet.Sim_time
+
+let endpoint_str (e : Address.endpoint) = Format.asprintf "%a" Address.pp_endpoint e
+
+let vertex_to_json index (v : Cag.vertex) =
+  let a = v.Cag.activity in
+  Json.Obj
+    [
+      ("id", Json.Int index);
+      ("kind", Json.String (Activity.kind_to_string a.Activity.kind));
+      ("timestamp_ns", Json.Int (Sim_time.to_ns a.timestamp));
+      ("host", Json.String a.context.host);
+      ("program", Json.String a.context.program);
+      ("pid", Json.Int a.context.pid);
+      ("tid", Json.Int a.context.tid);
+      ("src", Json.String (endpoint_str a.message.flow.src));
+      ("dst", Json.String (endpoint_str a.message.flow.dst));
+      ("size", Json.Int a.message.size);
+    ]
+
+let cag_to_json cag =
+  let vertices = Cag.vertices cag in
+  let index_of =
+    let table = Hashtbl.create 16 in
+    List.iteri (fun i (v : Cag.vertex) -> Hashtbl.replace table v.Cag.vid i) vertices;
+    fun (v : Cag.vertex) -> Hashtbl.find table v.Cag.vid
+  in
+  let edges =
+    List.map
+      (fun (parent, kind, child) ->
+        Json.Obj
+          [
+            ("from", Json.Int (index_of parent));
+            ("to", Json.Int (index_of child));
+            ( "relation",
+              Json.String
+                (match kind with Cag.Context_edge -> "context" | Cag.Message_edge -> "message") );
+          ])
+      (Cag.edges cag)
+  in
+  Json.Obj
+    [
+      ("cag_id", Json.Int cag.Cag.cag_id);
+      ("finished", Json.Bool (Cag.is_finished cag));
+      ("duration_ns", Json.Int (Sim_time.span_ns (Cag.duration cag)));
+      ("route", Json.String (Pattern.name_of cag));
+      ("vertices", Json.List (List.mapi vertex_to_json vertices));
+      ("edges", Json.List edges);
+    ]
+
+let paths_to_json cags = Json.List (List.map cag_to_json cags)
+
+let pattern_summary_to_json patterns =
+  Json.List
+    (List.map
+       (fun p ->
+         let finished = List.filter Cag.is_finished p.Pattern.cags in
+         let profile =
+           match finished with
+           | [] -> Json.Null
+           | _ ->
+               let avg = Aggregate.of_pattern p in
+               Json.Obj
+                 (List.map
+                    (fun (c, pct) -> (Latency.component_label c, Json.Float pct))
+                    (Aggregate.component_percentages avg))
+         in
+         Json.Obj
+           [
+             ("route", Json.String p.Pattern.name);
+             ("paths", Json.Int (Pattern.count p));
+             ("latency_percentages", profile);
+           ])
+       patterns)
+
+let verdict_to_json (v : Accuracy.verdict) =
+  Json.Obj
+    [
+      ("accuracy", Json.Float v.Accuracy.accuracy);
+      ("correct", Json.Int v.correct);
+      ("total_requests", Json.Int v.total_requests);
+      ("false_positives", Json.Int v.false_positives);
+      ("false_negatives", Json.Int v.false_negatives);
+    ]

@@ -1,0 +1,98 @@
+module Activity = Trace.Activity
+module Sim_time = Simnet.Sim_time
+
+let letter = function
+  | Activity.Begin -> 'B'
+  | Activity.Send -> 'S'
+  | Activity.Receive -> 'R'
+  | Activity.End_ -> 'E'
+
+let context_key (c : Activity.context) = (c.Activity.host, c.program, c.pid, c.tid)
+
+let render ?(width = 64) ?skew cag =
+  let width = max 16 width in
+  let ts_of (v : Cag.vertex) =
+    match skew with
+    | Some est -> Skew_estimator.correct_activity_ts est v.Cag.activity
+    | None -> v.Cag.activity.Activity.timestamp
+  in
+  let vertices = Cag.vertices cag in
+  let t0 =
+    List.fold_left (fun acc v -> Sim_time.min acc (ts_of v)) (ts_of (List.hd vertices)) vertices
+  in
+  let t1 =
+    List.fold_left (fun acc v -> Sim_time.max acc (ts_of v)) (ts_of (List.hd vertices)) vertices
+  in
+  let span = max 1 (Sim_time.span_ns (Sim_time.diff t1 t0)) in
+  let col v =
+    let off = Sim_time.span_ns (Sim_time.diff (ts_of v) t0) in
+    min (width - 1) (max 0 (off * (width - 1) / span))
+  in
+  (* lanes in first-touch order *)
+  let lane_order = ref [] in
+  let lanes = Hashtbl.create 8 in
+  List.iter
+    (fun (v : Cag.vertex) ->
+      let key = context_key v.Cag.activity.Activity.context in
+      if not (Hashtbl.mem lanes key) then begin
+        lane_order := key :: !lane_order;
+        Hashtbl.replace lanes key (Bytes.make width ' ')
+      end)
+    vertices;
+  let lane_of (v : Cag.vertex) = Hashtbl.find lanes (context_key v.Cag.activity.Activity.context) in
+  (* waiting/idle fill between each lane's first and last activity *)
+  let bounds = Hashtbl.create 8 in
+  List.iter
+    (fun (v : Cag.vertex) ->
+      let key = context_key v.Cag.activity.Activity.context in
+      let c = col v in
+      match Hashtbl.find_opt bounds key with
+      | Some (lo, hi) -> Hashtbl.replace bounds key (min lo c, max hi c)
+      | None -> Hashtbl.replace bounds key (c, c))
+    vertices;
+  Hashtbl.iter
+    (fun key (lo, hi) ->
+      let lane = Hashtbl.find lanes key in
+      for i = lo to hi do
+        Bytes.set lane i '.'
+      done)
+    bounds;
+  (* processing fill: context edges within a lane *)
+  List.iter
+    (fun (parent, kind, child) ->
+      match kind with
+      | Cag.Context_edge
+        when Activity.equal_context
+               (parent : Cag.vertex).Cag.activity.Activity.context
+               (child : Cag.vertex).Cag.activity.Activity.context ->
+          let lane = lane_of parent in
+          let a = min (col parent) (col child) and b = max (col parent) (col child) in
+          for i = a to b do
+            Bytes.set lane i '-'
+          done
+      | Cag.Context_edge | Cag.Message_edge -> ())
+    (Cag.edges cag);
+  (* activity letters *)
+  List.iter
+    (fun (v : Cag.vertex) -> Bytes.set (lane_of v) (col v) (letter v.Cag.activity.Activity.kind))
+    vertices;
+  let label (host, program, _, tid) = Printf.sprintf "%s/%s[%d]" host program tid in
+  let labels = List.rev_map label !lane_order in
+  let label_width = List.fold_left (fun acc l -> max acc (String.length l)) 0 labels in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "CAG %d  %s  total %s\n" cag.Cag.cag_id (Pattern.name_of cag)
+       (Format.asprintf "%a" Sim_time.pp_span (Cag.duration cag)));
+  List.iter
+    (fun key ->
+      let l = label key in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s  %s\n" label_width l (Bytes.to_string (Hashtbl.find lanes key))))
+    (List.rev !lane_order);
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s  |%s| %s\n" label_width ""
+       (String.make (width - 2) '-')
+       (Format.asprintf "%a" Sim_time.pp_span (Sim_time.diff t1 t0)));
+  Buffer.contents buf
+
+let pp ppf cag = Format.pp_print_string ppf (render cag)

@@ -1,0 +1,22 @@
+(** Terminal rendering of causal paths: one swimlane per execution entity.
+
+    {v
+    CAG 0  ViewItem-like  total 23.8ms
+    web1/httpd[1000]   B----S..................R--E
+    app1/java[20001]        R--S...........R--S
+    db1/mysqld[20001]           R-------S
+                        |-------------------------| 23.8ms
+    v}
+
+    Letters mark activities (B/S/R/E); dashes span the interval between an
+    entity's first and last activity in the path; dots mark time the
+    entity spends blocked on downstream work. Columns map linearly onto
+    the path's (raw, local-clock) time span — cross-node lanes shift by
+    their clock skew, exactly as the underlying timestamps do; pass a
+    {!Skew_estimator} to straighten them. *)
+
+val render : ?width:int -> ?skew:Skew_estimator.t -> Cag.t -> string
+(** [width] is the time-axis width in columns (default 64, minimum 16). *)
+
+val pp : Format.formatter -> Cag.t -> unit
+(** [render] with defaults. *)

@@ -1,0 +1,76 @@
+module Sim_time = Simnet.Sim_time
+
+type config = {
+  transform : Transform.config;
+  window : Sim_time.span;
+  skew_allowance : Sim_time.span;
+  ablation : Ranker.ablation;
+}
+
+let config ~transform ?(window = Sim_time.ms 10) ?(skew_allowance = Sim_time.sec 1)
+    ?(ablation = Ranker.no_ablation) () =
+  { transform; window; skew_allowance; ablation }
+
+type result = {
+  cags : Cag.t list;
+  deformed : Cag.t list;
+  ranker_stats : Ranker.stats;
+  engine_stats : Cag_engine.stats;
+  correlation_time : float;
+  peak_memory_proxy : int;
+  memory_bytes_estimate : int;
+}
+
+(* Rough per-record footprint: an activity record plus its share of queue,
+   index-map and vertex overhead, in bytes. Used only to scale the memory
+   proxy into familiar units. *)
+let bytes_per_record = 160
+
+let correlate_stream cfg collection ~on_path =
+  let t0 = Unix.gettimeofday () in
+  let prepared = Transform.apply cfg.transform collection in
+  let engine = Cag_engine.create ~on_finished:on_path () in
+  let ranker =
+    Ranker.create ~window:cfg.window ~skew_allowance:cfg.skew_allowance
+      ~ablation:cfg.ablation
+      ~has_mmap_send:(Cag_engine.has_mmap_send engine)
+      prepared
+  in
+  let peak = ref 0 in
+  let steps = ref 0 in
+  let rec loop () =
+    match Ranker.rank ranker with
+    | None -> ()
+    | Some activity ->
+        Cag_engine.step engine activity;
+        incr steps;
+        (* Periodically evict unmatched sends that can no longer match:
+           anything older than twice the skew allowance behind the
+           correlation frontier. *)
+        if !steps land 0xfff = 0 then begin
+          let horizon =
+            Sim_time.add activity.Trace.Activity.timestamp
+              (Sim_time.span_scale (-2.0) cfg.skew_allowance)
+          in
+          ignore (Cag_engine.gc engine ~older_than:horizon)
+        end;
+        let held =
+          Ranker.buffered ranker + Cag_engine.live_vertices engine
+          + Cag_engine.mmap_entries engine
+        in
+        if held > !peak then peak := held;
+        loop ()
+  in
+  loop ();
+  let correlation_time = Unix.gettimeofday () -. t0 in
+  {
+    cags = Cag_engine.finished engine;
+    deformed = Cag_engine.unfinished engine;
+    ranker_stats = Ranker.stats ranker;
+    engine_stats = Cag_engine.stats engine;
+    correlation_time;
+    peak_memory_proxy = !peak;
+    memory_bytes_estimate = !peak * bytes_per_record;
+  }
+
+let correlate cfg collection = correlate_stream cfg collection ~on_path:(fun _ -> ())

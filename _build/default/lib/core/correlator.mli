@@ -1,0 +1,48 @@
+(** PreciseTracer's Correlator: the full pipeline from raw per-node logs
+    to causal paths.
+
+    [correlate] composes the three steps of §4: (1) per-node logs sorted by
+    local timestamps (guaranteed by {!Trace.Log}), (2) the {!Ranker}
+    choosing candidates through the sliding time window, and (3) the
+    {!Cag_engine} assembling candidates into CAGs — after the
+    {!Transform} pass has rewritten entry-point activities into
+    BEGIN/END and dropped name-filterable noise. *)
+
+type config = {
+  transform : Transform.config;
+  window : Simnet.Sim_time.span;  (** Sliding-window size. *)
+  skew_allowance : Simnet.Sim_time.span;
+      (** Upper bound assumed on cross-node clock skew; see {!Ranker}. *)
+  ablation : Ranker.ablation;  (** For the mechanism-ablation benches. *)
+}
+
+val config :
+  transform:Transform.config ->
+  ?window:Simnet.Sim_time.span ->
+  ?skew_allowance:Simnet.Sim_time.span ->
+  ?ablation:Ranker.ablation ->
+  unit ->
+  config
+(** Defaults: 10 ms window (the paper's §5.3.1 setting), 1 s allowance. *)
+
+type result = {
+  cags : Cag.t list;  (** Finished CAGs, in completion order. *)
+  deformed : Cag.t list;  (** Unfinished CAGs (loss or truncated input). *)
+  ranker_stats : Ranker.stats;
+  engine_stats : Cag_engine.stats;
+  correlation_time : float;  (** Wall-clock seconds spent correlating. *)
+  peak_memory_proxy : int;
+      (** Peak simultaneously-held records: buffered activities plus live
+          CAG vertices plus mmap entries — the quantity the paper's Fig. 11
+          tracks as Correlator memory. *)
+  memory_bytes_estimate : int;
+      (** [peak_memory_proxy] scaled by a per-record footprint estimate. *)
+}
+
+val correlate : config -> Trace.Log.collection -> result
+(** Run the offline pipeline to completion. *)
+
+val correlate_stream :
+  config -> Trace.Log.collection -> on_path:(Cag.t -> unit) -> result
+(** Same, invoking [on_path] as each causal path completes — the paper's
+    intended online use. *)

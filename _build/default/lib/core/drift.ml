@@ -1,0 +1,141 @@
+type config = { warmup : int; window : int; threshold : float }
+
+let default_config = { warmup = 200; window = 100; threshold = 0.10 }
+
+type alert = {
+  pattern_name : string;
+  comp : Latency.component;
+  baseline_share : float;
+  observed_share : float;
+  paths_seen : int;
+}
+
+let pp_alert ppf a =
+  Format.fprintf ppf "[%s] %s share %.0f%% -> %.0f%% (path #%d)" a.pattern_name
+    (Latency.component_label a.comp)
+    (100.0 *. a.baseline_share) (100.0 *. a.observed_share) a.paths_seen
+
+(* Per-pattern monitoring state. Share vectors are aligned positionally:
+   isomorphic CAGs produce the same component list. *)
+type pattern_state = {
+  name : string;
+  mutable components : Latency.component list;  (* set by the first path *)
+  mutable seen : int;
+  mutable baseline_sum : float array;  (* during warmup *)
+  mutable baseline : float array option;  (* frozen after warmup *)
+  ring : float array array;  (* recent share vectors, [window] slots *)
+  mutable ring_filled : int;
+  mutable armed : bool array;  (* hysteresis per component *)
+}
+
+type t = {
+  config : config;
+  patterns : (string, pattern_state) Hashtbl.t;
+  mutable rev_alerts : alert list;
+}
+
+let create ?(config = default_config) () =
+  if config.warmup <= 0 || config.window <= 0 then invalid_arg "Drift.create: bad config";
+  { config; patterns = Hashtbl.create 8; rev_alerts = [] }
+
+let shares cag =
+  let parts = Latency.percentages (Latency.breakdown cag) in
+  (List.map fst parts, Array.of_list (List.map snd parts))
+
+let state_for t cag =
+  let signature = Pattern.signature_of cag in
+  match Hashtbl.find_opt t.patterns signature with
+  | Some st -> st
+  | None ->
+      let components, vector = shares cag in
+      let n = Array.length vector in
+      let st =
+        {
+          name = Pattern.name_of cag;
+          components;
+          seen = 0;
+          baseline_sum = Array.make n 0.0;
+          baseline = None;
+          ring = Array.init t.config.window (fun _ -> Array.make n 0.0);
+          ring_filled = 0;
+          armed = Array.make n true;
+        }
+      in
+      Hashtbl.replace t.patterns signature st;
+      st
+
+let window_mean st ~window i =
+  let n = min st.ring_filled window in
+  let total = ref 0.0 in
+  for k = 0 to n - 1 do
+    total := !total +. st.ring.(k).(i)
+  done;
+  !total /. float_of_int n
+
+let observe t cag =
+  if not (Cag.is_finished cag) then []
+  else begin
+    let st = state_for t cag in
+    let _, vector = shares cag in
+    if Array.length vector <> Array.length st.baseline_sum then []
+      (* same signature should imply same arity; tolerate anomalies *)
+    else begin
+      st.seen <- st.seen + 1;
+      match st.baseline with
+      | None ->
+          Array.iteri (fun i v -> st.baseline_sum.(i) <- st.baseline_sum.(i) +. v) vector;
+          if st.seen >= t.config.warmup then
+            st.baseline <-
+              Some (Array.map (fun s -> s /. float_of_int st.seen) st.baseline_sum);
+          []
+      | Some baseline ->
+          (* push into the ring (most recent first) *)
+          let slot = Array.length st.ring - 1 in
+          let last = st.ring.(slot) in
+          Array.blit st.ring 0 st.ring 1 slot;
+          Array.blit vector 0 last 0 (Array.length vector);
+          st.ring.(0) <- last;
+          if st.ring_filled < t.config.window then st.ring_filled <- st.ring_filled + 1;
+          if st.ring_filled < t.config.window then []
+          else begin
+            let fired = ref [] in
+            List.iteri
+              (fun i comp ->
+                let observed = window_mean st ~window:t.config.window i in
+                let delta = Float.abs (observed -. baseline.(i)) in
+                if st.armed.(i) && delta > t.config.threshold then begin
+                  st.armed.(i) <- false;
+                  let alert =
+                    {
+                      pattern_name = st.name;
+                      comp;
+                      baseline_share = baseline.(i);
+                      observed_share = observed;
+                      paths_seen = st.seen;
+                    }
+                  in
+                  t.rev_alerts <- alert :: t.rev_alerts;
+                  fired := alert :: !fired
+                end
+                else if (not st.armed.(i)) && delta < t.config.threshold /. 2.0 then
+                  st.armed.(i) <- true)
+              st.components;
+            List.rev !fired
+          end
+    end
+  end
+
+let alerts t = List.rev t.rev_alerts
+
+let baseline_of t ~pattern_name =
+  Hashtbl.fold
+    (fun _ st acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          if not (String.equal st.name pattern_name) then None
+          else
+            match st.baseline with
+            | Some b -> Some (List.mapi (fun i c -> (c, b.(i))) st.components)
+            | None -> None))
+    t.patterns None

@@ -1,0 +1,48 @@
+(** Live performance-regression detection over a stream of causal paths.
+
+    The paper closes by promising "the mathematical foundation for
+    automatic performance debugging"; this module is a first practical
+    step, suitable for the online mode: for each causal-path pattern it
+    learns a baseline latency-percentage profile from the first paths it
+    sees, then watches a sliding window of recent paths and raises an
+    alert when some component's share drifts from its baseline by more
+    than a threshold. Alerts carry the same component language as
+    {!Analysis}, so an alert is directly actionable ("java2java's share
+    rose 31% -> 64%": look at the app tier).
+
+    Hysteresis: a component alerts once when it crosses the threshold and
+    re-arms only after falling back below half of it, so a sustained
+    regression produces one alert, not one per path. *)
+
+type config = {
+  warmup : int;  (** Paths used to learn a pattern's baseline profile. *)
+  window : int;  (** Recent paths in the moving profile. *)
+  threshold : float;  (** Alert when |share - baseline| exceeds this, in [0,1]. *)
+}
+
+val default_config : config
+(** warmup 200, window 100, threshold 0.10 (ten percentage points). *)
+
+type alert = {
+  pattern_name : string;
+  comp : Latency.component;
+  baseline_share : float;
+  observed_share : float;
+  paths_seen : int;  (** Total paths of that pattern when the alert fired. *)
+}
+
+val pp_alert : Format.formatter -> alert -> unit
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val observe : t -> Cag.t -> alert list
+(** Feed one completed path; returns the alerts this path triggered
+    (usually none). Unfinished CAGs are ignored. *)
+
+val alerts : t -> alert list
+(** Every alert raised so far, in order. *)
+
+val baseline_of : t -> pattern_name:string -> (Latency.component * float) list option
+(** The learned baseline profile for a pattern, once warm. *)

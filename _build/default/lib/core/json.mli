@@ -1,0 +1,22 @@
+(** A minimal JSON emitter (no external dependency).
+
+    Only what exporting CAGs and reports needs: construction and compact
+    or indented serialisation, with correct string escaping. Parsing is
+    out of scope — this library produces JSON for other tools to read. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Compact by default; [~indent:true] pretty-prints with 2-space
+    indentation. Floats are emitted with enough digits to round-trip;
+    non-finite floats become [null]. *)
+
+val escape_string : string -> string
+(** The quoted, escaped JSON form of a string (exposed for tests). *)

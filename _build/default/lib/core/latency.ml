@@ -1,0 +1,74 @@
+module Activity = Trace.Activity
+module Sim_time = Simnet.Sim_time
+
+type component = { src : string; dst : string }
+
+let component_label c = c.src ^ "2" ^ c.dst
+
+let compare_component a b =
+  match String.compare a.src b.src with 0 -> String.compare a.dst b.dst | c -> c
+
+let equal_component a b = compare_component a b = 0
+
+type hop = {
+  comp : component;
+  parent : Cag.vertex;
+  child : Cag.vertex;
+  span : Sim_time.span;
+}
+
+(* Walking back from END: a RECEIVE follows its message parent, everything
+   else its context parent. *)
+let causal_parent (v : Cag.vertex) =
+  let prefer kind =
+    List.find_opt (fun (k, _) -> k = kind) v.Cag.parents |> Option.map snd
+  in
+  match v.Cag.activity.Activity.kind with
+  | Activity.Receive -> (
+      match prefer Cag.Message_edge with Some p -> Some p | None -> prefer Cag.Context_edge)
+  | Activity.Begin | Activity.End_ | Activity.Send -> (
+      match prefer Cag.Context_edge with Some p -> Some p | None -> prefer Cag.Message_edge)
+
+let critical_path ?(normalize = fun s -> s) cag =
+  if not (Cag.is_finished cag) then invalid_arg "Latency.critical_path: CAG not finished";
+  let program (v : Cag.vertex) = normalize v.Cag.activity.Activity.context.program in
+  let rec back v acc =
+    match causal_parent v with
+    | None -> acc
+    | Some p ->
+        let hop =
+          {
+            comp = { src = program p; dst = program v };
+            parent = p;
+            child = v;
+            span =
+              Sim_time.diff v.Cag.activity.Activity.timestamp p.Cag.activity.Activity.timestamp;
+          }
+        in
+        back p (hop :: acc)
+  in
+  let vertices = Cag.vertices cag in
+  let last = List.nth vertices (List.length vertices - 1) in
+  back last []
+
+let breakdown ?normalize cag =
+  let hops = critical_path ?normalize cag in
+  let order = ref [] in
+  let table = Hashtbl.create 8 in
+  let add hop =
+    let key = component_label hop.comp in
+    match Hashtbl.find_opt table key with
+    | Some total -> Hashtbl.replace table key (Sim_time.span_add total hop.span)
+    | None ->
+        order := hop.comp :: !order;
+        Hashtbl.replace table key hop.span
+  in
+  List.iter add hops;
+  List.rev_map (fun comp -> (comp, Hashtbl.find table (component_label comp))) !order
+
+let percentages parts =
+  let total =
+    List.fold_left (fun acc (_, s) -> acc + Sim_time.span_ns s) 0 parts |> float_of_int
+  in
+  if total = 0.0 then List.map (fun (c, _) -> (c, 0.0)) parts
+  else List.map (fun (c, s) -> (c, float_of_int (Sim_time.span_ns s) /. total)) parts

@@ -1,0 +1,46 @@
+(** Component latency accounting over a CAG (§3.2, Figs. 15 and 17).
+
+    The paper reports, for an average causal path, the share of end-to-end
+    time spent in each {e component}: either inside one tier
+    ([httpd2httpd], [java2java], ...) or in one tier-to-tier interaction
+    ([httpd2java], [mysqld2java], ...). For the synchronous request/
+    response services in scope, those components tile the request's
+    {e critical path}: the chain obtained by walking back from END and
+    following, at each RECEIVE, its message parent (the true causal
+    antecedent) and otherwise its context parent.
+
+    Hop latencies are local-timestamp differences. Hops inside one node
+    are exact; cross-node hops absorb the clock skew between the two nodes
+    (the paper accepts the same inaccuracy) — and because every such skew
+    is traversed once in each direction, the hop latencies still
+    telescope to the skew-free end-to-end duration. *)
+
+type component = { src : string; dst : string }
+(** [src]/[dst] are program names (optionally normalised). A hop within
+    one entity has [src = dst]. *)
+
+val component_label : component -> string
+(** ["httpd2java"] — the paper's naming. *)
+
+val compare_component : component -> component -> int
+val equal_component : component -> component -> bool
+
+type hop = {
+  comp : component;
+  parent : Cag.vertex;
+  child : Cag.vertex;
+  span : Simnet.Sim_time.span;
+}
+
+val critical_path : ?normalize:(string -> string) -> Cag.t -> hop list
+(** The BEGIN->END chain of a finished CAG, in causal order. [normalize]
+    maps program names to tier labels (default: identity).
+    @raise Invalid_argument on an unfinished CAG. *)
+
+val breakdown : ?normalize:(string -> string) -> Cag.t -> (component * Simnet.Sim_time.span) list
+(** Critical-path hop spans summed per component, in first-appearance
+    order. The spans sum to {!Cag.duration}. *)
+
+val percentages : (component * Simnet.Sim_time.span) list -> (component * float) list
+(** Each component's share of the total, in [0, 1] (clamping is not
+    applied: extreme clock skew can push individual shares outside). *)

@@ -1,0 +1,189 @@
+module Activity = Trace.Activity
+module Address = Simnet.Address
+module Ground_truth = Trace.Ground_truth
+module Sim_time = Simnet.Sim_time
+
+type path = { entry_ts : Sim_time.t; visits : Ground_truth.visit list }
+
+(* pid-granularity context: thread identity erased. *)
+let coarsen (c : Activity.context) = { c with Activity.tid = c.Activity.pid }
+
+type open_path = {
+  started : Sim_time.t;
+  mutable stack : Activity.context list;  (* call stack of entities, top first *)
+  mutable visit_order : Activity.context list;  (* first-touch order, reversed *)
+  visit_table : (string * string * int, Sim_time.t * Sim_time.t) Hashtbl.t;
+  mutable completed : bool;
+}
+
+let ctx_key (c : Activity.context) = (c.Activity.host, c.program, c.pid)
+
+let touch path ctx ts =
+  let key = ctx_key ctx in
+  match Hashtbl.find_opt path.visit_table key with
+  | Some (b, e) -> Hashtbl.replace path.visit_table key (Sim_time.min b ts, Sim_time.max e ts)
+  | None ->
+      Hashtbl.replace path.visit_table key (ts, ts);
+      path.visit_order <- ctx :: path.visit_order
+
+type entity_state = { mutable open_paths : open_path list (* most recently active first *) }
+
+type flow_entry = { path : open_path option; mutable remaining : int }
+
+type state = {
+  entities : (string * string * int, entity_state) Hashtbl.t;
+  flows : flow_entry Queue.t Address.Flow_table.t;
+  mutable rev_done : open_path list;
+}
+
+let entity st ctx =
+  let key = ctx_key ctx in
+  match Hashtbl.find_opt st.entities key with
+  | Some e -> e
+  | None ->
+      let e = { open_paths = [] } in
+      Hashtbl.replace st.entities key e;
+      e
+
+let promote_path e p = e.open_paths <- p :: List.filter (fun q -> q != p) e.open_paths
+
+let flow_queue st flow =
+  match Address.Flow_table.find_opt st.flows flow with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Address.Flow_table.replace st.flows flow q;
+      q
+
+(* A (part of a) message attributed to [p] has fully arrived at [ctx]. *)
+let arrival st p ctx ts =
+  match p with
+  | None -> ()
+  | Some p ->
+      if p.completed then ()
+      else begin
+        touch p ctx ts;
+        (match p.stack with
+        | top :: _ when Activity.equal_context top ctx -> ()
+        | stack when List.exists (Activity.equal_context ctx) stack ->
+            (* A reply: unwind to the caller. *)
+            let rec unwind = function
+              | top :: _ as s when Activity.equal_context top ctx -> s
+              | _ :: rest -> unwind rest
+              | [] -> [ ctx ]
+            in
+            p.stack <- unwind stack
+        | stack -> p.stack <- ctx :: stack);
+        promote_path (entity st ctx) p
+      end
+
+let handle st (a : Activity.t) =
+  let ctx = coarsen a.Activity.context in
+  let ts = a.timestamp in
+  match a.kind with
+  | Activity.Begin ->
+      let p =
+        {
+          started = ts;
+          stack = [ ctx ];
+          visit_order = [ ctx ];
+          visit_table = Hashtbl.create 8;
+          completed = false;
+        }
+      in
+      Hashtbl.replace p.visit_table (ctx_key ctx) (ts, ts);
+      let e = entity st ctx in
+      e.open_paths <- p :: e.open_paths
+  | Activity.Send -> (
+      let e = entity st ctx in
+      (* LIFO attribution: the entity's most recently active open path. *)
+      let attributed =
+        List.find_opt (fun p -> List.exists (Activity.equal_context ctx) p.stack) e.open_paths
+      in
+      (match attributed with Some p -> touch p ctx ts | None -> ());
+      Queue.push { path = attributed; remaining = a.message.size } (flow_queue st a.message.flow);
+      match attributed with Some p -> promote_path e p | None -> ())
+  | Activity.Receive ->
+      let q = flow_queue st a.message.flow in
+      let rec consume n =
+        if n > 0 && not (Queue.is_empty q) then begin
+          let entry = Queue.peek q in
+          let used = min n entry.remaining in
+          entry.remaining <- entry.remaining - used;
+          if entry.remaining = 0 then begin
+            ignore (Queue.pop q);
+            arrival st entry.path ctx ts
+          end
+          else (match entry.path with Some p when not p.completed -> touch p ctx ts | _ -> ());
+          consume (n - used)
+        end
+      in
+      consume a.message.size
+  | Activity.End_ -> (
+      let e = entity st ctx in
+      match
+        List.find_opt
+          (fun p -> match p.stack with top :: _ -> Activity.equal_context top ctx | [] -> false)
+          e.open_paths
+      with
+      | Some p ->
+          touch p ctx ts;
+          p.completed <- true;
+          e.open_paths <- List.filter (fun q -> q != p) e.open_paths;
+          st.rev_done <- p :: st.rev_done
+      | None -> ())
+
+let path_of_open (p : open_path) =
+  {
+    entry_ts = p.started;
+    visits =
+      List.rev_map
+        (fun ctx ->
+          let b, e = Hashtbl.find p.visit_table (ctx_key ctx) in
+          { Ground_truth.context = ctx; begin_ts = b; end_ts = e })
+        p.visit_order;
+  }
+
+let infer collection =
+  let st =
+    { entities = Hashtbl.create 64; flows = Address.Flow_table.create 256; rev_done = [] }
+  in
+  (* The baseline merges everything by raw local timestamps and trusts
+     them — its defining approximation. *)
+  let merged =
+    List.concat_map Trace.Log.to_list collection |> List.stable_sort Activity.compare_by_time
+  in
+  List.iter (handle st) merged;
+  (* Completion order. *)
+  List.rev_map path_of_open st.rev_done
+
+(* Coarsen an oracle request to pid granularity: tids erased, visits of the
+   same entity merged (keeping first-touch order). *)
+let coarsen_request (r : Ground_truth.request) =
+  let order = ref [] in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (v : Ground_truth.visit) ->
+      let ctx = coarsen v.context in
+      let key = ctx_key ctx in
+      match Hashtbl.find_opt table key with
+      | Some (b, e) ->
+          Hashtbl.replace table key (Sim_time.min b v.begin_ts, Sim_time.max e v.end_ts)
+      | None ->
+          Hashtbl.replace table key (v.begin_ts, v.end_ts);
+          order := ctx :: !order)
+    r.visits;
+  {
+    r with
+    Ground_truth.visits =
+      (* [order] is reversed first-touch; rev_map restores the order. *)
+      List.rev_map
+        (fun ctx ->
+          let b, e = Hashtbl.find table (ctx_key ctx) in
+          { Ground_truth.context = ctx; begin_ts = b; end_ts = e })
+        !order;
+  }
+
+let score ?tolerance ~ground_truth paths =
+  let requests = List.map coarsen_request (Ground_truth.requests ground_truth) in
+  Accuracy.check_visits ?tolerance ~requests (List.map (fun p -> p.visits) paths)

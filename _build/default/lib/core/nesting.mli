@@ -1,0 +1,38 @@
+(** A probabilistic black-box baseline: Project5/WAP5-style nesting.
+
+    The paper positions PreciseTracer against offline statistical
+    correlators (Project5's nesting algorithm, WAP5) that infer causal
+    paths from message timestamps at {e process} granularity and accept
+    imprecision. This module implements that class of algorithm so the
+    repository can measure the accuracy gap the paper claims (extension
+    ext-1 in DESIGN.md):
+
+    - activities from all nodes are merged by raw local timestamps (the
+      baseline trusts clocks; skew degrades it);
+    - context is coarsened to (host, program, pid) — thread identity is
+      assumed unavailable, as in library-interposition tracing;
+    - each outgoing message from an entity is attributed to that entity's
+      most recently active open request (LIFO nesting), which is exact
+      for sequential entities and guesses under concurrency.
+
+    Derived paths use the same visit representation as {!Accuracy}, so
+    both tracers are scored by the same oracle (at pid granularity for
+    the baseline, since it cannot see tids). *)
+
+type path = {
+  entry_ts : Simnet.Sim_time.t;
+  visits : Trace.Ground_truth.visit list;
+      (** Context intervals with [tid = pid]: pid-granularity visits. *)
+}
+
+val infer : Trace.Log.collection -> path list
+(** Reconstruct causal paths from a BEGIN/END-transformed collection
+    (apply {!Transform} first). Only completed paths are returned. *)
+
+val score :
+  ?tolerance:Simnet.Sim_time.span ->
+  ground_truth:Trace.Ground_truth.t ->
+  path list ->
+  Accuracy.verdict
+(** Accuracy against the oracle, with the oracle's visits coarsened to pid
+    granularity (consecutive same-pid visits merged). *)

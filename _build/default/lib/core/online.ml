@@ -1,0 +1,57 @@
+module Activity = Trace.Activity
+
+type t = {
+  transform : Transform.config;
+  ranker : Ranker.t;
+  engine : Cag_engine.t;
+  mutable accepted : int;
+  mutable resolved : int;
+}
+
+let drain t =
+  let rec loop () =
+    match Ranker.rank_step t.ranker with
+    | Ranker.Candidate a ->
+        t.resolved <- t.resolved + 1;
+        Cag_engine.step t.engine a;
+        loop ()
+    | Ranker.Need_input | Ranker.Exhausted -> ()
+  in
+  loop ()
+
+let create ~config ~hosts ?(on_path = fun _ -> ()) () =
+  let engine = Cag_engine.create ~on_finished:on_path () in
+  let ranker =
+    Ranker.create_online ~window:config.Correlator.window
+      ~skew_allowance:config.Correlator.skew_allowance
+      ~ablation:config.Correlator.ablation
+      ~has_mmap_send:(Cag_engine.has_mmap_send engine)
+      ~hosts ()
+  in
+  { transform = config.Correlator.transform; ranker; engine; accepted = 0; resolved = 0 }
+
+let observe t raw =
+  match Transform.classify t.transform raw with
+  | None -> ()
+  | Some activity ->
+      Ranker.feed t.ranker activity;
+      t.accepted <- t.accepted + 1;
+      drain t
+
+let finish t =
+  Ranker.close_input t.ranker;
+  drain t
+
+let paths t = Cag_engine.finished t.engine
+let deformed t = Cag_engine.unfinished t.engine
+
+let pending t =
+  let s = Ranker.stats t.ranker in
+  t.accepted - s.Ranker.candidates - s.Ranker.noise_discarded
+let ranker_stats t = Ranker.stats t.ranker
+let engine_stats t = Cag_engine.stats t.engine
+
+let attach ~config ~probe ~hosts ?on_path () =
+  let t = create ~config ~hosts ?on_path () in
+  Trace.Probe.add_listener probe (observe t);
+  t

@@ -1,0 +1,57 @@
+(** Online correlation: causal paths while the service runs.
+
+    The paper runs its experiments offline but positions PreciseTracer's
+    "low overhead and tolerance of noise" as making it "a promising
+    tracing tool for using on production systems". This module provides
+    that mode: activities are pushed in as each node's tracer reports
+    them (e.g. via {!Trace.Probe.add_listener}), and completed causal
+    paths pop out with bounded lag.
+
+    Candidates are only committed once every node's feed watermark has
+    passed their timestamp plus the skew allowance (see
+    {!Ranker.rank_step}), so the online run produces {e exactly} the same
+    CAGs as an offline run over the final logs — a property the test
+    suite asserts. The price is latency: a path completes at most
+    [skew_allowance] (plus feeding lag) after its END activity. *)
+
+type t
+
+val create :
+  config:Correlator.config ->
+  hosts:string list ->
+  ?on_path:(Cag.t -> unit) ->
+  unit ->
+  t
+(** [hosts] are the traced nodes (each will feed one stream). [on_path]
+    fires as each causal path completes. *)
+
+val observe : t -> Trace.Activity.t -> unit
+(** Push one raw activity (SEND/RECEIVE, as the probe reports them). The
+    BEGIN/END transform and noise filters of the configuration are applied
+    here; progress is drained eagerly. Activities of one host must arrive
+    in non-decreasing local-timestamp order. *)
+
+val finish : t -> unit
+(** Declare the input complete and drain everything that remains. *)
+
+val paths : t -> Cag.t list
+(** Completed paths so far, in completion order. *)
+
+val deformed : t -> Cag.t list
+(** Unfinished CAGs; meaningful after {!finish}. *)
+
+val pending : t -> int
+(** Activities accepted but not yet resolved into a candidate. *)
+
+val ranker_stats : t -> Ranker.stats
+val engine_stats : t -> Cag_engine.stats
+
+val attach :
+  config:Correlator.config ->
+  probe:Trace.Probe.t ->
+  hosts:string list ->
+  ?on_path:(Cag.t -> unit) ->
+  unit ->
+  t
+(** Convenience: create and register on a probe, correlating live while a
+    simulation (or deployment) runs. Call {!finish} when the run ends. *)

@@ -1,0 +1,82 @@
+module Activity = Trace.Activity
+
+type t = { signature : string; name : string; cags : Cag.t list }
+
+let count t = List.length t.cags
+
+let signature_of cag =
+  let vertices = Cag.vertices cag in
+  let position = Hashtbl.create 16 in
+  List.iteri (fun i (v : Cag.vertex) -> Hashtbl.replace position v.Cag.vid i) vertices;
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (v : Cag.vertex) ->
+      let a = v.Cag.activity in
+      Buffer.add_string buf (Activity.kind_to_string a.Activity.kind);
+      Buffer.add_char buf '/';
+      Buffer.add_string buf a.context.host;
+      Buffer.add_char buf '/';
+      Buffer.add_string buf a.context.program;
+      let parents =
+        List.map
+          (fun (kind, (p : Cag.vertex)) ->
+            let tag = match kind with Cag.Context_edge -> 'c' | Cag.Message_edge -> 'm' in
+            (tag, Hashtbl.find position p.Cag.vid))
+          v.Cag.parents
+        |> List.sort compare
+      in
+      List.iter (fun (tag, i) -> Buffer.add_string buf (Printf.sprintf "<%c%d" tag i)) parents;
+      Buffer.add_char buf ';')
+    vertices;
+  Buffer.contents buf
+
+let route programs =
+  let rec dedup = function
+    | a :: (b :: _ as rest) when String.equal a b -> dedup rest
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  String.concat ">" (dedup programs)
+
+let name_of cag =
+  if Cag.is_finished cag then
+    let hops = Latency.critical_path cag in
+    match hops with
+    | [] -> (Cag.root cag).Cag.activity.Activity.context.program
+    | first :: _ ->
+        route
+          (first.Latency.parent.Cag.activity.Activity.context.program
+          :: List.map (fun h -> h.Latency.child.Cag.activity.Activity.context.program) hops)
+  else
+    route
+      (List.map (fun (v : Cag.vertex) -> v.Cag.activity.Activity.context.program) (Cag.vertices cag))
+
+let classify cags =
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun cag ->
+      let signature = signature_of cag in
+      match Hashtbl.find_opt table signature with
+      | Some members -> members := cag :: !members
+      | None ->
+          Hashtbl.replace table signature (ref [ cag ]);
+          order := signature :: !order)
+    cags;
+  let patterns =
+    List.rev_map
+      (fun signature ->
+        let members = List.rev !(Hashtbl.find table signature) in
+        { signature; name = name_of (List.hd members); cags = members })
+      !order
+  in
+  List.sort
+    (fun a b ->
+      match Int.compare (count b) (count a) with
+      | 0 -> String.compare a.signature b.signature
+      | c -> c)
+    patterns
+
+let pp ppf t =
+  Format.fprintf ppf "pattern %s: %d path%s" t.name (count t)
+    (if count t = 1 then "" else "s")

@@ -1,0 +1,30 @@
+(** Causal path patterns: classifying CAGs by shape (§3.2).
+
+    Two CAGs belong to the same pattern when they are isomorphic — same
+    graph shape with corresponding vertices of the same activity type and
+    the same context information (host and program; pids/tids, sizes and
+    timestamps are abstracted away). Because the engine adds vertices in
+    causal order, a canonical signature can be computed positionally: the
+    per-vertex list of (kind, host, program, labelled parent positions). *)
+
+type t = {
+  signature : string;  (** Canonical form; equal iff isomorphic. *)
+  name : string;
+      (** Human-readable tier route along the critical path, e.g.
+          ["httpd>java>mysqld>java>mysqld>java>httpd"]. *)
+  cags : Cag.t list;  (** Members, in input order. *)
+}
+
+val count : t -> int
+
+val signature_of : Cag.t -> string
+
+val name_of : Cag.t -> string
+(** Program route along the critical path (entity changes only). For
+    unfinished CAGs, the route over all vertices in order. *)
+
+val classify : Cag.t list -> t list
+(** Group by signature; patterns ordered by descending population, ties by
+    signature. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,397 @@
+module Activity = Trace.Activity
+module Address = Simnet.Address
+module Sim_time = Simnet.Sim_time
+
+type stream = {
+  host : string;
+  mutable items : Activity.t array;
+  mutable len : int;
+  mutable cursor : int;
+  mutable closed : bool;
+  mutable last_ts : Sim_time.t;
+}
+
+type stats = {
+  fetched : int;
+  candidates : int;
+  noise_discarded : int;
+  promotions : int;
+  forced_fetches : int;
+  forced_discards : int;
+  peak_buffered : int;
+}
+
+type ablation = { disable_rule1 : bool; disable_promotion : bool }
+
+let no_ablation = { disable_rule1 = false; disable_promotion = false }
+
+type t = {
+  window : Sim_time.span;
+  skew_allowance : Sim_time.span;
+  ablation : ablation;
+  streams : stream array;  (* one per node log *)
+  queues : Activity.t Deque.t array;  (* parallel to [streams] *)
+  buffered_sends : (int * int) Address.Flow_table.t;
+      (* flow -> (buffered SEND count, home queue index): every SEND of a
+         flow originates on one node, so lookups and promotion searches can
+         target exactly that queue. *)
+  has_mmap_send : Address.flow -> bool;
+  mutable buffered : int;
+  mutable fetched : int;
+  mutable candidates : int;
+  mutable noise_discarded : int;
+  mutable promotions : int;
+  mutable forced_fetches : int;
+  mutable forced_discards : int;
+  mutable peak_buffered : int;
+  mutable force_step : Sim_time.span;
+      (* Current deferred-noise fetch increment; doubles while consecutive
+         force-fetches fail to surface a candidate, resets on success. *)
+}
+
+let make ~window ~skew_allowance ~ablation ~has_mmap_send streams =
+  if Sim_time.span_ns window <= 0 then invalid_arg "Ranker.create: window must be positive";
+  {
+    window;
+    skew_allowance;
+    ablation;
+    streams;
+    queues = Array.map (fun (_ : stream) -> Deque.create ()) streams;
+    buffered_sends = Address.Flow_table.create 256;
+    has_mmap_send;
+    buffered = 0;
+    fetched = 0;
+    candidates = 0;
+    noise_discarded = 0;
+    promotions = 0;
+    forced_fetches = 0;
+    forced_discards = 0;
+    peak_buffered = 0;
+    force_step = window;
+  }
+
+let create ~window ?(skew_allowance = Sim_time.sec 1) ?(ablation = no_ablation)
+    ~has_mmap_send collection =
+  let streams =
+    Array.of_list
+      (List.map
+         (fun log ->
+           let items = Array.of_list (Trace.Log.to_list log) in
+           {
+             host = Trace.Log.hostname log;
+             items;
+             len = Array.length items;
+             cursor = 0;
+             closed = true;
+             last_ts =
+               (match Array.length items with
+               | 0 -> Sim_time.zero
+               | n -> items.(n - 1).Activity.timestamp);
+           })
+         collection)
+  in
+  make ~window ~skew_allowance ~ablation ~has_mmap_send streams
+
+let create_online ~window ?(skew_allowance = Sim_time.sec 1) ?(ablation = no_ablation)
+    ~has_mmap_send ~hosts () =
+  let streams =
+    Array.of_list
+      (List.map
+         (fun host ->
+           { host; items = [||]; len = 0; cursor = 0; closed = false; last_ts = Sim_time.zero })
+         hosts)
+  in
+  make ~window ~skew_allowance ~ablation ~has_mmap_send streams
+
+let feed t (a : Activity.t) =
+  let host = a.context.host in
+  let stream =
+    match Array.find_opt (fun s -> String.equal s.host host) t.streams with
+    | Some s -> s
+    | None -> invalid_arg ("Ranker.feed: unknown host " ^ host)
+  in
+  if stream.closed then invalid_arg "Ranker.feed: stream closed";
+  if stream.len > 0 && Sim_time.(a.timestamp < stream.last_ts) then
+    invalid_arg "Ranker.feed: timestamp regression";
+  if stream.len = Array.length stream.items then begin
+    let ncap = max 64 (2 * Array.length stream.items) in
+    let nitems = Array.make ncap a in
+    Array.blit stream.items 0 nitems 0 stream.len;
+    stream.items <- nitems
+  end;
+  stream.items.(stream.len) <- a;
+  stream.len <- stream.len + 1;
+  stream.last_ts <- a.timestamp
+
+let close_input t = Array.iter (fun s -> s.closed <- true) t.streams
+
+let buffered_send_count t flow =
+  match Address.Flow_table.find_opt t.buffered_sends flow with
+  | Some (n, _) -> n
+  | None -> 0
+
+let count_send t i (a : Activity.t) delta =
+  match a.kind with
+  | Activity.Send ->
+      let flow = a.message.flow in
+      let n = buffered_send_count t flow in
+      let n' = n + delta in
+      if n' <= 0 then Address.Flow_table.remove t.buffered_sends flow
+      else Address.Flow_table.replace t.buffered_sends flow (n', i)
+  | Activity.Begin | Activity.End_ | Activity.Receive -> ()
+
+let push t i a =
+  Deque.push_back t.queues.(i) a;
+  count_send t i a 1;
+  t.buffered <- t.buffered + 1;
+  t.fetched <- t.fetched + 1;
+  if t.buffered > t.peak_buffered then t.peak_buffered <- t.buffered
+
+let pop t i =
+  let a = Deque.pop_front t.queues.(i) in
+  count_send t i a (-1);
+  t.buffered <- t.buffered - 1;
+  a
+
+(* Pull every stream item with timestamp <= deadline into its queue. *)
+let fetch_until t deadline =
+  Array.iteri
+    (fun i s ->
+      while
+        s.cursor < s.len && Sim_time.(s.items.(s.cursor).Activity.timestamp <= deadline)
+      do
+        push t i s.items.(s.cursor);
+        s.cursor <- s.cursor + 1
+      done)
+    t.streams
+
+(* Minimum local timestamp among queue heads and unfetched stream fronts:
+   the sliding window's left edge. *)
+let window_min t =
+  let mins = ref None in
+  let consider ts = match !mins with None -> mins := Some ts | Some m -> mins := Some (Sim_time.min m ts) in
+  Array.iter
+    (fun q ->
+      match Deque.peek_front q with
+      | Some a -> consider a.Activity.timestamp
+      | None -> ())
+    t.queues;
+  Array.iter
+    (fun s -> if s.cursor < s.len then consider s.items.(s.cursor).Activity.timestamp)
+    t.streams;
+  !mins
+
+let refill t =
+  match window_min t with
+  | None -> ()
+  | Some m -> fetch_until t (Sim_time.add m t.window)
+
+(* Indices of non-empty queues, with their head activities. *)
+let heads t =
+  let acc = ref [] in
+  for i = Array.length t.queues - 1 downto 0 do
+    match Deque.peek_front t.queues.(i) with
+    | Some a -> acc := (i, a) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let head_receive_matching_mmap t hs =
+  let eligible =
+    List.filter
+      (fun (_, (a : Activity.t)) ->
+        Activity.equal_kind a.kind Activity.Receive && t.has_mmap_send a.message.flow)
+      hs
+  in
+  match eligible with
+  | [] -> None
+  | hs ->
+      (* Deterministic choice: earliest local timestamp, then queue index. *)
+      Some
+        (List.fold_left
+           (fun ((_, (best : Activity.t)) as b) ((_, (a : Activity.t)) as c) ->
+             if Sim_time.(a.timestamp < best.timestamp) then c else b)
+           (List.hd hs) (List.tl hs))
+
+let lowest_priority_non_receive hs =
+  let non_receive =
+    List.filter (fun (_, (a : Activity.t)) -> not (Activity.equal_kind a.kind Activity.Receive)) hs
+  in
+  match non_receive with
+  | [] -> None
+  | hs ->
+      Some
+        (List.fold_left
+           (fun ((_, (best : Activity.t)) as b) ((_, (a : Activity.t)) as c) ->
+             let pa = Activity.kind_priority a.kind and pb = Activity.kind_priority best.kind in
+             if pa < pb || (pa = pb && Sim_time.(a.timestamp < best.timestamp)) then c else b)
+           (List.hd hs) (List.tl hs))
+
+(* Concurrency disturbance: every head is a RECEIVE, but some head's
+   matching SEND sits deeper in a queue. Promote the buried SEND to its
+   queue's front so Rule 2 can emit it next round — but never across an
+   earlier activity of the SEND's own execution entity, which would break
+   adjacent-context order (the paper's swap only ever jumps another
+   CPU's activities). *)
+let try_promote t hs =
+  let matching_send flow (x : Activity.t) =
+    Activity.equal_kind x.kind Activity.Send && Address.flow_equal x.message.flow flow
+  in
+  let promotable q i =
+    let send_ctx = (Deque.get q i).Activity.context in
+    let rec clear j =
+      j >= i || ((not (Activity.equal_context (Deque.get q j).Activity.context send_ctx)) && clear (j + 1))
+    in
+    clear 0
+  in
+  let promote_for (_, (r : Activity.t)) =
+    let flow = r.message.flow in
+    match Address.Flow_table.find_opt t.buffered_sends flow with
+    | Some (n, qi) when n > 0 -> (
+        let q = t.queues.(qi) in
+        match Deque.find_index q (matching_send flow) with
+        | Some i when i > 0 && promotable q i ->
+            Deque.promote q i;
+            t.promotions <- t.promotions + 1;
+            true
+        | Some _ | None -> false)
+    | Some _ | None -> false
+  in
+  List.exists promote_for hs
+
+(* Deferred noise check: before declaring the earliest suspect RECEIVE
+   noise, make sure its matching SEND is not merely outside the fetched
+   region — pull input up to [skew_allowance] past the suspect first. *)
+let try_force_fetch t hs =
+  let earliest =
+    List.fold_left
+      (fun (best : Activity.t) (_, (a : Activity.t)) ->
+        if Sim_time.(a.timestamp < best.timestamp) then a else best)
+      (snd (List.hd hs))
+      (List.tl hs)
+  in
+  let target = Sim_time.add earliest.timestamp t.skew_allowance in
+  let next_fetchable =
+    Array.fold_left
+      (fun acc s ->
+        if s.cursor < s.len then
+          let ts = s.items.(s.cursor).Activity.timestamp in
+          match acc with None -> Some ts | Some m -> Some (Sim_time.min m ts)
+        else acc)
+      None t.streams
+  in
+  match next_fetchable with
+  | Some ts when Sim_time.(ts <= target) ->
+      (* Fetch an escalating slice: window-sized at first (cheap when the
+         missing SEND is just past the window edge), doubling while the
+         search keeps failing so a noise-heavy trace costs O(log allowance)
+         extensions per suspect rather than O(allowance / window). *)
+      fetch_until t (Sim_time.min target (Sim_time.add ts t.force_step));
+      let doubled = Sim_time.span_add t.force_step t.force_step in
+      if Sim_time.compare_span doubled t.skew_allowance <= 0 then t.force_step <- doubled
+      else t.force_step <- t.skew_allowance;
+      t.forced_fetches <- t.forced_fetches + 1;
+      true
+  | Some _ | None -> false
+
+type step = Candidate of Activity.t | Need_input | Exhausted
+
+(* Popping candidate [a] commits to its position in the causal order; with
+   live input this is only safe once every still-open stream that has
+   nothing buffered has reported past [a.ts + skew_allowance] - no future
+   activity can then belong before [a]. Closed streams and streams with
+   buffered or fetched-but-unranked data behave exactly as offline. *)
+let safe_to_pop t (a : Activity.t) =
+  let horizon = Sim_time.add a.Activity.timestamp t.skew_allowance in
+  let ok = ref true in
+  Array.iteri
+    (fun i s ->
+      if
+        (not s.closed)
+        && Deque.is_empty t.queues.(i)
+        && s.cursor >= s.len
+        && Sim_time.(s.last_ts < horizon)
+      then ok := false)
+    t.streams;
+  !ok
+
+let fully_consumed t =
+  Array.for_all (fun s -> s.closed && s.cursor >= s.len) t.streams
+
+(* Declaring [suspect] noise requires knowing nothing relevant is still on
+   the wire: every open stream must have reported past the allowance. *)
+let noise_decidable t (suspect : Activity.t) =
+  let target = Sim_time.add suspect.Activity.timestamp t.skew_allowance in
+  Array.for_all (fun s -> s.closed || Sim_time.(s.last_ts >= target)) t.streams
+
+let rec rank_step t =
+  refill t;
+  match heads t with
+  | [] -> if fully_consumed t then Exhausted else Need_input
+  | hs -> (
+      match (if t.ablation.disable_rule1 then None else head_receive_matching_mmap t hs) with
+      | Some (i, a) ->
+          if safe_to_pop t a then begin
+            t.candidates <- t.candidates + 1;
+            t.force_step <- t.window;
+            Candidate (pop t i)
+          end
+          else Need_input
+      | None -> (
+          match lowest_priority_non_receive hs with
+          | Some (i, a) ->
+              if safe_to_pop t a then begin
+                t.candidates <- t.candidates + 1;
+                t.force_step <- t.window;
+                Candidate (pop t i)
+              end
+              else Need_input
+          | None ->
+              (* Every head is an unmatched RECEIVE. *)
+              if (not t.ablation.disable_promotion) && try_promote t hs then rank_step t
+              else if try_force_fetch t hs then rank_step t
+              else begin
+                (* is_noise: no matching SEND in mmap nor anywhere in the
+                   buffer, with the input fetched well past the suspect.
+                   Heads whose matching SEND is buffered but unpromotable
+                   are not noise; discarding one of those (only possible
+                   under adversarial interleavings) is counted separately
+                   and asserted zero in tests. *)
+                let no_buffered_send (_, (a : Activity.t)) =
+                  buffered_send_count t a.message.flow = 0
+                in
+                let pool, forced =
+                  match List.filter no_buffered_send hs with
+                  | [] -> (hs, true)
+                  | noise_heads -> (noise_heads, false)
+                in
+                let i, suspect =
+                  List.fold_left
+                    (fun ((_, (best : Activity.t)) as b) ((_, (a : Activity.t)) as c) ->
+                      if Sim_time.(a.timestamp < best.timestamp) then c else b)
+                    (List.hd pool) (List.tl pool)
+                in
+                if not (noise_decidable t suspect) then Need_input
+                else begin
+                  ignore (pop t i);
+                  t.noise_discarded <- t.noise_discarded + 1;
+                  if forced then t.forced_discards <- t.forced_discards + 1;
+                  rank_step t
+                end
+              end))
+
+let rank t =
+  match rank_step t with Candidate a -> Some a | Need_input | Exhausted -> None
+
+let buffered t = t.buffered
+
+let stats t =
+  {
+    fetched = t.fetched;
+    candidates = t.candidates;
+    noise_discarded = t.noise_discarded;
+    promotions = t.promotions;
+    forced_fetches = t.forced_fetches;
+    forced_discards = t.forced_discards;
+    peak_buffered = t.peak_buffered;
+  }

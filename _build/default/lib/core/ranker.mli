@@ -1,0 +1,105 @@
+(** The ranker: choosing candidate activities for CAG composition (§4.1).
+
+    Activities logged on different nodes are fetched into per-node queues
+    whenever their local timestamps fall inside a sliding time window. The
+    ranker only ever compares the {e head} activities of the queues and
+    picks the next candidate by the paper's two rules:
+
+    - {b Rule 1}: a head RECEIVE whose matching SEND is already in the
+      engine's [mmap] is the candidate — its message parent has been
+      delivered, so it can be correlated immediately.
+    - {b Rule 2}: otherwise the head with the lowest type priority
+      (BEGIN < SEND < END < RECEIVE) is the candidate, which guarantees a
+      SEND always precedes its matched RECEIVE.
+
+    Two disturbances are handled (§4.3): {e concurrency disturbance}, where
+    every head is a RECEIVE blocking the others' matched SENDs deeper in
+    the queues — resolved by promoting a buffered matching SEND to its
+    queue's front (the paper's head swap, generalised to any depth); and
+    {e noise}, a RECEIVE with no matching SEND in the [mmap] {e or} the
+    buffer — discarded, but only after fetching ahead up to
+    [skew_allowance] so that clock skew between nodes can never
+    misclassify live traffic as noise (DESIGN.md clarification #3). *)
+
+type t
+
+type stats = {
+  fetched : int;  (** Activities pulled into the buffer. *)
+  candidates : int;  (** Activities returned by [rank]. *)
+  noise_discarded : int;  (** RECEIVEs dropped by the [is_noise] check. *)
+  promotions : int;  (** Concurrency-disturbance head swaps. *)
+  forced_fetches : int;  (** Window extensions for deferred noise checks. *)
+  forced_discards : int;
+      (** Discards of a RECEIVE whose matching SEND was buffered but
+          unpromotable — expected to be zero; a non-zero value flags an
+          interleaving outside the algorithm's assumptions. *)
+  peak_buffered : int;  (** High-water mark of buffered activities. *)
+}
+
+type ablation = { disable_rule1 : bool; disable_promotion : bool }
+(** Switch off individual mechanisms to measure what they buy (the
+    ablation benches of DESIGN.md). Without Rule 1, matched receives wait
+    behind the priority order; without promotion, concurrency disturbances
+    must resolve through forced discards — both degrade accuracy, which is
+    the point. *)
+
+val no_ablation : ablation
+
+val create :
+  window:Simnet.Sim_time.span ->
+  ?skew_allowance:Simnet.Sim_time.span ->
+  ?ablation:ablation ->
+  has_mmap_send:(Simnet.Address.flow -> bool) ->
+  Trace.Log.collection ->
+  t
+(** [window] is the sliding-window size (any positive span; accuracy is
+    independent of it, cost is not). [skew_allowance] bounds how far ahead
+    of a suspect RECEIVE the ranker will look before declaring it noise;
+    it must exceed the largest cross-node clock skew (default 1 s, twice
+    the paper's largest evaluated skew). [has_mmap_send] is wired to the
+    engine's message-relation index. *)
+
+val rank : t -> Trace.Activity.t option
+(** The next candidate, or [None] when all input is consumed. (For rankers
+    with open input, [None] can also mean "need more input" — use
+    {!rank_step} to distinguish.) *)
+
+(** {1 Live operation}
+
+    A ranker can also be driven online, as traces stream in from the
+    cluster: create it with the node list, [feed] activities as the probe
+    reports them, and pull candidates with {!rank_step}. Candidates are
+    withheld until enough input has arrived that no later-fed activity
+    could precede them (each stream's feed watermark must pass the
+    candidate's timestamp plus the skew allowance), so online results
+    match the offline run on the same trace exactly. *)
+
+val create_online :
+  window:Simnet.Sim_time.span ->
+  ?skew_allowance:Simnet.Sim_time.span ->
+  ?ablation:ablation ->
+  has_mmap_send:(Simnet.Address.flow -> bool) ->
+  hosts:string list ->
+  unit ->
+  t
+
+val feed : t -> Trace.Activity.t -> unit
+(** Append one activity to its host's stream. Activities of one host must
+    arrive in non-decreasing timestamp order.
+    @raise Invalid_argument on an unknown host, a closed stream, or a
+    timestamp regression. *)
+
+val close_input : t -> unit
+(** No more activities will be fed; pending candidates become decidable. *)
+
+type step =
+  | Candidate of Trace.Activity.t
+  | Need_input  (** Undecidable until more input is fed (or input closed). *)
+  | Exhausted  (** All input consumed. *)
+
+val rank_step : t -> step
+
+val buffered : t -> int
+(** Activities currently held in the ranker's queues. *)
+
+val stats : t -> stats

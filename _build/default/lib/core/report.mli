@@ -1,0 +1,26 @@
+(** Plain-text tables and CSV output for experiment results.
+
+    Every figure-reproduction bench prints its series through this module,
+    so the output stays uniform and machine-extractable. *)
+
+type table
+
+val table : title:string -> columns:string list -> table
+
+val add_row : table -> string list -> unit
+(** @raise Invalid_argument on a width mismatch with [columns]. *)
+
+val render : table -> string
+(** Aligned, boxed-with-dashes plain text. *)
+
+val print : table -> unit
+(** [render] to stdout, followed by a blank line. *)
+
+val to_csv : table -> string
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_pct : float -> string
+(** [cell_pct 0.463] is ["46.3%"]. *)
+
+val cell_span : Simnet.Sim_time.span -> string

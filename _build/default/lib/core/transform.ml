@@ -1,0 +1,34 @@
+module Activity = Trace.Activity
+module Address = Simnet.Address
+
+type config = {
+  entry_points : Address.endpoint list;
+  drop_programs : string list;
+  drop_ports : int list;
+  keep : Activity.t -> bool;
+}
+
+let config ~entry_points ?(drop_programs = []) ?(drop_ports = []) ?(keep = fun _ -> true) () =
+  { entry_points; drop_programs; drop_ports; keep }
+
+let is_entry cfg ep = List.exists (Address.endpoint_equal ep) cfg.entry_points
+
+let filtered_out cfg (a : Activity.t) =
+  List.exists (String.equal a.context.program) cfg.drop_programs
+  || List.exists
+       (fun p -> a.message.flow.src.port = p || a.message.flow.dst.port = p)
+       cfg.drop_ports
+  || not (cfg.keep a)
+
+let classify cfg (a : Activity.t) =
+  if filtered_out cfg a then None
+  else
+    let kind =
+      match a.kind with
+      | Activity.Receive when is_entry cfg a.message.flow.dst -> Activity.Begin
+      | Activity.Send when is_entry cfg a.message.flow.src -> Activity.End_
+      | k -> k
+    in
+    Some { a with kind }
+
+let apply cfg collection = Trace.Log.map_activities (classify cfg) collection

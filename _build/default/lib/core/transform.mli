@@ -1,0 +1,36 @@
+(** Raw-activity preprocessing: BEGIN/END recognition and attribute
+    filtering (§3.1 and §4.3 of the paper).
+
+    TCP_TRACE only emits SEND and RECEIVE. PreciseTracer distinguishes
+    BEGIN and END by the service's entry communication channels: a RECEIVE
+    whose destination is an entry endpoint (e.g. the web server's port 80)
+    marks the start of a request; a SEND from that endpoint on the same
+    connection marks its end.
+
+    Attribute filters implement the first line of noise defence: dropping
+    activities by program name, IP or port before they reach the ranker. *)
+
+type config = {
+  entry_points : Simnet.Address.endpoint list;
+      (** The service's front-tier listening endpoints. *)
+  drop_programs : string list;
+      (** Program names filtered out (e.g. ["rlogin"; "sshd"; "mysql"]). *)
+  drop_ports : int list;
+      (** Ports filtered out: any activity whose flow touches one. *)
+  keep : Trace.Activity.t -> bool;
+      (** Final custom predicate; defaults to keeping everything. *)
+}
+
+val config :
+  entry_points:Simnet.Address.endpoint list ->
+  ?drop_programs:string list ->
+  ?drop_ports:int list ->
+  ?keep:(Trace.Activity.t -> bool) ->
+  unit ->
+  config
+
+val classify : config -> Trace.Activity.t -> Trace.Activity.t option
+(** [None] if filtered out; otherwise the activity with its kind rewritten
+    to BEGIN/END when it crosses an entry point. *)
+
+val apply : config -> Trace.Log.collection -> Trace.Log.collection

@@ -1,0 +1,1 @@
+lib/simnet/address.ml: Format Hashtbl Int Printf String

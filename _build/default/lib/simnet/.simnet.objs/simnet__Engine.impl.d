@@ -1,0 +1,1 @@
+lib/simnet/engine.ml: Event_queue Format Sim_time

@@ -1,0 +1,1 @@
+lib/simnet/link.mli: Engine Sim_time

@@ -1,0 +1,1 @@
+lib/simnet/messaging.ml: Hashtbl Queue Tcp

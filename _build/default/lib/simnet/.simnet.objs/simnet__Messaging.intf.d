@@ -1,0 +1,1 @@
+lib/simnet/messaging.mli: Proc Tcp

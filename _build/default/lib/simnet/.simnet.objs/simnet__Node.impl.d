@@ -1,0 +1,1 @@
+lib/simnet/node.ml: Address Clock Cpu Engine Link Proc Sim_time

@@ -1,0 +1,1 @@
+lib/simnet/node.mli: Address Clock Cpu Engine Link Proc Sim_time

@@ -1,0 +1,1 @@
+lib/simnet/proc.ml: Format Hashtbl Int String

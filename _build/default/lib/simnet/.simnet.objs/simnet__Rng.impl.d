@@ -1,0 +1,1 @@
+lib/simnet/rng.ml: Array Char Float List Random Sim_time String

@@ -1,0 +1,1 @@
+lib/simnet/tcp.ml: Address Cpu Engine Format Hashtbl Link List Node Printf Proc Queue Sim_time

@@ -1,0 +1,1 @@
+lib/simnet/tcp.mli: Address Engine Node Proc Sim_time

@@ -1,0 +1,17 @@
+type t = { skew : Sim_time.span; drift_ppm : float }
+
+let create ?(skew = Sim_time.span_zero) ?(drift_ppm = 0.0) () = { skew; drift_ppm }
+let perfect = create ()
+
+let local_of_global t g =
+  let g_ns = Sim_time.to_ns g in
+  let drift = int_of_float (Float.round (t.drift_ppm *. float_of_int g_ns /. 1e6)) in
+  Sim_time.of_ns (g_ns + Sim_time.span_ns t.skew + drift)
+
+let global_of_local t l =
+  let l_ns = Sim_time.to_ns l in
+  let base = float_of_int (l_ns - Sim_time.span_ns t.skew) in
+  Sim_time.of_ns (int_of_float (Float.round (base /. (1.0 +. (t.drift_ppm /. 1e6)))))
+
+let skew t = t.skew
+let drift_ppm t = t.drift_ppm

@@ -1,0 +1,97 @@
+type job = { mutable remaining : float; k : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  cores : int;
+  switch_penalty : float;
+  mutable jobs : job list;
+  mutable last_update : Sim_time.t;
+  mutable timer : Engine.timer option;
+  mutable busy_core_ns : float;
+  created : Sim_time.t;
+}
+
+let create ~engine ~cores ?(switch_penalty = 0.0) () =
+  assert (cores > 0);
+  {
+    engine;
+    cores;
+    switch_penalty;
+    jobs = [];
+    last_update = Engine.now engine;
+    timer = None;
+    busy_core_ns = 0.0;
+    created = Engine.now engine;
+  }
+
+let rate t n =
+  if n = 0 then 0.0
+  else
+    let share = Float.min 1.0 (float_of_int t.cores /. float_of_int n) in
+    share /. (1.0 +. (t.switch_penalty *. float_of_int (n - 1)))
+
+(* Advance every active job by the time elapsed since the last update. *)
+let update_progress t =
+  let now = Engine.now t.engine in
+  let elapsed = float_of_int (Sim_time.span_ns (Sim_time.diff now t.last_update)) in
+  let n = List.length t.jobs in
+  if elapsed > 0.0 && n > 0 then begin
+    let r = rate t n in
+    List.iter (fun j -> j.remaining <- j.remaining -. (elapsed *. r)) t.jobs;
+    t.busy_core_ns <- t.busy_core_ns +. (elapsed *. float_of_int (min n t.cores))
+  end;
+  t.last_update <- now
+
+let fire_completions t =
+  let done_, live = List.partition (fun j -> j.remaining <= 1.0) t.jobs in
+  t.jobs <- live;
+  (* Completion callbacks run after the partition so a callback submitting
+     new work sees a consistent job list. *)
+  List.iter (fun j -> j.k ()) done_
+
+let rec reschedule t =
+  (match t.timer with
+  | Some timer ->
+      Engine.cancel t.engine timer;
+      t.timer <- None
+  | None -> ());
+  match t.jobs with
+  | [] -> ()
+  | jobs ->
+      let r = rate t (List.length jobs) in
+      let min_remaining =
+        List.fold_left (fun acc j -> Float.min acc j.remaining) Float.infinity jobs
+      in
+      let delay = Sim_time.ns (max 1 (int_of_float (Float.ceil (min_remaining /. r)))) in
+      t.timer <- Some (Engine.schedule_after t.engine ~delay (fun () -> on_timer t))
+
+and on_timer t =
+  t.timer <- None;
+  update_progress t;
+  fire_completions t;
+  reschedule t
+
+let submit t ~work k =
+  let work_ns = Sim_time.span_ns work in
+  if work_ns <= 0 then ignore (Engine.schedule_after t.engine ~delay:Sim_time.span_zero k)
+  else begin
+    update_progress t;
+    fire_completions t;
+    t.jobs <- { remaining = float_of_int work_ns; k } :: t.jobs;
+    reschedule t
+  end
+
+let active_jobs t = List.length t.jobs
+
+let busy_core_time t =
+  let now = Engine.now t.engine in
+  let elapsed = float_of_int (Sim_time.span_ns (Sim_time.diff now t.last_update)) in
+  let n = List.length t.jobs in
+  let extra = if n > 0 then elapsed *. float_of_int (min n t.cores) else 0.0 in
+  Sim_time.ns (int_of_float (t.busy_core_ns +. extra))
+
+let utilization t =
+  let now = Engine.now t.engine in
+  let total = Sim_time.span_ns (Sim_time.diff now t.created) * t.cores in
+  if total <= 0 then 0.0
+  else float_of_int (Sim_time.span_ns (busy_core_time t)) /. float_of_int total

@@ -1,0 +1,28 @@
+(** A multi-core CPU with processor-sharing scheduling.
+
+    Models the paper's 2-way SMP nodes. All jobs active on a node share the
+    cores equally: with [n] jobs on [c] cores each progresses at rate
+    [min 1 (c/n)], optionally degraded by a context-switch penalty that
+    grows with [n] (this produces the slight throughput dip past saturation
+    visible in the paper's Fig. 8). Jobs are CPU work only — blocking on
+    I/O or locks is modelled by simply not holding a job. *)
+
+type t
+
+val create : engine:Engine.t -> cores:int -> ?switch_penalty:float -> unit -> t
+(** [switch_penalty] is the fractional slowdown added per extra active job:
+    effective rate is divided by [1 + switch_penalty * (n - 1)]. Default 0. *)
+
+val submit : t -> work:Sim_time.span -> (unit -> unit) -> unit
+(** [submit t ~work k] adds a job needing [work] of dedicated-core time and
+    calls [k] when it completes. Zero or negative work completes at the
+    current instant (asynchronously, preserving event ordering). *)
+
+val active_jobs : t -> int
+(** Jobs currently sharing the cores. *)
+
+val utilization : t -> float
+(** Fraction of total core capacity used since creation, in [0, 1]. *)
+
+val busy_core_time : t -> Sim_time.span
+(** Integral of busy cores over time (core-nanoseconds consumed). *)

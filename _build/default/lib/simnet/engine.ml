@@ -1,0 +1,49 @@
+type t = {
+  mutable clock : Sim_time.t;
+  queue : (unit -> unit) Event_queue.t;
+  mutable fired : int;
+}
+
+type timer = Event_queue.handle
+
+let create () = { clock = Sim_time.zero; queue = Event_queue.create (); fired = 0 }
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if Sim_time.(time < t.clock) then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_at: %a is in the past (now %a)" Sim_time.pp time
+         Sim_time.pp t.clock);
+  Event_queue.add t.queue ~time f
+
+let schedule_after t ~delay f =
+  let delay = Sim_time.span_max delay Sim_time.span_zero in
+  Event_queue.add t.queue ~time:(Sim_time.add t.clock delay) f
+
+let cancel t timer = Event_queue.cancel t.queue timer
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.fired <- t.fired + 1;
+      f ();
+      true
+
+let run t =
+  while step t do
+    ()
+  done
+
+let run_until t stop =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some time when Sim_time.(time <= stop) -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if Sim_time.(t.clock < stop) then t.clock <- stop
+
+let pending t = Event_queue.length t.queue
+let events_fired t = t.fired

@@ -1,0 +1,42 @@
+(** The discrete-event simulation core.
+
+    An engine owns the virtual clock and an event queue of callbacks. All
+    simulated activity — CPU completions, packet deliveries, timers — is
+    expressed as callbacks scheduled at virtual instants. Running the engine
+    repeatedly pops the earliest event, advances [now] to its time and fires
+    it. Everything is single-threaded and deterministic. *)
+
+type t
+
+type timer
+(** Handle to a scheduled callback, for cancellation. *)
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+(** Current virtual time. *)
+
+val schedule_at : t -> time:Sim_time.t -> (unit -> unit) -> timer
+(** [schedule_at t ~time f] fires [f] at [time]. Scheduling in the past is a
+    programming error and raises [Invalid_argument]. *)
+
+val schedule_after : t -> delay:Sim_time.span -> (unit -> unit) -> timer
+(** [schedule_after t ~delay f] fires [f] at [now t + delay]. Negative
+    delays are clamped to zero. *)
+
+val cancel : t -> timer -> unit
+
+val run : t -> unit
+(** Run until the event queue is exhausted. *)
+
+val run_until : t -> Sim_time.t -> unit
+(** [run_until t stop] fires every event with time <= [stop], then sets the
+    clock to [stop] (if it is later than the last event fired). Remaining
+    events stay queued. *)
+
+val pending : t -> int
+(** Number of live queued events. *)
+
+val events_fired : t -> int
+(** Total number of events fired since creation; a cheap progress and
+    complexity proxy for tests and benchmarks. *)

@@ -1,0 +1,105 @@
+type 'a cell = {
+  time : Sim_time.t;
+  seq : int;
+  value : 'a;
+  mutable cancelled : bool;
+}
+
+type handle = H : 'a cell -> handle
+
+type 'a t = {
+  mutable heap : 'a cell array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; live = 0 }
+
+let cell_before a b =
+  match Sim_time.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let grow q =
+  let cap = Array.length q.heap in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let nheap = Array.make ncap q.heap.(0) in
+  Array.blit q.heap 0 nheap 0 q.size;
+  q.heap <- nheap
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cell_before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && cell_before q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && cell_before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q ~time value =
+  let cell = { time; seq = q.next_seq; value; cancelled = false } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 cell;
+  if q.size = Array.length q.heap then grow q;
+  q.heap.(q.size) <- cell;
+  q.size <- q.size + 1;
+  q.live <- q.live + 1;
+  sift_up q (q.size - 1);
+  H cell
+
+let cancel q (H cell) =
+  (* The cell stays in the heap and is skipped at pop time; the [live]
+     counter is what observers see. Obj.magic-free: the handle is only valid
+     for the queue that produced it, which holds cells of the right type. *)
+  if not cell.cancelled then begin
+    cell.cancelled <- true;
+    q.live <- q.live - 1
+  end
+
+let remove_min q =
+  let top = q.heap.(0) in
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    q.heap.(0) <- q.heap.(q.size);
+    sift_down q 0
+  end;
+  top
+
+let rec pop q =
+  if q.size = 0 then None
+  else
+    let top = remove_min q in
+    if top.cancelled then pop q
+    else begin
+      q.live <- q.live - 1;
+      (* Mark the cell dead so a later [cancel] through a stale handle is a
+         no-op instead of corrupting the live count. *)
+      top.cancelled <- true;
+      Some (top.time, top.value)
+    end
+
+let rec peek_time q =
+  if q.size = 0 then None
+  else if q.heap.(0).cancelled then begin
+    ignore (remove_min q);
+    peek_time q
+  end
+  else Some q.heap.(0).time
+
+let length q = q.live
+let is_empty q = q.live = 0

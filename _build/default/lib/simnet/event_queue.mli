@@ -1,0 +1,33 @@
+(** A priority queue of timestamped events, ordered by (time, sequence).
+
+    The sequence number breaks ties: two events scheduled for the same
+    instant fire in insertion order, which keeps the simulator fully
+    deterministic. Cancellation is supported through the handle returned by
+    [add]. *)
+
+type 'a t
+
+type handle
+(** A token identifying a queued event, usable to cancel it. *)
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:Sim_time.t -> 'a -> handle
+(** [add q ~time v] enqueues [v] to fire at [time]. *)
+
+val cancel : 'a t -> handle -> unit
+(** [cancel q h] marks the event behind [h] as cancelled; it will be skipped
+    by [pop]. Cancelling an already-fired or already-cancelled event is a
+    no-op. *)
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** [pop q] removes and returns the earliest live event, or [None] if the
+    queue holds no live events. *)
+
+val peek_time : 'a t -> Sim_time.t option
+(** Time of the earliest live event without removing it. *)
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,29 @@
+type t = {
+  engine : Engine.t;
+  mutable bandwidth_bps : float;
+  propagation : Sim_time.span;
+  mutable free_at : Sim_time.t;
+  mutable bytes : int;
+}
+
+let create ~engine ~bandwidth_bps ~propagation () =
+  assert (bandwidth_bps > 0.0);
+  { engine; bandwidth_bps; propagation; free_at = Engine.now engine; bytes = 0 }
+
+let transmit t ~size k =
+  assert (size >= 0);
+  let now = Engine.now t.engine in
+  let start = Sim_time.max now t.free_at in
+  let tx_ns = Float.ceil (float_of_int (size * 8) /. t.bandwidth_bps *. 1e9) in
+  let tx = Sim_time.ns (int_of_float tx_ns) in
+  t.free_at <- Sim_time.add start tx;
+  t.bytes <- t.bytes + size;
+  let deliver_at = Sim_time.add t.free_at t.propagation in
+  ignore (Engine.schedule_at t.engine ~time:deliver_at k)
+
+let set_bandwidth_bps t bps =
+  assert (bps > 0.0);
+  t.bandwidth_bps <- bps
+
+let bandwidth_bps t = t.bandwidth_bps
+let bytes_sent t = t.bytes

@@ -1,0 +1,28 @@
+(** A serialising network link (one direction of a NIC or switch port).
+
+    Transmissions queue FIFO behind the link: a payload of [size] bytes
+    occupies the link for [size / bandwidth] and is delivered
+    [propagation] later. Bandwidth is mutable so experiments can degrade a
+    NIC mid-run (the paper's EJB_Network fault drops 100 Mbps to 10 Mbps). *)
+
+type t
+
+val create :
+  engine:Engine.t ->
+  bandwidth_bps:float ->
+  propagation:Sim_time.span ->
+  unit ->
+  t
+(** [bandwidth_bps] is in bits per second. *)
+
+val transmit : t -> size:int -> (unit -> unit) -> unit
+(** [transmit t ~size k] queues [size] bytes and calls [k] at delivery
+    time. Zero-size payloads still pay propagation delay. *)
+
+val set_bandwidth_bps : t -> float -> unit
+(** Takes effect for transmissions queued after the call. *)
+
+val bandwidth_bps : t -> float
+
+val bytes_sent : t -> int
+(** Total payload bytes accepted since creation. *)

@@ -1,0 +1,58 @@
+type payload = ..
+
+type msg = { size : int; payload : payload option }
+
+(* Expected-size/payload side channel, keyed by (connection, direction).
+   The direction is identified by the sending side: true = client-to-server. *)
+type t = {
+  stack : Tcp.stack;
+  expected : (int * bool, (int * payload option) Queue.t) Hashtbl.t;
+}
+
+let create stack = { stack; expected = Hashtbl.create 64 }
+
+let channel t sock ~sending =
+  let c2s = if sending then Tcp.is_client_side sock else not (Tcp.is_client_side sock) in
+  let key = (Tcp.conn_id sock, c2s) in
+  match Hashtbl.find_opt t.expected key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.expected key q;
+      q
+
+let send_message t sock ~proc ~size ?(chunk = 8192) ?payload ~k () =
+  if size <= 0 then invalid_arg "Messaging.send_message: size must be positive";
+  if chunk <= 0 then invalid_arg "Messaging.send_message: chunk must be positive";
+  Queue.push (size, payload) (channel t sock ~sending:true);
+  let rec loop remaining =
+    if remaining <= 0 then k ()
+    else
+      let n = min chunk remaining in
+      Tcp.send t.stack sock ~proc ~size:n ~k:(fun () -> loop (remaining - n))
+  in
+  loop size
+
+let recv_message t sock ~proc ?(buf = 8192) ~k () =
+  if buf <= 0 then invalid_arg "Messaging.recv_message: buf must be positive";
+  let q = channel t sock ~sending:false in
+  let rec loop total =
+    Tcp.recv t.stack sock ~proc ~max:buf ~k:(fun n ->
+        if n = 0 then
+          if total = 0 then k { size = 0; payload = None }
+          else failwith "Messaging.recv_message: peer closed mid-message"
+        else begin
+          let total = total + n in
+          (* Bytes have arrived, so the sender's expected size is queued. *)
+          assert (not (Queue.is_empty q));
+          let expected, payload = Queue.peek q in
+          if total > expected then
+            failwith "Messaging.recv_message: read crossed a message boundary"
+          else if total = expected then begin
+            ignore (Queue.pop q);
+            k { size = total; payload }
+          end
+          else loop total
+        end)
+  in
+  loop 0

@@ -1,0 +1,52 @@
+(** Application-level message framing over {!Tcp}.
+
+    Multi-tier components exchange *logical messages* (an HTTP request, a
+    SQL result set) that cross the kernel boundary as several syscalls:
+    the sender writes in bounded chunks and the receiver reads into a
+    bounded buffer. This module provides that framing, and in doing so
+    generates exactly the n-to-n SEND/RECEIVE asymmetry the paper's engine
+    must merge (its Fig. 4).
+
+    Message lengths — and an optional application payload — travel through
+    a per-connection side channel: the moral equivalent of a self-framing
+    protocol whose headers the application parses, kept out of the byte
+    stream so payload sizes in traces match the logical sizes experiments
+    configure. The tracer never sees this channel; it carries what a real
+    component would read out of its own protocol (an HTTP URL, a SQL
+    string), which is application knowledge, not tracing knowledge.
+
+    The framing assumes the request/response discipline of the paper's
+    target services: on a given connection direction, a new message starts
+    only after the previous one has been fully consumed (no pipelining). *)
+
+type t
+
+type payload = ..
+(** Application metadata attached to a logical message. Applications
+    extend this with their own constructors. *)
+
+type msg = { size : int; payload : payload option }
+
+val create : Tcp.stack -> t
+
+val send_message :
+  t ->
+  Tcp.socket ->
+  proc:Proc.t ->
+  size:int ->
+  ?chunk:int ->
+  ?payload:payload ->
+  k:(unit -> unit) ->
+  unit ->
+  unit
+(** [send_message t sock ~proc ~size ~chunk ~payload ~k ()] writes a
+    [size]-byte logical message as consecutive sends of at most [chunk]
+    bytes (default 8192) and continues with [k]. *)
+
+val recv_message :
+  t -> Tcp.socket -> proc:Proc.t -> ?buf:int -> k:(msg -> unit) -> unit -> unit
+(** [recv_message t sock ~proc ~buf ~k ()] reads one whole logical message
+    using recvs of at most [buf] bytes (default 8192) and calls [k] with
+    its total size and payload. [k {size = 0; _}] signals EOF before any
+    message byte.
+    @raise Failure if the peer closes mid-message (protocol violation). *)

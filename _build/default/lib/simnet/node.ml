@@ -1,0 +1,64 @@
+type t = {
+  engine : Engine.t;
+  hostname : string;
+  ip : Address.ip;
+  clock : Clock.t;
+  cpu : Cpu.t;
+  tx : Link.t;
+  rx : Link.t;
+  mutable next_pid : int;
+  mutable next_tid : int;
+  mutable next_port : int;
+}
+
+let mbps m = m *. 1e6
+
+let create ~engine ~hostname ~ip ~cores ?(clock = Clock.perfect) ?(switch_penalty = 0.0)
+    ?(bandwidth_bps = mbps 100.) ?(latency = Sim_time.us 100) () =
+  {
+    engine;
+    hostname;
+    ip;
+    clock;
+    cpu = Cpu.create ~engine ~cores ~switch_penalty ();
+    tx = Link.create ~engine ~bandwidth_bps ~propagation:latency ();
+    rx = Link.create ~engine ~bandwidth_bps ~propagation:Sim_time.span_zero ();
+    next_pid = 1000;
+    next_tid = 20000;
+    next_port = 32768;
+  }
+
+let hostname t = t.hostname
+let ip t = t.ip
+let clock t = t.clock
+let cpu t = t.cpu
+let engine t = t.engine
+let tx t = t.tx
+let rx t = t.rx
+
+let set_nic_bandwidth_bps t bps =
+  Link.set_bandwidth_bps t.tx bps;
+  Link.set_bandwidth_bps t.rx bps
+
+let local_time t = Clock.local_of_global t.clock (Engine.now t.engine)
+
+let fresh_pid t =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  pid
+
+let fresh_tid t =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  tid
+
+let fresh_port t =
+  let port = t.next_port in
+  t.next_port <- port + 1;
+  port
+
+let spawn t ~program =
+  let pid = fresh_pid t in
+  { Proc.program; pid; tid = pid }
+
+let spawn_thread t ~of_:(proc : Proc.t) = { proc with Proc.tid = fresh_tid t }

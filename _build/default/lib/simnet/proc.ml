@@ -1,0 +1,11 @@
+type t = { program : string; pid : int; tid : int }
+
+let equal a b = String.equal a.program b.program && a.pid = b.pid && a.tid = b.tid
+
+let compare a b =
+  match String.compare a.program b.program with
+  | 0 -> ( match Int.compare a.pid b.pid with 0 -> Int.compare a.tid b.tid | c -> c)
+  | c -> c
+
+let hash t = Hashtbl.hash (t.program, t.pid, t.tid)
+let pp ppf t = Format.fprintf ppf "%s[%d/%d]" t.program t.pid t.tid

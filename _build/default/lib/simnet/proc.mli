@@ -1,0 +1,15 @@
+(** Execution-entity identity: the (program, pid, tid) part of the context
+    identifier that TCP_TRACE records for every syscall.
+
+    A [t] identifies one schedulable entity — a process or a kernel thread.
+    The paper's correlation algorithm keys its [cmap] on the full context
+    identifier (hostname, program, pid, tid); hostname lives with the node,
+    the rest lives here. *)
+
+type t = { program : string; pid : int; tid : int }
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+(** Rendered ["httpd[1203/1203]"]. *)

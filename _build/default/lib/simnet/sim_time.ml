@@ -1,0 +1,38 @@
+type t = int
+type span = int
+
+let zero = 0
+let of_ns n = n
+let to_ns t = t
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let span_of_float_s s = int_of_float (Float.round (s *. 1e9))
+let span_ns d = d
+let span_to_float_s d = float_of_int d /. 1e9
+let add t d = t + d
+let diff a b = a - b
+let span_add a b = a + b
+let span_sub a b = a - b
+let span_scale f d = int_of_float (Float.round (f *. float_of_int d))
+let span_max a b = Stdlib.max a b
+let span_zero = 0
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+let ( < ) (a : t) b = Stdlib.( < ) a b
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+let ( > ) (a : t) b = Stdlib.( > ) a b
+let min (a : t) b = Stdlib.min a b
+let max (a : t) b = Stdlib.max a b
+let compare_span = Int.compare
+let to_float_s t = float_of_int t /. 1e9
+let pp ppf t = Format.fprintf ppf "%d.%09ds" (t / 1_000_000_000) (abs (t mod 1_000_000_000))
+
+let pp_span ppf d =
+  let a = abs d in
+  if a < 1_000 then Format.fprintf ppf "%dns" d
+  else if a < 1_000_000 then Format.fprintf ppf "%.3gus" (float_of_int d /. 1e3)
+  else if a < 1_000_000_000 then Format.fprintf ppf "%.4gms" (float_of_int d /. 1e6)
+  else Format.fprintf ppf "%.6gs" (float_of_int d /. 1e9)

@@ -1,0 +1,66 @@
+(** Virtual time for the discrete-event simulator.
+
+    Time is an absolute instant measured in integer nanoseconds since the
+    start of the simulation (instant 0). Spans (durations) share the same
+    representation. 63-bit nanoseconds cover ~146 years of virtual time,
+    far beyond any experiment in this repository. *)
+
+type t = private int
+(** An absolute instant, in nanoseconds since simulation start. *)
+
+type span = private int
+(** A duration, in nanoseconds. May be negative (e.g. a clock skew). *)
+
+val zero : t
+(** The simulation origin. *)
+
+val of_ns : int -> t
+(** [of_ns n] is the instant [n] nanoseconds after the origin. *)
+
+val to_ns : t -> int
+(** [to_ns t] is [t] expressed in nanoseconds. *)
+
+val ns : int -> span
+val us : int -> span
+val ms : int -> span
+val sec : int -> span
+(** Span constructors from integer counts of the named unit. *)
+
+val span_of_float_s : float -> span
+(** [span_of_float_s s] converts [s] seconds to a span, rounding to the
+    nearest nanosecond. *)
+
+val span_ns : span -> int
+val span_to_float_s : span -> float
+
+val add : t -> span -> t
+(** [add t d] is the instant [d] after [t]. *)
+
+val diff : t -> t -> span
+(** [diff a b] is the span from [b] to [a]: [a - b]. *)
+
+val span_add : span -> span -> span
+val span_sub : span -> span -> span
+val span_scale : float -> span -> span
+val span_max : span -> span -> span
+val span_zero : span
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val compare_span : span -> span -> int
+
+val to_float_s : t -> float
+(** [to_float_s t] is [t] in seconds, as a float. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable instant, e.g. ["12.034567890s"]. *)
+
+val pp_span : Format.formatter -> span -> unit
+(** Human-readable span with an adaptive unit, e.g. ["1.5ms"]. *)

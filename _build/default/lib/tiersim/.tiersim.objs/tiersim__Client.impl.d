@@ -1,0 +1,1 @@
+lib/tiersim/client.ml: Array Metrics Printf Service Simnet Trace Workload

@@ -1,0 +1,1 @@
+lib/tiersim/client.mli: Service Simnet Workload

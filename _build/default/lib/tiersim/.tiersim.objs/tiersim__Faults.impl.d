@@ -1,0 +1,1 @@
+lib/tiersim/faults.ml: Simnet

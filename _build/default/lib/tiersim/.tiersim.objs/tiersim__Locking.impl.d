@@ -1,0 +1,1 @@
+lib/tiersim/locking.ml: Queue Simnet

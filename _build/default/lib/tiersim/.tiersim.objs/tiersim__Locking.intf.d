@@ -1,0 +1,1 @@
+lib/tiersim/locking.mli: Simnet

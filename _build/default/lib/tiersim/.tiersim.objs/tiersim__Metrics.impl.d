@@ -1,0 +1,1 @@
+lib/tiersim/metrics.ml: Array Float Format List Option Simnet String

@@ -1,0 +1,1 @@
+lib/tiersim/metrics.mli: Format Simnet

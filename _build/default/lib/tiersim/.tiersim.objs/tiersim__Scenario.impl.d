@@ -1,0 +1,1 @@
+lib/tiersim/scenario.ml: Array Client Core Faults Metrics Service Simnet Trace Workload

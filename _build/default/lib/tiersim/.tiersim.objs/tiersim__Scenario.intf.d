@@ -1,0 +1,1 @@
+lib/tiersim/scenario.mli: Core Faults Metrics Service Simnet Trace Workload

@@ -1,0 +1,1 @@
+lib/tiersim/semaphore.ml: Queue Simnet

@@ -1,0 +1,1 @@
+lib/tiersim/service.ml: Array Core Faults List Locking Metrics Option Printf Semaphore Simnet Trace Worker_pool Workload

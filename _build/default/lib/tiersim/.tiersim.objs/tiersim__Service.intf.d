@@ -1,0 +1,1 @@
+lib/tiersim/service.mli: Core Faults Metrics Simnet Trace Workload

@@ -1,0 +1,1 @@
+lib/tiersim/worker_pool.ml: Queue Simnet

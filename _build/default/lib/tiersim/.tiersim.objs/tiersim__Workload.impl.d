@@ -1,0 +1,1 @@
+lib/tiersim/workload.ml: List Simnet String

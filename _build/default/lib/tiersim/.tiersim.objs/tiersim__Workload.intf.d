@@ -1,0 +1,1 @@
+lib/tiersim/workload.mli: Simnet

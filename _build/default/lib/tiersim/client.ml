@@ -1,0 +1,73 @@
+module Engine = Simnet.Engine
+module Messaging = Simnet.Messaging
+module Node = Simnet.Node
+module Rng = Simnet.Rng
+module Sim_time = Simnet.Sim_time
+module Tcp = Simnet.Tcp
+module Ground_truth = Trace.Ground_truth
+
+type spec = {
+  count : int;
+  mix : Workload.mix;
+  ramp_up : Simnet.Sim_time.span;
+  stop_issuing_at : Simnet.Sim_time.t;
+  only_kind : string option;
+}
+
+let run_client svc spec ~node ~rng ~proc =
+  let engine = Service.engine svc in
+  let messaging = Service.messaging svc in
+  Tcp.connect (Service.stack svc) ~node ~proc ~dst:(Service.entry_endpoint svc)
+    ~k:(fun sock ->
+      let rec session () =
+        if Sim_time.(Engine.now engine >= spec.stop_issuing_at) then
+          Tcp.close (Service.stack svc) sock
+        else begin
+          let id = Service.fresh_request_id svc in
+          let plan =
+            match spec.only_kind with
+            | Some kind -> Workload.sample_kind rng ~kind ~id
+            | None -> Workload.sample rng spec.mix ~id
+          in
+          let started = Engine.now engine in
+          Messaging.send_message messaging sock ~proc ~size:plan.Workload.request_size
+            ~payload:(Service.Http_request plan)
+            ~k:(fun () ->
+              Messaging.recv_message messaging sock ~proc
+                ~k:(fun (m : Messaging.msg) ->
+                  if m.size = 0 then ()
+                  else begin
+                    let now = Engine.now engine in
+                    Ground_truth.complete (Service.ground_truth svc) ~id;
+                    Metrics.record (Service.metrics svc) ~finished_at:now
+                      ~rt:(Sim_time.diff now started) ~kind:plan.Workload.kind;
+                    let think = Workload.think_time rng in
+                    ignore (Engine.schedule_after engine ~delay:think session)
+                  end)
+                ())
+            ()
+        end
+      in
+      session ())
+
+let start svc spec =
+  let engine = Service.engine svc in
+  let nodes = Service.client_nodes svc in
+  let base_rng = Service.rng svc in
+  for i = 0 to spec.count - 1 do
+    let node = nodes.(i mod Array.length nodes) in
+    let rng = Rng.split base_rng (Printf.sprintf "client-%d" i) in
+    let proc = Node.spawn node ~program:"client" in
+    (* Stagger starts uniformly across the up-ramp, plus the client's first
+       think so arrivals don't synchronise. *)
+    let offset =
+      Sim_time.span_add
+        (Sim_time.span_scale
+           (float_of_int i /. float_of_int (max 1 spec.count))
+           spec.ramp_up)
+        (Rng.uniform_span rng ~lo:(Sim_time.ms 1) ~hi:(Sim_time.ms 500))
+    in
+    ignore
+      (Engine.schedule_after engine ~delay:offset (fun () ->
+           run_client svc spec ~node ~rng ~proc))
+  done

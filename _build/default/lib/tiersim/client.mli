@@ -1,0 +1,22 @@
+(** Client emulators (the paper's "Client Emulator" nodes).
+
+    Each emulated client owns one persistent connection to the web tier
+    and runs a closed loop: think (exponential), send a request drawn from
+    the workload mix, wait for the full response, repeat. Clients start
+    staggered across the up-ramp and stop issuing at a deadline (the end
+    of the down-ramp), then close their connections so the servers drain.
+
+    Completions are recorded in the service's {!Metrics} and the oracle's
+    request records are closed ({!Trace.Ground_truth.complete}). *)
+
+type spec = {
+  count : int;  (** Concurrent emulated clients. *)
+  mix : Workload.mix;
+  ramp_up : Simnet.Sim_time.span;  (** Client start times spread over this. *)
+  stop_issuing_at : Simnet.Sim_time.t;  (** No new requests after this. *)
+  only_kind : string option;
+      (** Restrict every request to one class (e.g. ViewItem-only runs). *)
+}
+
+val start : Service.t -> spec -> unit
+(** Install the emulators; traffic flows once the engine runs. *)

@@ -1,0 +1,30 @@
+(** Injected performance problems (§5.4.2 of the paper).
+
+    Three faults, mirroring the paper's abnormal cases:
+
+    - [EJB_delay]: a random delay injected into the second tier's request
+      handling (the paper modified RUBiS EJB code);
+    - [Database_lock]: the RUBiS [items] table is locked, serialising and
+      stretching every query that touches it;
+    - [EJB_network]: the app-server node's NIC drops from 100 Mbps to
+      10 Mbps (the paper reconfigured the Ethernet driver). *)
+
+type t =
+  | Ejb_delay of { mean : Simnet.Sim_time.span }
+      (** Extra non-CPU delay per request in the app tier (exponential). *)
+  | Database_lock of { extra_hold : Simnet.Sim_time.span }
+      (** Queries on the items table serialise behind one lock, held for
+          the query's CPU time plus [extra_hold]. *)
+  | Ejb_network of { bandwidth_mbps : float }
+
+val name : t -> string
+(** The paper's labels: ["EJB_Delay"], ["Database_Lock"], ["EJB_Network"]. *)
+
+val ejb_delay : t
+(** 30 ms mean extra delay. *)
+
+val database_lock : t
+(** 8 ms extra hold per items-table query. *)
+
+val ejb_network : t
+(** 10 Mbps. *)

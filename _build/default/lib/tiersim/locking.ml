@@ -1,0 +1,33 @@
+module Engine = Simnet.Engine
+module Sim_time = Simnet.Sim_time
+
+type t = {
+  engine : Engine.t;
+  mutable held : bool;
+  waiters : (unit -> unit) Queue.t;
+  mutable peak : int;
+}
+
+let create ~engine = { engine; held = false; waiters = Queue.create (); peak = 0 }
+
+let acquire t k =
+  if t.held then begin
+    Queue.push k t.waiters;
+    if Queue.length t.waiters > t.peak then t.peak <- Queue.length t.waiters
+  end
+  else begin
+    t.held <- true;
+    k ()
+  end
+
+let release t =
+  if not t.held then invalid_arg "Locking.release: not held";
+  if Queue.is_empty t.waiters then t.held <- false
+  else
+    let next = Queue.pop t.waiters in
+    (* Hand off asynchronously so release never reenters the caller. *)
+    ignore (Engine.schedule_after t.engine ~delay:Sim_time.span_zero next)
+
+let with_lock t ~critical = acquire t (fun () -> critical (fun () -> release t))
+let waiting t = Queue.length t.waiters
+let peak_waiting t = t.peak

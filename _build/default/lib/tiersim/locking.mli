@@ -1,0 +1,24 @@
+(** A FIFO mutex for simulated resources.
+
+    Models coarse database locks: the paper's Database_Lock fault locks
+    RUBiS's [items] table, serialising every query that touches it. *)
+
+type t
+
+val create : engine:Simnet.Engine.t -> t
+
+val acquire : t -> (unit -> unit) -> unit
+(** [acquire t k] runs [k] once the lock is held — immediately if free,
+    otherwise after all earlier waiters release. *)
+
+val release : t -> unit
+(** Release by the current holder; the next waiter (if any) is scheduled at
+    the current instant.
+    @raise Invalid_argument if the lock is not held. *)
+
+val with_lock : t -> critical:((unit -> unit) -> unit) -> unit
+(** [with_lock t ~critical] acquires, then calls [critical done_] where the
+    critical section must call [done_] exactly once to release. *)
+
+val waiting : t -> int
+val peak_waiting : t -> int

@@ -1,0 +1,81 @@
+module Sim_time = Simnet.Sim_time
+
+type sample = { finished_at : Sim_time.t; rt : Sim_time.span; kind : string }
+
+type t = { mutable rev_samples : sample list; mutable count : int }
+
+type summary = {
+  completed : int;
+  throughput_rps : float;
+  mean_rt_s : float;
+  p50_rt_s : float;
+  p90_rt_s : float;
+  p99_rt_s : float;
+  max_rt_s : float;
+}
+
+let create () = { rev_samples = []; count = 0 }
+
+let record t ~finished_at ~rt ~kind =
+  t.rev_samples <- { finished_at; rt; kind } :: t.rev_samples;
+  t.count <- t.count + 1
+
+let total_recorded t = t.count
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) idx))
+
+let bounds ?from_ts ?until_ts t =
+  let lo = Option.value ~default:Sim_time.zero from_ts in
+  let hi =
+    match until_ts with
+    | Some ts -> ts
+    | None ->
+        List.fold_left
+          (fun acc s -> Sim_time.max acc s.finished_at)
+          Sim_time.zero t.rev_samples
+  in
+  (lo, hi)
+
+let summarize_filtered ?from_ts ?until_ts t ~keep =
+  let lo, hi = bounds ?from_ts ?until_ts t in
+  let samples =
+    List.filter
+      (fun s -> keep s && Sim_time.(s.finished_at >= lo) && Sim_time.(s.finished_at <= hi))
+      t.rev_samples
+  in
+  let completed = List.length samples in
+  let rts =
+    Array.of_list (List.map (fun s -> Sim_time.span_to_float_s s.rt) samples)
+  in
+  Array.sort Float.compare rts;
+  let interval = Sim_time.span_to_float_s (Sim_time.diff hi lo) in
+  let mean =
+    if completed = 0 then 0.0 else Array.fold_left ( +. ) 0.0 rts /. float_of_int completed
+  in
+  {
+    completed;
+    throughput_rps = (if interval <= 0.0 then 0.0 else float_of_int completed /. interval);
+    mean_rt_s = mean;
+    p50_rt_s = percentile rts 0.50;
+    p90_rt_s = percentile rts 0.90;
+    p99_rt_s = percentile rts 0.99;
+    max_rt_s = (if completed = 0 then 0.0 else rts.(completed - 1));
+  }
+
+let summarize ?from_ts ?until_ts t = summarize_filtered ?from_ts ?until_ts t ~keep:(fun _ -> true)
+
+let summarize_kind ?from_ts ?until_ts t ~kind =
+  summarize_filtered ?from_ts ?until_ts t ~keep:(fun s -> String.equal s.kind kind)
+
+let kinds t =
+  List.sort_uniq String.compare (List.map (fun s -> s.kind) t.rev_samples)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%d done, %.1f req/s, rt mean %.1f ms p50 %.1f p90 %.1f p99 %.1f"
+    s.completed s.throughput_rps (s.mean_rt_s *. 1e3) (s.p50_rt_s *. 1e3) (s.p90_rt_s *. 1e3)
+    (s.p99_rt_s *. 1e3)

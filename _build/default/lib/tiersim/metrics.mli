@@ -1,0 +1,37 @@
+(** Quality-of-service metrics: throughput and response time.
+
+    The client emulator feeds one sample per completed request; summaries
+    restrict to a measurement interval so ramp-up/ramp-down requests can be
+    excluded, as RUBiS's own reporting does. *)
+
+type t
+
+type summary = {
+  completed : int;
+  throughput_rps : float;  (** Completions per second over the interval. *)
+  mean_rt_s : float;
+  p50_rt_s : float;
+  p90_rt_s : float;
+  p99_rt_s : float;
+  max_rt_s : float;
+}
+
+val create : unit -> t
+
+val record :
+  t -> finished_at:Simnet.Sim_time.t -> rt:Simnet.Sim_time.span -> kind:string -> unit
+
+val total_recorded : t -> int
+
+val summarize :
+  ?from_ts:Simnet.Sim_time.t -> ?until_ts:Simnet.Sim_time.t -> t -> summary
+(** Over samples whose completion falls in [[from_ts], [until_ts]].
+    Defaults cover everything recorded. *)
+
+val summarize_kind :
+  ?from_ts:Simnet.Sim_time.t -> ?until_ts:Simnet.Sim_time.t -> t -> kind:string -> summary
+
+val kinds : t -> string list
+(** Distinct request kinds seen, sorted. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,138 @@
+module Engine = Simnet.Engine
+module Node = Simnet.Node
+module Rng = Simnet.Rng
+module Sim_time = Simnet.Sim_time
+
+type noise_spec = No_noise | Paper_noise of { db_connections : int }
+
+type spec = {
+  name : string;
+  clients : int;
+  mix : Workload.mix;
+  only_kind : string option;
+  max_threads : int;
+  tracing : bool;
+  faults : Faults.t list;
+  noise : noise_spec;
+  skew : Sim_time.span;
+  drift_ppm : float;
+  time_scale : float;
+  seed : int;
+  fault_onset : Sim_time.span option;
+}
+
+let default =
+  {
+    name = "default";
+    clients = 300;
+    mix = Workload.Browse_only;
+    only_kind = None;
+    max_threads = 40;
+    tracing = true;
+    faults = [];
+    noise = No_noise;
+    skew = Sim_time.span_zero;
+    drift_ppm = 0.0;
+    time_scale = 0.1;
+    seed = 42;
+    fault_onset = None;
+  }
+
+type outcome = {
+  spec : spec;
+  logs : Trace.Log.collection;
+  ground_truth : Trace.Ground_truth.t;
+  metrics : Metrics.t;
+  measure_from : Sim_time.t;
+  measure_until : Sim_time.t;
+  summary : Metrics.summary;
+  activity_count : int;
+  transform : Core.Transform.config;
+  web : Service.tier_stats;
+  app : Service.tier_stats;
+  db : Service.tier_stats;
+  sim_events : int;
+}
+
+(* The paper's stage durations: up-ramp 2 min 9 ms, runtime 7 min 30 s 9 ms,
+   down-ramp 1 min 10 ms. *)
+let stage_spans ~time_scale =
+  let scale s = Sim_time.span_scale time_scale s in
+  ( scale (Sim_time.ms 120_009),
+    scale (Sim_time.ms 450_009),
+    scale (Sim_time.ms 60_010) )
+
+let install_noise svc spec ~until =
+  match spec.noise with
+  | No_noise -> ()
+  | Paper_noise { db_connections } ->
+      let stack = Service.stack svc in
+      let messaging = Service.messaging svc in
+      let rng = Rng.split (Service.rng svc) "noise" in
+      let clients = Service.client_nodes svc in
+      let client0 = clients.(0) in
+      (* rlogin and sshd chatter between a client node and two server
+         nodes: name-filterable noise crossing the traced hosts. *)
+      Trace.Noise.run ~stack ~messaging ~rng ~client_node:client0
+        ~server_node:(Service.web_node svc) ~until
+        (Trace.Noise.chatter_spec ~client_program:"rlogin" ~server_program:"rlogind"
+           ~port:513);
+      Trace.Noise.run ~stack ~messaging ~rng ~client_node:client0
+        ~server_node:(Service.app_node svc) ~until
+        (Trace.Noise.chatter_spec ~client_program:"ssh" ~server_program:"sshd" ~port:22);
+      (* mysql command-line clients sharing the service's database: their
+         server-side activities run under mysqld and are not
+         name-filterable. *)
+      let noise_client = clients.(min 1 (Array.length clients - 1)) in
+      Trace.Noise.run ~stack ~messaging ~rng ~client_node:noise_client
+        ~server_node:(Service.db_node svc) ~until
+        (Trace.Noise.mysql_client_spec ~connections:db_connections
+           ~mean_interval:(Sim_time.ms 12) ~port:3306)
+
+let run spec =
+  let up, runtime, down = stage_spans ~time_scale:spec.time_scale in
+  let cfg =
+    {
+      Service.default_config with
+      Service.seed = spec.seed;
+      max_threads = spec.max_threads;
+      skew = spec.skew;
+      drift_ppm = spec.drift_ppm;
+      faults = spec.faults;
+      fault_onset = spec.fault_onset;
+    }
+  in
+  let svc = Service.create cfg in
+  let engine = Service.engine svc in
+  if spec.tracing then Trace.Probe.enable (Service.probe svc);
+  let t_up = Sim_time.add Sim_time.zero up in
+  let t_run_end = Sim_time.add t_up runtime in
+  let t_down_end = Sim_time.add t_run_end down in
+  Client.start svc
+    {
+      Client.count = spec.clients;
+      mix = spec.mix;
+      ramp_up = up;
+      stop_issuing_at = t_down_end;
+      only_kind = spec.only_kind;
+    };
+  install_noise svc spec ~until:t_down_end;
+  (* Run the three stages, then let in-flight work drain completely. *)
+  Engine.run engine;
+  let probe = Service.probe svc in
+  {
+    spec;
+    logs = Trace.Probe.logs probe;
+    ground_truth = Service.ground_truth svc;
+    metrics = Service.metrics svc;
+    measure_from = t_up;
+    measure_until = t_run_end;
+    summary =
+      Metrics.summarize ~from_ts:t_up ~until_ts:t_run_end (Service.metrics svc);
+    activity_count = Trace.Probe.activity_count probe;
+    transform = Service.transform_config svc;
+    web = Service.web_stats svc;
+    app = Service.app_stats svc;
+    db = Service.db_stats svc;
+    sim_events = Engine.events_fired engine;
+  }

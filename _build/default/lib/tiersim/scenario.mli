@@ -1,0 +1,62 @@
+(** Canned experiment scenarios: one call from workload spec to collected
+    traces, oracle and QoS metrics.
+
+    A scenario reproduces the paper's experimental procedure (§5.1): a
+    three-stage run — up-ramp (2 min), runtime session (7 min 30 s),
+    down-ramp (1 min) — with a given client count, workload mix,
+    MaxThreads setting, faults, clock skew and optional noise. QoS is
+    summarised over the runtime session only. [time_scale] shrinks the
+    stage durations (not think or service times) so the full experiment
+    grid fits in CI; 1.0 reproduces the paper's timing. *)
+
+type noise_spec =
+  | No_noise
+  | Paper_noise of { db_connections : int }
+      (** The §5.3.3 environment: rlogin and ssh chatter (name-filterable)
+          plus [db_connections] mysql command-line clients hammering the
+          service's own database (unfilterable by name). *)
+
+type spec = {
+  name : string;
+  clients : int;
+  mix : Workload.mix;
+  only_kind : string option;
+  max_threads : int;
+  tracing : bool;  (** Probe enabled? (Figs. 12-13 compare both.) *)
+  faults : Faults.t list;
+  noise : noise_spec;
+  skew : Simnet.Sim_time.span;
+  drift_ppm : float;
+  time_scale : float;
+  seed : int;
+  fault_onset : Simnet.Sim_time.span option;
+      (** Activate [faults] only from this sim instant (default: start). *)
+}
+
+val default : spec
+(** Browse_only, 300 clients, MaxThreads 40, tracing on, no faults/noise/
+    skew, time_scale 0.1, seed 42. *)
+
+type outcome = {
+  spec : spec;
+  logs : Trace.Log.collection;  (** Per-server-node activity logs. *)
+  ground_truth : Trace.Ground_truth.t;
+  metrics : Metrics.t;
+  measure_from : Simnet.Sim_time.t;  (** Runtime-session bounds. *)
+  measure_until : Simnet.Sim_time.t;
+  summary : Metrics.summary;  (** Over the runtime session. *)
+  activity_count : int;
+  transform : Core.Transform.config;
+  web : Service.tier_stats;
+  app : Service.tier_stats;
+  db : Service.tier_stats;
+  sim_events : int;
+}
+
+val run : spec -> outcome
+(** Build the deployment, run the three stages plus drain, and collect
+    everything. Deterministic for a fixed spec. *)
+
+val stage_spans :
+  time_scale:float -> Simnet.Sim_time.span * Simnet.Sim_time.span * Simnet.Sim_time.span
+(** (up-ramp, runtime, down-ramp) after scaling the paper's durations. *)

@@ -1,0 +1,449 @@
+module Address = Simnet.Address
+module Clock = Simnet.Clock
+module Cpu = Simnet.Cpu
+module Engine = Simnet.Engine
+module Messaging = Simnet.Messaging
+module Node = Simnet.Node
+module Proc = Simnet.Proc
+module Rng = Simnet.Rng
+module Sim_time = Simnet.Sim_time
+module Tcp = Simnet.Tcp
+module Activity = Trace.Activity
+module Ground_truth = Trace.Ground_truth
+
+type Messaging.payload +=
+  | Http_request of Workload.plan
+  | App_request of Workload.plan
+  | Db_query of { plan_id : int; kind : string; query : Workload.db_query }
+
+type config = {
+  seed : int;
+  client_node_count : int;
+  cores_per_node : int;
+  max_clients : int;
+  max_threads : int;
+  db_max_threads : int;
+  backend_pool_size : int;
+  backend_idle_timeout : Sim_time.span;
+  skew : Sim_time.span;
+  drift_ppm : float;
+  switch_penalty : float;
+  faults : Faults.t list;
+  fault_onset : Sim_time.span option;
+      (* When set, injected faults activate only from this sim instant. *)
+  probe_overhead : Sim_time.span;
+}
+
+let default_config =
+  {
+    seed = 42;
+    client_node_count = 3;
+    cores_per_node = 2;
+    max_clients = 1200;
+    max_threads = 40;
+    db_max_threads = 512;
+    backend_pool_size = 128;
+    backend_idle_timeout = Sim_time.ms 250;
+    skew = Sim_time.span_zero;
+    drift_ppm = 0.0;
+    switch_penalty = 0.002;
+    faults = [];
+    fault_onset = None;
+    probe_overhead = Sim_time.us 20;
+  }
+
+type tier_stats = {
+  busy_workers : int;
+  queued_jobs : int;
+  peak_queued_jobs : int;
+  served : int;
+  cpu_utilization : float;
+}
+
+type t = {
+  engine : Engine.t;
+  stack : Tcp.stack;
+  messaging : Messaging.t;
+  rng : Rng.t;
+  config : config;
+  client_nodes : Node.t array;
+  web_node : Node.t;
+  app_node : Node.t;
+  db_node : Node.t;
+  gt : Ground_truth.t;
+  metrics : Metrics.t;
+  probe : Trace.Probe.t;
+  ejb_delay_mean : Sim_time.span option;
+  items_lock : (Locking.t * Sim_time.span) option;
+  fault_active : unit -> bool;
+  backend_pool : Semaphore.t;
+  mutable web_pool : Tcp.socket Worker_pool.t option;
+  mutable app_pool : Tcp.socket Worker_pool.t option;
+  mutable db_pool : Tcp.socket Worker_pool.t option;
+  mutable next_request_id : int;
+}
+
+let engine t = t.engine
+let stack t = t.stack
+let messaging t = t.messaging
+let rng t = t.rng
+let config t = t.config
+let client_nodes t = t.client_nodes
+let web_node t = t.web_node
+let app_node t = t.app_node
+let db_node t = t.db_node
+let ground_truth t = t.gt
+let metrics t = t.metrics
+let probe t = t.probe
+let entry_endpoint t = Address.endpoint (Node.ip t.web_node) 80
+let db_endpoint t = Address.endpoint (Node.ip t.db_node) 3306
+
+let server_hostnames t =
+  [ Node.hostname t.web_node; Node.hostname t.app_node; Node.hostname t.db_node ]
+
+let fresh_request_id t =
+  let id = t.next_request_id in
+  t.next_request_id <- id + 1;
+  id
+
+let transform_config t =
+  Core.Transform.config ~entry_points:[ entry_endpoint t ]
+    ~drop_programs:[ "rlogin"; "rlogind"; "ssh"; "sshd"; "mysql" ]
+    ()
+
+let context node (proc : Proc.t) =
+  {
+    Activity.host = Node.hostname node;
+    program = proc.Proc.program;
+    pid = proc.pid;
+    tid = proc.tid;
+  }
+
+let pool_stats node pool =
+  {
+    busy_workers = Worker_pool.busy pool;
+    queued_jobs = Worker_pool.queued pool;
+    peak_queued_jobs = Worker_pool.peak_queued pool;
+    served = Worker_pool.total_served pool;
+    cpu_utilization = Cpu.utilization (Node.cpu node);
+  }
+
+let web_stats t = pool_stats t.web_node (Option.get t.web_pool)
+let app_stats t = pool_stats t.app_node (Option.get t.app_pool)
+let db_stats t = pool_stats t.db_node (Option.get t.db_pool)
+
+let compute node work k = Cpu.submit (Node.cpu node) ~work k
+
+(* ---- Database tier: thread per connection, optional items-table lock. *)
+
+let serve_db_conn t proc sock ~release =
+  let node = t.db_node in
+  let ctx = context node proc in
+  let respond ~size k =
+    Messaging.send_message t.messaging sock ~proc ~size ~k ()
+  in
+  let rec next () =
+    Messaging.recv_message t.messaging sock ~proc
+      ~k:(fun (m : Messaging.msg) ->
+        if m.size = 0 then begin
+          Tcp.close t.stack sock;
+          release ()
+        end
+        else
+          match m.payload with
+          | Some (Db_query { plan_id; kind; query }) ->
+              Ground_truth.begin_visit t.gt ~id:plan_id ~kind ~context:ctx
+                ~ts:(Node.local_time node);
+              let finish () =
+                Ground_truth.end_visit t.gt ~id:plan_id ~context:ctx
+                  ~ts:(Node.local_time node);
+                respond ~size:query.Workload.result_size next
+              in
+              let locked_run =
+                match t.items_lock with
+                | Some (lock, extra_hold) when query.Workload.locks_items && t.fault_active () ->
+                    fun () ->
+                      Locking.with_lock lock ~critical:(fun done_ ->
+                          compute node query.Workload.db_cpu (fun () ->
+                              ignore
+                                (Engine.schedule_after t.engine ~delay:extra_hold (fun () ->
+                                     done_ ();
+                                     finish ()))))
+                | Some _ | None ->
+                    fun () -> compute node query.Workload.db_cpu finish
+              in
+              locked_run ()
+          | Some _ | None ->
+              (* Not a service query: a noise client (e.g. a mysql command
+                 line) sharing the database. Serve it like a small ad-hoc
+                 query so its activities look like real mysqld traffic. *)
+              let result = max 256 (4 * m.size) in
+              compute node (Sim_time.us 800) (fun () -> respond ~size:result next))
+      ()
+  in
+  next ()
+
+(* ---- App tier (JBoss): thread per connection from a MaxThreads pool. *)
+
+let serve_app_conn t proc sock ~release =
+  let node = t.app_node in
+  let ctx = context node proc in
+  let db_conn = ref None in
+  let with_db k =
+    match !db_conn with
+    | Some d -> k d
+    | None ->
+        Tcp.connect t.stack ~node ~proc ~dst:(db_endpoint t) ~k:(fun d ->
+            db_conn := Some d;
+            k d)
+  in
+  let close_db () =
+    match !db_conn with
+    | Some d ->
+        Tcp.close t.stack d;
+        db_conn := None
+    | None -> ()
+  in
+  let maybe_ejb_delay k =
+    match t.ejb_delay_mean with
+    | Some mean when t.fault_active () ->
+        let delay = Rng.exponential_span t.rng ~mean in
+        ignore (Engine.schedule_after t.engine ~delay k)
+    | Some _ | None -> k ()
+  in
+  let rec next () =
+    Messaging.recv_message t.messaging sock ~proc
+      ~k:(fun (m : Messaging.msg) ->
+        if m.size = 0 then begin
+          close_db ();
+          Tcp.close t.stack sock;
+          release ()
+        end
+        else
+          match m.payload with
+          | Some (App_request plan) -> handle plan
+          | Some _ | None -> failwith "app tier: unexpected payload")
+      ()
+  and handle (plan : Workload.plan) =
+    Ground_truth.begin_visit t.gt ~id:plan.id ~kind:plan.kind ~context:ctx
+      ~ts:(Node.local_time node);
+    maybe_ejb_delay (fun () ->
+        compute node plan.app_cpu_pre (fun () ->
+            let rec run_queries = function
+              | [] ->
+                  compute node plan.app_cpu_post (fun () ->
+                      Ground_truth.end_visit t.gt ~id:plan.id ~context:ctx
+                        ~ts:(Node.local_time node);
+                      Messaging.send_message t.messaging sock ~proc
+                        ~size:plan.app_response_size ~k:next ())
+              | query :: rest ->
+                  with_db (fun d ->
+                      Messaging.send_message t.messaging d ~proc ~size:query.Workload.query_size
+                        ~payload:(Db_query { plan_id = plan.id; kind = plan.kind; query })
+                        ~k:(fun () ->
+                          Messaging.recv_message t.messaging d ~proc
+                            ~k:(fun (_ : Messaging.msg) ->
+                              compute node plan.app_cpu_per_query (fun () ->
+                                  run_queries rest))
+                            ())
+                        ())
+            in
+            run_queries plan.queries))
+  in
+  next ()
+
+(* ---- Web tier (httpd prefork): process per client connection, keeping a
+   backend connection to the app tier that closes after an idle timeout. *)
+
+let serve_web_conn t proc sock ~release =
+  let node = t.web_node in
+  let ctx = context node proc in
+  let backend = ref None in
+  let idle_timer = ref None in
+  let cancel_idle () =
+    match !idle_timer with
+    | Some timer ->
+        Engine.cancel t.engine timer;
+        idle_timer := None
+    | None -> ()
+  in
+  let close_backend () =
+    match !backend with
+    | Some b ->
+        Tcp.close t.stack b;
+        backend := None;
+        Semaphore.release t.backend_pool
+    | None -> ()
+  in
+  let arm_idle () =
+    cancel_idle ();
+    idle_timer :=
+      Some
+        (Engine.schedule_after t.engine ~delay:t.config.backend_idle_timeout (fun () ->
+             idle_timer := None;
+             close_backend ()))
+  in
+  let with_backend k =
+    match !backend with
+    | Some b -> k b
+    | None ->
+        (* Backend connections come from a bounded, shared pool; waiting
+           for a slot happens inside the web tier. *)
+        Semaphore.acquire t.backend_pool (fun () ->
+            Tcp.connect t.stack ~node ~proc
+              ~dst:(Address.endpoint (Node.ip t.app_node) 8009)
+              ~k:(fun b ->
+                backend := Some b;
+                k b))
+  in
+  let rec next () =
+    Messaging.recv_message t.messaging sock ~proc
+      ~k:(fun (m : Messaging.msg) ->
+        if m.size = 0 then begin
+          cancel_idle ();
+          close_backend ();
+          Tcp.close t.stack sock;
+          release ()
+        end
+        else
+          match m.payload with
+          | Some (Http_request plan) -> handle plan
+          | Some _ | None -> failwith "web tier: unexpected payload")
+      ()
+  and handle (plan : Workload.plan) =
+    Ground_truth.begin_visit t.gt ~id:plan.id ~kind:plan.kind ~context:ctx
+      ~ts:(Node.local_time node);
+    cancel_idle ();
+    compute node plan.httpd_parse_cpu (fun () ->
+        with_backend (fun b ->
+            Messaging.send_message t.messaging b ~proc ~size:plan.app_request_size
+              ~payload:(App_request plan)
+              ~k:(fun () ->
+                Messaging.recv_message t.messaging b ~proc
+                  ~k:(fun (_ : Messaging.msg) ->
+                    compute node plan.httpd_respond_cpu (fun () ->
+                        Ground_truth.end_visit t.gt ~id:plan.id ~context:ctx
+                          ~ts:(Node.local_time node);
+                        Messaging.send_message t.messaging sock ~proc
+                          ~size:plan.response_size
+                          ~k:(fun () ->
+                            arm_idle ();
+                            next ())
+                          ()))
+                  ())
+              ()))
+  in
+  next ()
+
+(* ---- Wiring. *)
+
+let make_node engine ~hostname ~ip ~cores ~skew ~drift_ppm ~switch_penalty =
+  Node.create ~engine ~hostname ~ip:(Address.ip_of_string ip) ~cores
+    ~clock:(Clock.create ~skew ~drift_ppm ())
+    ~switch_penalty ()
+
+let create cfg =
+  let engine = Engine.create () in
+  let stack = Tcp.create_stack ~engine in
+  let messaging = Messaging.create stack in
+  let rng = Rng.create ~seed:cfg.seed in
+  let half s = Sim_time.span_scale 0.5 s in
+  let client_nodes =
+    Array.init cfg.client_node_count (fun i ->
+        make_node engine
+          ~hostname:(Printf.sprintf "client%d" (i + 1))
+          ~ip:(Printf.sprintf "10.0.0.%d" (10 + i))
+          ~cores:cfg.cores_per_node
+          ~skew:(if i mod 2 = 0 then half cfg.skew else Sim_time.span_scale (-0.5) cfg.skew)
+          ~drift_ppm:0.0 ~switch_penalty:0.0)
+  in
+  let web_node =
+    make_node engine ~hostname:"web1" ~ip:"10.0.1.1" ~cores:cfg.cores_per_node
+      ~skew:Sim_time.span_zero ~drift_ppm:cfg.drift_ppm ~switch_penalty:cfg.switch_penalty
+  in
+  let app_node =
+    make_node engine ~hostname:"app1" ~ip:"10.0.2.1" ~cores:cfg.cores_per_node ~skew:cfg.skew
+      ~drift_ppm:(-.cfg.drift_ppm) ~switch_penalty:cfg.switch_penalty
+  in
+  let db_node =
+    make_node engine ~hostname:"db1" ~ip:"10.0.3.1" ~cores:cfg.cores_per_node
+      ~skew:(Sim_time.span_scale (-1.0) cfg.skew)
+      ~drift_ppm:cfg.drift_ppm ~switch_penalty:cfg.switch_penalty
+  in
+  let ejb_delay_mean =
+    List.find_map
+      (function Faults.Ejb_delay { mean } -> Some mean | _ -> None)
+      cfg.faults
+  in
+  let items_lock =
+    List.find_map
+      (function
+        | Faults.Database_lock { extra_hold } -> Some (Locking.create ~engine, extra_hold)
+        | _ -> None)
+      cfg.faults
+  in
+  List.iter
+    (function
+      | Faults.Ejb_network { bandwidth_mbps } ->
+          let apply () = Node.set_nic_bandwidth_bps app_node (bandwidth_mbps *. 1e6) in
+          (match cfg.fault_onset with
+          | None -> apply ()
+          | Some delay -> ignore (Engine.schedule_after engine ~delay apply))
+      | Faults.Ejb_delay _ | Faults.Database_lock _ -> ())
+    cfg.faults;
+  let probe =
+    Trace.Probe.attach ~stack ~overhead:cfg.probe_overhead
+      ~only:[ Node.hostname web_node; Node.hostname app_node; Node.hostname db_node ]
+      ()
+  in
+  let t =
+    {
+      engine;
+      stack;
+      messaging;
+      rng;
+      config = cfg;
+      client_nodes;
+      web_node;
+      app_node;
+      db_node;
+      gt = Ground_truth.create ();
+      metrics = Metrics.create ();
+      probe;
+      ejb_delay_mean;
+      items_lock;
+      fault_active =
+        (match cfg.fault_onset with
+        | None -> fun () -> true
+        | Some delay ->
+            let at = Sim_time.add Sim_time.zero delay in
+            fun () -> Sim_time.(Engine.now engine >= at));
+      backend_pool = Semaphore.create ~engine ~capacity:cfg.backend_pool_size;
+      web_pool = None;
+      app_pool = None;
+      db_pool = None;
+      next_request_id = 0;
+    }
+  in
+  let web_pool =
+    Worker_pool.create ~node:web_node ~program:"httpd" ~capacity:cfg.max_clients
+      ~identity:Worker_pool.Processes
+      ~serve:(fun proc sock ~release -> serve_web_conn t proc sock ~release)
+  in
+  let app_pool =
+    Worker_pool.create ~node:app_node ~program:"java" ~capacity:cfg.max_threads
+      ~identity:Worker_pool.Threads
+      ~serve:(fun proc sock ~release -> serve_app_conn t proc sock ~release)
+  in
+  let db_pool =
+    Worker_pool.create ~node:db_node ~program:"mysqld" ~capacity:cfg.db_max_threads
+      ~identity:Worker_pool.Threads
+      ~serve:(fun proc sock ~release -> serve_db_conn t proc sock ~release)
+  in
+  t.web_pool <- Some web_pool;
+  t.app_pool <- Some app_pool;
+  t.db_pool <- Some db_pool;
+  Tcp.listen stack web_node ~port:80 ~accept:(Worker_pool.dispatch web_pool);
+  Tcp.listen stack app_node ~port:8009 ~accept:(Worker_pool.dispatch app_pool);
+  Tcp.listen stack db_node ~port:3306 ~accept:(Worker_pool.dispatch db_pool);
+  t

@@ -1,0 +1,81 @@
+module Node = Simnet.Node
+module Proc = Simnet.Proc
+
+type identity = Processes | Threads
+
+type 'job t = {
+  node : Node.t;
+  program : string;
+  capacity : int;
+  identity : identity;
+  serve : Proc.t -> 'job -> release:(unit -> unit) -> unit;
+  mutable main : Proc.t option;  (* parent process for thread workers *)
+  idle : Proc.t Queue.t;
+  mutable created : int;
+  mutable busy : int;
+  pending : 'job Queue.t;
+  mutable peak_queued : int;
+  mutable served : int;
+}
+
+let create ~node ~program ~capacity ~identity ~serve =
+  assert (capacity > 0);
+  {
+    node;
+    program;
+    capacity;
+    identity;
+    serve;
+    main = None;
+    idle = Queue.create ();
+    created = 0;
+    busy = 0;
+    pending = Queue.create ();
+    peak_queued = 0;
+    served = 0;
+  }
+
+let fresh_worker t =
+  match t.identity with
+  | Processes -> Node.spawn t.node ~program:t.program
+  | Threads ->
+      let main =
+        match t.main with
+        | Some m -> m
+        | None ->
+            let m = Node.spawn t.node ~program:t.program in
+            t.main <- Some m;
+            m
+      in
+      Node.spawn_thread t.node ~of_:main
+
+let take_worker t =
+  match Queue.take_opt t.idle with
+  | Some proc -> Some proc
+  | None ->
+      if t.created < t.capacity then begin
+        t.created <- t.created + 1;
+        Some (fresh_worker t)
+      end
+      else None
+
+let rec run t proc job =
+  t.busy <- t.busy + 1;
+  t.served <- t.served + 1;
+  t.serve proc job ~release:(fun () ->
+      t.busy <- t.busy - 1;
+      match Queue.take_opt t.pending with
+      | Some next -> run t proc next
+      | None -> Queue.push proc t.idle)
+
+let dispatch t job =
+  match take_worker t with
+  | Some proc -> run t proc job
+  | None ->
+      Queue.push job t.pending;
+      if Queue.length t.pending > t.peak_queued then t.peak_queued <- Queue.length t.pending
+
+let busy t = t.busy
+let queued t = Queue.length t.pending
+let peak_queued t = t.peak_queued
+let total_served t = t.served

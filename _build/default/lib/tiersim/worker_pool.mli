@@ -1,0 +1,42 @@
+(** Bounded pools of execution entities serving connections.
+
+    Covers the concurrency patterns of the paper's target services (the
+    Stevens catalogue collapses, for tracing purposes, onto these):
+
+    - a {e prefork} web server: one process per connection, up to a limit;
+    - a {e thread-per-connection} app server: JBoss's connector, whose
+      [MaxThreads] knob (default 40 in the paper) is exactly this pool's
+      capacity — connections beyond it wait in the accept queue;
+    - a thread-per-connection database with ample threads.
+
+    Workers are {e recycled}: a released worker keeps its pid/tid and
+    serves the next connection, which is what creates the thread-reuse
+    hazard the correlation engine's same-CAG check guards against. *)
+
+type 'job t
+(** A pool whose queued jobs have type ['job] (typically {!Simnet.Tcp.socket}). *)
+
+type identity = Processes | Threads
+(** Whether workers are separate processes (own pid) or kernel threads of
+    one server process (shared pid, own tid). *)
+
+val create :
+  node:Simnet.Node.t ->
+  program:string ->
+  capacity:int ->
+  identity:identity ->
+  serve:(Simnet.Proc.t -> 'job -> release:(unit -> unit) -> unit) ->
+  'job t
+(** Worker identities are created lazily, up to [capacity], and recycled
+    thereafter. [serve] runs a worker on a job and must call [release]
+    exactly once when done; the worker then takes the oldest queued job,
+    if any. *)
+
+val dispatch : 'job t -> 'job -> unit
+(** Assign a worker to [job], or queue the job FIFO if all [capacity]
+    workers are busy. *)
+
+val busy : 'a t -> int
+val queued : 'a t -> int
+val peak_queued : 'a t -> int
+val total_served : 'a t -> int

@@ -1,0 +1,142 @@
+module Rng = Simnet.Rng
+module Sim_time = Simnet.Sim_time
+
+type db_query = {
+  query_size : int;
+  result_size : int;
+  db_cpu : Sim_time.span;
+  locks_items : bool;
+}
+
+type plan = {
+  id : int;
+  kind : string;
+  request_size : int;
+  httpd_parse_cpu : Sim_time.span;
+  app_request_size : int;
+  app_cpu_pre : Sim_time.span;
+  queries : db_query list;
+  app_cpu_per_query : Sim_time.span;
+  app_cpu_post : Sim_time.span;
+  app_response_size : int;
+  httpd_respond_cpu : Sim_time.span;
+  response_size : int;
+}
+
+type mix = Browse_only | Default
+
+let mix_to_string = function Browse_only -> "Browse_only" | Default -> "Default"
+
+let mix_of_string = function
+  | "Browse_only" -> Some Browse_only
+  | "Default" -> Some Default
+  | _ -> None
+
+(* Per-class templates. CPU costs are calibrated so the simulated cluster
+   saturates where the paper's does (~800 clients, app tier first): per
+   request roughly 10 ms of web-tier CPU, 8 ms of app-tier CPU and 2.5 ms
+   of database CPU per query, on 2-core nodes. *)
+type template = {
+  t_kind : string;
+  t_queries : (int * int * int (* us of db cpu *) * bool) list;
+  t_app_response : int;
+  t_is_write : bool;
+}
+
+let templates =
+  [
+    { t_kind = "ViewItem";
+      t_queries = [ (250, 4096, 2500, true); (220, 3072, 2000, false) ];
+      t_app_response = 16_384; t_is_write = false };
+    { t_kind = "SearchItemsByCategory";
+      t_queries = [ (300, 24_576, 5000, true) ];
+      t_app_response = 26_000; t_is_write = false };
+    { t_kind = "SearchItemsByRegion";
+      t_queries = [ (320, 18_432, 4500, true) ];
+      t_app_response = 20_000; t_is_write = false };
+    { t_kind = "ViewBidHistory";
+      t_queries = [ (260, 2048, 1800, false); (240, 4096, 2200, false) ];
+      t_app_response = 8192; t_is_write = false };
+    { t_kind = "ViewUserInfo";
+      t_queries = [ (240, 6144, 2200, false) ];
+      t_app_response = 9000; t_is_write = false };
+    { t_kind = "BrowseCategories";
+      t_queries = [ (200, 2048, 1200, false) ];
+      t_app_response = 4096; t_is_write = false };
+    { t_kind = "BrowseRegions";
+      t_queries = [ (200, 2048, 1200, false) ];
+      t_app_response = 4096; t_is_write = false };
+    { t_kind = "PutBid";
+      t_queries = [ (250, 1024, 1500, true); (260, 512, 1800, true); (240, 512, 1500, false) ];
+      t_app_response = 6144; t_is_write = true };
+    { t_kind = "StoreBid";
+      t_queries = [ (280, 512, 2000, true); (260, 512, 1800, true) ];
+      t_app_response = 4096; t_is_write = true };
+    { t_kind = "PutComment";
+      t_queries = [ (250, 1024, 1500, false); (250, 512, 1500, false) ];
+      t_app_response = 6144; t_is_write = true };
+    { t_kind = "RegisterUser";
+      t_queries = [ (300, 512, 2000, false); (280, 512, 1800, false) ];
+      t_app_response = 5120; t_is_write = true };
+  ]
+
+let browse_weights =
+  [ ("ViewItem", 0.28); ("SearchItemsByCategory", 0.22); ("SearchItemsByRegion", 0.10);
+    ("ViewBidHistory", 0.08); ("ViewUserInfo", 0.12); ("BrowseCategories", 0.12);
+    ("BrowseRegions", 0.08) ]
+
+let default_weights =
+  browse_weights
+  |> List.map (fun (k, w) -> (k, w *. 0.85))
+  |> fun reads ->
+  reads @ [ ("PutBid", 0.05); ("StoreBid", 0.04); ("PutComment", 0.03); ("RegisterUser", 0.03) ]
+
+let class_names = function Browse_only -> browse_weights | Default -> default_weights
+
+let template_of kind =
+  match List.find_opt (fun t -> String.equal t.t_kind kind) templates with
+  | Some t -> t
+  | None -> invalid_arg ("Workload.template_of: unknown class " ^ kind)
+
+let jitter rng span = Rng.positive_normal_span rng ~mean:span ~rel_std:0.20
+let jitter_size rng size =
+  max 64 (Sim_time.span_ns (Rng.positive_normal_span rng ~mean:(Sim_time.ns size) ~rel_std:0.15))
+
+let instantiate rng ~id template =
+  let queries =
+    List.map
+      (fun (qs, rs, cpu_us, locks) ->
+        {
+          query_size = jitter_size rng qs;
+          result_size = jitter_size rng rs;
+          db_cpu = jitter rng (Sim_time.us cpu_us);
+          locks_items = locks;
+        })
+      template.t_queries
+  in
+  let app_response_size = jitter_size rng template.t_app_response in
+  let response_size = app_response_size + 1200 (* headers the web tier adds *) in
+  {
+    id;
+    kind = template.t_kind;
+    request_size = jitter_size rng 450;
+    httpd_parse_cpu = jitter rng (Sim_time.us 4000);
+    app_request_size = jitter_size rng 550;
+    app_cpu_pre = jitter rng (Sim_time.us 3000);
+    queries;
+    app_cpu_per_query = jitter rng (Sim_time.us 1500);
+    app_cpu_post = jitter rng (Sim_time.us 2000);
+    app_response_size;
+    httpd_respond_cpu =
+      jitter rng (Sim_time.us (3000 + (150 * app_response_size / 1024)));
+    response_size;
+  }
+
+let sample rng mix ~id =
+  let kind = Rng.weighted rng (class_names mix) in
+  instantiate rng ~id (template_of kind)
+
+let sample_kind rng ~kind ~id = instantiate rng ~id (template_of kind)
+
+let mean_think = Sim_time.ms 4500
+let think_time rng = Rng.exponential_span rng ~mean:mean_think

@@ -1,0 +1,1 @@
+lib/trace/activity.ml: Format Hashtbl Int Simnet String

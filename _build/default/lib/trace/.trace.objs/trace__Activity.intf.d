@@ -1,0 +1,1 @@
+lib/trace/activity.mli: Format Simnet

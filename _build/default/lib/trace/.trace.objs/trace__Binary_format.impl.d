@@ -1,0 +1,1 @@
+lib/trace/binary_format.ml: Activity Array Buffer Char Fun Hashtbl List Log Printf Simnet String

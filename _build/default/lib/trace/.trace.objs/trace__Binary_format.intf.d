@@ -1,0 +1,1 @@
+lib/trace/binary_format.mli: Log

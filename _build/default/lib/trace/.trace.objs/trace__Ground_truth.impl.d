@@ -1,0 +1,1 @@
+lib/trace/ground_truth.ml: Activity Format Fun Hashtbl Int List Printf Simnet String

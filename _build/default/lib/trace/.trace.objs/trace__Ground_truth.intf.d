@@ -1,0 +1,1 @@
+lib/trace/ground_truth.mli: Activity Simnet

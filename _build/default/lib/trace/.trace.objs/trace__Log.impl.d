@@ -1,0 +1,1 @@
+lib/trace/log.ml: Activity Array Filename Format Fun List Printf Raw_format Simnet String Sys

@@ -1,0 +1,1 @@
+lib/trace/log.mli: Activity

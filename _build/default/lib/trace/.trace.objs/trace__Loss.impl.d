@@ -1,0 +1,1 @@
+lib/trace/loss.ml: Activity Log Simnet

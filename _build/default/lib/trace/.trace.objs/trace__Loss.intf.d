@@ -1,0 +1,1 @@
+lib/trace/loss.mli: Activity Log Simnet

@@ -1,0 +1,1 @@
+lib/trace/noise.ml: Printf Simnet

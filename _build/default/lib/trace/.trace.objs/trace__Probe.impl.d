@@ -1,0 +1,1 @@
+lib/trace/probe.ml: Activity Hashtbl List Log Simnet String

@@ -1,0 +1,1 @@
+lib/trace/probe.mli: Activity Log Simnet

@@ -1,0 +1,1 @@
+lib/trace/raw_format.ml: Activity Format List Printf Result Simnet String

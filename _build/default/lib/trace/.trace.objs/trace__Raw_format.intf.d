@@ -1,0 +1,1 @@
+lib/trace/raw_format.mli: Activity Format

@@ -1,0 +1,70 @@
+module Address = Simnet.Address
+module Sim_time = Simnet.Sim_time
+
+type kind = Begin | End_ | Send | Receive
+
+let kind_priority = function Begin -> 0 | Send -> 1 | End_ -> 2 | Receive -> 3
+
+let kind_to_string = function
+  | Begin -> "BEGIN"
+  | End_ -> "END"
+  | Send -> "SEND"
+  | Receive -> "RECEIVE"
+
+let kind_of_string = function
+  | "BEGIN" -> Some Begin
+  | "END" -> Some End_
+  | "SEND" -> Some Send
+  | "RECEIVE" -> Some Receive
+  | _ -> None
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+let equal_kind (a : kind) b = a = b
+
+type context = { host : string; program : string; pid : int; tid : int }
+
+let equal_context a b =
+  String.equal a.host b.host && String.equal a.program b.program && a.pid = b.pid
+  && a.tid = b.tid
+
+let compare_context a b =
+  match String.compare a.host b.host with
+  | 0 -> (
+      match String.compare a.program b.program with
+      | 0 -> ( match Int.compare a.pid b.pid with 0 -> Int.compare a.tid b.tid | c -> c)
+      | c -> c)
+  | c -> c
+
+let hash_context c = Hashtbl.hash (c.host, c.program, c.pid, c.tid)
+let pp_context ppf c = Format.fprintf ppf "%s/%s[%d/%d]" c.host c.program c.pid c.tid
+
+type message = { flow : Address.flow; size : int }
+
+let equal_message a b = Address.flow_equal a.flow b.flow && a.size = b.size
+let pp_message ppf m = Format.fprintf ppf "%a#%d" Address.pp_flow m.flow m.size
+
+type t = {
+  kind : kind;
+  timestamp : Sim_time.t;
+  context : context;
+  message : message;
+}
+
+let equal a b =
+  equal_kind a.kind b.kind
+  && Sim_time.equal a.timestamp b.timestamp
+  && equal_context a.context b.context
+  && equal_message a.message b.message
+
+let compare_by_time a b =
+  match Sim_time.compare a.timestamp b.timestamp with
+  | 0 -> (
+      match compare_context a.context b.context with
+      | 0 -> Int.compare (kind_priority a.kind) (kind_priority b.kind)
+      | c -> c)
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a %a %a %a@]" Sim_time.pp t.timestamp pp_kind t.kind pp_context
+    t.context pp_message t.message

@@ -1,0 +1,240 @@
+module Address = Simnet.Address
+module Sim_time = Simnet.Sim_time
+
+let magic = "PTB1"
+
+(* ---- varint primitives (unsigned LEB128; signed values zigzagged) ---- *)
+
+let put_uvarint buf n =
+  assert (n >= 0);
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag n = (n lsr 1) lxor (-(n land 1))
+let put_varint buf n = put_uvarint buf (zigzag n)
+
+let put_string buf s =
+  put_uvarint buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { data : string; mutable pos : int }
+
+exception Corrupt of int * string
+
+let byte r =
+  if r.pos >= String.length r.data then raise (Corrupt (r.pos, "unexpected end of input"));
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_uvarint r =
+  let rec go shift acc =
+    if shift > 62 then raise (Corrupt (r.pos, "varint too long"));
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_varint r = unzigzag (get_uvarint r)
+
+let get_string r =
+  let n = get_uvarint r in
+  if r.pos + n > String.length r.data then raise (Corrupt (r.pos, "string overruns input"));
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* ---- encoding ---- *)
+
+let kind_code = function
+  | Activity.Begin -> 0
+  | Activity.Send -> 1
+  | Activity.End_ -> 2
+  | Activity.Receive -> 3
+
+let kind_of_code pos = function
+  | 0 -> Activity.Begin
+  | 1 -> Activity.Send
+  | 2 -> Activity.End_
+  | 3 -> Activity.Receive
+  | c -> raise (Corrupt (pos, Printf.sprintf "bad kind code %d" c))
+
+(* Contexts and flows repeat across most records (long-lived workers,
+   persistent connections), so both are interned into tables written once;
+   each record then carries two small table indices. *)
+let encode collection =
+  let buf = Buffer.create 65_536 in
+  Buffer.add_string buf magic;
+  let strings = Hashtbl.create 32 in
+  let rev_strings = ref [] in
+  let intern_string s =
+    match Hashtbl.find_opt strings s with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length strings in
+        Hashtbl.replace strings s i;
+        rev_strings := s :: !rev_strings;
+        i
+  in
+  let contexts = Hashtbl.create 64 in
+  let rev_contexts = ref [] in
+  let intern_context (c : Activity.context) =
+    let key = (c.Activity.host, c.program, c.pid, c.tid) in
+    match Hashtbl.find_opt contexts key with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length contexts in
+        Hashtbl.replace contexts key i;
+        rev_contexts := c :: !rev_contexts;
+        i
+  in
+  let flows = Address.Flow_table.create 64 in
+  let rev_flows = ref [] in
+  let intern_flow f =
+    match Address.Flow_table.find_opt flows f with
+    | Some i -> i
+    | None ->
+        let i = Address.Flow_table.length flows in
+        Address.Flow_table.replace flows f i;
+        rev_flows := f :: !rev_flows;
+        i
+  in
+  (* pre-intern so the tables can be written before the records *)
+  List.iter
+    (fun log ->
+      ignore (intern_string (Log.hostname log));
+      Log.iter log (fun a ->
+          ignore (intern_string a.Activity.context.host);
+          ignore (intern_string a.Activity.context.program);
+          ignore (intern_context a.Activity.context);
+          ignore (intern_flow a.Activity.message.flow)))
+    collection;
+  put_uvarint buf (Hashtbl.length strings);
+  List.iter (put_string buf) (List.rev !rev_strings);
+  put_uvarint buf (Hashtbl.length contexts);
+  List.iter
+    (fun (c : Activity.context) ->
+      put_uvarint buf (intern_string c.Activity.host);
+      put_uvarint buf (intern_string c.program);
+      put_uvarint buf c.pid;
+      put_uvarint buf c.tid)
+    (List.rev !rev_contexts);
+  put_uvarint buf (Address.Flow_table.length flows);
+  List.iter
+    (fun (f : Address.flow) ->
+      put_uvarint buf (Address.ip_to_int f.src.ip);
+      put_uvarint buf f.src.port;
+      put_uvarint buf (Address.ip_to_int f.dst.ip);
+      put_uvarint buf f.dst.port)
+    (List.rev !rev_flows);
+  put_uvarint buf (List.length collection);
+  List.iter
+    (fun log ->
+      put_uvarint buf (intern_string (Log.hostname log));
+      put_uvarint buf (Log.length log);
+      let prev_ts = ref 0 in
+      Log.iter log (fun a ->
+          put_uvarint buf (kind_code a.Activity.kind);
+          let ts = Sim_time.to_ns a.timestamp in
+          put_varint buf (ts - !prev_ts);
+          prev_ts := ts;
+          put_uvarint buf (intern_context a.context);
+          put_uvarint buf (intern_flow a.message.flow);
+          put_uvarint buf a.message.size))
+    collection;
+  Buffer.contents buf
+
+let decode data =
+  try
+    if String.length data < 4 || not (String.equal (String.sub data 0 4) magic) then
+      Error "not a PTB1 file"
+    else begin
+      let r = { data; pos = 4 } in
+      let string_count = get_uvarint r in
+      let strings = Array.init string_count (fun _ -> get_string r) in
+      let lookup_string i =
+        if i < 0 || i >= string_count then raise (Corrupt (r.pos, "string index out of range"));
+        strings.(i)
+      in
+      let context_count = get_uvarint r in
+      let contexts =
+        Array.init context_count (fun _ ->
+            let host = lookup_string (get_uvarint r) in
+            let program = lookup_string (get_uvarint r) in
+            let pid = get_uvarint r in
+            let tid = get_uvarint r in
+            { Activity.host; program; pid; tid })
+      in
+      let lookup_context i =
+        if i < 0 || i >= context_count then
+          raise (Corrupt (r.pos, "context index out of range"));
+        contexts.(i)
+      in
+      let flow_count = get_uvarint r in
+      let flows =
+        Array.init flow_count (fun _ ->
+            let src_ip = Address.ip_of_int (get_uvarint r) in
+            let src_port = get_uvarint r in
+            let dst_ip = Address.ip_of_int (get_uvarint r) in
+            let dst_port = get_uvarint r in
+            Address.flow
+              ~src:(Address.endpoint src_ip src_port)
+              ~dst:(Address.endpoint dst_ip dst_port))
+      in
+      let lookup_flow i =
+        if i < 0 || i >= flow_count then raise (Corrupt (r.pos, "flow index out of range"));
+        flows.(i)
+      in
+      let log_count = get_uvarint r in
+      let logs =
+        List.init log_count (fun _ ->
+            let hostname = lookup_string (get_uvarint r) in
+            let n = get_uvarint r in
+            let prev_ts = ref 0 in
+            let items =
+              List.init n (fun _ ->
+                  let kind = kind_of_code r.pos (get_uvarint r) in
+                  let ts = !prev_ts + get_varint r in
+                  prev_ts := ts;
+                  let context = lookup_context (get_uvarint r) in
+                  let flow = lookup_flow (get_uvarint r) in
+                  let size = get_uvarint r in
+                  {
+                    Activity.kind;
+                    timestamp = Sim_time.of_ns ts;
+                    context;
+                    message = { flow; size };
+                  })
+            in
+            Log.of_list ~hostname items)
+      in
+      if r.pos <> String.length data then
+        Error (Printf.sprintf "trailing garbage at offset %d" r.pos)
+      else Ok logs
+    end
+  with
+  | Corrupt (pos, msg) -> Error (Printf.sprintf "corrupt at offset %d: %s" pos msg)
+  | Invalid_argument msg -> Error msg
+
+let save collection ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode collection))
+
+let load ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let data = really_input_string ic n in
+      decode data)

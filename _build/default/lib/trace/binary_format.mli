@@ -1,0 +1,27 @@
+(** A compact binary encoding of activity logs.
+
+    Kernel tracing at syscall granularity produces bulky logs (the paper's
+    runs log hundreds of thousands of records); the text format spends
+    most of its bytes repeating hostnames, program names and near-constant
+    timestamps. This encoding keeps collection practical:
+
+    - a string table interns hostnames and program names once;
+    - timestamps are delta-encoded per log (monotone, so deltas are
+      small), everything integer is LEB128 varints;
+    - a magic header ([PTB1]) and record framing catch truncation and
+      corruption on load.
+
+    Typical size: 4-6x smaller than the text format on service traces
+    (see the [formats] bench). Both formats describe the same
+    {!Activity.t}; conversion is lossless. *)
+
+val save : Log.collection -> path:string -> unit
+(** Write the whole collection into one file. *)
+
+val load : path:string -> (Log.collection, string) result
+(** Read a file written by {!save}. Errors name the offending offset. *)
+
+val encode : Log.collection -> string
+(** The raw encoded bytes (exposed for tests and benches). *)
+
+val decode : string -> (Log.collection, string) result

@@ -1,0 +1,142 @@
+module Sim_time = Simnet.Sim_time
+
+type visit = {
+  context : Activity.context;
+  begin_ts : Sim_time.t;
+  end_ts : Sim_time.t;
+}
+
+type request = { id : int; kind : string; visits : visit list }
+
+type pending = {
+  kind : string;
+  mutable rev_visits : visit list;  (* first-touch order, reversed *)
+}
+
+type t = {
+  open_requests : (int, pending) Hashtbl.t;
+  mutable completed : request list;
+  mutable completed_count : int;
+}
+
+let create () = { open_requests = Hashtbl.create 256; completed = []; completed_count = 0 }
+
+let find_visit pending context =
+  List.find_opt (fun v -> Activity.equal_context v.context context) pending.rev_visits
+
+let begin_visit t ~id ~kind ~context ~ts =
+  let pending =
+    match Hashtbl.find_opt t.open_requests id with
+    | Some p -> p
+    | None ->
+        let p = { kind; rev_visits = [] } in
+        Hashtbl.replace t.open_requests id p;
+        p
+  in
+  match find_visit pending context with
+  | Some _ -> ()  (* keep the earliest begin *)
+  | None -> pending.rev_visits <- { context; begin_ts = ts; end_ts = ts } :: pending.rev_visits
+
+let end_visit t ~id ~context ~ts =
+  match Hashtbl.find_opt t.open_requests id with
+  | None -> invalid_arg (Printf.sprintf "Ground_truth.end_visit: unknown request %d" id)
+  | Some pending -> (
+      match find_visit pending context with
+      | None ->
+          invalid_arg
+            (Format.asprintf "Ground_truth.end_visit: no visit of %a for request %d"
+               Activity.pp_context context id)
+      | Some v ->
+          pending.rev_visits <-
+            List.map
+              (fun w ->
+                if Activity.equal_context w.context context then
+                  { w with end_ts = Sim_time.max w.end_ts ts }
+                else w)
+              pending.rev_visits;
+          ignore v)
+
+let complete t ~id =
+  match Hashtbl.find_opt t.open_requests id with
+  | None -> invalid_arg (Printf.sprintf "Ground_truth.complete: unknown request %d" id)
+  | Some pending ->
+      Hashtbl.remove t.open_requests id;
+      t.completed <-
+        { id; kind = pending.kind; visits = List.rev pending.rev_visits } :: t.completed;
+      t.completed_count <- t.completed_count + 1
+
+let requests t = List.sort (fun a b -> Int.compare a.id b.id) t.completed
+let count t = t.completed_count
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          Printf.fprintf oc "request %d %s\n" r.id r.kind;
+          List.iter
+            (fun v ->
+              Printf.fprintf oc "visit %s %s %d %d %d %d\n" v.context.Activity.host
+                v.context.program v.context.pid v.context.tid
+                (Sim_time.to_ns v.begin_ts) (Sim_time.to_ns v.end_ts))
+            r.visits)
+        (requests t))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let t = create () in
+      let current = ref None in
+      let flush_current () =
+        match !current with
+        | Some (id, kind, rev_visits) ->
+            List.iter
+              (fun v ->
+                begin_visit t ~id ~kind ~context:v.context ~ts:v.begin_ts;
+                end_visit t ~id ~context:v.context ~ts:v.end_ts)
+              (List.rev rev_visits);
+            complete t ~id
+        | None -> ()
+      in
+      let fail lineno msg = Error (Printf.sprintf "%s:%d: %s" path lineno msg) in
+      let rec loop lineno =
+        match input_line ic with
+        | exception End_of_file ->
+            flush_current ();
+            Ok t
+        | line -> (
+            match String.split_on_char ' ' (String.trim line) with
+            | [ "request"; id; kind ] -> (
+                match int_of_string_opt id with
+                | Some id ->
+                    flush_current ();
+                    current := Some (id, kind, []);
+                    loop (lineno + 1)
+                | None -> fail lineno "bad request id")
+            | [ "visit"; host; program; pid; tid; b; e ] -> (
+                match
+                  (int_of_string_opt pid, int_of_string_opt tid, int_of_string_opt b,
+                   int_of_string_opt e)
+                with
+                | Some pid, Some tid, Some b, Some e -> (
+                    match !current with
+                    | None -> fail lineno "visit before any request"
+                    | Some (id, kind, vs) ->
+                        let v =
+                          {
+                            context = { Activity.host; program; pid; tid };
+                            begin_ts = Sim_time.of_ns b;
+                            end_ts = Sim_time.of_ns e;
+                          }
+                        in
+                        current := Some (id, kind, v :: vs);
+                        loop (lineno + 1))
+                | _ -> fail lineno "bad visit fields")
+            | [ "" ] | [] -> loop (lineno + 1)
+            | _ -> fail lineno "unrecognised record")
+      in
+      loop 1)

@@ -1,0 +1,66 @@
+(** The accuracy oracle (§5.2 of the paper).
+
+    The paper modified RUBiS to tag each request with a globally unique ID
+    and log, per tier, the servicing interval and the execution entity.
+    Here the simulated service plays that role: it records, for every
+    request, the contexts that served it and when (in each node's local
+    clock). {!Core.Accuracy} later checks derived causal paths against
+    these records and computes
+
+    {v path accuracy = correct paths / all logged requests v} *)
+
+type visit = {
+  context : Activity.context;
+  begin_ts : Simnet.Sim_time.t;  (** Local clock of the visit's node. *)
+  end_ts : Simnet.Sim_time.t;
+}
+
+type request = {
+  id : int;
+  kind : string;  (** Request class, e.g. ["ViewItem"]. *)
+  visits : visit list;  (** In first-touch order; one entry per context. *)
+}
+
+type t
+
+val create : unit -> t
+
+val begin_visit : t -> id:int -> kind:string -> context:Activity.context -> ts:Simnet.Sim_time.t -> unit
+(** First touch of [context] for request [id] (creates the request record
+    on its first visit). Repeated calls for the same context keep the
+    earliest timestamp. *)
+
+val end_visit : t -> id:int -> context:Activity.context -> ts:Simnet.Sim_time.t -> unit
+(** Last touch so far of [context] for request [id]; later calls extend the
+    interval. *)
+
+val complete : t -> id:int -> unit
+(** Mark the request finished (response delivered to the client). Only
+    completed requests count as "logged requests" for accuracy. *)
+
+val requests : t -> request list
+(** Completed requests, by id. *)
+
+val count : t -> int
+(** Number of completed requests. *)
+
+(** {1 Persistence}
+
+    The paper's modified RUBiS wrote its request logs to files; the same
+    here, so accuracy can be scored on a different machine than the one
+    that ran the service. One line per record:
+
+    {v
+    request <id> <kind>
+    visit <host> <program> <pid> <tid> <begin_ns> <end_ns>
+    v}
+
+    Visits belong to the most recent [request] line, in order. Hostnames
+    and program names must not contain whitespace (as in the trace
+    format). *)
+
+val save : t -> path:string -> unit
+(** Write the completed requests. *)
+
+val load : path:string -> (t, string) result
+(** Read an oracle written by {!save}; all loaded requests are complete. *)

@@ -1,0 +1,10 @@
+module Rng = Simnet.Rng
+
+let drop ~rng ~p collection =
+  Log.map_activities (fun a -> if Rng.bernoulli rng ~p then None else Some a) collection
+
+let drop_kind ~rng ~p ~kind collection =
+  Log.map_activities
+    (fun a ->
+      if Activity.equal_kind a.Activity.kind kind && Rng.bernoulli rng ~p then None else Some a)
+    collection

@@ -1,0 +1,89 @@
+module Tcp = Simnet.Tcp
+module Node = Simnet.Node
+module Rng = Simnet.Rng
+module Sim_time = Simnet.Sim_time
+module Engine = Simnet.Engine
+module Messaging = Simnet.Messaging
+
+type spec = {
+  client_program : string;
+  server_program : string option;
+  dst_port : int;
+  mean_interval : Sim_time.span;
+  mean_request : int;
+  mean_response : int;
+  connections : int;
+}
+
+let chatter_spec ~client_program ~server_program ~port =
+  {
+    client_program;
+    server_program = Some server_program;
+    dst_port = port;
+    mean_interval = Sim_time.ms 50;
+    mean_request = 200;
+    mean_response = 1024;
+    connections = 1;
+  }
+
+let mysql_client_spec ~connections ~mean_interval ~port =
+  {
+    client_program = "mysql";
+    server_program = None;
+    dst_port = port;
+    mean_interval;
+    mean_request = 300;
+    mean_response = 2048;
+    connections;
+  }
+
+let positive_size rng ~mean = max 1 (int_of_float (Rng.exponential rng ~mean:(float_of_int mean)))
+
+(* Echo server: one thread per connection, answering each message with an
+   exponentially-sized response. *)
+let start_echo_server ~stack ~messaging ~rng ~node ~program ~port ~mean_response =
+  let main = Node.spawn node ~program in
+  Tcp.listen stack node ~port ~accept:(fun sock ->
+      let proc = Node.spawn_thread node ~of_:main in
+      let rec serve () =
+        Messaging.recv_message messaging sock ~proc
+          ~k:(fun (m : Messaging.msg) ->
+            if m.size = 0 then Tcp.close stack sock
+            else
+              let size = positive_size rng ~mean:mean_response in
+              Messaging.send_message messaging sock ~proc ~size ~k:serve ())
+          ()
+      in
+      serve ())
+
+let start_client ~stack ~messaging ~rng ~engine ~node ~spec ~dst ~until ~index =
+  let rng = Rng.split rng (Printf.sprintf "noise-client-%s-%d" spec.client_program index) in
+  let proc = Node.spawn node ~program:spec.client_program in
+  Tcp.connect stack ~node ~proc ~dst ~k:(fun sock ->
+      let rec loop () =
+        let delay = Rng.exponential_span rng ~mean:spec.mean_interval in
+        ignore
+          (Engine.schedule_after engine ~delay (fun () ->
+               if Sim_time.(Engine.now engine > until) then Tcp.close stack sock
+               else
+                 let size = positive_size rng ~mean:spec.mean_request in
+                 Messaging.send_message messaging sock ~proc ~size
+                   ~k:(fun () ->
+                     Messaging.recv_message messaging sock ~proc
+                       ~k:(fun (m : Messaging.msg) -> if m.size = 0 then () else loop ())
+                       ())
+                   ()))
+      in
+      loop ())
+
+let run ~stack ~messaging ~rng ~client_node ~server_node ~until spec =
+  let engine = Node.engine client_node in
+  (match spec.server_program with
+  | Some program ->
+      start_echo_server ~stack ~messaging ~rng:(Rng.split rng ("noise-server-" ^ program))
+        ~node:server_node ~program ~port:spec.dst_port ~mean_response:spec.mean_response
+  | None -> ());
+  let dst = Simnet.Address.endpoint (Node.ip server_node) spec.dst_port in
+  for index = 0 to spec.connections - 1 do
+    start_client ~stack ~messaging ~rng ~engine ~node:client_node ~spec ~dst ~until ~index
+  done

@@ -1,0 +1,52 @@
+(** Noise traffic generators (§5.3.3 of the paper).
+
+    Noise activities come from unrelated applications sharing the cluster's
+    nodes. Two classes matter to the Correlator:
+
+    - {b name-filterable} noise ([rlogin], [sshd]): both endpoints run
+      programs outside the traced service, so an attribute filter on the
+      program name removes them;
+    - {b unfilterable} noise (a [mysql] command-line client querying the
+      service's own database): the server-side activities run under the
+      same [mysqld] program as real service traffic and can only be
+      discarded by the ranker's [is_noise] check once the client-side
+      activities have been filtered out.
+
+    Generators run inside the simulation and produce real TCP traffic, so
+    their activities are captured by the probe exactly like service
+    traffic. *)
+
+type spec = {
+  client_program : string;  (** e.g. ["rlogin"] or ["mysql"]. *)
+  server_program : string option;
+      (** [Some p] starts a private echo server program [p] on a dedicated
+          port; [None] targets an existing service listener at [dst_port]
+          (the mysql-client case). *)
+  dst_port : int;
+  mean_interval : Simnet.Sim_time.span;  (** Think time between exchanges. *)
+  mean_request : int;  (** Mean request size, bytes. *)
+  mean_response : int;  (** Mean response size (echo server only). *)
+  connections : int;  (** Number of concurrent noise clients. *)
+}
+
+val chatter_spec : client_program:string -> server_program:string -> port:int -> spec
+(** A light interactive-session profile (rlogin/ssh-like): 1 connection,
+    ~200-byte requests, ~1 KiB responses, 50 ms mean interval. *)
+
+val mysql_client_spec : connections:int -> mean_interval:Simnet.Sim_time.span -> port:int -> spec
+(** Clients named ["mysql"] issuing queries to an existing [mysqld]
+    listener. *)
+
+val run :
+  stack:Simnet.Tcp.stack ->
+  messaging:Simnet.Messaging.t ->
+  rng:Simnet.Rng.t ->
+  client_node:Simnet.Node.t ->
+  server_node:Simnet.Node.t ->
+  until:Simnet.Sim_time.t ->
+  spec ->
+  unit
+(** Install the generator; traffic flows once the engine runs, stopping at
+    [until]. With [server_program = Some _], a listener is bound on
+    [server_node]; otherwise [server_node] must already listen on
+    [dst_port]. *)

@@ -1,0 +1,70 @@
+module Tcp = Simnet.Tcp
+module Node = Simnet.Node
+module Sim_time = Simnet.Sim_time
+
+type t = {
+  mutable enabled : bool;
+  overhead : Sim_time.span;
+  only : string list option;
+  node_logs : (string, Log.t) Hashtbl.t;
+  mutable count : int;
+  mutable listeners : (Activity.t -> unit) list;  (* registration order *)
+}
+
+let traced t node =
+  match t.only with
+  | None -> true
+  | Some hosts -> List.exists (String.equal (Node.hostname node)) hosts
+
+let log_for t node =
+  let hostname = Node.hostname node in
+  match Hashtbl.find_opt t.node_logs hostname with
+  | Some log -> log
+  | None ->
+      let log = Log.create ~hostname in
+      Hashtbl.replace t.node_logs hostname log;
+      log
+
+let on_syscall t (sc : Tcp.syscall) =
+  if t.enabled && traced t sc.node then begin
+    let kind =
+      match sc.kind with Tcp.Syscall_send -> Activity.Send | Tcp.Syscall_recv -> Activity.Receive
+    in
+    let activity =
+      {
+        Activity.kind;
+        timestamp = Node.local_time sc.node;
+        context =
+          {
+            host = Node.hostname sc.node;
+            program = sc.proc.Simnet.Proc.program;
+            pid = sc.proc.pid;
+            tid = sc.proc.tid;
+          };
+        message = { flow = sc.flow; size = sc.size };
+      }
+    in
+    Log.append (log_for t sc.node) activity;
+    t.count <- t.count + 1;
+    List.iter (fun f -> f activity) t.listeners
+  end
+
+let attach ~stack ?(overhead = Sim_time.us 20) ?only () =
+  let t =
+    { enabled = false; overhead; only; node_logs = Hashtbl.create 16; count = 0; listeners = [] }
+  in
+  Tcp.add_observer stack (on_syscall t);
+  Tcp.set_syscall_overhead stack (fun node ->
+      if t.enabled && traced t node then t.overhead else Sim_time.span_zero);
+  t
+
+let add_listener t f = t.listeners <- t.listeners @ [ f ]
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let logs t =
+  Hashtbl.fold (fun _ log acc -> log :: acc) t.node_logs []
+  |> List.sort (fun a b -> String.compare (Log.hostname a) (Log.hostname b))
+
+let activity_count t = t.count

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Core Simnet String Trace

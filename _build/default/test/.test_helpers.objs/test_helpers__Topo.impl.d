@@ -1,0 +1,1 @@
+test/topo.ml: Array Core Hashtbl List Printf Simnet Trace

@@ -1,0 +1,157 @@
+(* Full-system integration: simulate -> trace -> correlate -> score against
+   the oracle, across the paper's §5.2 parameter grid (scaled down). *)
+
+module H = Test_helpers.Helpers
+module Scenario = Tiersim.Scenario
+module Workload = Tiersim.Workload
+module Faults = Tiersim.Faults
+module Correlator = Core.Correlator
+module Accuracy = Core.Accuracy
+module Pattern = Core.Pattern
+module Sim_time = Simnet.Sim_time
+
+let base_spec =
+  { Scenario.default with Scenario.clients = 40; time_scale = 0.02; seed = 123 }
+
+let run_and_check ?window ?(expect_perfect = true) spec =
+  let outcome = Scenario.run spec in
+  let cfg = Correlator.config ~transform:outcome.Scenario.transform ?window () in
+  let result = Correlator.correlate cfg outcome.Scenario.logs in
+  let verdict = Accuracy.check ~ground_truth:outcome.ground_truth result.Correlator.cags in
+  if expect_perfect then begin
+    Alcotest.(check int) "no deformed paths" 0 (List.length result.deformed);
+    if verdict.Accuracy.accuracy < 1.0 then
+      Alcotest.failf "accuracy %.4f (%d/%d, fp %d fn %d)" verdict.accuracy verdict.correct
+        verdict.total_requests verdict.false_positives verdict.false_negatives;
+    Alcotest.(check int) "no false positives" 0 verdict.false_positives;
+    Alcotest.(check int) "no forced discards" 0
+      result.ranker_stats.Core.Ranker.forced_discards
+  end;
+  (outcome, result, verdict)
+
+let test_accuracy_baseline () = ignore (run_and_check base_spec)
+
+let test_accuracy_default_mix () =
+  ignore (run_and_check { base_spec with Scenario.mix = Workload.Default })
+
+let test_accuracy_windows () =
+  (* §5.2: window from 1 ms to 10 s; accuracy stays 100%. *)
+  List.iter
+    (fun window -> ignore (run_and_check ~window base_spec))
+    [ Sim_time.ms 1; Sim_time.ms 10; Sim_time.ms 100; Sim_time.sec 10 ]
+
+let test_accuracy_skews () =
+  (* §5.2: skew from 1 ms to 500 ms. *)
+  List.iter
+    (fun skew_ms ->
+      ignore
+        (run_and_check ~window:(Sim_time.ms 2)
+           { base_spec with Scenario.skew = Sim_time.ms skew_ms }))
+    [ 1; 50; 200; 500 ]
+
+let test_accuracy_drift () =
+  ignore (run_and_check { base_spec with Scenario.drift_ppm = 150.0 })
+
+let test_accuracy_with_noise () =
+  (* §5.2 / §5.3.3: rlogin+ssh+mysql-client noise; still 100%. *)
+  let _, result, _ =
+    run_and_check ~window:(Sim_time.ms 2)
+      { base_spec with Scenario.noise = Scenario.Paper_noise { db_connections = 2 } }
+  in
+  Alcotest.(check bool) "noise was actually discarded" true
+    (result.Correlator.ranker_stats.Core.Ranker.noise_discarded > 100)
+
+let test_accuracy_noise_and_skew () =
+  ignore
+    (run_and_check ~window:(Sim_time.ms 2)
+       {
+         base_spec with
+         Scenario.noise = Scenario.Paper_noise { db_connections = 2 };
+         skew = Sim_time.ms 300;
+       })
+
+let test_accuracy_under_faults () =
+  (* Fault injection perturbs timing but must not break correlation. *)
+  List.iter
+    (fun faults -> ignore (run_and_check { base_spec with Scenario.faults }))
+    [ [ Faults.ejb_delay ]; [ Faults.database_lock ]; [ Faults.ejb_network ] ]
+
+let test_accuracy_single_kind () =
+  let outcome, result, _ =
+    run_and_check { base_spec with Scenario.only_kind = Some "ViewItem" }
+  in
+  ignore outcome;
+  (* all paths share the ViewItem shape: one dominant pattern *)
+  match Pattern.classify result.Correlator.cags with
+  | [ p ] ->
+      Alcotest.(check string) "ViewItem route" "httpd>java>mysqld>java>mysqld>java>httpd"
+        p.Pattern.name
+  | ps -> Alcotest.failf "expected one pattern, got %d" (List.length ps)
+
+let test_loss_degrades_gracefully () =
+  let outcome = Scenario.run base_spec in
+  let rng = Simnet.Rng.create ~seed:77 in
+  let lossy = Trace.Loss.drop ~rng ~p:0.02 outcome.Scenario.logs in
+  let cfg = Correlator.config ~transform:outcome.transform () in
+  let result = Correlator.correlate cfg lossy in
+  let verdict = Accuracy.check ~ground_truth:outcome.ground_truth result.Correlator.cags in
+  let n = verdict.Accuracy.total_requests in
+  Alcotest.(check bool) "most paths survive 2% loss" true
+    (verdict.correct > n / 2);
+  Alcotest.(check bool) "loss visible as deformed/incorrect paths" true
+    (verdict.correct < n)
+
+let test_correlation_time_scales_linearly () =
+  (* Fig. 9's claim, as an order check: 4x requests => roughly 4x time,
+     certainly not quadratic. *)
+  let t_of clients =
+    let outcome = Scenario.run { base_spec with Scenario.clients; seed = 5 } in
+    let cfg = Correlator.config ~transform:outcome.Scenario.transform () in
+    let result = Correlator.correlate cfg outcome.Scenario.logs in
+    ( result.Correlator.correlation_time,
+      List.length result.Correlator.cags )
+  in
+  let t1, n1 = t_of 20 in
+  let t4, n4 = t_of 80 in
+  Alcotest.(check bool) "more requests" true (n4 > 2 * n1);
+  (* generous bound: time ratio under 4x the request ratio *)
+  let per_req1 = t1 /. float_of_int n1 and per_req4 = t4 /. float_of_int n4 in
+  Alcotest.(check bool) "near-linear per-request cost" true (per_req4 < 6.0 *. per_req1)
+
+let test_all_cags_structurally_valid () =
+  let _, result, _ = run_and_check { base_spec with Scenario.clients = 60 } in
+  List.iter H.check_valid result.Correlator.cags
+
+let test_patterns_cover_all_requests () =
+  let _, result, _ = run_and_check base_spec in
+  let patterns = Pattern.classify result.Correlator.cags in
+  let covered = List.fold_left (fun acc p -> acc + Pattern.count p) 0 patterns in
+  Alcotest.(check int) "partition" (List.length result.Correlator.cags) covered
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "accuracy grid (paper 5.2)",
+        [
+          Alcotest.test_case "baseline" `Quick test_accuracy_baseline;
+          Alcotest.test_case "default mix" `Quick test_accuracy_default_mix;
+          Alcotest.test_case "window sweep" `Quick test_accuracy_windows;
+          Alcotest.test_case "skew sweep" `Quick test_accuracy_skews;
+          Alcotest.test_case "clock drift" `Quick test_accuracy_drift;
+          Alcotest.test_case "with noise" `Quick test_accuracy_with_noise;
+          Alcotest.test_case "noise and skew" `Quick test_accuracy_noise_and_skew;
+          Alcotest.test_case "under faults" `Quick test_accuracy_under_faults;
+          Alcotest.test_case "single kind" `Quick test_accuracy_single_kind;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "activity loss" `Quick test_loss_degrades_gracefully;
+          Alcotest.test_case "correlation time linear" `Quick
+            test_correlation_time_scales_linearly;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "all CAGs valid" `Quick test_all_cags_structurally_valid;
+          Alcotest.test_case "patterns partition paths" `Quick test_patterns_cover_all_requests;
+        ] );
+    ]

@@ -1,0 +1,743 @@
+(* Unit and property tests for the discrete-event simulation substrate. *)
+
+module Sim_time = Simnet.Sim_time
+module Rng = Simnet.Rng
+module Event_queue = Simnet.Event_queue
+module Engine = Simnet.Engine
+module Clock = Simnet.Clock
+module Address = Simnet.Address
+module Cpu = Simnet.Cpu
+module Link = Simnet.Link
+module Node = Simnet.Node
+module Tcp = Simnet.Tcp
+module Messaging = Simnet.Messaging
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Sim_time ---- *)
+
+let test_time_arithmetic () =
+  let t = Sim_time.add Sim_time.zero (Sim_time.ms 5) in
+  Alcotest.(check int) "5ms in ns" 5_000_000 (Sim_time.to_ns t);
+  let d = Sim_time.diff t Sim_time.zero in
+  Alcotest.(check int) "diff" 5_000_000 (Sim_time.span_ns d);
+  Alcotest.(check int) "sec" 1_000_000_000 (Sim_time.span_ns (Sim_time.sec 1));
+  Alcotest.(check int) "us" 1_000 (Sim_time.span_ns (Sim_time.us 1));
+  Alcotest.(check int) "scale" 2_500_000 (Sim_time.span_ns (Sim_time.span_scale 0.5 (Sim_time.ms 5)))
+
+let test_time_of_float () =
+  Alcotest.(check int) "1.5s" 1_500_000_000 (Sim_time.span_ns (Sim_time.span_of_float_s 1.5));
+  Alcotest.(check (float 1e-12)) "roundtrip" 0.25
+    (Sim_time.span_to_float_s (Sim_time.span_of_float_s 0.25))
+
+let test_time_compare () =
+  let a = Sim_time.of_ns 5 and b = Sim_time.of_ns 9 in
+  Alcotest.(check bool) "lt" true Sim_time.(a < b);
+  Alcotest.(check bool) "le" true Sim_time.(a <= a);
+  Alcotest.(check bool) "max" true (Sim_time.equal (Sim_time.max a b) b);
+  Alcotest.(check bool) "min" true (Sim_time.equal (Sim_time.min a b) a)
+
+let test_time_pp () =
+  let s = Format.asprintf "%a" Sim_time.pp (Sim_time.of_ns 1_234_567_890) in
+  Alcotest.(check string) "pp" "1.234567890s" s;
+  let s = Format.asprintf "%a" Sim_time.pp_span (Sim_time.us 12) in
+  Alcotest.(check string) "pp_span" "12us" s
+
+(* ---- Rng ---- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let root = Rng.create ~seed:7 in
+  let a1 = Rng.split root "a" and a2 = Rng.split root "a" in
+  let b = Rng.split root "b" in
+  Alcotest.(check int) "same label same stream" (Rng.int a1 1_000_000) (Rng.int a2 1_000_000);
+  (* Different labels should (overwhelmingly) differ somewhere early. *)
+  let differs = ref false in
+  let a3 = Rng.split root "a" in
+  for _ = 1 to 20 do
+    if Rng.int a3 1_000_000 <> Rng.int b 1_000_000 then differs := true
+  done;
+  Alcotest.(check bool) "different labels differ" true !differs
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng ~mean:5.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean within 5%" true (abs_float (mean -. 5.0) < 0.25)
+
+let test_rng_weighted () =
+  let rng = Rng.create ~seed:3 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 10_000 do
+    let k = Rng.weighted rng [ ("a", 0.8); ("b", 0.2) ] in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let a = Option.value ~default:0 (Hashtbl.find_opt counts "a") in
+  Alcotest.(check bool) "a ~ 80%" true (a > 7_500 && a < 8_500)
+
+let prop_positive_normal_positive =
+  QCheck.Test.make ~name:"positive_normal_span is positive" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, mean_ns) ->
+      let rng = Rng.create ~seed in
+      Sim_time.span_ns
+        (Rng.positive_normal_span rng ~mean:(Sim_time.ns mean_ns) ~rel_std:0.5)
+      > 0)
+
+let prop_uniform_span_bounds =
+  QCheck.Test.make ~name:"uniform_span stays within bounds" ~count:500
+    QCheck.(triple small_int (int_range 0 1000) (int_range 0 1000))
+    (fun (seed, a, b) ->
+      let lo = Sim_time.ns (min a b) and hi = Sim_time.ns (max a b) in
+      let rng = Rng.create ~seed in
+      let d = Rng.uniform_span rng ~lo ~hi in
+      Sim_time.span_ns d >= min a b && Sim_time.span_ns d <= max a b)
+
+let test_rng_pareto_heavy_tail () =
+  let rng = Rng.create ~seed:5 in
+  let n = 5000 in
+  let above = ref 0 in
+  for _ = 1 to n do
+    if Rng.pareto rng ~shape:1.2 ~scale:1.0 > 5.0 then incr above
+  done;
+  (* P(X > 5) = 5^-1.2 ~ 0.145 *)
+  Alcotest.(check bool) "tail mass near 14.5%" true (!above > 500 && !above < 1000);
+  (* and every draw is at least the scale *)
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "x >= scale" true (Rng.pareto rng ~shape:2.0 ~scale:3.0 >= 3.0)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create ~seed:6 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "same multiset" true (sorted = Array.init 50 (fun i -> i));
+  Alcotest.(check bool) "actually shuffled" true (arr <> Array.init 50 (fun i -> i))
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng ~p:0.0);
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng ~p:1.0)
+  done
+
+(* ---- Event_queue ---- *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:(Sim_time.of_ns 30) "c");
+  ignore (Event_queue.add q ~time:(Sim_time.of_ns 10) "a");
+  ignore (Event_queue.add q ~time:(Sim_time.of_ns 20) "b");
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "-" in
+  let p1 = pop () in
+  let p2 = pop () in
+  let p3 = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ p1; p2; p3 ];
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  let t = Sim_time.of_ns 5 in
+  ignore (Event_queue.add q ~time:t "first");
+  ignore (Event_queue.add q ~time:t "second");
+  ignore (Event_queue.add q ~time:t "third");
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "-" in
+  let p1 = pop () in
+  let p2 = pop () in
+  let p3 = pop () in
+  Alcotest.(check (list string)) "insertion order on ties" [ "first"; "second"; "third" ]
+    [ p1; p2; p3 ]
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:(Sim_time.of_ns 1) "a");
+  let h = Event_queue.add q ~time:(Sim_time.of_ns 2) "b" in
+  ignore (Event_queue.add q ~time:(Sim_time.of_ns 3) "c");
+  Event_queue.cancel q h;
+  Alcotest.(check int) "live count" 2 (Event_queue.length q);
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "-" in
+  let p1 = pop () in
+  let p2 = pop () in
+  Alcotest.(check (list string)) "skips cancelled" [ "a"; "c" ] [ p1; p2 ];
+  (* double cancel is a no-op *)
+  Event_queue.cancel q h;
+  Alcotest.(check int) "still zero" 0 (Event_queue.length q)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"event_queue pops in time order" ~count:200
+    QCheck.(list (int_range 0 10_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> ignore (Event_queue.add q ~time:(Sim_time.of_ns t) t)) times;
+      let rec drain acc =
+        match Event_queue.pop q with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+(* ---- Engine ---- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let trace = ref [] in
+  let note tag () = trace := tag :: !trace in
+  ignore (Engine.schedule_after e ~delay:(Sim_time.ms 2) (note "b"));
+  ignore (Engine.schedule_after e ~delay:(Sim_time.ms 1) (note "a"));
+  ignore (Engine.schedule_after e ~delay:(Sim_time.ms 3) (note "c"));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !trace);
+  Alcotest.(check int) "clock at last event" 3_000_000 (Sim_time.to_ns (Engine.now e))
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore
+    (Engine.schedule_after e ~delay:(Sim_time.ms 1) (fun () ->
+         fired := "outer" :: !fired;
+         ignore
+           (Engine.schedule_after e ~delay:(Sim_time.ms 1) (fun () ->
+                fired := "inner" :: !fired))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !fired);
+  Alcotest.(check int) "events fired" 2 (Engine.events_fired e)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule_after e ~delay:(Sim_time.ms i) (fun () -> incr count))
+  done;
+  Engine.run_until e (Sim_time.add Sim_time.zero (Sim_time.ms 5));
+  Alcotest.(check int) "five fired" 5 !count;
+  Alcotest.(check int) "clock parked at stop" 5_000_000 (Sim_time.to_ns (Engine.now e));
+  Alcotest.(check int) "pending" 5 (Engine.pending e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.schedule_after e ~delay:(Sim_time.ms 1) (fun () -> fired := true) in
+  Engine.cancel e timer;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_after e ~delay:(Sim_time.ms 1) (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument
+       "Engine.schedule_at: 0.000000000s is in the past (now 0.001000000s)")
+    (fun () -> ignore (Engine.schedule_at e ~time:Sim_time.zero (fun () -> ())))
+
+let test_engine_cancel_after_fire () =
+  let e = Engine.create () in
+  let timer = Engine.schedule_after e ~delay:(Sim_time.ms 1) (fun () -> ()) in
+  Engine.run e;
+  (* cancelling a fired timer is a harmless no-op *)
+  Engine.cancel e timer;
+  Alcotest.(check int) "no pending" 0 (Engine.pending e)
+
+(* ---- Clock ---- *)
+
+let test_clock_skew_drift () =
+  let c = Clock.create ~skew:(Sim_time.ms 10) ~drift_ppm:100.0 () in
+  let g = Sim_time.of_ns 1_000_000_000 in
+  let l = Clock.local_of_global c g in
+  (* 1s + 10ms skew + 100ppm * 1s = 1s + 10ms + 100us *)
+  Alcotest.(check int) "local" 1_010_100_000 (Sim_time.to_ns l);
+  let back = Clock.global_of_local c l in
+  Alcotest.(check bool) "inverse within 1ns" true
+    (abs (Sim_time.to_ns back - Sim_time.to_ns g) <= 1)
+
+let test_clock_monotone () =
+  let c = Clock.create ~skew:(Sim_time.ms (-500)) ~drift_ppm:(-200.0) () in
+  let prev = ref min_int in
+  for i = 0 to 1000 do
+    let l = Sim_time.to_ns (Clock.local_of_global c (Sim_time.of_ns (i * 1_000_000))) in
+    Alcotest.(check bool) "monotone" true (l >= !prev);
+    prev := l
+  done
+
+(* ---- Address ---- *)
+
+let test_ip_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Address.ip_to_string (Address.ip_of_string s)))
+    [ "0.0.0.0"; "10.0.1.2"; "255.255.255.255"; "192.168.13.254" ]
+
+let test_ip_invalid () =
+  List.iter
+    (fun s ->
+      match Address.ip_of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted %S" s)
+    [ "1.2.3"; "1.2.3.4.5"; "a.b.c.d"; "256.1.1.1"; "-1.0.0.0"; "" ]
+
+let test_flow_reverse () =
+  let f = Test_helpers.Helpers.flow "1.2.3.4" 10 "5.6.7.8" 20 in
+  let r = Address.reverse f in
+  Alcotest.(check bool) "reverse twice" true (Address.flow_equal f (Address.reverse r));
+  Alcotest.(check bool) "differs" false (Address.flow_equal f r);
+  Alcotest.(check string) "pp" "1.2.3.4:10-5.6.7.8:20" (Format.asprintf "%a" Address.pp_flow f)
+
+(* ---- Cpu ---- *)
+
+let run_cpu_jobs ~cores ~jobs =
+  let e = Engine.create () in
+  let cpu = Cpu.create ~engine:e ~cores () in
+  let finish_times = Array.make (List.length jobs) Sim_time.zero in
+  List.iteri
+    (fun i (at, work) ->
+      ignore
+        (Engine.schedule_at e ~time:(Sim_time.of_ns at) (fun () ->
+             Cpu.submit cpu ~work:(Sim_time.ns work) (fun () ->
+                 finish_times.(i) <- Engine.now e))))
+    jobs;
+  Engine.run e;
+  Array.map Sim_time.to_ns finish_times
+
+let test_cpu_single_job () =
+  let finish = run_cpu_jobs ~cores:1 ~jobs:[ (0, 1_000_000) ] in
+  Alcotest.(check int) "1ms job on idle core" 1_000_000 finish.(0)
+
+let test_cpu_processor_sharing () =
+  (* Two equal jobs on one core, started together: both finish at 2x. *)
+  let finish = run_cpu_jobs ~cores:1 ~jobs:[ (0, 1_000_000); (0, 1_000_000) ] in
+  Alcotest.(check bool) "both near 2ms" true
+    (abs (finish.(0) - 2_000_000) < 10 && abs (finish.(1) - 2_000_000) < 10)
+
+let test_cpu_two_cores_no_contention () =
+  let finish = run_cpu_jobs ~cores:2 ~jobs:[ (0, 1_000_000); (0, 1_000_000) ] in
+  Alcotest.(check bool) "parallel" true
+    (abs (finish.(0) - 1_000_000) < 10 && abs (finish.(1) - 1_000_000) < 10)
+
+let test_cpu_three_jobs_two_cores () =
+  (* 3 equal jobs, 2 cores, PS: rate 2/3 each -> finish at 1.5x. *)
+  let finish = run_cpu_jobs ~cores:2 ~jobs:[ (0, 1_000_000); (0, 1_000_000); (0, 1_000_000) ] in
+  Array.iter
+    (fun f -> Alcotest.(check bool) "1.5ms" true (abs (f - 1_500_000) < 10))
+    finish
+
+let test_cpu_staggered () =
+  (* Job B arrives halfway through job A on one core. A has 0.5ms left, now
+     shared: A finishes at 0.5 + 1.0 = 1.5ms; B (1ms work) at 2ms. *)
+  let finish = run_cpu_jobs ~cores:1 ~jobs:[ (0, 1_000_000); (500_000, 1_000_000) ] in
+  Alcotest.(check bool) "A at 1.5ms" true (abs (finish.(0) - 1_500_000) < 20);
+  Alcotest.(check bool) "B at 2ms" true (abs (finish.(1) - 2_000_000) < 20)
+
+let test_cpu_utilization () =
+  let e = Engine.create () in
+  let cpu = Cpu.create ~engine:e ~cores:2 () in
+  Cpu.submit cpu ~work:(Sim_time.ms 1) (fun () -> ());
+  Engine.run e;
+  (* 1ms of work over 1ms wall on 2 cores = 50%. *)
+  Alcotest.(check (float 0.01)) "util" 0.5 (Cpu.utilization cpu);
+  Alcotest.(check int) "active" 0 (Cpu.active_jobs cpu)
+
+let test_cpu_zero_work () =
+  let e = Engine.create () in
+  let cpu = Cpu.create ~engine:e ~cores:1 () in
+  let fired = ref false in
+  Cpu.submit cpu ~work:Sim_time.span_zero (fun () -> fired := true);
+  Engine.run e;
+  Alcotest.(check bool) "zero work completes" true !fired
+
+let prop_cpu_work_conserved =
+  QCheck.Test.make ~name:"cpu conserves total work" ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 8) (int_range 1_000 2_000_000))
+    (fun works ->
+      let e = Engine.create () in
+      let cpu = Cpu.create ~engine:e ~cores:2 () in
+      List.iter (fun w -> Cpu.submit cpu ~work:(Sim_time.ns w) (fun () -> ())) works;
+      Engine.run e;
+      let total = List.fold_left ( + ) 0 works in
+      let busy = Sim_time.span_ns (Cpu.busy_core_time cpu) in
+      abs (busy - total) < 16 * List.length works)
+
+(* ---- Link ---- *)
+
+let test_link_serialization () =
+  let e = Engine.create () in
+  let link =
+    Link.create ~engine:e ~bandwidth_bps:8e6 (* 1 byte/us *)
+      ~propagation:(Sim_time.us 100) ()
+  in
+  let t1 = ref Sim_time.zero and t2 = ref Sim_time.zero in
+  Link.transmit link ~size:1000 (fun () -> t1 := Engine.now e);
+  Link.transmit link ~size:1000 (fun () -> t2 := Engine.now e);
+  Engine.run e;
+  (* First: 1000us tx + 100us prop; second queues behind: 2000 + 100. *)
+  Alcotest.(check int) "first" 1_100_000 (Sim_time.to_ns !t1);
+  Alcotest.(check int) "second" 2_100_000 (Sim_time.to_ns !t2);
+  Alcotest.(check int) "bytes" 2000 (Link.bytes_sent link)
+
+let test_link_bandwidth_change () =
+  let e = Engine.create () in
+  let link = Link.create ~engine:e ~bandwidth_bps:8e6 ~propagation:Sim_time.span_zero () in
+  Link.set_bandwidth_bps link 8e5;
+  let t = ref Sim_time.zero in
+  Link.transmit link ~size:100 (fun () -> t := Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "10x slower" 1_000_000 (Sim_time.to_ns !t)
+
+let test_link_zero_size () =
+  let e = Engine.create () in
+  let link = Link.create ~engine:e ~bandwidth_bps:8e6 ~propagation:(Sim_time.us 100) () in
+  let t = ref Sim_time.zero in
+  Link.transmit link ~size:0 (fun () -> t := Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "propagation only" 100_000 (Sim_time.to_ns !t)
+
+let test_node_fresh_ids () =
+  let e = Engine.create () in
+  let n =
+    Node.create ~engine:e ~hostname:"x" ~ip:(Address.ip_of_string "1.1.1.1") ~cores:1 ()
+  in
+  let p1 = Node.spawn n ~program:"a" in
+  let p2 = Node.spawn n ~program:"a" in
+  Alcotest.(check bool) "distinct pids" true (p1.Simnet.Proc.pid <> p2.Simnet.Proc.pid);
+  Alcotest.(check bool) "main thread tid = pid" true (p1.Simnet.Proc.tid = p1.Simnet.Proc.pid);
+  let t1 = Node.spawn_thread n ~of_:p1 in
+  Alcotest.(check bool) "thread shares pid" true (t1.Simnet.Proc.pid = p1.Simnet.Proc.pid);
+  Alcotest.(check bool) "thread has own tid" true (t1.Simnet.Proc.tid <> p1.Simnet.Proc.tid);
+  let port1 = Node.fresh_port n in
+  let port2 = Node.fresh_port n in
+  Alcotest.(check bool) "ephemeral ports distinct" true (port1 <> port2 && port1 >= 32768)
+
+let test_ip_int_roundtrip () =
+  List.iter
+    (fun s ->
+      let ip = Address.ip_of_string s in
+      Alcotest.(check bool) "int roundtrip" true
+        (Address.ip_equal ip (Address.ip_of_int (Address.ip_to_int ip))))
+    [ "0.0.0.0"; "10.1.2.3"; "255.255.255.255" ];
+  match Address.ip_of_int (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative ip accepted"
+
+(* ---- Tcp + Messaging ---- *)
+
+let two_nodes () =
+  let e = Engine.create () in
+  let stack = Tcp.create_stack ~engine:e in
+  let mk name ip =
+    Node.create ~engine:e ~hostname:name ~ip:(Address.ip_of_string ip) ~cores:2 ()
+  in
+  (e, stack, mk "alpha" "10.0.0.1", mk "beta" "10.0.0.2")
+
+let test_tcp_connect_and_send () =
+  let e, stack, a, b = two_nodes () in
+  let server = Node.spawn b ~program:"server" in
+  let got = ref [] in
+  Tcp.listen stack b ~port:7000 ~accept:(fun sock ->
+      let rec loop () =
+        Tcp.recv stack sock ~proc:server ~max:4096 ~k:(fun n ->
+            if n > 0 then begin
+              got := n :: !got;
+              loop ()
+            end)
+      in
+      loop ());
+  let client = Node.spawn a ~program:"client" in
+  Tcp.connect stack ~node:a ~proc:client
+    ~dst:(Address.endpoint (Node.ip b) 7000)
+    ~k:(fun sock -> Tcp.send stack sock ~proc:client ~size:1234 ~k:(fun () -> ()));
+  Engine.run e;
+  Alcotest.(check (list int)) "delivered" [ 1234 ] !got
+
+let test_tcp_syscall_observer () =
+  let e, stack, a, b = two_nodes () in
+  let events = ref [] in
+  Tcp.add_observer stack (fun sc ->
+      events := (sc.Tcp.kind, sc.Tcp.size, Node.hostname sc.Tcp.node) :: !events);
+  let server = Node.spawn b ~program:"server" in
+  Tcp.listen stack b ~port:7000 ~accept:(fun sock ->
+      Tcp.recv stack sock ~proc:server ~max:4096 ~k:(fun _ -> ()));
+  let client = Node.spawn a ~program:"client" in
+  Tcp.connect stack ~node:a ~proc:client
+    ~dst:(Address.endpoint (Node.ip b) 7000)
+    ~k:(fun sock -> Tcp.send stack sock ~proc:client ~size:100 ~k:(fun () -> ()));
+  Engine.run e;
+  let events = List.rev !events in
+  Alcotest.(check int) "two syscalls" 2 (List.length events);
+  (match events with
+  | [ (k1, s1, h1); (k2, s2, h2) ] ->
+      Alcotest.(check bool) "send first" true (k1 = Tcp.Syscall_send);
+      Alcotest.(check bool) "recv second" true (k2 = Tcp.Syscall_recv);
+      Alcotest.(check int) "send size" 100 s1;
+      Alcotest.(check int) "recv size" 100 s2;
+      Alcotest.(check string) "sender host" "alpha" h1;
+      Alcotest.(check string) "receiver host" "beta" h2
+  | _ -> Alcotest.fail "expected 2 events");
+  Alcotest.(check int) "stack count" 2 (Tcp.syscall_count stack)
+
+let test_tcp_recv_coalesces () =
+  (* Two sends arriving before the receiver reads coalesce into one recv. *)
+  let e, stack, a, b = two_nodes () in
+  let server = Node.spawn b ~program:"server" in
+  let got = ref [] in
+  Tcp.listen stack b ~port:7000 ~accept:(fun sock ->
+      ignore
+        (Engine.schedule_after e ~delay:(Sim_time.ms 50) (fun () ->
+             Tcp.recv stack sock ~proc:server ~max:10_000 ~k:(fun n -> got := n :: !got))))
+  ;
+  let client = Node.spawn a ~program:"client" in
+  Tcp.connect stack ~node:a ~proc:client
+    ~dst:(Address.endpoint (Node.ip b) 7000)
+    ~k:(fun sock ->
+      Tcp.send stack sock ~proc:client ~size:300 ~k:(fun () ->
+          Tcp.send stack sock ~proc:client ~size:200 ~k:(fun () -> ())));
+  Engine.run e;
+  Alcotest.(check (list int)) "coalesced" [ 500 ] !got
+
+let test_tcp_recv_respects_max () =
+  let e, stack, a, b = two_nodes () in
+  let server = Node.spawn b ~program:"server" in
+  let got = ref [] in
+  Tcp.listen stack b ~port:7000 ~accept:(fun sock ->
+      ignore
+        (Engine.schedule_after e ~delay:(Sim_time.ms 50) (fun () ->
+             let rec loop () =
+               Tcp.recv stack sock ~proc:server ~max:150 ~k:(fun n ->
+                   if n > 0 then begin
+                     got := n :: !got;
+                     if List.fold_left ( + ) 0 !got < 500 then loop ()
+                   end)
+             in
+             loop ())));
+  let client = Node.spawn a ~program:"client" in
+  Tcp.connect stack ~node:a ~proc:client
+    ~dst:(Address.endpoint (Node.ip b) 7000)
+    ~k:(fun sock -> Tcp.send stack sock ~proc:client ~size:500 ~k:(fun () -> ()));
+  Engine.run e;
+  Alcotest.(check (list int)) "chunked by max" [ 50; 150; 150; 150 ] !got
+
+let test_tcp_eof () =
+  let e, stack, a, b = two_nodes () in
+  let server = Node.spawn b ~program:"server" in
+  let eof = ref false in
+  let data = ref 0 in
+  Tcp.listen stack b ~port:7000 ~accept:(fun sock ->
+      let rec loop () =
+        Tcp.recv stack sock ~proc:server ~max:4096 ~k:(fun n ->
+            if n = 0 then eof := true
+            else begin
+              data := !data + n;
+              loop ()
+            end)
+      in
+      loop ());
+  let client = Node.spawn a ~program:"client" in
+  Tcp.connect stack ~node:a ~proc:client
+    ~dst:(Address.endpoint (Node.ip b) 7000)
+    ~k:(fun sock ->
+      Tcp.send stack sock ~proc:client ~size:100 ~k:(fun () -> Tcp.close stack sock));
+  Engine.run e;
+  Alcotest.(check int) "data before eof" 100 !data;
+  Alcotest.(check bool) "eof seen" true !eof
+
+let test_tcp_no_listener () =
+  let _, stack, a, _ = two_nodes () in
+  let client = Node.spawn a ~program:"client" in
+  match
+    Tcp.connect stack ~node:a ~proc:client
+      ~dst:(Address.endpoint (Address.ip_of_string "9.9.9.9") 1)
+      ~k:(fun _ -> ())
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument"
+
+let test_tcp_double_bind () =
+  let _, stack, _, b = two_nodes () in
+  Tcp.listen stack b ~port:7000 ~accept:(fun _ -> ());
+  (match Tcp.listen stack b ~port:7000 ~accept:(fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument");
+  Tcp.unlisten stack b ~port:7000;
+  Tcp.listen stack b ~port:7000 ~accept:(fun _ -> ())
+
+let test_tcp_overhead_delays_continuation () =
+  let e, stack, a, b = two_nodes () in
+  Tcp.set_syscall_overhead stack (fun _ -> Sim_time.us 50);
+  let server = Node.spawn b ~program:"server" in
+  Tcp.listen stack b ~port:7000 ~accept:(fun _ -> ());
+  let client = Node.spawn a ~program:"client" in
+  let sent_at = ref Sim_time.zero in
+  Tcp.connect stack ~node:a ~proc:client
+    ~dst:(Address.endpoint (Node.ip b) 7000)
+    ~k:(fun sock ->
+      let before = Engine.now e in
+      Tcp.send stack sock ~proc:client ~size:10 ~k:(fun () ->
+          sent_at := Sim_time.add Sim_time.zero (Sim_time.diff (Engine.now e) before)));
+  Engine.run e;
+  ignore server;
+  Alcotest.(check int) "50us overhead" 50_000 (Sim_time.to_ns !sent_at)
+
+let test_messaging_roundtrip () =
+  let e, stack, a, b = two_nodes () in
+  let messaging = Messaging.create stack in
+  let server = Node.spawn b ~program:"server" in
+  let sizes = ref [] in
+  Tcp.listen stack b ~port:7000 ~accept:(fun sock ->
+      let rec loop () =
+        Messaging.recv_message messaging sock ~proc:server
+          ~k:(fun (m : Messaging.msg) ->
+            if m.size > 0 then begin
+              sizes := m.size :: !sizes;
+              loop ()
+            end)
+          ()
+      in
+      loop ());
+  let client = Node.spawn a ~program:"client" in
+  Tcp.connect stack ~node:a ~proc:client
+    ~dst:(Address.endpoint (Node.ip b) 7000)
+    ~k:(fun sock ->
+      Messaging.send_message messaging sock ~proc:client ~size:20_000 ~chunk:8192
+        ~k:(fun () ->
+          Messaging.send_message messaging sock ~proc:client ~size:100 ~k:(fun () -> ()) ())
+        ());
+  Engine.run e;
+  Alcotest.(check (list int)) "whole messages" [ 100; 20_000 ] !sizes
+
+let test_messaging_payload () =
+  let e, stack, a, b = two_nodes () in
+  let messaging = Messaging.create stack in
+  let server = Node.spawn b ~program:"server" in
+  let seen = ref None in
+  Tcp.listen stack b ~port:7000 ~accept:(fun sock ->
+      Messaging.recv_message messaging sock ~proc:server
+        ~k:(fun (m : Messaging.msg) -> seen := m.payload)
+        ());
+  let client = Node.spawn a ~program:"client" in
+  Tcp.connect stack ~node:a ~proc:client
+    ~dst:(Address.endpoint (Node.ip b) 7000)
+    ~k:(fun sock ->
+      Messaging.send_message messaging sock ~proc:client ~size:64
+        ~payload:(Tiersim.Service.Http_request (Tiersim.Workload.sample_kind
+             (Rng.create ~seed:1) ~kind:"ViewItem" ~id:99))
+        ~k:(fun () -> ())
+        ());
+  Engine.run e;
+  match !seen with
+  | Some (Tiersim.Service.Http_request plan) ->
+      Alcotest.(check int) "payload id" 99 plan.Tiersim.Workload.id
+  | _ -> Alcotest.fail "payload lost"
+
+let prop_messaging_chunks =
+  QCheck.Test.make ~name:"messaging reassembles any (size, chunk, buf)" ~count:100
+    QCheck.(triple (int_range 1 100_000) (int_range 1 9000) (int_range 1 9000))
+    (fun (size, chunk, buf) ->
+      let e, stack, a, b = two_nodes () in
+      let messaging = Messaging.create stack in
+      let server = Node.spawn b ~program:"server" in
+      let got = ref (-1) in
+      Tcp.listen stack b ~port:7000 ~accept:(fun sock ->
+          Messaging.recv_message messaging sock ~proc:server ~buf
+            ~k:(fun (m : Messaging.msg) -> got := m.size)
+            ());
+      let client = Node.spawn a ~program:"client" in
+      Tcp.connect stack ~node:a ~proc:client
+        ~dst:(Address.endpoint (Node.ip b) 7000)
+        ~k:(fun sock ->
+          Messaging.send_message messaging sock ~proc:client ~size ~chunk ~k:(fun () -> ()) ());
+      Engine.run e;
+      !got = size)
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "sim_time",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+          Alcotest.test_case "float conversion" `Quick test_time_of_float;
+          Alcotest.test_case "comparisons" `Quick test_time_compare;
+          Alcotest.test_case "pretty printing" `Quick test_time_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "weighted choice" `Quick test_rng_weighted;
+          Alcotest.test_case "pareto tail" `Quick test_rng_pareto_heavy_tail;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          qtest prop_positive_normal_positive;
+          qtest prop_uniform_span_bounds;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "FIFO on ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "cancellation" `Quick test_queue_cancel;
+          qtest prop_queue_sorted;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "past scheduling rejected" `Quick test_engine_past_raises;
+          Alcotest.test_case "cancel after fire" `Quick test_engine_cancel_after_fire;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "skew and drift" `Quick test_clock_skew_drift;
+          Alcotest.test_case "monotone" `Quick test_clock_monotone;
+        ] );
+      ( "address",
+        [
+          Alcotest.test_case "ip roundtrip" `Quick test_ip_roundtrip;
+          Alcotest.test_case "ip invalid" `Quick test_ip_invalid;
+          Alcotest.test_case "ip int codec" `Quick test_ip_int_roundtrip;
+          Alcotest.test_case "flow reverse" `Quick test_flow_reverse;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "single job" `Quick test_cpu_single_job;
+          Alcotest.test_case "processor sharing" `Quick test_cpu_processor_sharing;
+          Alcotest.test_case "two cores parallel" `Quick test_cpu_two_cores_no_contention;
+          Alcotest.test_case "three jobs two cores" `Quick test_cpu_three_jobs_two_cores;
+          Alcotest.test_case "staggered arrival" `Quick test_cpu_staggered;
+          Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+          Alcotest.test_case "zero work" `Quick test_cpu_zero_work;
+          qtest prop_cpu_work_conserved;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "serialization" `Quick test_link_serialization;
+          Alcotest.test_case "bandwidth change" `Quick test_link_bandwidth_change;
+          Alcotest.test_case "zero-size payload" `Quick test_link_zero_size;
+          Alcotest.test_case "node id allocation" `Quick test_node_fresh_ids;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "connect and send" `Quick test_tcp_connect_and_send;
+          Alcotest.test_case "syscall observer" `Quick test_tcp_syscall_observer;
+          Alcotest.test_case "recv coalesces" `Quick test_tcp_recv_coalesces;
+          Alcotest.test_case "recv respects max" `Quick test_tcp_recv_respects_max;
+          Alcotest.test_case "eof after close" `Quick test_tcp_eof;
+          Alcotest.test_case "no listener" `Quick test_tcp_no_listener;
+          Alcotest.test_case "double bind" `Quick test_tcp_double_bind;
+          Alcotest.test_case "syscall overhead" `Quick test_tcp_overhead_delays_continuation;
+        ] );
+      ( "messaging",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_messaging_roundtrip;
+          Alcotest.test_case "payload" `Quick test_messaging_payload;
+          qtest prop_messaging_chunks;
+        ] );
+    ]

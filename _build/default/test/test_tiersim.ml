@@ -1,0 +1,436 @@
+(* Tests for the multi-tier service simulator. *)
+
+module H = Test_helpers.Helpers
+module Locking = Tiersim.Locking
+module Semaphore = Tiersim.Semaphore
+module Metrics = Tiersim.Metrics
+module Workload = Tiersim.Workload
+module Worker_pool = Tiersim.Worker_pool
+module Faults = Tiersim.Faults
+module Service = Tiersim.Service
+module Scenario = Tiersim.Scenario
+module Engine = Simnet.Engine
+module Node = Simnet.Node
+module Rng = Simnet.Rng
+module Sim_time = Simnet.Sim_time
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Locking ---- *)
+
+let test_mutex_fifo () =
+  let engine = Engine.create () in
+  let lock = Locking.create ~engine in
+  let order = ref [] in
+  let enter tag =
+    Locking.acquire lock (fun () ->
+        order := tag :: !order;
+        ignore
+          (Engine.schedule_after engine ~delay:(Sim_time.ms 1) (fun () ->
+               Locking.release lock)))
+  in
+  enter "a";
+  enter "b";
+  enter "c";
+  Alcotest.(check int) "two waiting" 2 (Locking.waiting lock);
+  Engine.run engine;
+  Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c" ] (List.rev !order);
+  Alcotest.(check int) "peak waiters" 2 (Locking.peak_waiting lock)
+
+let test_mutex_release_unheld () =
+  let engine = Engine.create () in
+  let lock = Locking.create ~engine in
+  match Locking.release lock with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "release of unheld lock accepted"
+
+let test_with_lock () =
+  let engine = Engine.create () in
+  let lock = Locking.create ~engine in
+  let done_count = ref 0 in
+  for _ = 1 to 3 do
+    Locking.with_lock lock ~critical:(fun finish ->
+        ignore
+          (Engine.schedule_after engine ~delay:(Sim_time.ms 1) (fun () ->
+               incr done_count;
+               finish ())))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all ran" 3 !done_count;
+  Alcotest.(check int) "final time serialized" 3_000_000 (Sim_time.to_ns (Engine.now engine))
+
+(* ---- Semaphore ---- *)
+
+let test_semaphore_capacity () =
+  let engine = Engine.create () in
+  let sem = Semaphore.create ~engine ~capacity:2 in
+  let active = ref 0 and peak = ref 0 in
+  for _ = 1 to 5 do
+    Semaphore.acquire sem (fun () ->
+        incr active;
+        if !active > !peak then peak := !active;
+        ignore
+          (Engine.schedule_after engine ~delay:(Sim_time.ms 1) (fun () ->
+               decr active;
+               Semaphore.release sem)))
+  done;
+  Alcotest.(check int) "waiting" 3 (Semaphore.waiting sem);
+  Engine.run engine;
+  Alcotest.(check int) "capacity respected" 2 !peak;
+  Alcotest.(check int) "drained" 0 (Semaphore.waiting sem);
+  Alcotest.(check int) "peak waiting" 3 (Semaphore.peak_waiting sem)
+
+let test_semaphore_release_unheld () =
+  let engine = Engine.create () in
+  let sem = Semaphore.create ~engine ~capacity:1 in
+  match Semaphore.release sem with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "release of empty semaphore accepted"
+
+let prop_semaphore_model =
+  QCheck.Test.make ~name:"semaphore never exceeds capacity" ~count:100
+    QCheck.(pair (int_range 1 5) (list_of_size (Gen.int_range 1 20) (int_range 1 5)))
+    (fun (capacity, holds_ms) ->
+      let engine = Engine.create () in
+      let sem = Semaphore.create ~engine ~capacity in
+      let active = ref 0 and ok = ref true and completed = ref 0 in
+      List.iter
+        (fun hold ->
+          Semaphore.acquire sem (fun () ->
+              incr active;
+              if !active > capacity then ok := false;
+              ignore
+                (Engine.schedule_after engine ~delay:(Sim_time.ms hold) (fun () ->
+                     decr active;
+                     incr completed;
+                     Semaphore.release sem))))
+        holds_ms;
+      Engine.run engine;
+      !ok && !completed = List.length holds_ms && Semaphore.waiting sem = 0)
+
+let prop_mutex_mutual_exclusion =
+  QCheck.Test.make ~name:"mutex holds one owner at a time" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 15) (int_range 1 5))
+    (fun holds_ms ->
+      let engine = Engine.create () in
+      let lock = Locking.create ~engine in
+      let inside = ref 0 and ok = ref true and completed = ref 0 in
+      List.iter
+        (fun hold ->
+          Locking.acquire lock (fun () ->
+              incr inside;
+              if !inside > 1 then ok := false;
+              ignore
+                (Engine.schedule_after engine ~delay:(Sim_time.ms hold) (fun () ->
+                     decr inside;
+                     incr completed;
+                     Locking.release lock))))
+        holds_ms;
+      Engine.run engine;
+      !ok && !completed = List.length holds_ms)
+
+(* ---- Metrics ---- *)
+
+let test_metrics_summary () =
+  let m = Metrics.create () in
+  List.iteri
+    (fun i rt_ms ->
+      Metrics.record m
+        ~finished_at:(Sim_time.of_ns ((i + 1) * 1_000_000_000))
+        ~rt:(Sim_time.ms rt_ms) ~kind:"X")
+    [ 10; 20; 30; 40 ];
+  let s =
+    Metrics.summarize ~from_ts:Sim_time.zero
+      ~until_ts:(Sim_time.of_ns 4_000_000_000)
+      m
+  in
+  Alcotest.(check int) "completed" 4 s.Metrics.completed;
+  Alcotest.(check (float 1e-9)) "throughput" 1.0 s.throughput_rps;
+  Alcotest.(check (float 1e-9)) "mean" 0.025 s.mean_rt_s;
+  Alcotest.(check (float 1e-9)) "max" 0.040 s.max_rt_s
+
+let test_metrics_window () =
+  let m = Metrics.create () in
+  List.iter
+    (fun at ->
+      Metrics.record m ~finished_at:(Sim_time.of_ns at) ~rt:(Sim_time.ms 1) ~kind:"X")
+    [ 100; 200; 300; 400 ];
+  let s = Metrics.summarize ~from_ts:(Sim_time.of_ns 150) ~until_ts:(Sim_time.of_ns 350) m in
+  Alcotest.(check int) "two inside" 2 s.Metrics.completed
+
+let test_metrics_kinds () =
+  let m = Metrics.create () in
+  Metrics.record m ~finished_at:(Sim_time.of_ns 1) ~rt:(Sim_time.ms 1) ~kind:"A";
+  Metrics.record m ~finished_at:(Sim_time.of_ns 2) ~rt:(Sim_time.ms 2) ~kind:"B";
+  Metrics.record m ~finished_at:(Sim_time.of_ns 3) ~rt:(Sim_time.ms 3) ~kind:"A";
+  Alcotest.(check (list string)) "kinds" [ "A"; "B" ] (Metrics.kinds m);
+  let a = Metrics.summarize_kind m ~kind:"A" in
+  Alcotest.(check int) "A count" 2 a.Metrics.completed
+
+(* ---- Workload ---- *)
+
+let test_workload_weights_positive () =
+  List.iter
+    (fun mix ->
+      let classes = Workload.class_names mix in
+      Alcotest.(check bool) "non-empty" true (classes <> []);
+      List.iter (fun (_, w) -> Alcotest.(check bool) "weight > 0" true (w > 0.0)) classes)
+    [ Workload.Browse_only; Workload.Default ]
+
+let test_workload_browse_has_no_writes () =
+  let rng = Rng.create ~seed:1 in
+  for i = 0 to 200 do
+    let plan = Workload.sample rng Workload.Browse_only ~id:i in
+    Alcotest.(check bool) "read class" true
+      (not (List.mem plan.Workload.kind [ "PutBid"; "StoreBid"; "PutComment"; "RegisterUser" ]))
+  done
+
+let test_workload_default_has_writes () =
+  let rng = Rng.create ~seed:1 in
+  let writes = ref 0 in
+  for i = 0 to 500 do
+    let plan = Workload.sample rng Workload.Default ~id:i in
+    if List.mem plan.Workload.kind [ "PutBid"; "StoreBid"; "PutComment"; "RegisterUser" ] then
+      incr writes
+  done;
+  Alcotest.(check bool) "writes ~15%" true (!writes > 30 && !writes < 140)
+
+let test_workload_plan_sane () =
+  let rng = Rng.create ~seed:2 in
+  for i = 0 to 100 do
+    let plan = Workload.sample rng Workload.Default ~id:i in
+    Alcotest.(check bool) "sizes positive" true
+      (plan.Workload.request_size > 0 && plan.app_request_size > 0
+      && plan.app_response_size > 0
+      && plan.response_size >= plan.app_response_size);
+    Alcotest.(check bool) "queries 1..3" true
+      (List.length plan.queries >= 1 && List.length plan.queries <= 3);
+    Alcotest.(check int) "id carried" i plan.id
+  done
+
+let test_workload_sample_kind () =
+  let rng = Rng.create ~seed:3 in
+  let plan = Workload.sample_kind rng ~kind:"ViewItem" ~id:7 in
+  Alcotest.(check string) "kind" "ViewItem" plan.Workload.kind;
+  Alcotest.(check int) "two queries" 2 (List.length plan.queries);
+  match Workload.sample_kind rng ~kind:"NoSuchClass" ~id:8 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown class accepted"
+
+let test_workload_viewitem_locks_items () =
+  let rng = Rng.create ~seed:4 in
+  let plan = Workload.sample_kind rng ~kind:"ViewItem" ~id:1 in
+  Alcotest.(check bool) "touches items table" true
+    (List.exists (fun q -> q.Workload.locks_items) plan.Workload.queries)
+
+(* ---- Worker_pool ---- *)
+
+let pool_fixture ~capacity:_ ~identity:_ =
+  let engine = Engine.create () in
+  let node =
+    Node.create ~engine ~hostname:"n" ~ip:(Simnet.Address.ip_of_string "10.0.0.1") ~cores:2 ()
+  in
+  (engine, node)
+
+let test_pool_dispatch_and_queue () =
+  let engine, node = pool_fixture ~capacity:2 ~identity:Worker_pool.Threads in
+  let served = ref [] in
+  let pool =
+    Worker_pool.create ~node ~program:"srv" ~capacity:2 ~identity:Worker_pool.Threads
+      ~serve:(fun proc job ~release ->
+        served := (proc.Simnet.Proc.tid, job) :: !served;
+        ignore (Engine.schedule_after engine ~delay:(Sim_time.ms 1) release))
+  in
+  List.iter (Worker_pool.dispatch pool) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "busy" 2 (Worker_pool.busy pool);
+  Alcotest.(check int) "queued" 2 (Worker_pool.queued pool);
+  Engine.run engine;
+  Alcotest.(check int) "all served" 4 (Worker_pool.total_served pool);
+  Alcotest.(check int) "peak queue" 2 (Worker_pool.peak_queued pool);
+  (* worker identities recycled: only 2 distinct tids *)
+  let tids = List.sort_uniq compare (List.map fst !served) in
+  Alcotest.(check int) "two workers" 2 (List.length tids)
+
+let test_pool_identities () =
+  let _, node = pool_fixture ~capacity:3 ~identity:Worker_pool.Processes in
+  let seen = ref [] in
+  let pool =
+    Worker_pool.create ~node ~program:"srv" ~capacity:3 ~identity:Worker_pool.Processes
+      ~serve:(fun proc job ~release ->
+        ignore job;
+        seen := proc :: !seen;
+        release ())
+  in
+  List.iter (Worker_pool.dispatch pool) [ (); (); () ];
+  (* process workers: pid = tid and distinct pids... but recycled since
+     release is synchronous; force three live by not releasing. *)
+  Alcotest.(check bool) "pids match tids" true
+    (List.for_all (fun (p : Simnet.Proc.t) -> p.Simnet.Proc.pid = p.Simnet.Proc.tid) !seen)
+
+let test_pool_thread_identity_shares_pid () =
+  let engine, node = pool_fixture ~capacity:3 ~identity:Worker_pool.Threads in
+  let seen = ref [] in
+  let pool =
+    Worker_pool.create ~node ~program:"srv" ~capacity:3 ~identity:Worker_pool.Threads
+      ~serve:(fun proc job ~release ->
+        ignore job;
+        seen := proc :: !seen;
+        ignore (Engine.schedule_after engine ~delay:(Sim_time.ms 1) release))
+  in
+  List.iter (Worker_pool.dispatch pool) [ (); (); () ];
+  Engine.run engine;
+  let pids = List.sort_uniq compare (List.map (fun (p : Simnet.Proc.t) -> p.Simnet.Proc.pid) !seen) in
+  let tids = List.sort_uniq compare (List.map (fun (p : Simnet.Proc.t) -> p.Simnet.Proc.tid) !seen) in
+  Alcotest.(check int) "one pid" 1 (List.length pids);
+  Alcotest.(check int) "three tids" 3 (List.length tids)
+
+(* ---- Faults ---- *)
+
+let test_fault_names () =
+  Alcotest.(check (list string)) "paper labels"
+    [ "EJB_Delay"; "Database_Lock"; "EJB_Network" ]
+    (List.map Faults.name [ Faults.ejb_delay; Faults.database_lock; Faults.ejb_network ])
+
+(* ---- Service + Client end to end ---- *)
+
+let small_spec =
+  { Scenario.default with Scenario.clients = 20; time_scale = 0.02; seed = 9 }
+
+let test_scenario_runs_and_completes () =
+  let outcome = Scenario.run small_spec in
+  let total = Metrics.total_recorded outcome.Scenario.metrics in
+  Alcotest.(check bool) "requests completed" true (total > 20);
+  Alcotest.(check int) "oracle agrees" total
+    (Trace.Ground_truth.count outcome.ground_truth);
+  Alcotest.(check bool) "activities captured" true (outcome.activity_count > total * 8);
+  Alcotest.(check int) "three server logs" 3 (List.length outcome.logs)
+
+let test_scenario_deterministic () =
+  let a = Scenario.run small_spec in
+  let b = Scenario.run small_spec in
+  Alcotest.(check int) "same requests"
+    (Metrics.total_recorded a.Scenario.metrics)
+    (Metrics.total_recorded b.Scenario.metrics);
+  Alcotest.(check int) "same activities" a.activity_count b.activity_count;
+  Alcotest.(check int) "same events" a.sim_events b.sim_events
+
+let test_scenario_seed_changes_run () =
+  let a = Scenario.run small_spec in
+  let b = Scenario.run { small_spec with Scenario.seed = 10 } in
+  Alcotest.(check bool) "different seed, different trace" true
+    (a.Scenario.activity_count <> b.Scenario.activity_count
+    || Metrics.total_recorded a.metrics <> Metrics.total_recorded b.metrics)
+
+let test_scenario_tracing_off () =
+  let outcome = Scenario.run { small_spec with Scenario.tracing = false } in
+  Alcotest.(check int) "no activities" 0 outcome.Scenario.activity_count;
+  Alcotest.(check bool) "service still works" true
+    (Metrics.total_recorded outcome.metrics > 0)
+
+let test_scenario_ejb_network_slows_transfers () =
+  let normal = Scenario.run small_spec in
+  let degraded =
+    Scenario.run { small_spec with Scenario.faults = [ Faults.ejb_network ] }
+  in
+  Alcotest.(check bool) "mean RT worse on 10 Mbps" true
+    (degraded.Scenario.summary.Metrics.mean_rt_s > normal.Scenario.summary.Metrics.mean_rt_s)
+
+let test_scenario_ejb_delay_slows () =
+  let normal = Scenario.run small_spec in
+  let delayed = Scenario.run { small_spec with Scenario.faults = [ Faults.ejb_delay ] } in
+  Alcotest.(check bool) "mean RT worse with EJB delay" true
+    (delayed.Scenario.summary.Metrics.mean_rt_s
+    > normal.Scenario.summary.Metrics.mean_rt_s +. 0.02)
+
+let test_scenario_db_lock_slows_writes () =
+  let spec = { small_spec with Scenario.mix = Workload.Browse_only } in
+  let normal = Scenario.run spec in
+  let locked = Scenario.run { spec with Scenario.faults = [ Faults.database_lock ] } in
+  Alcotest.(check bool) "locking raises RT" true
+    (locked.Scenario.summary.Metrics.mean_rt_s > normal.Scenario.summary.Metrics.mean_rt_s)
+
+let test_max_threads_bottleneck () =
+  (* Many clients on a tiny thread pool: RT inflates vs an ample pool. *)
+  let spec = { small_spec with Scenario.clients = 120; time_scale = 0.02 } in
+  let tight = Scenario.run { spec with Scenario.max_threads = 4 } in
+  let ample = Scenario.run { spec with Scenario.max_threads = 250 } in
+  Alcotest.(check bool) "tight pool slower" true
+    (tight.Scenario.summary.Metrics.mean_rt_s
+    > 2.0 *. ample.Scenario.summary.Metrics.mean_rt_s);
+  Alcotest.(check bool) "queue observed" true (tight.app.Service.peak_queued_jobs > 0)
+
+let test_probe_overhead_visible () =
+  let on = Scenario.run small_spec in
+  let off = Scenario.run { small_spec with Scenario.tracing = false } in
+  let d = on.Scenario.summary.Metrics.mean_rt_s -. off.Scenario.summary.Metrics.mean_rt_s in
+  Alcotest.(check bool) "tracing adds a small delay" true (d > 0.0);
+  Alcotest.(check bool) "but under 30%" true
+    (d < 0.3 *. off.Scenario.summary.Metrics.mean_rt_s)
+
+let prop_scenario_gt_consistent =
+  QCheck.Test.make ~name:"oracle visits are well-formed for any seed" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let outcome = Scenario.run { small_spec with Scenario.seed; clients = 8 } in
+      List.for_all
+        (fun (r : Trace.Ground_truth.request) ->
+          r.visits <> []
+          && List.for_all
+               (fun (v : Trace.Ground_truth.visit) -> Sim_time.(v.begin_ts <= v.end_ts))
+               r.visits
+          && String.equal (List.hd r.visits).context.Trace.Activity.program "httpd")
+        (Trace.Ground_truth.requests outcome.Scenario.ground_truth))
+
+let () =
+  Alcotest.run "tiersim"
+    [
+      ( "locking",
+        [
+          Alcotest.test_case "fifo mutex" `Quick test_mutex_fifo;
+          Alcotest.test_case "release unheld" `Quick test_mutex_release_unheld;
+          Alcotest.test_case "with_lock" `Quick test_with_lock;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "capacity" `Quick test_semaphore_capacity;
+          Alcotest.test_case "release unheld" `Quick test_semaphore_release_unheld;
+          qtest prop_semaphore_model;
+          qtest prop_mutex_mutual_exclusion;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "summary" `Quick test_metrics_summary;
+          Alcotest.test_case "window" `Quick test_metrics_window;
+          Alcotest.test_case "kinds" `Quick test_metrics_kinds;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "weights positive" `Quick test_workload_weights_positive;
+          Alcotest.test_case "browse mix read-only" `Quick test_workload_browse_has_no_writes;
+          Alcotest.test_case "default mix has writes" `Quick test_workload_default_has_writes;
+          Alcotest.test_case "plans sane" `Quick test_workload_plan_sane;
+          Alcotest.test_case "sample_kind" `Quick test_workload_sample_kind;
+          Alcotest.test_case "ViewItem locks items" `Quick test_workload_viewitem_locks_items;
+        ] );
+      ( "worker_pool",
+        [
+          Alcotest.test_case "dispatch and queue" `Quick test_pool_dispatch_and_queue;
+          Alcotest.test_case "process identities" `Quick test_pool_identities;
+          Alcotest.test_case "thread identities share pid" `Quick
+            test_pool_thread_identity_shares_pid;
+        ] );
+      ("faults", [ Alcotest.test_case "names" `Quick test_fault_names ]);
+      ( "scenario",
+        [
+          Alcotest.test_case "runs to completion" `Quick test_scenario_runs_and_completes;
+          Alcotest.test_case "deterministic" `Quick test_scenario_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_scenario_seed_changes_run;
+          Alcotest.test_case "tracing off" `Quick test_scenario_tracing_off;
+          Alcotest.test_case "EJB_Network slows" `Quick test_scenario_ejb_network_slows_transfers;
+          Alcotest.test_case "EJB_Delay slows" `Quick test_scenario_ejb_delay_slows;
+          Alcotest.test_case "Database_Lock slows" `Quick test_scenario_db_lock_slows_writes;
+          Alcotest.test_case "MaxThreads bottleneck" `Quick test_max_threads_bottleneck;
+          Alcotest.test_case "probe overhead small" `Quick test_probe_overhead_visible;
+          qtest prop_scenario_gt_consistent;
+        ] );
+    ]

@@ -1,0 +1,424 @@
+(* Tests for the TCP_TRACE layer: activities, raw format, logs, probe,
+   noise, loss, ground truth. *)
+
+module H = Test_helpers.Helpers
+module Activity = Trace.Activity
+module Raw_format = Trace.Raw_format
+module Log = Trace.Log
+module Probe = Trace.Probe
+module Ground_truth = Trace.Ground_truth
+module Loss = Trace.Loss
+module Sim_time = Simnet.Sim_time
+module Rng = Simnet.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Activity ---- *)
+
+let test_kind_priority () =
+  let open Activity in
+  Alcotest.(check (list int)) "BEGIN<SEND<END<RECEIVE" [ 0; 1; 2; 3 ]
+    (List.map kind_priority [ Begin; Send; End_; Receive ])
+
+let test_kind_strings () =
+  List.iter
+    (fun k ->
+      match Activity.kind_of_string (Activity.kind_to_string k) with
+      | Some k' -> Alcotest.(check bool) "roundtrip" true (Activity.equal_kind k k')
+      | None -> Alcotest.fail "kind roundtrip")
+    [ Activity.Begin; Activity.End_; Activity.Send; Activity.Receive ];
+  Alcotest.(check bool) "unknown" true (Activity.kind_of_string "NOPE" = None)
+
+let test_compare_by_time () =
+  let a = H.act ~kind:Activity.Send ~ts:5 ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:1 in
+  let b = H.act ~kind:Activity.Send ~ts:9 ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:1 in
+  Alcotest.(check bool) "earlier first" true (Activity.compare_by_time a b < 0);
+  let c = H.act ~kind:Activity.Begin ~ts:5 ~ctx:H.web_ctx ~flow:H.client_web_flow ~size:1 in
+  Alcotest.(check bool) "tie broken by kind priority" true (Activity.compare_by_time c a < 0)
+
+let test_context_equality () =
+  let c1 = H.ctx ~host:"h" ~program:"p" ~pid:1 ~tid:2 () in
+  let c2 = H.ctx ~host:"h" ~program:"p" ~pid:1 ~tid:2 () in
+  let c3 = H.ctx ~host:"h" ~program:"p" ~pid:1 ~tid:3 () in
+  Alcotest.(check bool) "equal" true (Activity.equal_context c1 c2);
+  Alcotest.(check bool) "tid distinguishes" false (Activity.equal_context c1 c3);
+  Alcotest.(check int) "hash consistent" (Activity.hash_context c1) (Activity.hash_context c2)
+
+(* ---- Raw format ---- *)
+
+let sample_activity =
+  H.act ~kind:Activity.Send ~ts:123_456_789 ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:552
+
+let test_raw_line () =
+  Alcotest.(check string) "format matches the paper's layout"
+    "123456789 web httpd 10 10 SEND 10.0.1.1:41000-10.0.2.1:8009 552"
+    (Raw_format.to_line sample_activity)
+
+let test_raw_roundtrip () =
+  match Raw_format.of_line (Raw_format.to_line sample_activity) with
+  | Ok a -> Alcotest.(check bool) "equal" true (Activity.equal a sample_activity)
+  | Error e -> Alcotest.fail e
+
+let test_raw_errors () =
+  let bad =
+    [
+      "";
+      "only three fields here";
+      "x web httpd 10 10 SEND 1.1.1.1:1-2.2.2.2:2 5";
+      "1 web httpd 10 10 NOPE 1.1.1.1:1-2.2.2.2:2 5";
+      "1 web httpd 10 10 SEND 1.1.1:1-2.2.2.2:2 5";
+      "1 web httpd 10 10 SEND 1.1.1.1:x-2.2.2.2:2 5";
+      "1 web httpd 10 10 SEND 1.1.1.1:1+2.2.2.2:2 5";
+      "1 web httpd ten 10 SEND 1.1.1.1:1-2.2.2.2:2 5";
+      "1 web httpd 10 10 SEND 1.1.1.1:1-2.2.2.2:2 five";
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Raw_format.of_line line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    bad
+
+let arbitrary_activity =
+  let open QCheck.Gen in
+  let kind = oneofl [ Activity.Begin; Activity.End_; Activity.Send; Activity.Receive ] in
+  let octet = int_range 0 255 in
+  let gen =
+    kind >>= fun kind ->
+    int_range 0 1_000_000_000 >>= fun ts ->
+    oneofl [ "web1"; "app1"; "db9" ] >>= fun host ->
+    oneofl [ "httpd"; "java"; "mysqld"; "x" ] >>= fun program ->
+    int_range 1 65_535 >>= fun pid ->
+    int_range 1 65_535 >>= fun tid ->
+    quad octet octet octet octet >>= fun (a, b, c, d) ->
+    int_range 1 65_535 >>= fun sport ->
+    int_range 1 65_535 >>= fun dport ->
+    int_range 1 1_000_000 >>= fun size ->
+    let flow =
+      H.flow (Printf.sprintf "%d.%d.%d.%d" a b c d) sport
+        (Printf.sprintf "%d.%d.%d.%d" d c b a) dport
+    in
+    return (H.act ~kind ~ts ~ctx:(H.ctx ~host ~program ~pid ~tid ()) ~flow ~size)
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Activity.pp) gen
+
+let prop_raw_roundtrip =
+  QCheck.Test.make ~name:"raw format print/parse is the identity" ~count:500
+    arbitrary_activity (fun a ->
+      match Raw_format.of_line (Raw_format.to_line a) with
+      | Ok a' -> Activity.equal a a'
+      | Error _ -> false)
+
+(* ---- Log ---- *)
+
+let test_log_append_order () =
+  let log = Log.create ~hostname:"n" in
+  Log.append log (H.act ~kind:Activity.Send ~ts:1 ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:1);
+  Log.append log (H.act ~kind:Activity.Send ~ts:1 ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:2);
+  Log.append log (H.act ~kind:Activity.Send ~ts:5 ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:3);
+  Alcotest.(check int) "length" 3 (Log.length log);
+  match
+    Log.append log (H.act ~kind:Activity.Send ~ts:2 ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:4)
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "regression accepted"
+
+let test_log_of_list_sorts () =
+  let acts =
+    [
+      H.act ~kind:Activity.Send ~ts:9 ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:1;
+      H.act ~kind:Activity.Send ~ts:3 ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:2;
+    ]
+  in
+  let log = Log.of_list ~hostname:"n" acts in
+  let ts = List.map (fun a -> Sim_time.to_ns a.Activity.timestamp) (Log.to_list log) in
+  Alcotest.(check (list int)) "sorted" [ 3; 9 ] ts
+
+let test_log_save_load () =
+  let dir = Filename.temp_file "pt" "" in
+  Sys.remove dir;
+  let collection = H.logs_of_request () in
+  Log.save collection ~dir;
+  (match Log.load ~dir with
+  | Ok loaded ->
+      Alcotest.(check int) "same node count" (List.length collection) (List.length loaded);
+      Alcotest.(check int) "same total" (Log.total collection) (Log.total loaded);
+      let by_host = List.sort (fun a b -> String.compare (Log.hostname a) (Log.hostname b)) in
+      let collection = by_host collection and loaded = by_host loaded in
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) "hostname" (Log.hostname a) (Log.hostname b);
+          List.iter2
+            (fun x y -> Alcotest.(check bool) "activity" true (Activity.equal x y))
+            (Log.to_list a) (Log.to_list b))
+        collection loaded
+  | Error e -> Alcotest.fail e);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_map_activities () =
+  let collection = H.logs_of_request () in
+  let only_sends =
+    Log.map_activities
+      (fun a -> if Activity.equal_kind a.Activity.kind Activity.Send then Some a else None)
+      collection
+  in
+  Alcotest.(check int) "four sends" 4 (Log.total only_sends)
+
+(* ---- Probe ---- *)
+
+let traced_run ?only ?(enable = true) () =
+  let engine = Simnet.Engine.create () in
+  let stack = Simnet.Tcp.create_stack ~engine in
+  let node name ip skew =
+    Simnet.Node.create ~engine ~hostname:name ~ip:(Simnet.Address.ip_of_string ip) ~cores:1
+      ~clock:(Simnet.Clock.create ~skew ())
+      ()
+  in
+  let a = node "alpha" "10.0.0.1" (Sim_time.ms 7) in
+  let b = node "beta" "10.0.0.2" Sim_time.span_zero in
+  let probe = Probe.attach ~stack ?only () in
+  if enable then Probe.enable probe;
+  let server = Simnet.Node.spawn b ~program:"server" in
+  Simnet.Tcp.listen stack b ~port:9000 ~accept:(fun sock ->
+      Simnet.Tcp.recv stack sock ~proc:server ~max:4096 ~k:(fun _ -> ()));
+  let client = Simnet.Node.spawn a ~program:"client" in
+  Simnet.Tcp.connect stack ~node:a ~proc:client
+    ~dst:(Simnet.Address.endpoint (Simnet.Node.ip b) 9000)
+    ~k:(fun sock -> Simnet.Tcp.send stack sock ~proc:client ~size:77 ~k:(fun () -> ()));
+  Simnet.Engine.run engine;
+  probe
+
+let test_probe_records () =
+  let probe = traced_run () in
+  Alcotest.(check int) "two activities" 2 (Probe.activity_count probe);
+  let logs = Probe.logs probe in
+  Alcotest.(check (list string)) "hosts" [ "alpha"; "beta" ] (List.map Log.hostname logs);
+  let alpha = List.hd logs in
+  match Log.to_list alpha with
+  | [ a ] ->
+      Alcotest.(check bool) "send kind" true (Activity.equal_kind a.Activity.kind Activity.Send);
+      Alcotest.(check bool) "timestamp reflects 7ms skew" true
+        (Sim_time.to_ns a.Activity.timestamp >= 7_000_000)
+  | _ -> Alcotest.fail "expected one activity on alpha"
+
+let test_probe_disabled () =
+  let probe = traced_run ~enable:false () in
+  Alcotest.(check int) "nothing logged" 0 (Probe.activity_count probe)
+
+let test_probe_only_filter () =
+  let probe = traced_run ~only:[ "beta" ] () in
+  let logs = Probe.logs probe in
+  Alcotest.(check (list string)) "only beta" [ "beta" ] (List.map Log.hostname logs);
+  Alcotest.(check int) "one activity" 1 (Probe.activity_count probe)
+
+(* ---- Loss ---- *)
+
+let test_loss_none_and_all () =
+  let collection = H.logs_of_request () in
+  let rng = Rng.create ~seed:1 in
+  Alcotest.(check int) "p=0 drops nothing" (Log.total collection)
+    (Log.total (Loss.drop ~rng ~p:0.0 collection));
+  Alcotest.(check int) "p=1 drops all" 0 (Log.total (Loss.drop ~rng ~p:1.0 collection))
+
+let test_loss_kind () =
+  let collection = H.logs_of_request () in
+  let rng = Rng.create ~seed:1 in
+  let dropped = Loss.drop_kind ~rng ~p:1.0 ~kind:Activity.Receive collection in
+  let kinds = List.concat_map Log.to_list dropped |> List.map (fun a -> a.Activity.kind) in
+  Alcotest.(check bool) "no receives left" true
+    (not (List.exists (Activity.equal_kind Activity.Receive) kinds));
+  Alcotest.(check int) "others kept" 6 (List.length kinds)
+
+let prop_loss_rate =
+  QCheck.Test.make ~name:"loss rate roughly honoured" ~count:20
+    QCheck.(int_range 0 100)
+    (fun pct ->
+      let p = float_of_int pct /. 100.0 in
+      let acts =
+        List.init 2000 (fun i ->
+            H.act ~kind:Activity.Send ~ts:i ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:1)
+      in
+      let collection = [ Log.of_list ~hostname:"n" acts ] in
+      let rng = Rng.create ~seed:(pct + 1) in
+      let kept = Log.total (Loss.drop ~rng ~p collection) in
+      let expected = 2000.0 *. (1.0 -. p) in
+      abs_float (float_of_int kept -. expected) < 120.0)
+
+(* ---- Binary format ---- *)
+
+let text_size collection =
+  List.fold_left
+    (fun acc log ->
+      List.fold_left
+        (fun acc a -> acc + String.length (Raw_format.to_line a) + 1)
+        acc (Log.to_list log))
+    0 collection
+
+let test_binary_roundtrip () =
+  let outcome =
+    Tiersim.Scenario.run
+      { Tiersim.Scenario.default with Tiersim.Scenario.clients = 10; time_scale = 0.02 }
+  in
+  let collection = outcome.Tiersim.Scenario.logs in
+  match Trace.Binary_format.decode (Trace.Binary_format.encode collection) with
+  | Error e -> Alcotest.fail e
+  | Ok loaded ->
+      Alcotest.(check int) "log count" (List.length collection) (List.length loaded);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) "hostname" (Log.hostname a) (Log.hostname b);
+          Alcotest.(check int) "length" (Log.length a) (Log.length b);
+          List.iter2
+            (fun x y -> Alcotest.(check bool) "activity" true (Activity.equal x y))
+            (Log.to_list a) (Log.to_list b))
+        collection loaded
+
+let test_binary_smaller_than_text () =
+  let outcome =
+    Tiersim.Scenario.run
+      { Tiersim.Scenario.default with Tiersim.Scenario.clients = 30; time_scale = 0.02 }
+  in
+  let collection = outcome.Tiersim.Scenario.logs in
+  let binary = String.length (Trace.Binary_format.encode collection) in
+  let text = text_size collection in
+  Alcotest.(check bool)
+    (Printf.sprintf "binary %d < text %d / 3" binary text)
+    true
+    (binary * 3 < text)
+
+let test_binary_rejects_corruption () =
+  let collection = H.logs_of_request () in
+  let encoded = Trace.Binary_format.encode collection in
+  (match Trace.Binary_format.decode "nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad magic accepted");
+  (match Trace.Binary_format.decode (String.sub encoded 0 (String.length encoded / 2)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncation accepted");
+  (match Trace.Binary_format.decode (encoded ^ "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Trace.Binary_format.decode encoded with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_binary_file_io () =
+  let collection = H.logs_of_request () in
+  let path = Filename.temp_file "pt" ".ptb" in
+  Trace.Binary_format.save collection ~path;
+  (match Trace.Binary_format.load ~path with
+  | Ok loaded -> Alcotest.(check int) "total" (Log.total collection) (Log.total loaded)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let prop_binary_roundtrip =
+  QCheck.Test.make ~name:"binary roundtrip on arbitrary activities" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 30) arbitrary_activity)
+    (fun acts ->
+      let collection = [ Log.of_list ~hostname:"n1" acts ] in
+      match Trace.Binary_format.decode (Trace.Binary_format.encode collection) with
+      | Ok [ loaded ] ->
+          List.for_all2 Activity.equal (Log.to_list (List.hd collection)) (Log.to_list loaded)
+      | Ok _ | Error _ -> false)
+
+(* ---- Ground truth ---- *)
+
+let test_gt_lifecycle () =
+  let gt = Ground_truth.create () in
+  Ground_truth.begin_visit gt ~id:1 ~kind:"ViewItem" ~context:H.web_ctx
+    ~ts:(Sim_time.of_ns 10);
+  Ground_truth.begin_visit gt ~id:1 ~kind:"ViewItem" ~context:H.app_ctx
+    ~ts:(Sim_time.of_ns 20);
+  Ground_truth.end_visit gt ~id:1 ~context:H.app_ctx ~ts:(Sim_time.of_ns 30);
+  Ground_truth.end_visit gt ~id:1 ~context:H.web_ctx ~ts:(Sim_time.of_ns 40);
+  Alcotest.(check int) "not completed yet" 0 (Ground_truth.count gt);
+  Ground_truth.complete gt ~id:1;
+  Alcotest.(check int) "completed" 1 (Ground_truth.count gt);
+  match Ground_truth.requests gt with
+  | [ r ] ->
+      Alcotest.(check int) "id" 1 r.Ground_truth.id;
+      Alcotest.(check string) "kind" "ViewItem" r.kind;
+      Alcotest.(check int) "two visits" 2 (List.length r.visits);
+      let first = List.hd r.visits in
+      Alcotest.(check bool) "first visit is web" true
+        (Activity.equal_context first.Ground_truth.context H.web_ctx);
+      Alcotest.(check int) "interval end" 40 (Sim_time.to_ns first.end_ts)
+  | _ -> Alcotest.fail "one request expected"
+
+let test_gt_repeat_visits () =
+  let gt = Ground_truth.create () in
+  Ground_truth.begin_visit gt ~id:2 ~kind:"X" ~context:H.db_ctx ~ts:(Sim_time.of_ns 100);
+  Ground_truth.end_visit gt ~id:2 ~context:H.db_ctx ~ts:(Sim_time.of_ns 150);
+  (* A second query on the same context extends the interval but keeps the
+     earliest begin. *)
+  Ground_truth.begin_visit gt ~id:2 ~kind:"X" ~context:H.db_ctx ~ts:(Sim_time.of_ns 200);
+  Ground_truth.end_visit gt ~id:2 ~context:H.db_ctx ~ts:(Sim_time.of_ns 250);
+  Ground_truth.complete gt ~id:2;
+  match Ground_truth.requests gt with
+  | [ { Ground_truth.visits = [ v ]; _ } ] ->
+      Alcotest.(check int) "begin kept" 100 (Sim_time.to_ns v.Ground_truth.begin_ts);
+      Alcotest.(check int) "end extended" 250 (Sim_time.to_ns v.end_ts)
+  | _ -> Alcotest.fail "one merged visit expected"
+
+let test_gt_errors () =
+  let gt = Ground_truth.create () in
+  (match Ground_truth.end_visit gt ~id:9 ~context:H.web_ctx ~ts:Sim_time.zero with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "unknown request accepted");
+  match Ground_truth.complete gt ~id:9 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "unknown completion accepted"
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "activity",
+        [
+          Alcotest.test_case "kind priority" `Quick test_kind_priority;
+          Alcotest.test_case "kind strings" `Quick test_kind_strings;
+          Alcotest.test_case "compare_by_time" `Quick test_compare_by_time;
+          Alcotest.test_case "context equality" `Quick test_context_equality;
+        ] );
+      ( "raw_format",
+        [
+          Alcotest.test_case "line layout" `Quick test_raw_line;
+          Alcotest.test_case "roundtrip" `Quick test_raw_roundtrip;
+          Alcotest.test_case "malformed lines rejected" `Quick test_raw_errors;
+          qtest prop_raw_roundtrip;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "append enforces order" `Quick test_log_append_order;
+          Alcotest.test_case "of_list sorts" `Quick test_log_of_list_sorts;
+          Alcotest.test_case "save/load roundtrip" `Quick test_log_save_load;
+          Alcotest.test_case "map_activities" `Quick test_map_activities;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "records with local clocks" `Quick test_probe_records;
+          Alcotest.test_case "disabled logs nothing" `Quick test_probe_disabled;
+          Alcotest.test_case "host filter" `Quick test_probe_only_filter;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "p=0 and p=1" `Quick test_loss_none_and_all;
+          Alcotest.test_case "kind-selective" `Quick test_loss_kind;
+          qtest prop_loss_rate;
+        ] );
+      ( "binary_format",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_binary_roundtrip;
+          Alcotest.test_case "compression vs text" `Quick test_binary_smaller_than_text;
+          Alcotest.test_case "corruption rejected" `Quick test_binary_rejects_corruption;
+          Alcotest.test_case "file io" `Quick test_binary_file_io;
+          qtest prop_binary_roundtrip;
+        ] );
+      ( "ground_truth",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_gt_lifecycle;
+          Alcotest.test_case "repeat visits merge" `Quick test_gt_repeat_visits;
+          Alcotest.test_case "errors" `Quick test_gt_errors;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+(* Random multi-tier topologies for property testing.
+
+   Generates an arbitrary synchronous-RPC service: K tiers on K nodes, each
+   request executing a random call tree (sequential sub-calls, arbitrary
+   tiers, bounded depth/fanout), with random message sizes and chunking,
+   random per-node clock skews, and several concurrent closed-loop clients.
+   The ground truth is recorded exactly as the real testbed records it, so
+   the PreciseTracer accuracy property can be checked far beyond the
+   RUBiS-shaped pipeline. *)
+
+module Address = Simnet.Address
+module Clock = Simnet.Clock
+module Cpu = Simnet.Cpu
+module Engine = Simnet.Engine
+module Messaging = Simnet.Messaging
+module Node = Simnet.Node
+module Rng = Simnet.Rng
+module Sim_time = Simnet.Sim_time
+module Tcp = Simnet.Tcp
+module Activity = Trace.Activity
+module Ground_truth = Trace.Ground_truth
+
+type call = {
+  tier : int;
+  request_size : int;
+  compute_before : Sim_time.span;
+  subcalls : call list;  (* executed sequentially *)
+  compute_after : Sim_time.span;
+  response_size : int;
+}
+
+type plan = { id : int; root : call }
+
+type Messaging.payload += Call_payload of { id : int; call : call }
+
+type spec = {
+  tiers : int;  (* >= 2: tier 0 is the entry *)
+  clients : int;
+  requests_per_client : int;
+  max_depth : int;
+  max_fanout : int;
+  max_skew : Sim_time.span;
+  chunk : int;  (* send chunk size: small values force n-to-n merging *)
+  seed : int;
+}
+
+let default_spec =
+  {
+    tiers = 3;
+    clients = 4;
+    requests_per_client = 5;
+    max_depth = 3;
+    max_fanout = 2;
+    max_skew = Sim_time.ms 50;
+    chunk = 4096;
+    seed = 1;
+  }
+
+let gen_size rng lo hi = lo + Rng.int rng (hi - lo + 1)
+
+(* Internal calls never target tier 0: its port is the service's entry
+   endpoint, reserved for external clients (calling it would make the
+   callee's receives look like new requests) - nor the caller itself
+   (self-RPC would deadlock a synchronous handler). *)
+let targets spec ~from_tier =
+  List.filter (fun t -> t <> from_tier) (List.init (spec.tiers - 1) (fun i -> i + 1))
+
+let rec gen_call rng spec ~depth ~from_tier =
+  let candidates = targets spec ~from_tier in
+  let tier = List.nth candidates (Rng.int rng (List.length candidates)) in
+  let fanout =
+    if depth >= spec.max_depth || targets spec ~from_tier:tier = [] then 0
+    else Rng.int rng (spec.max_fanout + 1)
+  in
+  let subcalls =
+    List.init fanout (fun _ -> gen_call rng spec ~depth:(depth + 1) ~from_tier:tier)
+  in
+  {
+    tier;
+    request_size = gen_size rng 64 2048;
+    compute_before = Sim_time.us (gen_size rng 50 2000);
+    subcalls;
+    compute_after = Sim_time.us (gen_size rng 50 1000);
+    response_size = gen_size rng 128 30_000;
+  }
+
+let gen_root rng spec =
+  let fanout = 1 + Rng.int rng spec.max_fanout in
+  let subcalls = List.init fanout (fun _ -> gen_call rng spec ~depth:1 ~from_tier:0) in
+  {
+    tier = 0;
+    request_size = gen_size rng 64 1024;
+    compute_before = Sim_time.us (gen_size rng 100 2000);
+    subcalls;
+    compute_after = Sim_time.us (gen_size rng 100 1000);
+    response_size = gen_size rng 256 30_000;
+  }
+
+type built = {
+  engine : Engine.t;
+  probe : Trace.Probe.t;
+  gt : Ground_truth.t;
+  entry : Address.endpoint;
+  hostnames : string list;
+}
+
+let build spec =
+  assert (spec.tiers >= 2);
+  let engine = Engine.create () in
+  let stack = Tcp.create_stack ~engine in
+  let messaging = Messaging.create stack in
+  let rng = Rng.create ~seed:spec.seed in
+  let gt = Ground_truth.create () in
+  let skew_of i =
+    let magnitude = Sim_time.span_ns spec.max_skew in
+    if magnitude = 0 then Sim_time.span_zero
+    else Sim_time.ns (Rng.int (Rng.split rng (Printf.sprintf "skew-%d" i)) (2 * magnitude) - magnitude)
+  in
+  let nodes =
+    Array.init spec.tiers (fun i ->
+        Node.create ~engine
+          ~hostname:(Printf.sprintf "tier%d" i)
+          ~ip:(Address.ip_of_string (Printf.sprintf "10.9.%d.1" i))
+          ~cores:2
+          ~clock:(Clock.create ~skew:(skew_of i) ())
+          ())
+  in
+  let client_node =
+    Node.create ~engine ~hostname:"clients" ~ip:(Address.ip_of_string "10.9.99.1") ~cores:2 ()
+  in
+  let hostnames = Array.to_list (Array.map Node.hostname nodes) in
+  let probe = Trace.Probe.attach ~stack ~only:hostnames () in
+  Trace.Probe.enable probe;
+  let port_of tier = 7000 + tier in
+  let context node (proc : Simnet.Proc.t) =
+    {
+      Activity.host = Node.hostname node;
+      program = proc.Simnet.Proc.program;
+      pid = proc.pid;
+      tid = proc.tid;
+    }
+  in
+  (* Each tier: thread-per-connection server executing call subtrees.
+     Threads keep one connection per downstream tier. *)
+  let serve_conn tier sock proc =
+    let node = nodes.(tier) in
+    let conns = Hashtbl.create 4 in
+    let with_conn target k =
+      match Hashtbl.find_opt conns target with
+      | Some c -> k c
+      | None ->
+          Tcp.connect stack ~node ~proc
+            ~dst:(Address.endpoint (Node.ip nodes.(target)) (port_of target))
+            ~k:(fun c ->
+              Hashtbl.replace conns target c;
+              k c)
+    in
+    let rec subcalls_loop id calls k =
+      match calls with
+      | [] -> k ()
+      | call :: rest ->
+          with_conn call.tier (fun c ->
+              Messaging.send_message messaging c ~proc ~size:call.request_size
+                ~chunk:spec.chunk
+                ~payload:(Call_payload { id; call })
+                ~k:(fun () ->
+                  Messaging.recv_message messaging c ~proc
+                    ~k:(fun (_ : Messaging.msg) -> subcalls_loop id rest k)
+                    ())
+                ())
+    in
+    let rec next () =
+      Messaging.recv_message messaging sock ~proc
+        ~k:(fun (m : Messaging.msg) ->
+          if m.size = 0 then begin
+            Hashtbl.iter (fun _ c -> Tcp.close stack c) conns;
+            Tcp.close stack sock
+          end
+          else
+            match m.payload with
+            | Some (Call_payload { id; call }) ->
+                let ctx = context node proc in
+                Ground_truth.begin_visit gt ~id ~kind:"topo" ~context:ctx
+                  ~ts:(Node.local_time node);
+                Cpu.submit (Node.cpu node) ~work:call.compute_before (fun () ->
+                    subcalls_loop id call.subcalls (fun () ->
+                        Cpu.submit (Node.cpu node) ~work:call.compute_after (fun () ->
+                            Ground_truth.end_visit gt ~id ~context:ctx
+                              ~ts:(Node.local_time node);
+                            Messaging.send_message messaging sock ~proc
+                              ~size:call.response_size ~chunk:spec.chunk ~k:next ())))
+            | Some _ | None -> failwith "topo: unexpected payload")
+        ()
+    in
+    next ()
+  in
+  Array.iteri
+    (fun tier node ->
+      let main = Node.spawn node ~program:(Printf.sprintf "svc%d" tier) in
+      Tcp.listen stack node ~port:(port_of tier) ~accept:(fun sock ->
+          let proc = Node.spawn_thread node ~of_:main in
+          serve_conn tier sock proc))
+    nodes;
+  (* Closed-loop clients issuing random call trees at the entry tier. *)
+  let next_id = ref 0 in
+  for c = 0 to spec.clients - 1 do
+    let crng = Rng.split rng (Printf.sprintf "client-%d" c) in
+    let proc = Node.spawn client_node ~program:"loadgen" in
+    let start = Rng.uniform_span crng ~lo:(Sim_time.ms 1) ~hi:(Sim_time.ms 50) in
+    ignore
+      (Engine.schedule_after engine ~delay:start (fun () ->
+           Tcp.connect stack ~node:client_node ~proc
+             ~dst:(Address.endpoint (Node.ip nodes.(0)) (port_of 0))
+             ~k:(fun sock ->
+               let rec session remaining =
+                 if remaining = 0 then Tcp.close stack sock
+                 else begin
+                   let id = !next_id in
+                   incr next_id;
+                   let root = gen_root crng spec in
+                   (* Entry requests are single-send: small HTTP-like
+                      requests fit one syscall (DESIGN.md assumption #2). *)
+                   Messaging.send_message messaging sock ~proc ~size:root.request_size
+                     ~chunk:(max spec.chunk root.request_size)
+                     ~payload:(Call_payload { id; call = root })
+                     ~k:(fun () ->
+                       Messaging.recv_message messaging sock ~proc
+                         ~k:(fun (m : Messaging.msg) ->
+                           if m.size = 0 then ()
+                           else begin
+                             Ground_truth.complete gt ~id;
+                             let think =
+                               Rng.exponential_span crng ~mean:(Sim_time.ms 30)
+                             in
+                             ignore
+                               (Engine.schedule_after engine ~delay:think (fun () ->
+                                    session (remaining - 1)))
+                           end)
+                         ())
+                     ()
+                 end
+               in
+               session spec.requests_per_client)))
+  done;
+  { engine; probe; gt; entry = Address.endpoint (Node.ip nodes.(0)) (port_of 0); hostnames }
+
+(* Run the topology, correlate, and score. *)
+let run_and_score ?(window = Sim_time.ms 5) spec =
+  let b = build spec in
+  Engine.run b.engine;
+  let transform = Core.Transform.config ~entry_points:[ b.entry ] () in
+  let cfg = Core.Correlator.config ~transform ~window () in
+  let result = Core.Correlator.correlate cfg (Trace.Probe.logs b.probe) in
+  let verdict = Core.Accuracy.check ~ground_truth:b.gt result.Core.Correlator.cags in
+  (result, verdict, b)
