@@ -2,10 +2,15 @@
    evaluation (§5), plus the extensions listed in DESIGN.md.
 
    Usage: main.exe [--figure ID]... [--scale S] [--quick]
+                   [--telemetry FILE] [--telemetry-format prom|json|report]
      IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro all
    Default: everything, at time_scale 0.1 (stage durations shrunk 10x;
    service times, think times and all rates untouched, so shapes match the
-   paper's full-length runs). *)
+   paper's full-length runs).
+
+   --telemetry emits a self-profile of the pipeline's own metrics (metric
+   catalogue in docs/TELEMETRY.md) alongside the tables, including a
+   pt_bench_figure_seconds{figure=...} wall-time histogram per figure. *)
 
 module S = Tiersim.Scenario
 module Workload = Tiersim.Workload
@@ -24,6 +29,8 @@ module ST = Simnet.Sim_time
 
 let time_scale = ref 0.1
 let quick = ref false
+let telemetry_out = ref None
+let telemetry_format = ref `Prom
 
 (* ---- memoised scenario runs and correlations ---- *)
 
@@ -725,6 +732,16 @@ let () =
     | "--quick" :: rest ->
         quick := true;
         parse rest
+    | "--telemetry" :: file :: rest ->
+        telemetry_out := Some file;
+        parse rest
+    | "--telemetry-format" :: fmt :: rest ->
+        (match fmt with
+        | "prom" -> telemetry_format := `Prom
+        | "json" -> telemetry_format := `Json
+        | "report" -> telemetry_format := `Report
+        | _ -> Printf.eprintf "unknown telemetry format %S (prom|json|report)\n" fmt);
+        parse rest
     | arg :: rest ->
         Printf.eprintf "unknown argument %S\n" arg;
         parse rest
@@ -749,4 +766,28 @@ let () =
      absolute numbers are not (simulated substrate).\n\n"
     !time_scale
     (if !quick then ", quick grids" else "");
-  List.iter (fun (_, f) -> f ()) figures
+  List.iter
+    (fun (name, f) ->
+      Telemetry.Registry.(
+        time default ~labels:[ ("figure", name) ] "pt_bench_figure_seconds" f))
+    figures;
+  match !telemetry_out with
+  | None -> ()
+  | Some file ->
+      let families = Telemetry.Registry.(snapshot default) in
+      let body =
+        match !telemetry_format with
+        | `Prom -> Telemetry.Export.to_prometheus families
+        | `Json -> Telemetry.Export.to_json_string families ^ "\n"
+        | `Report -> Core.Telemetry_report.render families
+      in
+      if String.equal file "-" then print_string body
+      else begin
+        match open_out file with
+        | oc ->
+            Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body);
+            Printf.printf "telemetry self-profile written to %s\n" file
+        | exception Sys_error msg ->
+            Printf.eprintf "cannot write telemetry: %s\n" msg;
+            exit 1
+      end

@@ -98,6 +98,48 @@ let spec_term =
 
 let window_of ms = ST.span_of_float_s (ms /. 1e3)
 
+(* ---- telemetry self-profile ---- *)
+
+let telemetry_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Write the pipeline's own metrics (correlator, simnet, probe; see docs/TELEMETRY.md) \
+           to $(docv) after the run; \"-\" writes to stdout.")
+
+let telemetry_format =
+  Arg.(
+    value
+    & opt (enum [ ("prom", `Prom); ("json", `Json); ("report", `Report) ]) `Prom
+    & info [ "telemetry-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Self-profile format: $(b,prom) (Prometheus text exposition), $(b,json), or \
+           $(b,report) (human-readable tables).")
+
+let write_telemetry file format =
+  match file with
+  | None -> ()
+  | Some file ->
+      let families = Telemetry.Registry.(snapshot default) in
+      let body =
+        match format with
+        | `Prom -> Telemetry.Export.to_prometheus families
+        | `Json -> Telemetry.Export.to_json_string families ^ "\n"
+        | `Report -> Core.Telemetry_report.render families
+      in
+      if String.equal file "-" then print_string body
+      else begin
+        match open_out file with
+        | oc ->
+            Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body);
+            Format.printf "telemetry written to %s@." file
+        | exception Sys_error msg ->
+            Format.eprintf "cannot write telemetry: %s@." msg;
+            exit 1
+      end
+
 (* ---- simulate ---- *)
 
 let print_summary outcome =
@@ -121,10 +163,10 @@ let simulate_cmd =
       & info [ "binary" ]
           ~doc:"Save one compact binary file (traces.ptb) instead of per-node text files.")
   in
-  let run spec out binary =
+  let run spec out binary tfile tformat =
     let outcome = S.run spec in
     print_summary outcome;
-    match out with
+    (match out with
     | Some dir ->
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
         if binary then
@@ -135,11 +177,12 @@ let simulate_cmd =
         Format.printf "%s and ground_truth.txt written to %s@."
           (if binary then "traces.ptb" else "trace files")
           dir
-    | None -> ()
+    | None -> ());
+    write_telemetry tfile tformat
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the simulated three-tier testbed.")
-    Term.(const run $ spec_term $ out $ binary)
+    Term.(const run $ spec_term $ out $ binary $ telemetry_file $ telemetry_format)
 
 (* ---- correlate ---- *)
 
@@ -206,7 +249,7 @@ let correlate_cmd =
     if Sys.file_exists binary then Trace.Binary_format.load ~path:binary
     else Trace.Log.load ~dir
   in
-  let run dir window_ms entry json_out show =
+  let run dir window_ms entry json_out show tfile tformat =
     match load_traces dir with
     | Error e -> `Error (false, e)
     | Ok logs ->
@@ -238,16 +281,20 @@ let correlate_cmd =
               Format.printf "@.%a@." Core.Accuracy.pp_verdict verdict
           | Error e -> Format.printf "@.could not read %s: %s@." gt_path e
         end;
+        write_telemetry tfile tformat;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "correlate" ~doc:"Correlate saved trace files into causal paths.")
-    Term.(ret (const run $ dir $ window_ms $ entry_arg $ json_out $ show))
+    Term.(
+      ret
+        (const run $ dir $ window_ms $ entry_arg $ json_out $ show $ telemetry_file
+       $ telemetry_format))
 
 (* ---- evaluate ---- *)
 
 let evaluate_cmd =
-  let run spec window_ms =
+  let run spec window_ms tfile tformat =
     let outcome = S.run spec in
     print_summary outcome;
     let cfg =
@@ -258,11 +305,12 @@ let evaluate_cmd =
     let verdict =
       Core.Accuracy.check ~ground_truth:outcome.S.ground_truth result.Core.Correlator.cags
     in
-    Format.printf "@.%a@." Core.Accuracy.pp_verdict verdict
+    Format.printf "@.%a@." Core.Accuracy.pp_verdict verdict;
+    write_telemetry tfile tformat
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Simulate, correlate, and score accuracy against the oracle.")
-    Term.(const run $ spec_term $ window_ms)
+    Term.(const run $ spec_term $ window_ms $ telemetry_file $ telemetry_format)
 
 (* ---- diagnose ---- *)
 
@@ -272,7 +320,7 @@ let diagnose_cmd =
       value & opt int 300
       & info [ "baseline-clients" ] ~docv:"N" ~doc:"Client count of the healthy baseline run.")
   in
-  let run spec baseline_clients =
+  let run spec baseline_clients tfile tformat =
     let viewitem_avg spec =
       let outcome = S.run spec in
       let cfg = Core.Correlator.config ~transform:outcome.S.transform () in
@@ -290,14 +338,15 @@ let diagnose_cmd =
       viewitem_avg { spec with S.clients = baseline_clients; faults = []; max_threads = 250 }
     in
     let observed = viewitem_avg spec in
-    Format.printf "%a@." Core.Analysis.pp_report (Core.Analysis.diagnose ~baseline ~observed)
+    Format.printf "%a@." Core.Analysis.pp_report (Core.Analysis.diagnose ~baseline ~observed);
+    write_telemetry tfile tformat
   in
   Cmd.v
     (Cmd.info "diagnose"
        ~doc:
          "Compare the given configuration's latency-percentage profile against a healthy \
           baseline and rank suspect components.")
-    Term.(const run $ spec_term $ baseline_clients)
+    Term.(const run $ spec_term $ baseline_clients $ telemetry_file $ telemetry_format)
 
 let () =
   let info =

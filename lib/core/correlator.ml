@@ -1,4 +1,5 @@
 module Sim_time = Simnet.Sim_time
+module R = Telemetry.Registry
 
 type config = {
   transform : Transform.config;
@@ -26,9 +27,26 @@ type result = {
    proxy into familiar units. *)
 let bytes_per_record = 160
 
-let correlate_stream cfg collection ~on_path =
+let correlate_stream ?(telemetry = R.default) cfg collection ~on_path =
   let t0 = Unix.gettimeofday () in
-  let prepared = Transform.apply cfg.transform collection in
+  let activities_in =
+    R.counter telemetry ~help:"Activities entering the correlator after transform"
+      "pt_correlator_activities_total"
+  in
+  let commits =
+    R.counter telemetry ~help:"Candidates committed to the CAG engine"
+      "pt_correlator_commits_total"
+  in
+  let occupancy =
+    R.histogram telemetry
+      ~help:"Ranker window occupancy (buffered activities), sampled per candidate"
+      "pt_correlator_window_occupancy"
+  in
+  let prepared =
+    R.time telemetry ~labels:[ ("stage", "transform") ] "pt_correlator_stage_seconds" (fun () ->
+        Transform.apply cfg.transform collection)
+  in
+  R.add activities_in (Trace.Log.total prepared);
   let engine = Cag_engine.create ~on_finished:on_path () in
   let ranker =
     Ranker.create ~window:cfg.window ~skew_allowance:cfg.skew_allowance
@@ -44,6 +62,8 @@ let correlate_stream cfg collection ~on_path =
     | Some activity ->
         Cag_engine.step engine activity;
         incr steps;
+        R.incr commits;
+        Telemetry.Histogram.observe occupancy (float_of_int (Ranker.buffered ranker));
         (* Periodically evict unmatched sends that can no longer match:
            anything older than twice the skew allowance behind the
            correlation frontier. *)
@@ -61,16 +81,37 @@ let correlate_stream cfg collection ~on_path =
         if held > !peak then peak := held;
         loop ()
   in
-  loop ();
+  R.time telemetry ~labels:[ ("stage", "rank_correlate") ] "pt_correlator_stage_seconds" loop;
   let correlation_time = Unix.gettimeofday () -. t0 in
+  let cags = Cag_engine.finished engine in
+  let deformed = Cag_engine.unfinished engine in
+  let ranker_stats = Ranker.stats ranker in
+  let engine_stats = Cag_engine.stats engine in
+  Pipeline_metrics.add_ranker_stats telemetry ranker_stats;
+  Pipeline_metrics.add_engine_stats telemetry engine_stats;
+  R.add
+    (R.counter telemetry ~help:"Causal paths produced"
+       ~labels:[ ("state", "finished") ]
+       "pt_correlator_paths_total")
+    (List.length cags);
+  R.add
+    (R.counter telemetry ~help:"Causal paths produced"
+       ~labels:[ ("state", "deformed") ]
+       "pt_correlator_paths_total")
+    (List.length deformed);
+  R.set_max
+    (R.gauge telemetry ~help:"Peak simultaneously-held records (Fig. 11 memory proxy)"
+       "pt_correlator_peak_memory_records")
+    (float_of_int !peak);
   {
-    cags = Cag_engine.finished engine;
-    deformed = Cag_engine.unfinished engine;
-    ranker_stats = Ranker.stats ranker;
-    engine_stats = Cag_engine.stats engine;
+    cags;
+    deformed;
+    ranker_stats;
+    engine_stats;
     correlation_time;
     peak_memory_proxy = !peak;
     memory_bytes_estimate = !peak * bytes_per_record;
   }
 
-let correlate cfg collection = correlate_stream cfg collection ~on_path:(fun _ -> ())
+let correlate ?telemetry cfg collection =
+  correlate_stream ?telemetry cfg collection ~on_path:(fun _ -> ())

@@ -39,10 +39,18 @@ type result = {
       (** [peak_memory_proxy] scaled by a per-record footprint estimate. *)
 }
 
-val correlate : config -> Trace.Log.collection -> result
-(** Run the offline pipeline to completion. *)
+val correlate : ?telemetry:Telemetry.Registry.t -> config -> Trace.Log.collection -> result
+(** Run the offline pipeline to completion. The run also reports itself
+    into [telemetry] (default {!Telemetry.Registry.default}): per-stage
+    wall time, activities in, commits, window occupancy, the path counts,
+    and the full {!Ranker.stats}/{!Cag_engine.stats} mirror (see
+    docs/TELEMETRY.md for the catalogue). *)
 
 val correlate_stream :
-  config -> Trace.Log.collection -> on_path:(Cag.t -> unit) -> result
+  ?telemetry:Telemetry.Registry.t ->
+  config ->
+  Trace.Log.collection ->
+  on_path:(Cag.t -> unit) ->
+  result
 (** Same, invoking [on_path] as each causal path completes — the paper's
     intended online use. *)

@@ -1,22 +1,10 @@
-(** A minimal JSON emitter (no external dependency).
+(** A minimal JSON emitter and parser (no external dependency).
 
-    Only what exporting CAGs and reports needs: construction and compact
-    or indented serialisation, with correct string escaping. Parsing is
-    out of scope — this library produces JSON for other tools to read. *)
+    The implementation lives in {!Telemetry.Json} — the telemetry
+    exporters sit below [core] in the dependency order and need it — and
+    is re-exported here, type equalities and constructors included, so
+    [Core.Json.Obj], [Core.Json.to_string] and friends keep working. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-val to_string : ?indent:bool -> t -> string
-(** Compact by default; [~indent:true] pretty-prints with 2-space
-    indentation. Floats are emitted with enough digits to round-trip;
-    non-finite floats become [null]. *)
-
-val escape_string : string -> string
-(** The quoted, escaped JSON form of a string (exposed for tests). *)
+include module type of struct
+  include Telemetry.Json
+end

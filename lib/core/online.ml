@@ -1,11 +1,20 @@
 module Activity = Trace.Activity
+module Sim_time = Simnet.Sim_time
+module R = Telemetry.Registry
 
 type t = {
   transform : Transform.config;
   ranker : Ranker.t;
   engine : Cag_engine.t;
+  telemetry : R.t;
   mutable accepted : int;
   mutable resolved : int;
+  mutable watermark : Sim_time.t;  (* latest fed local timestamp, any host *)
+  mutable finished : bool;
+  m_observed : R.counter;
+  m_paths : R.counter;
+  m_pending : R.gauge;
+  m_lag : Telemetry.Histogram.t;
 }
 
 let drain t =
@@ -19,8 +28,27 @@ let drain t =
   in
   loop ()
 
-let create ~config ~hosts ?(on_path = fun _ -> ()) () =
-  let engine = Cag_engine.create ~on_finished:on_path () in
+let pending t =
+  let s = Ranker.stats t.ranker in
+  t.accepted - s.Ranker.candidates - s.Ranker.noise_discarded
+
+let create ~config ~hosts ?(on_path = fun _ -> ()) ?(telemetry = R.default) () =
+  let holder = ref None in
+  let engine =
+    Cag_engine.create
+      ~on_finished:(fun cag ->
+        (match !holder with
+        | Some t ->
+            R.incr t.m_paths;
+            (* Completion lag: how far the feed watermark has run past the
+               path's END when the path pops out — the "bounded lag" the
+               online mode promises. *)
+            let lag = Sim_time.span_to_float_s (Sim_time.diff t.watermark (Cag.end_ts cag)) in
+            Telemetry.Histogram.observe t.m_lag (Float.max 0.0 lag)
+        | None -> ());
+        on_path cag)
+      ()
+  in
   let ranker =
     Ranker.create_online ~window:config.Correlator.window
       ~skew_allowance:config.Correlator.skew_allowance
@@ -28,7 +56,31 @@ let create ~config ~hosts ?(on_path = fun _ -> ()) () =
       ~has_mmap_send:(Cag_engine.has_mmap_send engine)
       ~hosts ()
   in
-  { transform = config.Correlator.transform; ranker; engine; accepted = 0; resolved = 0 }
+  let t =
+    {
+      transform = config.Correlator.transform;
+      ranker;
+      engine;
+      telemetry;
+      accepted = 0;
+      resolved = 0;
+      watermark = Sim_time.zero;
+      finished = false;
+      m_observed =
+        R.counter telemetry ~help:"Activities accepted by the online correlator"
+          "pt_online_observed_total";
+      m_paths =
+        R.counter telemetry ~help:"Causal paths completed online" "pt_online_paths_total";
+      m_pending =
+        R.gauge telemetry ~help:"Activities accepted but not yet resolved" "pt_online_pending";
+      m_lag =
+        R.histogram telemetry
+          ~help:"Feed-watermark lead over a completing path's END, virtual seconds"
+          "pt_online_path_lag_seconds";
+    }
+  in
+  holder := Some t;
+  t
 
 let observe t raw =
   match Transform.classify t.transform raw with
@@ -36,22 +88,28 @@ let observe t raw =
   | Some activity ->
       Ranker.feed t.ranker activity;
       t.accepted <- t.accepted + 1;
-      drain t
+      R.incr t.m_observed;
+      if Sim_time.(activity.Activity.timestamp > t.watermark) then
+        t.watermark <- activity.Activity.timestamp;
+      drain t;
+      R.set t.m_pending (float_of_int (pending t))
 
 let finish t =
   Ranker.close_input t.ranker;
-  drain t
+  drain t;
+  R.set t.m_pending (float_of_int (pending t));
+  if not t.finished then begin
+    t.finished <- true;
+    Pipeline_metrics.add_ranker_stats t.telemetry (Ranker.stats t.ranker);
+    Pipeline_metrics.add_engine_stats t.telemetry (Cag_engine.stats t.engine)
+  end
 
 let paths t = Cag_engine.finished t.engine
 let deformed t = Cag_engine.unfinished t.engine
-
-let pending t =
-  let s = Ranker.stats t.ranker in
-  t.accepted - s.Ranker.candidates - s.Ranker.noise_discarded
 let ranker_stats t = Ranker.stats t.ranker
 let engine_stats t = Cag_engine.stats t.engine
 
-let attach ~config ~probe ~hosts ?on_path () =
-  let t = create ~config ~hosts ?on_path () in
+let attach ~config ~probe ~hosts ?on_path ?telemetry () =
+  let t = create ~config ~hosts ?on_path ?telemetry () in
   Trace.Probe.add_listener probe (observe t);
   t

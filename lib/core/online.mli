@@ -20,10 +20,18 @@ val create :
   config:Correlator.config ->
   hosts:string list ->
   ?on_path:(Cag.t -> unit) ->
+  ?telemetry:Telemetry.Registry.t ->
   unit ->
   t
 (** [hosts] are the traced nodes (each will feed one stream). [on_path]
-    fires as each causal path completes. *)
+    fires as each causal path completes. The run reports itself into
+    [telemetry] (default {!Telemetry.Registry.default}): live pending
+    depth ([pt_online_pending]), accepted activities, completed paths, the
+    path-completion lag against the feed watermark
+    ([pt_online_path_lag_seconds]), and — on {!finish} — the same
+    {!Ranker.stats}/{!Cag_engine.stats} mirror an offline
+    {!Correlator.correlate} run records, so online and offline runs are
+    comparable through one snapshot. *)
 
 val observe : t -> Trace.Activity.t -> unit
 (** Push one raw activity (SEND/RECEIVE, as the probe reports them). The
@@ -51,6 +59,7 @@ val attach :
   probe:Trace.Probe.t ->
   hosts:string list ->
   ?on_path:(Cag.t -> unit) ->
+  ?telemetry:Telemetry.Registry.t ->
   unit ->
   t
 (** Convenience: create and register on a probe, correlating live while a

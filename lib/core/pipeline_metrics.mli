@@ -1,0 +1,14 @@
+(** The bridge between the pipeline's typed per-run stats records and the
+    telemetry registry.
+
+    {!Ranker.stats} and {!Cag_engine.stats} remain the typed views each
+    run returns; these functions mirror a finished run's values into a
+    registry so offline and online runs report through one mechanism. The
+    mirrors {e add} counter fields (registry counters are cumulative
+    across the runs of a process, which is what a process self-profile
+    wants) and high-water-mark gauge fields via [set_max]; call each at
+    most once per run. The metric names are catalogued in
+    docs/TELEMETRY.md. *)
+
+val add_ranker_stats : Telemetry.Registry.t -> Ranker.stats -> unit
+val add_engine_stats : Telemetry.Registry.t -> Cag_engine.stats -> unit

@@ -17,6 +17,9 @@ val print : table -> unit
 (** [render] to stdout, followed by a blank line. *)
 
 val to_csv : table -> string
+(** RFC 4180-style: cells containing commas, double quotes, or CR/LF are
+    wrapped in double quotes with embedded quotes doubled, so telemetry
+    and bench tables round-trip through CSV parsers. *)
 
 val cell_int : int -> string
 val cell_float : ?decimals:int -> float -> string

@@ -1,0 +1,11 @@
+(** Human-readable rendering of a telemetry snapshot through {!Report},
+    so self-profiles print in the same boxed-table style as the benches
+    (and round-trip through the same CSV escaping). *)
+
+val tables : Telemetry.Registry.family list -> Report.table list
+(** Up to three tables — counters, gauges, histograms — omitting kinds
+    with no samples. Labels render as [k=v] pairs, comma-separated. *)
+
+val render : Telemetry.Registry.family list -> string
+
+val print : Telemetry.Registry.family list -> unit

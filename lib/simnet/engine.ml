@@ -1,13 +1,41 @@
+module R = Telemetry.Registry
+
 type t = {
   mutable clock : Sim_time.t;
   queue : (unit -> unit) Event_queue.t;
   mutable fired : int;
+  (* Self-telemetry: sampled every [sample_mask]+1 events so the per-event
+     cost stays at one counter increment. *)
+  m_fired : R.counter;
+  m_depth : R.gauge;
+  m_ratio : R.gauge;
+  wall_start : float;
 }
+
+let sample_mask = 0xfff
 
 type timer = Event_queue.handle
 
-let create () = { clock = Sim_time.zero; queue = Event_queue.create (); fired = 0 }
+let create () =
+  {
+    clock = Sim_time.zero;
+    queue = Event_queue.create ();
+    fired = 0;
+    m_fired = R.counter R.default ~help:"Simulation events fired" "pt_sim_events_fired_total";
+    m_depth =
+      R.gauge R.default ~help:"Live events in the simulation queue" "pt_sim_event_queue_depth";
+    m_ratio =
+      R.gauge R.default ~help:"Virtual seconds simulated per wall-clock second"
+        "pt_sim_virtual_wall_ratio";
+    wall_start = Unix.gettimeofday ();
+  }
+
 let now t = t.clock
+
+let sample_telemetry t =
+  R.set t.m_depth (float_of_int (Event_queue.length t.queue));
+  let wall = Unix.gettimeofday () -. t.wall_start in
+  if wall > 0.0 then R.set t.m_ratio (Sim_time.span_to_float_s (Sim_time.diff t.clock Sim_time.zero) /. wall)
 
 let schedule_at t ~time f =
   if Sim_time.(time < t.clock) then
@@ -24,10 +52,14 @@ let cancel t timer = Event_queue.cancel t.queue timer
 
 let step t =
   match Event_queue.pop t.queue with
-  | None -> false
+  | None ->
+      sample_telemetry t;
+      false
   | Some (time, f) ->
       t.clock <- time;
       t.fired <- t.fired + 1;
+      R.incr t.m_fired;
+      if t.fired land sample_mask = 0 then sample_telemetry t;
       f ();
       true
 
@@ -43,7 +75,8 @@ let run_until t stop =
     | Some time when Sim_time.(time <= stop) -> ignore (step t)
     | Some _ | None -> continue := false
   done;
-  if Sim_time.(t.clock < stop) then t.clock <- stop
+  if Sim_time.(t.clock < stop) then t.clock <- stop;
+  sample_telemetry t
 
 let pending t = Event_queue.length t.queue
 let events_fired t = t.fired

@@ -1,0 +1,19 @@
+(** Snapshot serialisers: Prometheus text exposition format and JSON.
+
+    Both take the {!Registry.snapshot} family list, so one snapshot can be
+    written in every format without re-reading live metrics. *)
+
+val to_prometheus : Registry.family list -> string
+(** Text exposition format (version 0.0.4): one [# HELP]/[# TYPE] header
+    per family, histograms as cumulative [_bucket{le=...}] series plus
+    [_sum]/[_count], label values escaped. Ends with a newline. *)
+
+val to_json : Registry.family list -> Json.t
+(** An object keyed by family name:
+    [{"name": {"help": ..., "type": "counter"|"gauge"|"histogram",
+       "samples": [{"labels": {...}, ...value fields...}]}}].
+    Counter samples carry ["value"] as an integer; gauges as a float;
+    histograms carry count/sum/min/max/p50/p90/p99 and a bucket list. *)
+
+val to_json_string : ?indent:bool -> Registry.family list -> string
+(** [Json.to_string] of {!to_json}; indented by default. *)

@@ -1,0 +1,97 @@
+let lo_decade = -9.0 (* buckets span 1e-9 .. 1e9 *)
+let decades = 18
+
+type t = {
+  per_decade : int;
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create ?(buckets_per_decade = 16) () =
+  if buckets_per_decade <= 0 then
+    invalid_arg "Histogram.create: buckets_per_decade must be positive";
+  {
+    per_decade = buckets_per_decade;
+    counts = Array.make (decades * buckets_per_decade) 0;
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let index t v =
+  if v <= 0.0 || not (Float.is_finite v) then
+    if v > 0.0 then Array.length t.counts - 1 (* +inf *) else 0
+  else
+    let i =
+      int_of_float (Float.floor ((Float.log10 v -. lo_decade) *. float_of_int t.per_decade))
+    in
+    max 0 (min (Array.length t.counts - 1) i)
+
+let observe t v =
+  if not (Float.is_nan v) then begin
+    t.counts.(index t v) <- t.counts.(index t v) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then 0.0 else t.min_v
+let max_value t = if t.count = 0 then 0.0 else t.max_v
+
+let upper_bound t i = Float.pow 10.0 (lo_decade +. (float_of_int (i + 1) /. float_of_int t.per_decade))
+
+let quantile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let target = q *. float_of_int t.count in
+    let acc = ref 0 and i = ref 0 and found = ref (Array.length t.counts - 1) in
+    (try
+       while !i < Array.length t.counts do
+         acc := !acc + t.counts.(!i);
+         if float_of_int !acc >= target && !acc > 0 then begin
+           found := !i;
+           raise Exit
+         end;
+         incr i
+       done
+     with Exit -> ());
+    Float.max t.min_v (Float.min t.max_v (upper_bound t !found))
+  end
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity
+
+type bucket = { upper : float; cumulative : int }
+
+let buckets t =
+  let acc = ref 0 in
+  let out = ref [] in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        acc := !acc + n;
+        out := { upper = upper_bound t i; cumulative = !acc } :: !out
+      end)
+    t.counts;
+  List.rev !out
+
+let merge_into ~dst src =
+  if dst.per_decade <> src.per_decade then
+    invalid_arg "Histogram.merge_into: differing buckets_per_decade";
+  Array.iteri (fun i n -> dst.counts.(i) <- dst.counts.(i) + n) src.counts;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v

@@ -1,0 +1,247 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string ?(indent = false) json =
+  let buf = Buffer.create 256 in
+  let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  let rec emit depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then Buffer.add_string buf (float_repr f)
+        else Buffer.add_string buf "null"
+    | String s -> Buffer.add_string buf (escape_string s)
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        newline ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              newline ()
+            end;
+            pad (depth + 1);
+            emit (depth + 1) item)
+          items;
+        newline ();
+        pad depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        newline ();
+        List.iteri
+          (fun i (key, value) ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              newline ()
+            end;
+            pad (depth + 1);
+            Buffer.add_string buf (escape_string key);
+            Buffer.add_char buf ':';
+            if indent then Buffer.add_char buf ' ';
+            emit (depth + 1) value)
+          fields;
+        newline ();
+        pad depth;
+        Buffer.add_char buf '}'
+  in
+  emit 0 json;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | Some got -> fail (Printf.sprintf "expected %c, found %c" c got)
+    | None -> fail (Printf.sprintf "expected %c, found end of input" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let add_utf8 buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+          | Some '/' -> Buffer.add_char buf '/'; advance ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code ->
+                  pos := !pos + 4;
+                  add_utf8 buf code
+              | None -> fail "bad \\u escape")
+          | Some c -> fail (Printf.sprintf "bad escape \\%c" c)
+          | None -> fail "unterminated escape");
+          loop ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    let is_float = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text in
+    if is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail ("bad number " ^ text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> fail ("bad number " ^ text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "empty input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            (key, parse_value ())
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) -> Error (Printf.sprintf "at byte %d: %s" at msg)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None

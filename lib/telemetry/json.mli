@@ -1,0 +1,33 @@
+(** A minimal JSON emitter and parser (no external dependency).
+
+    Construction, compact or indented serialisation with correct string
+    escaping, and a small recursive-descent parser so telemetry snapshots
+    (and any other emitted document) can be read back and asserted on.
+    This module used to live in [lib/core]; {!Core.Json} re-exports it so
+    existing call sites are unchanged. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Compact by default; [~indent:true] pretty-prints with 2-space
+    indentation. Floats are emitted with enough digits to round-trip;
+    non-finite floats become [null]. *)
+
+val escape_string : string -> string
+(** The quoted, escaped JSON form of a string (exposed for tests). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (trailing whitespace allowed). Numbers without
+    [.], [e] or [E] parse as [Int]; others as [Float]. [\uXXXX] escapes
+    outside ASCII are decoded as UTF-8. Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] is the first binding of [key], if any; [None]
+    on non-objects. *)

@@ -1,0 +1,156 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type metric =
+  | Counter_m of counter
+  | Gauge_m of gauge
+  | Hist_m of Histogram.t
+
+type entry = { labels : (string * string) list; metric : metric }
+
+type meta = { help : string; mutable entries : entry list (* newest first *) }
+
+type t = { families : (string, meta) Hashtbl.t }
+
+let create () = { families = Hashtbl.create 64 }
+let default = create ()
+let reset t = Hashtbl.reset t.families
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function
+  | Counter_m _ -> "counter"
+  | Gauge_m _ -> "gauge"
+  | Hist_m _ -> "histogram"
+
+(* Find-or-create the entry for (name, labels); [make] builds the metric,
+   [cast] projects an existing one (raising on a kind clash). *)
+let resolve t ~help ~labels name ~make ~cast =
+  let labels = normalize_labels labels in
+  let meta =
+    match Hashtbl.find_opt t.families name with
+    | Some m -> m
+    | None ->
+        let m = { help; entries = [] } in
+        Hashtbl.replace t.families name m;
+        m
+  in
+  match List.find_opt (fun e -> e.labels = labels) meta.entries with
+  | Some e -> cast name e.metric
+  | None ->
+      let metric = make () in
+      (* Kind consistency across label sets of one family. *)
+      (match meta.entries with
+      | { metric = existing; _ } :: _ when kind_name existing <> kind_name metric ->
+          invalid_arg
+            (Printf.sprintf "Telemetry.Registry: %s is a %s, not a %s" name
+               (kind_name existing) (kind_name metric))
+      | _ -> ());
+      meta.entries <- { labels; metric } :: meta.entries;
+      (match cast name metric with v -> v)
+
+let clash name want got =
+  invalid_arg (Printf.sprintf "Telemetry.Registry: %s is a %s, not a %s" name got want)
+
+let counter t ?(help = "") ?(labels = []) name =
+  resolve t ~help ~labels name
+    ~make:(fun () -> Counter_m { c = 0 })
+    ~cast:(fun name -> function
+      | Counter_m c -> c
+      | m -> clash name "counter" (kind_name m))
+
+let incr c = c.c <- c.c + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Telemetry.Registry.add: counters only go up";
+  c.c <- c.c + n
+
+let counter_value c = c.c
+
+let gauge t ?(help = "") ?(labels = []) name =
+  resolve t ~help ~labels name
+    ~make:(fun () -> Gauge_m { g = 0.0 })
+    ~cast:(fun name -> function
+      | Gauge_m g -> g
+      | m -> clash name "gauge" (kind_name m))
+
+let set g v = g.g <- v
+let set_max g v = if v > g.g then g.g <- v
+let gauge_value g = g.g
+
+let histogram t ?(help = "") ?(labels = []) ?buckets_per_decade name =
+  resolve t ~help ~labels name
+    ~make:(fun () -> Hist_m (Histogram.create ?buckets_per_decade ()))
+    ~cast:(fun name -> function
+      | Hist_m h -> h
+      | m -> clash name "histogram" (kind_name m))
+
+let observe = Histogram.observe
+
+type span = { hist : Histogram.t; started : float }
+
+let start_span t ?labels name =
+  { hist = histogram t ?labels name; started = Unix.gettimeofday () }
+
+let stop_span span =
+  let elapsed = Unix.gettimeofday () -. span.started in
+  Histogram.observe span.hist elapsed;
+  elapsed
+
+let time t ?labels name f =
+  let span = start_span t ?labels name in
+  Fun.protect ~finally:(fun () -> ignore (stop_span span)) f
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Hist of {
+      count : int;
+      sum : float;
+      min_v : float;
+      max_v : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+      buckets : Histogram.bucket list;
+    }
+
+type sample = { labels : (string * string) list; value : value }
+type family = { name : string; help : string; samples : sample list }
+
+let value_of_metric = function
+  | Counter_m c -> Counter c.c
+  | Gauge_m g -> Gauge g.g
+  | Hist_m h ->
+      Hist
+        {
+          count = Histogram.count h;
+          sum = Histogram.sum h;
+          min_v = Histogram.min_value h;
+          max_v = Histogram.max_value h;
+          p50 = Histogram.quantile h 0.50;
+          p90 = Histogram.quantile h 0.90;
+          p99 = Histogram.quantile h 0.99;
+          buckets = Histogram.buckets h;
+        }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name meta acc ->
+      let samples =
+        List.map
+          (fun (e : entry) -> { labels = e.labels; value = value_of_metric e.metric })
+          meta.entries
+        |> List.sort (fun a b -> compare a.labels b.labels)
+      in
+      { name; help = meta.help; samples } :: acc)
+    t.families []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let find_sample families ?(labels = []) name =
+  let labels = normalize_labels labels in
+  match List.find_opt (fun f -> String.equal f.name name) families with
+  | None -> None
+  | Some f ->
+      List.find_opt (fun s -> s.labels = labels) f.samples |> Option.map (fun s -> s.value)

@@ -1,8 +1,15 @@
 module Sim_time = Simnet.Sim_time
+module R = Telemetry.Registry
+module H = Telemetry.Histogram
 
 type sample = { finished_at : Sim_time.t; rt : Sim_time.span; kind : string }
 
-type t = { mutable rev_samples : sample list; mutable count : int }
+type t = {
+  mutable rev_samples : sample list;
+  mutable count : int;
+  requests : R.counter;
+  rt_hists : (string, H.t) Hashtbl.t;  (* registry handles, one per kind *)
+}
 
 type summary = {
   completed : int;
@@ -14,20 +21,38 @@ type summary = {
   max_rt_s : float;
 }
 
-let create () = { rev_samples = []; count = 0 }
+(* Summaries restrict to a time interval, so raw samples are kept and a
+   fresh histogram is folded per call; the live registry histograms cover
+   the whole run. 64 buckets per decade keeps the quantile error under
+   ~4%. *)
+let buckets_per_decade = 64
+
+let create () =
+  {
+    rev_samples = [];
+    count = 0;
+    requests = R.counter R.default ~help:"Completed emulated-client requests" "pt_tiersim_requests_total";
+    rt_hists = Hashtbl.create 8;
+  }
+
+let registry_hist t kind =
+  match Hashtbl.find_opt t.rt_hists kind with
+  | Some h -> h
+  | None ->
+      let h =
+        R.histogram R.default ~help:"Client-observed response time, seconds"
+          ~labels:[ ("kind", kind) ] ~buckets_per_decade "pt_tiersim_response_seconds"
+      in
+      Hashtbl.replace t.rt_hists kind h;
+      h
 
 let record t ~finished_at ~rt ~kind =
   t.rev_samples <- { finished_at; rt; kind } :: t.rev_samples;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  R.incr t.requests;
+  H.observe (registry_hist t kind) (Sim_time.span_to_float_s rt)
 
 let total_recorded t = t.count
-
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else
-    let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
-    sorted.(max 0 (min (n - 1) idx))
 
 let bounds ?from_ts ?until_ts t =
   let lo = Option.value ~default:Sim_time.zero from_ts in
@@ -41,31 +66,27 @@ let bounds ?from_ts ?until_ts t =
   in
   (lo, hi)
 
-let summarize_filtered ?from_ts ?until_ts t ~keep =
-  let lo, hi = bounds ?from_ts ?until_ts t in
-  let samples =
-    List.filter
-      (fun s -> keep s && Sim_time.(s.finished_at >= lo) && Sim_time.(s.finished_at <= hi))
-      t.rev_samples
-  in
-  let completed = List.length samples in
-  let rts =
-    Array.of_list (List.map (fun s -> Sim_time.span_to_float_s s.rt) samples)
-  in
-  Array.sort Float.compare rts;
-  let interval = Sim_time.span_to_float_s (Sim_time.diff hi lo) in
-  let mean =
-    if completed = 0 then 0.0 else Array.fold_left ( +. ) 0.0 rts /. float_of_int completed
-  in
+let summary_of_histogram h ~interval =
+  let completed = H.count h in
   {
     completed;
     throughput_rps = (if interval <= 0.0 then 0.0 else float_of_int completed /. interval);
-    mean_rt_s = mean;
-    p50_rt_s = percentile rts 0.50;
-    p90_rt_s = percentile rts 0.90;
-    p99_rt_s = percentile rts 0.99;
-    max_rt_s = (if completed = 0 then 0.0 else rts.(completed - 1));
+    mean_rt_s = H.mean h;
+    p50_rt_s = H.quantile h 0.50;
+    p90_rt_s = H.quantile h 0.90;
+    p99_rt_s = H.quantile h 0.99;
+    max_rt_s = H.max_value h;
   }
+
+let summarize_filtered ?from_ts ?until_ts t ~keep =
+  let lo, hi = bounds ?from_ts ?until_ts t in
+  let h = H.create ~buckets_per_decade () in
+  List.iter
+    (fun s ->
+      if keep s && Sim_time.(s.finished_at >= lo) && Sim_time.(s.finished_at <= hi) then
+        H.observe h (Sim_time.span_to_float_s s.rt))
+    t.rev_samples;
+  summary_of_histogram h ~interval:(Sim_time.span_to_float_s (Sim_time.diff hi lo))
 
 let summarize ?from_ts ?until_ts t = summarize_filtered ?from_ts ?until_ts t ~keep:(fun _ -> true)
 

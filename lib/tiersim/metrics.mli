@@ -2,7 +2,14 @@
 
     The client emulator feeds one sample per completed request; summaries
     restrict to a measurement interval so ramp-up/ramp-down requests can be
-    excluded, as RUBiS's own reporting does. *)
+    excluded, as RUBiS's own reporting does.
+
+    Summary statistics are computed over the shared {!Telemetry.Histogram}
+    type (64 buckets per decade): [completed], [mean_rt_s] and [max_rt_s]
+    are exact; the percentile fields are bucket-resolution approximations
+    (within ~4%). Each recorded sample also feeds the process-wide
+    telemetry registry ([pt_tiersim_requests_total],
+    [pt_tiersim_response_seconds{kind=...}]). *)
 
 type t
 

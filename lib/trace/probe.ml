@@ -1,6 +1,7 @@
 module Tcp = Simnet.Tcp
 module Node = Simnet.Node
 module Sim_time = Simnet.Sim_time
+module R = Telemetry.Registry
 
 type t = {
   mutable enabled : bool;
@@ -9,7 +10,22 @@ type t = {
   node_logs : (string, Log.t) Hashtbl.t;
   mutable count : int;
   mutable listeners : (Activity.t -> unit) list;  (* registration order *)
+  emitted : (string, R.counter) Hashtbl.t;
+      (* per-host handles for pt_probe_activities_total, cached so the
+         per-syscall cost is one hash lookup and an increment *)
 }
+
+let emitted_counter t hostname =
+  match Hashtbl.find_opt t.emitted hostname with
+  | Some c -> c
+  | None ->
+      let c =
+        R.counter R.default ~help:"Activities logged by the TCP_TRACE probe"
+          ~labels:[ ("host", hostname) ]
+          "pt_probe_activities_total"
+      in
+      Hashtbl.replace t.emitted hostname c;
+      c
 
 let traced t node =
   match t.only with
@@ -46,12 +62,21 @@ let on_syscall t (sc : Tcp.syscall) =
     in
     Log.append (log_for t sc.node) activity;
     t.count <- t.count + 1;
+    R.incr (emitted_counter t activity.Activity.context.host);
     List.iter (fun f -> f activity) t.listeners
   end
 
 let attach ~stack ?(overhead = Sim_time.us 20) ?only () =
   let t =
-    { enabled = false; overhead; only; node_logs = Hashtbl.create 16; count = 0; listeners = [] }
+    {
+      enabled = false;
+      overhead;
+      only;
+      node_logs = Hashtbl.create 16;
+      count = 0;
+      listeners = [];
+      emitted = Hashtbl.create 16;
+    }
   in
   Tcp.add_observer stack (on_syscall t);
   Tcp.set_syscall_overhead stack (fun node ->

@@ -3,6 +3,7 @@
 
 module H = Test_helpers.Helpers
 module Json = Core.Json
+module Report = Core.Report
 module Cag_export = Core.Cag_export
 module Cag_render = Core.Cag_render
 module Ground_truth = Trace.Ground_truth
@@ -46,6 +47,79 @@ let prop_json_no_raw_control_chars =
         (fun i c -> if i > 0 && i < String.length e - 1 && Char.code c < 0x20 then ok := false)
         e;
       !ok)
+
+(* ---- Report CSV ---- *)
+
+let test_csv_plain () =
+  let t = Report.table ~title:"t" ~columns:[ "a"; "b" ] in
+  Report.add_row t [ "1"; "2" ];
+  Alcotest.(check string) "no quoting needed" "a,b\n1,2\n" (Report.to_csv t)
+
+let test_csv_escaping () =
+  let t = Report.table ~title:"t" ~columns:[ "name"; "value" ] in
+  Report.add_row t [ "has,comma"; "plain" ];
+  Report.add_row t [ "has\"quote"; "has\nnewline" ];
+  Report.add_row t [ "has\rcr"; "m{le=\"0.1\",x=\"a,b\"}" ];
+  let csv = Report.to_csv t in
+  let expected =
+    "name,value\n\"has,comma\",plain\n\"has\"\"quote\",\"has\nnewline\"\n\"has\rcr\",\"m{le=\"\"0.1\"\",x=\"\"a,b\"\"}\"\n"
+  in
+  Alcotest.(check string) "RFC 4180 quoting" expected csv
+
+(* A toy CSV reader implementing the quoting rules, to prove round-trip. *)
+let parse_csv s =
+  let rows = ref [] and row = ref [] and cell = Buffer.create 16 in
+  let n = String.length s in
+  let flush_cell () =
+    row := Buffer.contents cell :: !row;
+    Buffer.clear cell
+  in
+  let flush_row () =
+    flush_cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '"' ->
+        incr i;
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then closed := true
+          else if s.[!i] = '"' then
+            if !i + 1 < n && s.[!i + 1] = '"' then begin
+              Buffer.add_char cell '"';
+              i := !i + 2
+            end
+            else begin
+              closed := true;
+              incr i
+            end
+          else begin
+            Buffer.add_char cell s.[!i];
+            incr i
+          end
+        done;
+        decr i
+    | ',' -> flush_cell ()
+    | '\n' -> flush_row ()
+    | c -> Buffer.add_char cell c);
+    incr i
+  done;
+  if Buffer.length cell > 0 || !row <> [] then flush_row ();
+  List.rev !rows
+
+let test_csv_roundtrip () =
+  let cells =
+    [ [ "plain"; "a,b"; "q\"uote" ]; [ "nl\nnl"; "cr\rcr"; "both\"\n,\"" ] ]
+  in
+  let t = Report.table ~title:"t" ~columns:[ "c1"; "c2"; "c3" ] in
+  List.iter (Report.add_row t) cells;
+  Alcotest.(check (list (list string)))
+    "parses back to the same cells"
+    ([ "c1"; "c2"; "c3" ] :: cells)
+    (parse_csv (Report.to_csv t))
 
 (* ---- Cag_export ---- *)
 
@@ -230,6 +304,12 @@ let () =
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "compound" `Quick test_json_compound;
           qtest prop_json_no_raw_control_chars;
+        ] );
+      ( "report_csv",
+        [
+          Alcotest.test_case "plain" `Quick test_csv_plain;
+          Alcotest.test_case "escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
         ] );
       ( "cag_export",
         [
