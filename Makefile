@@ -1,6 +1,6 @@
 # Minimal CI entry points. `make ci` is what a pipeline should run.
 
-.PHONY: all build test fmt ci clean
+.PHONY: all build test fmt bench-quick ci clean
 
 all: build
 
@@ -9,6 +9,12 @@ build:
 
 test: build
 	dune runtest
+
+# A fast bench smoke: the store figure on quick grids, with the
+# machine-readable summary CI can diff (BENCH.json is untracked output;
+# BENCH_store.json in the repo is a committed reference run).
+bench-quick: build
+	dune exec bench/main.exe -- --quick --figure store --json BENCH.json
 
 # Formatting check is advisory: the container does not ship ocamlformat,
 # so skip (with a note) when the tool is absent rather than failing CI.
@@ -19,7 +25,7 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-ci: fmt build test
+ci: fmt build test bench-quick
 
 clean:
 	dune clean

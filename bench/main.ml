@@ -1,16 +1,21 @@
 (* The benchmark harness: regenerates every table and figure of the paper's
    evaluation (§5), plus the extensions listed in DESIGN.md.
 
-   Usage: main.exe [--figure ID]... [--scale S] [--quick]
+   Usage: main.exe [--figure ID]... [--scale S] [--quick] [--json FILE]
                    [--telemetry FILE] [--telemetry-format prom|json|report]
-     IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro all
+     IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro store all
    Default: everything, at time_scale 0.1 (stage durations shrunk 10x;
    service times, think times and all rates untouched, so shapes match the
    paper's full-length runs).
 
    --telemetry emits a self-profile of the pipeline's own metrics (metric
    catalogue in docs/TELEMETRY.md) alongside the tables, including a
-   pt_bench_figure_seconds{figure=...} wall-time histogram per figure. *)
+   pt_bench_figure_seconds{figure=...} wall-time histogram per figure.
+
+   --json emits a machine-readable summary: per-figure wall seconds plus
+   the key scalar results each figure chooses to publish (see
+   record_scalar below), so CI can diff bench runs without scraping
+   tables. *)
 
 module S = Tiersim.Scenario
 module Workload = Tiersim.Workload
@@ -27,10 +32,59 @@ module Nesting = Core.Nesting
 module Transform = Core.Transform
 module ST = Simnet.Sim_time
 
+module Json = Telemetry.Json
+
 let time_scale = ref 0.1
 let quick = ref false
 let telemetry_out = ref None
 let telemetry_format = ref `Prom
+let json_out = ref None
+
+(* ---- machine-readable results (--json) ---- *)
+
+(* Figures publish their headline numbers here; the driver folds them into
+   the --json document under figures.<name>.results.<key>. *)
+let scalars : (string * (string * Json.t)) list ref = ref []
+let figure_seconds : (string * float) list ref = ref []
+let record_scalar ~figure key value = scalars := (figure, (key, value)) :: !scalars
+let record_float ~figure key v = record_scalar ~figure key (Json.Float v)
+let record_int ~figure key v = record_scalar ~figure key (Json.Int v)
+
+let emit_json file =
+  let figures =
+    List.map
+      (fun (name, seconds) ->
+        let results =
+          List.rev !scalars
+          |> List.filter_map (fun (fig, kv) ->
+                 if String.equal fig name then Some kv else None)
+        in
+        ( name,
+          Json.Obj
+            (("seconds", Json.Float seconds)
+            :: (if results = [] then [] else [ ("results", Json.Obj results) ])) ))
+      (List.rev !figure_seconds)
+  in
+  let doc =
+    Json.Obj
+      [
+        ("harness", Json.String "precisetracer-bench");
+        ("time_scale", Json.Float !time_scale);
+        ("quick", Json.Bool !quick);
+        ("figures", Json.Obj figures);
+      ]
+  in
+  let body = Json.to_string ~indent:true doc ^ "\n" in
+  if String.equal file "-" then print_string body
+  else begin
+    match open_out file with
+    | oc ->
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body);
+        Printf.printf "bench results written to %s\n" file
+    | exception Sys_error msg ->
+        Printf.eprintf "cannot write bench results: %s\n" msg;
+        exit 1
+  end
 
 (* ---- memoised scenario runs and correlations ---- *)
 
@@ -633,6 +687,143 @@ let bench_formats () =
     (if !quick then [ 100 ] else [ 100; 300; 500 ]);
   Report.print t
 
+(* ---- ext-9: segmented store (lib/store) ---- *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let top_names n patterns =
+  List.filteri (fun i _ -> i < n) patterns |> List.map (fun p -> p.Pattern.name)
+
+let bench_store () =
+  let clients = if !quick then 150 else 300 in
+  let spec = { (base_spec ()) with S.clients } in
+  let outcome = run spec in
+  let collection = outcome.S.logs in
+  let correlate_cfg = Correlator.config ~transform:outcome.S.transform () in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pt-bench-store-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* Ingest throughput: stream the run into segments, no reduction. *)
+  let t0 = Unix.gettimeofday () in
+  let writer = Store.Writer.create ~roll_records:4096 ~dir () in
+  Store.Writer.ingest writer collection;
+  let wstats = Store.Writer.close writer in
+  let ingest_s = Unix.gettimeofday () -. t0 in
+  let records_per_s = float_of_int wstats.Store.Writer.records_in /. ingest_s in
+  let mb_per_s = float_of_int wstats.Store.Writer.bytes_out /. ingest_s /. 1048576.0 in
+  let t_ingest =
+    Report.table ~title:"ext-9a: store ingest throughput (no reduction)"
+      ~columns:[ "records"; "segments"; "bytes"; "seconds"; "records/s"; "MB/s" ]
+  in
+  Report.add_row t_ingest
+    [
+      Report.cell_int wstats.Store.Writer.records_in;
+      Report.cell_int wstats.Store.Writer.segments;
+      Report.cell_int wstats.Store.Writer.bytes_out;
+      Report.cell_float ~decimals:4 ingest_s;
+      Report.cell_float ~decimals:0 records_per_s;
+      Report.cell_float ~decimals:2 mb_per_s;
+    ];
+  Report.print t_ingest;
+  record_int ~figure:"store" "ingest_records" wstats.Store.Writer.records_in;
+  record_int ~figure:"store" "ingest_segments" wstats.Store.Writer.segments;
+  record_float ~figure:"store" "ingest_records_per_s" records_per_s;
+  record_float ~figure:"store" "ingest_mb_per_s" mb_per_s;
+  (* Query latency: whole store vs a narrow window the manifest can prune. *)
+  let manifest =
+    match Store.Manifest.load ~dir with Ok m -> m | Error e -> failwith e
+  in
+  let min_ts, max_ts =
+    List.fold_left
+      (fun (lo, hi) (m : Store.Segment.meta) ->
+        (min lo m.Store.Segment.min_ts_ns, max hi m.Store.Segment.max_ts_ns))
+      (max_int, min_int) manifest.Store.Manifest.segments
+  in
+  let span = max_ts - min_ts in
+  let narrow =
+    Store.Query.predicate
+      ~since_ns:(min_ts + (span * 45 / 100))
+      ~until_ns:(min_ts + (span * 55 / 100))
+      ()
+  in
+  let query p =
+    match Store.Query.run ~dir p with Ok r -> r | Error e -> failwith e
+  in
+  let _, full_stats = query Store.Query.all in
+  let _, narrow_stats = query narrow in
+  let t_query =
+    Report.table ~title:"ext-9b: query latency (manifest pruning)"
+      ~columns:[ "query"; "segments scanned"; "records returned"; "ms" ]
+  in
+  List.iter
+    (fun (name, (st : Store.Query.stats)) ->
+      Report.add_row t_query
+        [
+          name;
+          Printf.sprintf "%d/%d" st.Store.Query.segments_scanned st.segments_total;
+          Report.cell_int st.records_returned;
+          Report.cell_float ~decimals:3 (st.seconds *. 1e3);
+        ])
+    [ ("full range", full_stats); ("mid 10% window", narrow_stats) ];
+  Report.print t_query;
+  record_float ~figure:"store" "query_full_ms" (full_stats.Store.Query.seconds *. 1e3);
+  record_float ~figure:"store" "query_narrow_ms" (narrow_stats.Store.Query.seconds *. 1e3);
+  record_int ~figure:"store" "query_narrow_segments_scanned"
+    narrow_stats.Store.Query.segments_scanned;
+  record_int ~figure:"store" "query_segments_total" narrow_stats.Store.Query.segments_total;
+  (* Reduction grid: bytes ratio vs top-3 pattern fidelity. *)
+  let baseline = Correlator.correlate correlate_cfg collection in
+  let baseline_top = top_names 3 (Pattern.classify baseline.Correlator.cags) in
+  let t_red =
+    Report.table
+      ~title:"ext-9c: request-level reduction — byte ratio vs top-3 pattern fidelity"
+      ~columns:
+        [ "policy"; "requests kept"; "bytes"; "ratio"; "top-3 ranks"; "reduce (s)" ]
+  in
+  List.iter
+    (fun policy_s ->
+      let policy =
+        match Store.Policy.of_string policy_s with Ok p -> p | Error e -> failwith e
+      in
+      let t0 = Unix.gettimeofday () in
+      let reduced, rstats =
+        Store.Reduce.apply ~correlate:correlate_cfg ~policy collection
+      in
+      let reduce_s = Unix.gettimeofday () -. t0 in
+      let result = Correlator.correlate correlate_cfg reduced in
+      let top = top_names 3 (Pattern.classify result.Correlator.cags) in
+      let fidelity =
+        List.length top = List.length baseline_top
+        && List.for_all2 String.equal top baseline_top
+      in
+      let ratio = Store.Reduce.ratio rstats in
+      Report.add_row t_red
+        [
+          policy_s;
+          Printf.sprintf "%d/%d" rstats.Store.Reduce.requests_kept
+            rstats.Store.Reduce.requests_total;
+          Report.cell_int rstats.Store.Reduce.bytes_after;
+          Printf.sprintf "%.1fx" ratio;
+          (if fidelity then "kept" else "CHANGED");
+          Report.cell_float ~decimals:4 reduce_s;
+        ];
+      let slug =
+        String.map (function 'a' .. 'z' | '0' .. '9' as c -> c | _ -> '_') policy_s
+      in
+      record_float ~figure:"store" (Printf.sprintf "reduction_%s_ratio" slug) ratio;
+      record_int ~figure:"store"
+        (Printf.sprintf "reduction_%s_top3_kept" slug)
+        (if fidelity then 1 else 0))
+    [ "causal"; "causal,sample=0.5@1"; "causal,sample=0.25@1"; "causal,sample=0.1@1" ];
+  Report.print t_red
+
 (* ---- bechamel micro-benchmarks ---- *)
 
 let micro_tests () =
@@ -708,6 +899,7 @@ let all_figures =
     ("formats", bench_formats);
     ("skewfix", bench_skewfix);
     ("online", bench_online);
+    ("store", bench_store);
     ("micro", bench_micro);
   ]
 
@@ -734,6 +926,9 @@ let () =
         parse rest
     | "--telemetry" :: file :: rest ->
         telemetry_out := Some file;
+        parse rest
+    | "--json" :: file :: rest ->
+        json_out := Some file;
         parse rest
     | "--telemetry-format" :: fmt :: rest ->
         (match fmt with
@@ -768,9 +963,12 @@ let () =
     (if !quick then ", quick grids" else "");
   List.iter
     (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
       Telemetry.Registry.(
-        time default ~labels:[ ("figure", name) ] "pt_bench_figure_seconds" f))
+        time default ~labels:[ ("figure", name) ] "pt_bench_figure_seconds" f);
+      figure_seconds := (name, Unix.gettimeofday () -. t0) :: !figure_seconds)
     figures;
+  (match !json_out with None -> () | Some file -> emit_json file);
   match !telemetry_out with
   | None -> ()
   | Some file ->

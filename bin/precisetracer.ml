@@ -2,11 +2,14 @@
 
    Subcommands:
      simulate   run the simulated three-tier testbed, optionally saving
-                per-node TCP_TRACE files
-     correlate  turn a directory of trace files into causal paths
-     evaluate   simulate + correlate + score against the oracle
+                per-node TCP_TRACE files or streaming a segmented store
+     correlate  turn a directory of trace files (text, binary or a
+                segmented store) into causal paths
+     evaluate   simulate + correlate + score against the oracle, or
+                correlate + score saved traces (--from)
      diagnose   compare a suspect configuration against a healthy baseline
-                and print the suspected components *)
+                and print the suspected components
+     store      ingest | query | compact | stat on segmented trace stores *)
 
 module S = Tiersim.Scenario
 module Workload = Tiersim.Workload
@@ -98,6 +101,60 @@ let spec_term =
 
 let window_of ms = ST.span_of_float_s (ms /. 1e3)
 
+let policy_conv =
+  let parse s =
+    match Store.Policy.of_string s with Ok p -> Ok p | Error e -> Error (`Msg e)
+  in
+  Cmdliner.Arg.conv (parse, Store.Policy.pp)
+
+(* Load traces from DIR, whatever their format: a segmented store (has a
+   MANIFEST.json), binary PTB1 files (recognised by magic, any filename)
+   and/or per-node *.trace text files — mixed contents are merged. *)
+let load_traces dir =
+  if Store.Manifest.exists ~dir then
+    match Store.Query.run ~dir Store.Query.all with
+    | Ok (logs, _) -> Ok logs
+    | Error e -> Error e
+  else
+    match Sys.readdir dir with
+    | exception Sys_error e -> Error e
+    | entries -> (
+        Array.sort String.compare entries;
+        let binaries =
+          Array.to_list entries
+          |> List.filter (fun f ->
+                 Trace.Binary_format.is_binary_file ~path:(Filename.concat dir f))
+        in
+        let rec load_bins acc = function
+          | [] -> Ok (List.rev acc)
+          | f :: rest -> (
+              match Trace.Binary_format.load ~path:(Filename.concat dir f) with
+              | Ok c -> load_bins (c :: acc) rest
+              | Error e -> Error (Printf.sprintf "%s: %s" f e))
+        in
+        match load_bins [] binaries with
+        | Error e -> Error e
+        | Ok bins -> (
+            let has_text =
+              Array.exists (fun f -> Filename.check_suffix f ".trace") entries
+            in
+            let texts =
+              if has_text then
+                match Trace.Log.load ~dir with Ok c -> Ok [ c ] | Error e -> Error e
+              else Ok []
+            in
+            match texts with
+            | Error e -> Error e
+            | Ok texts -> (
+                match bins @ texts with
+                | [] ->
+                    Error
+                      (Printf.sprintf
+                         "no traces in %s (expected a store MANIFEST.json, PTB1 files or \
+                          *.trace files)"
+                         dir)
+                | collections -> Ok (Store.Query.merge collections))))
+
 (* ---- telemetry self-profile ---- *)
 
 let telemetry_file =
@@ -163,7 +220,31 @@ let simulate_cmd =
       & info [ "binary" ]
           ~doc:"Save one compact binary file (traces.ptb) instead of per-node text files.")
   in
-  let run spec out binary tfile tformat =
+  let store_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Stream the captured activities into a segmented trace store at $(docv) \
+             (segments + MANIFEST.json; see docs/STORE.md).")
+  in
+  let store_policy =
+    Arg.(
+      value
+      & opt policy_conv Store.Policy.none
+      & info [ "store-policy" ] ~docv:"POLICY"
+          ~doc:
+            "Online reduction policy for --store, e.g. $(b,causal,sample=0.25@7). \
+             Default $(b,none) (keep everything).")
+  in
+  let segment_records =
+    Arg.(
+      value & opt int 65536
+      & info [ "segment-records" ] ~docv:"N"
+          ~doc:"Roll a new store segment every $(docv) buffered activities.")
+  in
+  let run spec out binary store_dir store_policy segment_records tfile tformat =
     let outcome = S.run spec in
     print_summary outcome;
     (match out with
@@ -178,11 +259,26 @@ let simulate_cmd =
           (if binary then "traces.ptb" else "trace files")
           dir
     | None -> ());
+    (match store_dir with
+    | Some dir ->
+        let correlate = Core.Correlator.config ~transform:outcome.S.transform () in
+        let writer =
+          Store.Writer.create ~policy:store_policy ~correlate
+            ~roll_records:segment_records ~dir ()
+        in
+        Store.Writer.ingest writer outcome.S.logs;
+        let stats = Store.Writer.close writer in
+        Trace.Ground_truth.save outcome.S.ground_truth
+          ~path:(Filename.concat dir "ground_truth.txt");
+        Format.printf "store %s: %a@." dir Store.Writer.pp_stats stats
+    | None -> ());
     write_telemetry tfile tformat
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the simulated three-tier testbed.")
-    Term.(const run $ spec_term $ out $ binary $ telemetry_file $ telemetry_format)
+    Term.(
+      const run $ spec_term $ out $ binary $ store_out $ store_policy $ segment_records
+      $ telemetry_file $ telemetry_format)
 
 (* ---- correlate ---- *)
 
@@ -231,7 +327,13 @@ let entry_arg =
 
 let correlate_cmd =
   let dir =
-    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc:"Directory of .trace files.")
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "Directory of traces: a segmented store, binary PTB1 files (auto-detected by \
+             magic) and/or *.trace text files.")
   in
   let json_out =
     Arg.(
@@ -243,11 +345,6 @@ let correlate_cmd =
     Arg.(
       value & opt int 0
       & info [ "show" ] ~docv:"N" ~doc:"Render the first $(docv) causal paths as swimlanes.")
-  in
-  let load_traces dir =
-    let binary = Filename.concat dir "traces.ptb" in
-    if Sys.file_exists binary then Trace.Binary_format.load ~path:binary
-    else Trace.Log.load ~dir
   in
   let run dir window_ms entry json_out show tfile tformat =
     match load_traces dir with
@@ -294,23 +391,62 @@ let correlate_cmd =
 (* ---- evaluate ---- *)
 
 let evaluate_cmd =
-  let run spec window_ms tfile tformat =
-    let outcome = S.run spec in
-    print_summary outcome;
-    let cfg =
-      Core.Correlator.config ~transform:outcome.S.transform ~window:(window_of window_ms) ()
-    in
-    let result = Core.Correlator.correlate cfg outcome.S.logs in
-    print_correlation result;
-    let verdict =
-      Core.Accuracy.check ~ground_truth:outcome.S.ground_truth result.Core.Correlator.cags
-    in
-    Format.printf "@.%a@." Core.Accuracy.pp_verdict verdict;
-    write_telemetry tfile tformat
+  let from =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "from" ] ~docv:"DIR"
+          ~doc:
+            "Skip the simulation: correlate saved traces from $(docv) (trace files or a \
+             segmented store) and score them against $(docv)/ground_truth.txt.")
+  in
+  let run spec window_ms from entry tfile tformat =
+    match from with
+    | Some dir -> (
+        match load_traces dir with
+        | Error e -> `Error (false, e)
+        | Ok logs -> (
+            Format.printf "loaded %d activities from %d nodes@." (Trace.Log.total logs)
+              (List.length logs);
+            let result = correlate_logs ~window:(window_of window_ms) ~entry logs in
+            print_correlation result;
+            let gt_path = Filename.concat dir "ground_truth.txt" in
+            match Trace.Ground_truth.load ~path:gt_path with
+            | Error e ->
+                `Error (false, Printf.sprintf "cannot score %s: %s" gt_path e)
+            | Ok gt ->
+                let verdict =
+                  Core.Accuracy.check ~ground_truth:gt result.Core.Correlator.cags
+                in
+                Format.printf "@.%a@." Core.Accuracy.pp_verdict verdict;
+                write_telemetry tfile tformat;
+                `Ok ()))
+    | None ->
+        let outcome = S.run spec in
+        print_summary outcome;
+        let cfg =
+          Core.Correlator.config ~transform:outcome.S.transform
+            ~window:(window_of window_ms) ()
+        in
+        let result = Core.Correlator.correlate cfg outcome.S.logs in
+        print_correlation result;
+        let verdict =
+          Core.Accuracy.check ~ground_truth:outcome.S.ground_truth
+            result.Core.Correlator.cags
+        in
+        Format.printf "@.%a@." Core.Accuracy.pp_verdict verdict;
+        write_telemetry tfile tformat;
+        `Ok ()
   in
   Cmd.v
-    (Cmd.info "evaluate" ~doc:"Simulate, correlate, and score accuracy against the oracle.")
-    Term.(const run $ spec_term $ window_ms $ telemetry_file $ telemetry_format)
+    (Cmd.info "evaluate"
+       ~doc:
+         "Simulate, correlate, and score accuracy against the oracle — or score saved \
+          traces with --from.")
+    Term.(
+      ret
+        (const run $ spec_term $ window_ms $ from $ entry_arg $ telemetry_file
+       $ telemetry_format))
 
 (* ---- diagnose ---- *)
 
@@ -348,9 +484,228 @@ let diagnose_cmd =
           baseline and rank suspect components.")
     Term.(const run $ spec_term $ baseline_clients $ telemetry_file $ telemetry_format)
 
+(* ---- store ---- *)
+
+let store_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some dir) None
+    & info [] ~docv:"STORE" ~doc:"Store directory (holds MANIFEST.json and segments).")
+
+let store_ingest_cmd =
+  let src =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"SRC"
+          ~doc:"Source trace directory (text, binary or another store; auto-detected).")
+  in
+  let dest =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "store" ] ~docv:"DIR" ~doc:"Destination store directory.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Store.Policy.none
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Reduction policy: comma-separated terms among $(b,causal), \
+             $(b,drop=prog1+prog2), $(b,head=N), $(b,sample=P@SEED), \
+             $(b,budget=BYTES_PER_S@SEED). Default $(b,none).")
+  in
+  let segment_records =
+    Arg.(
+      value & opt int 65536
+      & info [ "segment-records" ] ~docv:"N"
+          ~doc:"Roll a new segment every $(docv) activities.")
+  in
+  let run src dest policy segment_records window_ms entry tfile tformat =
+    match load_traces src with
+    | Error e -> `Error (false, e)
+    | Ok logs ->
+        let transform =
+          Core.Transform.config ~entry_points:[ entry ]
+            ~drop_programs:[ "rlogin"; "rlogind"; "ssh"; "sshd"; "mysql" ]
+            ()
+        in
+        let correlate =
+          Core.Correlator.config ~transform ~window:(window_of window_ms) ()
+        in
+        let writer =
+          Store.Writer.create ~policy ~correlate ~roll_records:segment_records ~dir:dest ()
+        in
+        Store.Writer.ingest writer logs;
+        let stats = Store.Writer.close writer in
+        let gt_src = Filename.concat src "ground_truth.txt" in
+        if Sys.file_exists gt_src && not (String.equal src dest) then begin
+          match Trace.Ground_truth.load ~path:gt_src with
+          | Ok gt -> Trace.Ground_truth.save gt ~path:(Filename.concat dest "ground_truth.txt")
+          | Error _ -> ()
+        end;
+        Format.printf "ingested into %s: %a@." dest Store.Writer.pp_stats stats;
+        write_telemetry tfile tformat;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "ingest" ~doc:"Stream a trace directory into a segmented store, reducing online.")
+    Term.(
+      ret
+        (const run $ src $ dest $ policy $ segment_records $ window_ms $ entry_arg
+       $ telemetry_file $ telemetry_format))
+
+let since_until_args =
+  let since =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "since-ms" ] ~docv:"MS"
+          ~doc:"Keep only activities at or after $(docv) (virtual milliseconds).")
+  in
+  let until =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "until-ms" ] ~docv:"MS"
+          ~doc:"Keep only activities at or before $(docv) (virtual milliseconds).")
+  in
+  (since, until)
+
+let predicate_of since_ms until_ms hosts =
+  let ns_of ms = int_of_float (ms *. 1e6) in
+  Store.Query.predicate
+    ?since_ns:(Option.map ns_of since_ms)
+    ?until_ns:(Option.map ns_of until_ms)
+    ?hosts:(match hosts with [] -> None | hs -> Some hs)
+    ()
+
+let store_query_cmd =
+  let since, until = since_until_args in
+  let hosts =
+    Arg.(
+      value & opt_all string []
+      & info [ "host" ] ~docv:"HOST" ~doc:"Keep only this node's log. Repeatable.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:"Write the matching activities to $(docv)/traces.ptb (binary).")
+  in
+  let run dir since_ms until_ms hosts out tfile tformat =
+    match Store.Query.run ~dir (predicate_of since_ms until_ms hosts) with
+    | Error e -> `Error (false, e)
+    | Ok (logs, stats) ->
+        Format.printf "%a@." Store.Query.pp_stats stats;
+        List.iter
+          (fun log ->
+            Format.printf "  %-10s %d activities@." (Trace.Log.hostname log)
+              (Trace.Log.length log))
+          logs;
+        (match out with
+        | Some odir ->
+            if not (Sys.file_exists odir) then Sys.mkdir odir 0o755;
+            Trace.Binary_format.save logs ~path:(Filename.concat odir "traces.ptb");
+            Format.printf "written to %s/traces.ptb@." odir
+        | None -> ());
+        write_telemetry tfile tformat;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Time-range/host query over a store; cold segments are pruned via the manifest.")
+    Term.(
+      ret
+        (const run $ store_dir_arg $ since $ until $ hosts $ out $ telemetry_file
+       $ telemetry_format))
+
+let store_compact_cmd =
+  let min_records =
+    Arg.(
+      value & opt int 8192
+      & info [ "min-records" ] ~docv:"N"
+          ~doc:"Merge adjacent runs of segments smaller than $(docv) records.")
+  in
+  let retain =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "retain-ms" ] ~docv:"MS"
+          ~doc:
+            "Retention window: delete segments entirely older than $(docv) virtual \
+             milliseconds before the store's newest activity.")
+  in
+  let run dir min_records retain tfile tformat =
+    let retain_ns = Option.map (fun ms -> int_of_float (ms *. 1e6)) retain in
+    match Store.Compact.run ?retain_ns ~min_records ~dir () with
+    | Error e -> `Error (false, e)
+    | Ok stats ->
+        Format.printf "%a@." Store.Compact.pp_stats stats;
+        write_telemetry tfile tformat;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "compact" ~doc:"Merge small segments and apply retention.")
+    Term.(
+      ret (const run $ store_dir_arg $ min_records $ retain $ telemetry_file $ telemetry_format))
+
+let store_stat_cmd =
+  let run dir =
+    match Store.Manifest.load ~dir with
+    | Error e -> `Error (false, e)
+    | Ok manifest ->
+        let t =
+          Core.Report.table ~title:(Printf.sprintf "store %s" dir)
+            ~columns:
+              [ "id"; "records"; "bytes"; "raw records"; "raw bytes"; "from (s)"; "to (s)";
+                "hosts"; "policy" ]
+        in
+        List.iter
+          (fun (m : Store.Segment.meta) ->
+            Core.Report.add_row t
+              [
+                Core.Report.cell_int m.Store.Segment.id;
+                Core.Report.cell_int m.records;
+                Core.Report.cell_int m.bytes;
+                Core.Report.cell_int m.raw_records;
+                Core.Report.cell_int m.raw_bytes;
+                Printf.sprintf "%.3f" (float_of_int m.min_ts_ns /. 1e9);
+                Printf.sprintf "%.3f" (float_of_int m.max_ts_ns /. 1e9);
+                String.concat "+" m.hosts;
+                m.policy;
+              ])
+          manifest.Store.Manifest.segments;
+        Core.Report.print t;
+        let raw_bytes =
+          List.fold_left
+            (fun acc (m : Store.Segment.meta) -> acc + m.Store.Segment.raw_bytes)
+            0 manifest.Store.Manifest.segments
+        in
+        let bytes = Store.Manifest.total_bytes manifest in
+        Format.printf "%d segments, %d records, %d payload bytes (%.1fx reduction)@."
+          (List.length manifest.Store.Manifest.segments)
+          (Store.Manifest.total_records manifest)
+          bytes
+          (if bytes = 0 then 1.0 else float_of_int raw_bytes /. float_of_int bytes);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stat" ~doc:"Describe a store from its manifest alone (no payload decoding).")
+    Term.(ret (const run $ store_dir_arg))
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store" ~doc:"Segmented trace store operations (see docs/STORE.md).")
+    [ store_ingest_cmd; store_query_cmd; store_compact_cmd; store_stat_cmd ]
+
 let () =
   let info =
     Cmd.info "precisetracer" ~version:"1.0.0"
       ~doc:"Precise request tracing for multi-tier services of black boxes (DSN 2009), reproduced."
   in
-  exit (Cmd.eval (Cmd.group info [ simulate_cmd; correlate_cmd; evaluate_cmd; diagnose_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ simulate_cmd; correlate_cmd; evaluate_cmd; diagnose_cmd; store_cmd ]))

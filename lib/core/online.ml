@@ -4,6 +4,7 @@ module R = Telemetry.Registry
 
 type t = {
   transform : Transform.config;
+  on_activity : Trace.Activity.t -> unit;
   ranker : Ranker.t;
   engine : Cag_engine.t;
   telemetry : R.t;
@@ -32,7 +33,8 @@ let pending t =
   let s = Ranker.stats t.ranker in
   t.accepted - s.Ranker.candidates - s.Ranker.noise_discarded
 
-let create ~config ~hosts ?(on_path = fun _ -> ()) ?(telemetry = R.default) () =
+let create ~config ~hosts ?(on_path = fun _ -> ()) ?(on_activity = fun _ -> ())
+    ?(telemetry = R.default) () =
   let holder = ref None in
   let engine =
     Cag_engine.create
@@ -59,6 +61,7 @@ let create ~config ~hosts ?(on_path = fun _ -> ()) ?(telemetry = R.default) () =
   let t =
     {
       transform = config.Correlator.transform;
+      on_activity;
       ranker;
       engine;
       telemetry;
@@ -83,6 +86,7 @@ let create ~config ~hosts ?(on_path = fun _ -> ()) ?(telemetry = R.default) () =
   t
 
 let observe t raw =
+  t.on_activity raw;
   match Transform.classify t.transform raw with
   | None -> ()
   | Some activity ->
@@ -109,7 +113,7 @@ let deformed t = Cag_engine.unfinished t.engine
 let ranker_stats t = Ranker.stats t.ranker
 let engine_stats t = Cag_engine.stats t.engine
 
-let attach ~config ~probe ~hosts ?on_path ?telemetry () =
-  let t = create ~config ~hosts ?on_path ?telemetry () in
+let attach ~config ~probe ~hosts ?on_path ?on_activity ?telemetry () =
+  let t = create ~config ~hosts ?on_path ?on_activity ?telemetry () in
   Trace.Probe.add_listener probe (observe t);
   t

@@ -20,11 +20,16 @@ val create :
   config:Correlator.config ->
   hosts:string list ->
   ?on_path:(Cag.t -> unit) ->
+  ?on_activity:(Trace.Activity.t -> unit) ->
   ?telemetry:Telemetry.Registry.t ->
   unit ->
   t
 (** [hosts] are the traced nodes (each will feed one stream). [on_path]
-    fires as each causal path completes. The run reports itself into
+    fires as each causal path completes. [on_activity] fires on every
+    {e raw} observed activity before the BEGIN/END transform or any
+    filtering — the tee point for a capture-to-disk consumer such as a
+    store writer ([Store.Writer.observe]), so correlation and durable
+    capture share one feed. The run reports itself into
     [telemetry] (default {!Telemetry.Registry.default}): live pending
     depth ([pt_online_pending]), accepted activities, completed paths, the
     path-completion lag against the feed watermark
@@ -59,6 +64,7 @@ val attach :
   probe:Trace.Probe.t ->
   hosts:string list ->
   ?on_path:(Cag.t -> unit) ->
+  ?on_activity:(Trace.Activity.t -> unit) ->
   ?telemetry:Telemetry.Registry.t ->
   unit ->
   t

@@ -1,0 +1,38 @@
+(** The store-level index.
+
+    [MANIFEST.json] lists every live segment's {!Segment.meta}, so
+    time-range and host-predicate queries can prune cold segments without
+    opening them, and `store stat` can describe a store without decoding
+    anything. The manifest is rewritten atomically (temp file + rename)
+    on every mutation; segment headers duplicate the same metadata, so a
+    lost manifest can be rebuilt with {!rebuild}. *)
+
+type t = {
+  next_id : int;  (** Next segment id to assign. *)
+  segments : Segment.meta list;  (** Sorted by id. *)
+}
+
+val empty : t
+val file : string
+(** ["MANIFEST.json"]. *)
+
+val exists : dir:string -> bool
+(** Whether [dir] looks like a store (has a manifest). *)
+
+val add : t -> Segment.meta -> t
+(** Record a written segment; bumps [next_id] past its id. *)
+
+val remove : t -> ids:int list -> t
+(** Forget the named segments (files are the caller's to delete). *)
+
+val total_records : t -> int
+val total_bytes : t -> int
+(** Payload bytes across live segments. *)
+
+val save : t -> dir:string -> unit
+val load : dir:string -> (t, string) result
+(** Errors on a missing or malformed manifest. *)
+
+val rebuild : dir:string -> (t, string) result
+(** Reconstruct a manifest by reading the header of every [*.pts] file in
+    [dir] (does not save it). *)

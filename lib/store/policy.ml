@@ -1,0 +1,100 @@
+type sampling =
+  | Keep_all
+  | Head of int
+  | Probabilistic of { p : float; seed : int }
+  | Adaptive of { budget_bytes_per_s : float; seed : int }
+
+type t = {
+  drop_programs : string list;
+  drop_non_causal : bool;
+  sampling : sampling;
+}
+
+let none = { drop_programs = []; drop_non_causal = false; sampling = Keep_all }
+
+let is_none t =
+  t.drop_programs = [] && (not t.drop_non_causal) && t.sampling = Keep_all
+
+let make ?(drop_programs = []) ?(drop_non_causal = false) ?(sampling = Keep_all) () =
+  { drop_programs; drop_non_causal; sampling }
+
+(* %.12g prints probabilities and budgets with enough digits to round-trip
+   any value a user would type, without trailing zero noise. *)
+let float_to_string f = Printf.sprintf "%.12g" f
+
+let to_string t =
+  if is_none t then "none"
+  else begin
+    let terms = ref [] in
+    (match t.sampling with
+    | Keep_all -> ()
+    | Head n -> terms := Printf.sprintf "head=%d" n :: !terms
+    | Probabilistic { p; seed } ->
+        terms := Printf.sprintf "sample=%s@%d" (float_to_string p) seed :: !terms
+    | Adaptive { budget_bytes_per_s; seed } ->
+        terms :=
+          Printf.sprintf "budget=%s@%d" (float_to_string budget_bytes_per_s) seed :: !terms);
+    if t.drop_non_causal then terms := "causal" :: !terms;
+    if t.drop_programs <> [] then
+      terms := ("drop=" ^ String.concat "+" t.drop_programs) :: !terms;
+    String.concat "," !terms
+  end
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let parse_seeded ~what s =
+  (* "V" or "V@SEED" *)
+  let value, seed_s =
+    match String.index_opt s '@' with
+    | None -> (s, "1")
+    | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  match (float_of_string_opt value, int_of_string_opt seed_s) with
+  | None, _ -> Error (Printf.sprintf "bad %s value %S" what value)
+  | _, None -> Error (Printf.sprintf "bad %s seed %S" what seed_s)
+  | Some v, Some seed -> Ok (v, seed)
+
+let of_string s =
+  let terms = String.split_on_char ',' s |> List.map String.trim in
+  let rec go acc = function
+    | [] -> Ok acc
+    | "" :: rest -> go acc rest
+    | "none" :: rest -> go acc rest
+    | "causal" :: rest -> go { acc with drop_non_causal = true } rest
+    | term :: rest -> (
+        match String.index_opt term '=' with
+        | None -> Error (Printf.sprintf "unknown policy term %S" term)
+        | Some i -> (
+            let key = String.sub term 0 i in
+            let value = String.sub term (i + 1) (String.length term - i - 1) in
+            let with_sampling sampling =
+              if acc.sampling <> Keep_all then
+                Error "at most one sampling term (head/sample/budget)"
+              else go { acc with sampling } rest
+            in
+            match key with
+            | "drop" ->
+                let programs =
+                  String.split_on_char '+' value |> List.filter (fun p -> p <> "")
+                in
+                go { acc with drop_programs = acc.drop_programs @ programs } rest
+            | "head" -> (
+                match int_of_string_opt value with
+                | Some n when n >= 0 -> with_sampling (Head n)
+                | _ -> Error (Printf.sprintf "bad head count %S" value))
+            | "sample" -> (
+                match parse_seeded ~what:"sample" value with
+                | Error e -> Error e
+                | Ok (p, seed) ->
+                    if p < 0.0 || p > 1.0 then
+                      Error (Printf.sprintf "sample probability %g outside [0,1]" p)
+                    else with_sampling (Probabilistic { p; seed }))
+            | "budget" -> (
+                match parse_seeded ~what:"budget" value with
+                | Error e -> Error e
+                | Ok (b, seed) ->
+                    if b <= 0.0 then Error "budget must be positive"
+                    else with_sampling (Adaptive { budget_bytes_per_s = b; seed }))
+            | _ -> Error (Printf.sprintf "unknown policy term %S" term)))
+  in
+  go none terms

@@ -1,0 +1,60 @@
+(** Online log-reduction policies (the *Decreasing log data* strategy).
+
+    Kernel-granularity tracing is bulky; the follow-up work to the paper
+    (Sang et al., "Decreasing log data of multi-tier services for
+    effective request tracing") reduces logs online while keeping the
+    pattern-frequency signal the Correlator and Analysis layers consume.
+    A policy describes that reduction declaratively so it can be applied
+    by {!Reduce}, carried in a {!Writer}, and recorded verbatim as
+    segment provenance in the {!Manifest}.
+
+    The three composable levers, in application order:
+
+    + {e program filter} — drop activities of the named programs before
+      anything else (chatter known to be irrelevant by name);
+    + {e causality filter} — drop activities that belong to no request
+      causal path (noise the name filter cannot catch);
+    + {e request-level sampling} — keep a subset of whole requests. All
+      activities of a kept request survive together, so no SEND is ever
+      separated from its RECEIVE (sampling at activity granularity would
+      orphan halves and deform every CAG it touched). *)
+
+type sampling =
+  | Keep_all  (** No sampling. *)
+  | Head of int  (** Keep only the first [n] requests by BEGIN time. *)
+  | Probabilistic of { p : float; seed : int }
+      (** Keep each request independently with probability [p];
+          deterministic for a given [seed]. *)
+  | Adaptive of { budget_bytes_per_s : float; seed : int }
+      (** Pick the sampling probability that fits the causal traffic into
+          [budget_bytes_per_s] of encoded store bytes over the batch's
+          time span, then sample probabilistically. *)
+
+type t = {
+  drop_programs : string list;  (** Programs removed outright. *)
+  drop_non_causal : bool;
+      (** Remove activities outside every request causal path. *)
+  sampling : sampling;
+}
+
+val none : t
+(** Keep everything — ingest becomes a plain (but segmented) copy. *)
+
+val is_none : t -> bool
+
+val make :
+  ?drop_programs:string list -> ?drop_non_causal:bool -> ?sampling:sampling -> unit -> t
+(** Defaults are {!none}'s fields. *)
+
+val to_string : t -> string
+(** Canonical compact form, e.g. ["causal,sample=0.25@7"]; ["none"] for
+    {!none}. Round-trips through {!of_string}; used as the provenance
+    string stored in segment headers. *)
+
+val of_string : string -> (t, string) result
+(** Parse the CLI / provenance syntax: comma-separated terms among
+    [none], [causal], [drop=prog1+prog2+...], [head=N], [sample=P[@SEED]]
+    and [budget=BYTES_PER_S[@SEED]] (seed defaults to 1). At most one
+    sampling term. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+module Activity = Trace.Activity
+module Log = Trace.Log
+module Sim_time = Simnet.Sim_time
+module R = Telemetry.Registry
+
+type predicate = {
+  since_ns : int option;
+  until_ns : int option;
+  hosts : string list option;
+}
+
+let all = { since_ns = None; until_ns = None; hosts = None }
+let predicate ?since_ns ?until_ns ?hosts () = { since_ns; until_ns; hosts }
+
+type stats = {
+  segments_total : int;
+  segments_scanned : int;
+  records_scanned : int;
+  records_returned : int;
+  seconds : float;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d/%d segments scanned, %d/%d records returned in %.4f s"
+    s.segments_scanned s.segments_total s.records_returned s.records_scanned s.seconds
+
+let host_wanted predicate host =
+  match predicate.hosts with None -> true | Some hs -> List.mem host hs
+
+let select manifest predicate =
+  List.filter
+    (fun (m : Segment.meta) ->
+      Segment.overlaps m ~since_ns:predicate.since_ns ~until_ns:predicate.until_ns
+      && List.exists (host_wanted predicate) m.Segment.hosts)
+    manifest.Manifest.segments
+
+let merge collections =
+  let by_host = Hashtbl.create 16 in
+  List.iter
+    (fun collection ->
+      List.iter
+        (fun log ->
+          let host = Log.hostname log in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_host host) in
+          Hashtbl.replace by_host host (List.rev_append (List.rev (Log.to_list log)) prev))
+        collection)
+    collections;
+  Hashtbl.fold (fun host acts acc -> (host, acts) :: acc) by_host []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (hostname, acts) -> Log.of_list ~hostname (List.rev acts))
+
+let record_matches predicate (a : Activity.t) =
+  let ts = Sim_time.to_ns a.timestamp in
+  (match predicate.since_ns with Some s -> ts >= s | None -> true)
+  && match predicate.until_ns with Some u -> ts <= u | None -> true
+
+let run ?(telemetry = R.default) ~dir predicate =
+  let t0 = Unix.gettimeofday () in
+  match Manifest.load ~dir with
+  | Error e -> Error e
+  | Ok manifest -> (
+      let selected = select manifest predicate in
+      let rec decode acc = function
+        | [] -> Ok (List.rev acc)
+        | meta :: rest -> (
+            match Segment.read ~dir meta with
+            | Ok collection -> decode (collection :: acc) rest
+            | Error e -> Error e)
+      in
+      match decode [] selected with
+      | Error e -> Error e
+      | Ok collections ->
+          let records_scanned =
+            List.fold_left (fun acc c -> acc + Log.total c) 0 collections
+          in
+          let result =
+            merge collections
+            |> List.filter (fun log -> host_wanted predicate (Log.hostname log))
+            |> Log.map_activities (fun a ->
+                   if record_matches predicate a then Some a else None)
+            |> List.filter (fun log -> Log.length log > 0)
+          in
+          let seconds = Unix.gettimeofday () -. t0 in
+          let stats =
+            {
+              segments_total = List.length manifest.Manifest.segments;
+              segments_scanned = List.length selected;
+              records_scanned;
+              records_returned = Log.total result;
+              seconds;
+            }
+          in
+          Telemetry.Histogram.observe
+            (R.histogram telemetry ~help:"Store query wall time, seconds"
+               "pt_store_query_seconds")
+            seconds;
+          R.add
+            (R.counter telemetry ~help:"Segments decoded by store queries"
+               "pt_store_query_segments_scanned_total")
+            stats.segments_scanned;
+          R.add
+            (R.counter telemetry ~help:"Segments skipped via the manifest index"
+               "pt_store_query_segments_pruned_total")
+            (stats.segments_total - stats.segments_scanned);
+          R.add
+            (R.counter telemetry ~help:"Records returned by store queries"
+               "pt_store_query_records_returned_total")
+            stats.records_returned;
+          Ok (result, stats))

@@ -1,0 +1,45 @@
+(** Reading a store back: time-range and host-predicate queries.
+
+    Selection happens in two stages. First the {!Manifest} prunes: only
+    segments whose index header overlaps the predicate are opened at all,
+    so a query over a narrow time window of a long run decodes a small
+    fraction of the store. Then the surviving segments are decoded and
+    filtered record by record, and per-host logs from different segments
+    are merged back into one sorted collection. *)
+
+type predicate = {
+  since_ns : int option;  (** Inclusive lower timestamp bound. *)
+  until_ns : int option;  (** Inclusive upper timestamp bound. *)
+  hosts : string list option;  (** Restrict to these hostnames. *)
+}
+
+val all : predicate
+
+val predicate :
+  ?since_ns:int -> ?until_ns:int -> ?hosts:string list -> unit -> predicate
+
+type stats = {
+  segments_total : int;
+  segments_scanned : int;  (** Segments actually decoded. *)
+  records_scanned : int;  (** Records in the decoded segments. *)
+  records_returned : int;
+  seconds : float;  (** Wall time of the whole query. *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val select : Manifest.t -> predicate -> Segment.meta list
+(** The manifest-level pruning alone (exposed for tests and [stat]). *)
+
+val merge : Trace.Log.collection list -> Trace.Log.collection
+(** Merge collections: logs of the same hostname are combined and
+    re-sorted; result ordered by hostname. *)
+
+val run :
+  ?telemetry:Telemetry.Registry.t ->
+  dir:string ->
+  predicate ->
+  (Trace.Log.collection * stats, string) result
+(** Execute a query against the store at [dir]. Query wall time and
+    scan/return counts are recorded into [telemetry] under
+    [pt_store_query_*]. *)

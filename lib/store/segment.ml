@@ -1,0 +1,188 @@
+module Json = Core.Json
+module Log = Trace.Log
+module Sim_time = Simnet.Sim_time
+
+type meta = {
+  id : int;
+  file : string;
+  min_ts_ns : int;
+  max_ts_ns : int;
+  hosts : string list;
+  records : int;
+  bytes : int;
+  raw_records : int;
+  raw_bytes : int;
+  policy : string;
+}
+
+let magic = "PTS1"
+let filename id = Printf.sprintf "seg-%06d.pts" id
+
+let overlaps meta ~since_ns ~until_ns =
+  (match until_ns with Some u -> meta.min_ts_ns <= u | None -> true)
+  && match since_ns with Some s -> meta.max_ts_ns >= s | None -> true
+
+let meta_to_json m =
+  Json.Obj
+    [
+      ("id", Json.Int m.id);
+      ("file", Json.String m.file);
+      ("min_ts_ns", Json.Int m.min_ts_ns);
+      ("max_ts_ns", Json.Int m.max_ts_ns);
+      ("hosts", Json.List (List.map (fun h -> Json.String h) m.hosts));
+      ("records", Json.Int m.records);
+      ("bytes", Json.Int m.bytes);
+      ("raw_records", Json.Int m.raw_records);
+      ("raw_bytes", Json.Int m.raw_bytes);
+      ("policy", Json.String m.policy);
+    ]
+
+let int_field j name =
+  match Json.member name j with
+  | Some (Json.Int n) -> Ok n
+  | _ -> Error (Printf.sprintf "segment meta: missing int field %S" name)
+
+let string_field j name =
+  match Json.member name j with
+  | Some (Json.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "segment meta: missing string field %S" name)
+
+let ( let* ) = Result.bind
+
+let meta_of_json j =
+  let* id = int_field j "id" in
+  let* file = string_field j "file" in
+  let* min_ts_ns = int_field j "min_ts_ns" in
+  let* max_ts_ns = int_field j "max_ts_ns" in
+  let* hosts =
+    match Json.member "hosts" j with
+    | Some (Json.List items) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match item with
+            | Json.String h -> Ok (h :: acc)
+            | _ -> Error "segment meta: non-string host")
+          (Ok []) items
+        |> Result.map List.rev
+    | _ -> Error "segment meta: missing list field \"hosts\""
+  in
+  let* records = int_field j "records" in
+  let* bytes = int_field j "bytes" in
+  let* raw_records = int_field j "raw_records" in
+  let* raw_bytes = int_field j "raw_bytes" in
+  let* policy = string_field j "policy" in
+  Ok { id; file; min_ts_ns; max_ts_ns; hosts; records; bytes; raw_records; raw_bytes; policy }
+
+let time_bounds collection =
+  let lo = ref max_int and hi = ref min_int in
+  List.iter
+    (fun log ->
+      Log.iter log (fun a ->
+          let ts = Sim_time.to_ns a.Trace.Activity.timestamp in
+          if ts < !lo then lo := ts;
+          if ts > !hi then hi := ts))
+    collection;
+  (!lo, !hi)
+
+let u32be n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.to_string b
+
+let read_u32be s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let write ~dir ~id ~policy ?raw_records ?raw_bytes collection =
+  let records = Log.total collection in
+  if records = 0 then invalid_arg "Segment.write: empty collection";
+  let payload = Trace.Binary_format.encode collection in
+  let raw_records = Option.value ~default:records raw_records in
+  let raw_bytes = Option.value ~default:(String.length payload) raw_bytes in
+  let min_ts_ns, max_ts_ns = time_bounds collection in
+  let meta =
+    {
+      id;
+      file = filename id;
+      min_ts_ns;
+      max_ts_ns;
+      hosts = List.map Log.hostname collection |> List.sort_uniq String.compare;
+      records;
+      bytes = String.length payload;
+      raw_records;
+      raw_bytes;
+      policy;
+    }
+  in
+  let header = Json.to_string (meta_to_json meta) in
+  let oc = open_out_bin (Filename.concat dir meta.file) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_string oc (u32be (String.length header));
+      output_string oc header;
+      output_string oc payload);
+  meta
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+
+let parse_header data ~path =
+  if String.length data < 8 || not (String.equal (String.sub data 0 4) magic) then
+    Error (Printf.sprintf "%s: not a PTS1 segment" path)
+  else begin
+    let header_len = read_u32be data 4 in
+    if 8 + header_len > String.length data then
+      Error (Printf.sprintf "%s: truncated segment header" path)
+    else
+      match Json.of_string (String.sub data 8 header_len) with
+      | Error e -> Error (Printf.sprintf "%s: bad segment header: %s" path e)
+      | Ok j -> (
+          match meta_of_json j with
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | Ok meta -> Ok (meta, 8 + header_len))
+  end
+
+let read_meta ~path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok data -> Result.map fst (parse_header data ~path)
+
+let read ~dir meta =
+  let path = Filename.concat dir meta.file in
+  match read_file path with
+  | Error e -> Error e
+  | Ok data -> (
+      match parse_header data ~path with
+      | Error e -> Error e
+      | Ok (header_meta, payload_at) ->
+          if header_meta.id <> meta.id || header_meta.records <> meta.records then
+            Error
+              (Printf.sprintf "%s: header (id %d, %d records) disagrees with manifest (id %d, %d records)"
+                 path header_meta.id header_meta.records meta.id meta.records)
+          else begin
+            match
+              Trace.Binary_format.decode
+                (String.sub data payload_at (String.length data - payload_at))
+            with
+            | Error e -> Error (Printf.sprintf "%s: %s" path e)
+            | Ok collection ->
+                let n = Log.total collection in
+                if n <> meta.records then
+                  Error
+                    (Printf.sprintf "%s: payload holds %d records, header declares %d" path n
+                       meta.records)
+                else Ok collection
+          end)

@@ -1,0 +1,63 @@
+(** One on-disk store segment.
+
+    A segment is an append-once file holding a slice of the trace in the
+    existing {!Trace.Binary_format} ([PTB1]) encoding, prefixed by a
+    small self-describing index header:
+
+    {v
+    "PTS1"  4-byte segment magic
+    u32be   header length H
+    H bytes header JSON (the meta record below)
+    ...     PTB1 payload
+    v}
+
+    The header duplicates what the store {!Manifest} records, so a
+    manifest can be rebuilt from the segment files alone and a segment
+    can be sanity-checked without decoding its (much larger) payload. *)
+
+type meta = {
+  id : int;  (** Unique within a store; assigned by the manifest. *)
+  file : string;  (** Basename inside the store directory. *)
+  min_ts_ns : int;  (** Earliest activity timestamp (local clocks). *)
+  max_ts_ns : int;  (** Latest activity timestamp. *)
+  hosts : string list;  (** Sorted hostnames present. *)
+  records : int;  (** Activities in the payload. *)
+  bytes : int;  (** Payload size in bytes. *)
+  raw_records : int;  (** Activities in the batch before reduction. *)
+  raw_bytes : int;  (** Encoded size of the batch before reduction. *)
+  policy : string;  (** Reduction provenance ({!Policy.to_string}). *)
+}
+
+val magic : string
+(** ["PTS1"]. *)
+
+val filename : int -> string
+(** Canonical basename for segment [id], e.g. ["seg-000042.pts"]. *)
+
+val overlaps : meta -> since_ns:int option -> until_ns:int option -> bool
+(** Whether the segment's time range intersects the (inclusive) bounds. *)
+
+val meta_to_json : meta -> Core.Json.t
+val meta_of_json : Core.Json.t -> (meta, string) result
+
+val write :
+  dir:string ->
+  id:int ->
+  policy:string ->
+  ?raw_records:int ->
+  ?raw_bytes:int ->
+  Trace.Log.collection ->
+  meta
+(** Encode and write the collection as segment [id] in [dir]; returns the
+    meta describing what was written. [raw_records]/[raw_bytes] record
+    the batch's pre-reduction size and default to the written values
+    (i.e. no reduction).
+    @raise Invalid_argument on an empty collection (the caller should
+    simply not emit a segment). Raises [Sys_error] on I/O failure. *)
+
+val read : dir:string -> meta -> (Trace.Log.collection, string) result
+(** Decode the payload of a segment; verifies magic, header/manifest
+    consistency (id and record count) and payload integrity. *)
+
+val read_meta : path:string -> (meta, string) result
+(** Read only the index header — O(header) regardless of payload size. *)

@@ -1,0 +1,176 @@
+module Activity = Trace.Activity
+module Log = Trace.Log
+module R = Telemetry.Registry
+
+type stats = {
+  segments : int;
+  records_in : int;
+  records_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  requests_seen : int;
+  requests_kept : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d segments; %d -> %d records, %d -> %d bytes; %d/%d requests kept" s.segments
+    s.records_in s.records_out s.bytes_in s.bytes_out s.requests_kept s.requests_seen
+
+type t = {
+  dir : string;
+  policy : Policy.t;
+  policy_str : string;
+  correlate : Core.Correlator.config option;
+  roll_records : int;
+  telemetry : R.t;
+  buffers : (string, Activity.t list ref) Hashtbl.t;
+  mutable pending : int;
+  mutable manifest : Manifest.t;
+  mutable stats : stats;
+  m_segments : R.counter;
+  m_records_in : R.counter;
+  m_records_out : R.counter;
+  m_bytes_out : R.counter;
+  m_flush : Telemetry.Histogram.t;
+}
+
+let zero_stats =
+  {
+    segments = 0;
+    records_in = 0;
+    records_out = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    requests_seen = 0;
+    requests_kept = 0;
+  }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ())
+  end
+
+let create ?(telemetry = R.default) ?(policy = Policy.none) ?correlate
+    ?(roll_records = 65536) ~dir () =
+  if (not (Policy.is_none policy)) && Option.is_none correlate then
+    invalid_arg "Writer.create: a reduction policy needs a ~correlate config";
+  if roll_records <= 0 then invalid_arg "Writer.create: roll_records must be positive";
+  mkdir_p dir;
+  let manifest =
+    if Manifest.exists ~dir then
+      match Manifest.load ~dir with Ok m -> m | Error e -> failwith e
+    else Manifest.empty
+  in
+  {
+    dir;
+    policy;
+    policy_str = Policy.to_string policy;
+    correlate;
+    roll_records;
+    telemetry;
+    buffers = Hashtbl.create 16;
+    pending = 0;
+    manifest;
+    stats = zero_stats;
+    m_segments =
+      R.counter telemetry ~help:"Segments written by the store writer"
+        "pt_store_segments_written_total";
+    m_records_in =
+      R.counter telemetry ~help:"Activities ingested by the store writer"
+        "pt_store_records_ingested_total";
+    m_records_out =
+      R.counter telemetry ~help:"Activities written to segments after reduction"
+        "pt_store_records_written_total";
+    m_bytes_out =
+      R.counter telemetry ~help:"Segment payload bytes written"
+        "pt_store_bytes_written_total";
+    m_flush =
+      R.histogram telemetry ~help:"Store segment flush wall time, seconds"
+        "pt_store_flush_seconds";
+  }
+
+let stats t = t.stats
+
+let take_batch t =
+  let collection =
+    Hashtbl.fold (fun host acts acc -> (host, !acts) :: acc) t.buffers []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (hostname, acts) -> Log.of_list ~hostname (List.rev acts))
+  in
+  Hashtbl.reset t.buffers;
+  t.pending <- 0;
+  collection
+
+let flush t =
+  if t.pending > 0 then begin
+    let t0 = Unix.gettimeofday () in
+    let batch = take_batch t in
+    let reduced, raw_records, raw_bytes, requests_seen, requests_kept =
+      if Policy.is_none t.policy then (batch, Log.total batch, -1, 0, 0)
+      else
+        let correlate = Option.get t.correlate in
+        let reduced, r =
+          Reduce.apply ~telemetry:t.telemetry ~correlate ~policy:t.policy batch
+        in
+        ( reduced,
+          r.Reduce.activities_before,
+          r.Reduce.bytes_before,
+          r.Reduce.requests_total,
+          r.Reduce.requests_kept )
+    in
+    let records_out = Log.total reduced in
+    let meta =
+      if records_out = 0 then None
+      else begin
+        let id = t.manifest.Manifest.next_id in
+        let meta =
+          if raw_bytes < 0 then
+            (* No reduction: raw size is the written size. *)
+            Segment.write ~dir:t.dir ~id ~policy:t.policy_str reduced
+          else
+            Segment.write ~dir:t.dir ~id ~policy:t.policy_str ~raw_records ~raw_bytes
+              reduced
+        in
+        t.manifest <- Manifest.add t.manifest meta;
+        Manifest.save t.manifest ~dir:t.dir;
+        Some meta
+      end
+    in
+    let bytes_out = match meta with Some m -> m.Segment.bytes | None -> 0 in
+    let bytes_in = if raw_bytes < 0 then bytes_out else raw_bytes in
+    t.stats <-
+      {
+        segments = (t.stats.segments + match meta with Some _ -> 1 | None -> 0);
+        records_in = t.stats.records_in + raw_records;
+        records_out = t.stats.records_out + records_out;
+        bytes_in = t.stats.bytes_in + bytes_in;
+        bytes_out = t.stats.bytes_out + bytes_out;
+        requests_seen = t.stats.requests_seen + requests_seen;
+        requests_kept = t.stats.requests_kept + requests_kept;
+      };
+    (match meta with Some _ -> R.incr t.m_segments | None -> ());
+    R.add t.m_records_in raw_records;
+    R.add t.m_records_out records_out;
+    R.add t.m_bytes_out bytes_out;
+    Telemetry.Histogram.observe t.m_flush (Unix.gettimeofday () -. t0)
+  end
+
+let observe t (a : Activity.t) =
+  let host = a.Activity.context.host in
+  (match Hashtbl.find_opt t.buffers host with
+  | Some acts -> acts := a :: !acts
+  | None -> Hashtbl.replace t.buffers host (ref [ a ]));
+  t.pending <- t.pending + 1;
+  if t.pending >= t.roll_records then flush t
+
+let ingest t collection =
+  List.concat_map Log.to_list collection
+  |> List.stable_sort Activity.compare_by_time
+  |> List.iter (observe t)
+
+let close t =
+  flush t;
+  Manifest.save t.manifest ~dir:t.dir;
+  t.stats

@@ -1,0 +1,63 @@
+(** The streaming store writer: capture goes straight to disk.
+
+    A writer buffers activities per host and rolls a new segment every
+    [roll_records] activities, applying its reduction {!Policy} to each
+    batch before encoding — so an {!Core.Online} run (or a
+    {!Trace.Probe} listener) streams reduced segments to disk while the
+    service is still running. {!observe} has exactly the probe-listener
+    shape: [Trace.Probe.add_listener probe (Writer.observe w)] or
+    [Core.Online.create ~on_activity:(Writer.observe w)].
+
+    Because reduction is per batch, a request that straddles a segment
+    boundary is seen by two independent reduction passes; its unfinished
+    halves are attributed to deformed paths and sampled like any other
+    request (never split mid-message, since message endpoints land in the
+    same batch up to the roll granularity). Batch boundaries are the one
+    fidelity caveat of streaming reduction — see docs/STORE.md. *)
+
+type t
+
+type stats = {
+  segments : int;  (** Segments written. *)
+  records_in : int;  (** Activities observed. *)
+  records_out : int;  (** Activities written after reduction. *)
+  bytes_in : int;  (** Encoded size of raw batches. *)
+  bytes_out : int;  (** Payload bytes written. *)
+  requests_seen : int;
+  requests_kept : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val create :
+  ?telemetry:Telemetry.Registry.t ->
+  ?policy:Policy.t ->
+  ?correlate:Core.Correlator.config ->
+  ?roll_records:int ->
+  dir:string ->
+  unit ->
+  t
+(** Open (creating [dir] if needed) a writer appending to the store at
+    [dir]; an existing manifest is extended, so successive runs can feed
+    one store. Defaults: {!Policy.none}, roll every 65536 activities.
+    @raise Invalid_argument if [policy] needs request attribution (any
+    non-[none] policy) and [correlate] is missing.
+    @raise Failure if an existing manifest cannot be parsed. *)
+
+val observe : t -> Trace.Activity.t -> unit
+(** Buffer one activity (probe-listener compatible); rolls a segment when
+    the batch threshold is reached. *)
+
+val ingest : t -> Trace.Log.collection -> unit
+(** Feed a whole collection through {!observe}, interleaving the per-host
+    logs in global timestamp order — the same segment time-partitioning a
+    live feed would produce. *)
+
+val flush : t -> unit
+(** Force the current batch out as a segment (no-op when empty). *)
+
+val close : t -> stats
+(** Flush and return the run's totals. The manifest is saved after every
+    segment, so a crash loses at most the open batch. *)
+
+val stats : t -> stats

@@ -45,6 +45,16 @@ let get_uvarint r =
 
 let get_varint r = unzigzag (get_uvarint r)
 
+(* Every table entry and record occupies at least one byte, so any count
+   larger than the remaining input is corrupt. Checking up front keeps a
+   byte-flipped varint from driving [Array.init]/[List.init] into an
+   allocation bomb before the truncation would be noticed. *)
+let get_count r what =
+  let n = get_uvarint r in
+  if n > String.length r.data - r.pos then
+    raise (Corrupt (r.pos, Printf.sprintf "%s count %d exceeds remaining input" what n));
+  n
+
 let get_string r =
   let n = get_uvarint r in
   if r.pos + n > String.length r.data then raise (Corrupt (r.pos, "string overruns input"));
@@ -153,18 +163,18 @@ let encode collection =
   Buffer.contents buf
 
 let decode data =
-  try
-    if String.length data < 4 || not (String.equal (String.sub data 0 4) magic) then
-      Error "not a PTB1 file"
-    else begin
-      let r = { data; pos = 4 } in
-      let string_count = get_uvarint r in
+  if String.length data < 4 || not (String.equal (String.sub data 0 4) magic) then
+    Error "not a PTB1 file"
+  else begin
+    let r = { data; pos = 4 } in
+    try
+      let string_count = get_count r "string table" in
       let strings = Array.init string_count (fun _ -> get_string r) in
       let lookup_string i =
         if i < 0 || i >= string_count then raise (Corrupt (r.pos, "string index out of range"));
         strings.(i)
       in
-      let context_count = get_uvarint r in
+      let context_count = get_count r "context table" in
       let contexts =
         Array.init context_count (fun _ ->
             let host = lookup_string (get_uvarint r) in
@@ -178,7 +188,7 @@ let decode data =
           raise (Corrupt (r.pos, "context index out of range"));
         contexts.(i)
       in
-      let flow_count = get_uvarint r in
+      let flow_count = get_count r "flow table" in
       let flows =
         Array.init flow_count (fun _ ->
             let src_ip = Address.ip_of_int (get_uvarint r) in
@@ -193,11 +203,11 @@ let decode data =
         if i < 0 || i >= flow_count then raise (Corrupt (r.pos, "flow index out of range"));
         flows.(i)
       in
-      let log_count = get_uvarint r in
+      let log_count = get_count r "log" in
       let logs =
         List.init log_count (fun _ ->
             let hostname = lookup_string (get_uvarint r) in
-            let n = get_uvarint r in
+            let n = get_count r "record" in
             let prev_ts = ref 0 in
             let items =
               List.init n (fun _ ->
@@ -219,16 +229,30 @@ let decode data =
       if r.pos <> String.length data then
         Error (Printf.sprintf "trailing garbage at offset %d" r.pos)
       else Ok logs
-    end
-  with
-  | Corrupt (pos, msg) -> Error (Printf.sprintf "corrupt at offset %d: %s" pos msg)
-  | Invalid_argument msg -> Error msg
+    with
+    | Corrupt (pos, msg) -> Error (Printf.sprintf "corrupt at offset %d: %s" pos msg)
+    | Invalid_argument msg -> Error (Printf.sprintf "corrupt at offset %d: %s" r.pos msg)
+  end
 
 let save collection ~path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (encode collection))
+
+let is_binary data =
+  String.length data >= 4 && String.equal (String.sub data 0 4) magic
+
+let is_binary_file ~path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match really_input_string ic 4 with
+          | head -> String.equal head magic
+          | exception End_of_file -> false)
 
 let load ~path =
   let ic = open_in_bin path in

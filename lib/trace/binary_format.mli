@@ -15,6 +15,17 @@
     (see the [formats] bench). Both formats describe the same
     {!Activity.t}; conversion is lossless. *)
 
+val magic : string
+(** The 4-byte file header, ["PTB1"]. *)
+
+val is_binary : string -> bool
+(** Whether the bytes begin with {!magic}. *)
+
+val is_binary_file : path:string -> bool
+(** Whether the file at [path] starts with {!magic}; [false] on
+    unreadable or shorter-than-header files. Lets loaders auto-detect
+    binary vs text traces without trusting the filename. *)
+
 val save : Log.collection -> path:string -> unit
 (** Write the whole collection into one file. *)
 

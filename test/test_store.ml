@@ -1,0 +1,500 @@
+(* Tests for lib/store: segments, manifest, reduction policies, writer,
+   query, compaction — including the two acceptance criteria of the
+   subsystem: store round-trip reproduces identical CAGs when reduction is
+   off, and request-level sampling at >=4x byte reduction preserves the
+   top-3 pattern frequency ranks. *)
+
+module H = Test_helpers.Helpers
+module S = Tiersim.Scenario
+module Activity = Trace.Activity
+module Log = Trace.Log
+module Correlator = Core.Correlator
+module Pattern = Core.Pattern
+
+let temp_dir () =
+  let dir = Filename.temp_file "pt-store" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* One memoised mid-size three-tier run shared by the tests. *)
+let outcome =
+  lazy (S.run { S.default with S.clients = 150; time_scale = 0.05; seed = 11 })
+
+let correlate_cfg () =
+  let o = Lazy.force outcome in
+  Correlator.config ~transform:o.S.transform ()
+
+let collection_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         String.equal (Log.hostname x) (Log.hostname y)
+         && Log.length x = Log.length y
+         && List.for_all2 Activity.equal (Log.to_list x) (Log.to_list y))
+       a b
+
+(* ---- policy ---- *)
+
+let test_policy_roundtrip () =
+  List.iter
+    (fun s ->
+      match Store.Policy.of_string s with
+      | Error e -> Alcotest.failf "%S rejected: %s" s e
+      | Ok p -> Alcotest.(check string) s s (Store.Policy.to_string p))
+    [
+      "none";
+      "causal";
+      "head=100";
+      "sample=0.25@7";
+      "budget=1000@1";
+      "drop=rlogin+sshd";
+      "causal,sample=0.5@1";
+      "drop=mysql,causal,head=10";
+    ]
+
+let test_policy_errors () =
+  List.iter
+    (fun s ->
+      match Store.Policy.of_string s with
+      | Ok p -> Alcotest.failf "%S accepted as %s" s (Store.Policy.to_string p)
+      | Error _ -> ())
+    [ "nope"; "sample=2.0"; "sample=x"; "head=-1"; "head=1,sample=0.5"; "budget=0" ]
+
+let test_policy_defaults () =
+  Alcotest.(check bool) "none is none" true (Store.Policy.is_none Store.Policy.none);
+  match Store.Policy.of_string "sample=0.5" with
+  | Ok { Store.Policy.sampling = Store.Policy.Probabilistic { seed; _ }; _ } ->
+      Alcotest.(check int) "default seed" 1 seed
+  | Ok _ | Error _ -> Alcotest.fail "sample=0.5 should parse with default seed"
+
+(* ---- segment ---- *)
+
+let test_segment_roundtrip () =
+  with_dir @@ fun dir ->
+  let collection = (Lazy.force outcome).S.logs in
+  let meta = Store.Segment.write ~dir ~id:3 ~policy:"none" collection in
+  Alcotest.(check int) "id" 3 meta.Store.Segment.id;
+  Alcotest.(check string) "file" "seg-000003.pts" meta.file;
+  Alcotest.(check int) "records" (Log.total collection) meta.records;
+  Alcotest.(check (list string)) "hosts sorted"
+    (List.sort String.compare (List.map Log.hostname collection))
+    meta.hosts;
+  let all_ts =
+    List.concat_map Log.to_list collection
+    |> List.map (fun a -> Simnet.Sim_time.to_ns a.Activity.timestamp)
+  in
+  Alcotest.(check int) "min ts" (List.fold_left min max_int all_ts) meta.min_ts_ns;
+  Alcotest.(check int) "max ts" (List.fold_left max min_int all_ts) meta.max_ts_ns;
+  (* Header alone (read_meta) agrees with the write-time meta. *)
+  (match Store.Segment.read_meta ~path:(Filename.concat dir meta.file) with
+  | Ok m -> Alcotest.(check int) "header records" meta.records m.Store.Segment.records
+  | Error e -> Alcotest.fail e);
+  match Store.Segment.read ~dir meta with
+  | Ok loaded -> Alcotest.(check bool) "payload identical" true (collection_equal collection loaded)
+  | Error e -> Alcotest.fail e
+
+let test_segment_rejects_corruption () =
+  with_dir @@ fun dir ->
+  let meta = Store.Segment.write ~dir ~id:0 ~policy:"none" (H.logs_of_request ()) in
+  let path = Filename.concat dir meta.Store.Segment.file in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub data 0 (String.length data - 3)));
+  (match Store.Segment.read ~dir meta with
+  | Ok _ -> Alcotest.fail "truncated segment accepted"
+  | Error _ -> ());
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "XXXX");
+  match Store.Segment.read ~dir meta with
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+  | Error _ -> ()
+
+(* ---- manifest ---- *)
+
+let test_manifest_roundtrip () =
+  with_dir @@ fun dir ->
+  let m0 = Store.Manifest.empty in
+  let meta1 = Store.Segment.write ~dir ~id:0 ~policy:"none" (H.logs_of_request ()) in
+  let meta2 = Store.Segment.write ~dir ~id:1 ~policy:"causal" (H.logs_of_request ()) in
+  let m = Store.Manifest.add (Store.Manifest.add m0 meta1) meta2 in
+  Alcotest.(check int) "next id" 2 m.Store.Manifest.next_id;
+  Store.Manifest.save m ~dir;
+  (match Store.Manifest.load ~dir with
+  | Error e -> Alcotest.fail e
+  | Ok loaded ->
+      Alcotest.(check int) "segments" 2 (List.length loaded.Store.Manifest.segments);
+      Alcotest.(check int) "records"
+        (Store.Manifest.total_records m)
+        (Store.Manifest.total_records loaded));
+  (* A rebuilt manifest (from segment headers) agrees on the totals. *)
+  match Store.Manifest.rebuild ~dir with
+  | Error e -> Alcotest.fail e
+  | Ok rebuilt ->
+      Alcotest.(check int) "rebuilt records"
+        (Store.Manifest.total_records m)
+        (Store.Manifest.total_records rebuilt);
+      Alcotest.(check int) "rebuilt next id" 2 rebuilt.Store.Manifest.next_id
+
+let test_manifest_corrupt () =
+  with_dir @@ fun dir ->
+  Out_channel.with_open_bin
+    (Filename.concat dir Store.Manifest.file)
+    (fun oc -> Out_channel.output_string oc "{not json");
+  match Store.Manifest.load ~dir with
+  | Ok _ -> Alcotest.fail "corrupt manifest accepted"
+  | Error _ -> ()
+
+(* ---- writer ---- *)
+
+let test_writer_rolls_segments () =
+  with_dir @@ fun dir ->
+  let collection = (Lazy.force outcome).S.logs in
+  let writer = Store.Writer.create ~roll_records:500 ~dir () in
+  Store.Writer.ingest writer collection;
+  let stats = Store.Writer.close writer in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d segments from %d records" stats.Store.Writer.segments
+       stats.records_in)
+    true
+    (stats.Store.Writer.segments >= stats.records_in / 500);
+  Alcotest.(check int) "nothing dropped without a policy" stats.records_in stats.records_out;
+  match Store.Manifest.load ~dir with
+  | Ok m -> Alcotest.(check int) "manifest agrees" stats.records_out (Store.Manifest.total_records m)
+  | Error e -> Alcotest.fail e
+
+let test_writer_requires_correlate () =
+  with_dir @@ fun dir ->
+  let policy =
+    match Store.Policy.of_string "causal" with Ok p -> p | Error e -> failwith e
+  in
+  match Store.Writer.create ~policy ~dir () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "reduction without a correlator config accepted"
+
+(* ---- acceptance: round-trip fidelity (reduction off) ---- *)
+
+let test_roundtrip_fidelity () =
+  with_dir @@ fun dir ->
+  let o = Lazy.force outcome in
+  let cfg = correlate_cfg () in
+  let writer = Store.Writer.create ~roll_records:1000 ~dir () in
+  Store.Writer.ingest writer o.S.logs;
+  ignore (Store.Writer.close writer);
+  match Store.Query.run ~dir Store.Query.all with
+  | Error e -> Alcotest.fail e
+  | Ok (loaded, _) ->
+      Alcotest.(check bool) "activities identical" true (collection_equal o.S.logs loaded);
+      let direct = Correlator.correlate cfg o.S.logs in
+      let from_store = Correlator.correlate cfg loaded in
+      Alcotest.(check int) "same path count"
+        (List.length direct.Correlator.cags)
+        (List.length from_store.Correlator.cags);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) "same signature" (Pattern.signature_of a)
+            (Pattern.signature_of b);
+          List.iter2
+            (fun (va : Core.Cag.vertex) (vb : Core.Cag.vertex) ->
+              Alcotest.(check bool) "same vertex activity" true
+                (Activity.equal va.Core.Cag.activity vb.Core.Cag.activity))
+            (Core.Cag.vertices a) (Core.Cag.vertices b))
+        direct.Correlator.cags from_store.Correlator.cags;
+      let verdict =
+        Core.Accuracy.check ~ground_truth:o.S.ground_truth from_store.Correlator.cags
+      in
+      Alcotest.(check bool) "accuracy 100%" true (verdict.Core.Accuracy.accuracy >= 1.0)
+
+(* ---- acceptance: reduction fidelity ---- *)
+
+let top_names n patterns =
+  List.filteri (fun i _ -> i < n) patterns |> List.map (fun p -> p.Pattern.name)
+
+let test_reduction_fidelity () =
+  let o = Lazy.force outcome in
+  let cfg = correlate_cfg () in
+  let policy =
+    match Store.Policy.of_string "causal,sample=0.25@3" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let reduced, stats = Store.Reduce.apply ~correlate:cfg ~policy o.S.logs in
+  let ratio = Store.Reduce.ratio stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "byte reduction %.1fx >= 4x" ratio)
+    true (ratio >= 4.0);
+  let baseline = Correlator.correlate cfg o.S.logs in
+  let result = Correlator.correlate cfg reduced in
+  Alcotest.(check (list string)) "top-3 pattern ranks unchanged"
+    (top_names 3 (Pattern.classify baseline.Correlator.cags))
+    (top_names 3 (Pattern.classify result.Correlator.cags))
+
+let test_reduction_keeps_whole_requests () =
+  let o = Lazy.force outcome in
+  let cfg = correlate_cfg () in
+  let policy =
+    match Store.Policy.of_string "causal,sample=0.5@2" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let reduced, stats = Store.Reduce.apply ~correlate:cfg ~policy o.S.logs in
+  let result = Correlator.correlate cfg reduced in
+  (* Whole causal paths survive or vanish: no orphaned halves, so the
+     reduced trace correlates with zero deformed CAGs and exactly the kept
+     requests as paths. *)
+  Alcotest.(check int) "no deformed paths" 0 (List.length result.Correlator.deformed);
+  Alcotest.(check int) "kept requests = paths" stats.Store.Reduce.requests_kept
+    (List.length result.Correlator.cags)
+
+let test_reduction_deterministic () =
+  let o = Lazy.force outcome in
+  let cfg = correlate_cfg () in
+  let policy =
+    match Store.Policy.of_string "sample=0.3@9" with Ok p -> p | Error e -> failwith e
+  in
+  let r1, s1 = Store.Reduce.apply ~correlate:cfg ~policy o.S.logs in
+  let r2, s2 = Store.Reduce.apply ~correlate:cfg ~policy o.S.logs in
+  Alcotest.(check int) "same kept" s1.Store.Reduce.requests_kept s2.Store.Reduce.requests_kept;
+  Alcotest.(check bool) "same survivors" true (collection_equal r1 r2)
+
+let test_reduction_head_and_boundaries () =
+  let o = Lazy.force outcome in
+  let cfg = correlate_cfg () in
+  let apply s =
+    let policy =
+      match Store.Policy.of_string s with Ok p -> p | Error e -> failwith e
+    in
+    Store.Reduce.apply ~correlate:cfg ~policy o.S.logs
+  in
+  let _, head = apply "head=10" in
+  Alcotest.(check int) "head keeps 10" 10 head.Store.Reduce.requests_kept;
+  let _, none_kept = apply "sample=0.0@1" in
+  Alcotest.(check int) "p=0 keeps none" 0 none_kept.Store.Reduce.requests_kept;
+  let _, all_kept = apply "sample=1.0@1" in
+  Alcotest.(check int) "p=1 keeps all" all_kept.Store.Reduce.requests_total
+    all_kept.Store.Reduce.requests_kept
+
+(* ---- query ---- *)
+
+let store_of_run dir =
+  let o = Lazy.force outcome in
+  let writer = Store.Writer.create ~roll_records:1000 ~dir () in
+  Store.Writer.ingest writer o.S.logs;
+  ignore (Store.Writer.close writer)
+
+let test_query_prunes_segments () =
+  with_dir @@ fun dir ->
+  store_of_run dir;
+  let m = match Store.Manifest.load ~dir with Ok m -> m | Error e -> failwith e in
+  let min_ts, max_ts =
+    List.fold_left
+      (fun (lo, hi) (s : Store.Segment.meta) ->
+        (min lo s.Store.Segment.min_ts_ns, max hi s.Store.Segment.max_ts_ns))
+      (max_int, min_int) m.Store.Manifest.segments
+  in
+  let span = max_ts - min_ts in
+  let narrow =
+    Store.Query.predicate
+      ~since_ns:(min_ts + (span * 45 / 100))
+      ~until_ns:(min_ts + (span * 55 / 100))
+      ()
+  in
+  match Store.Query.run ~dir narrow with
+  | Error e -> Alcotest.fail e
+  | Ok (logs, stats) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "scanned %d < total %d" stats.Store.Query.segments_scanned
+           stats.segments_total)
+        true
+        (stats.Store.Query.segments_scanned < stats.segments_total);
+      List.iter
+        (fun log ->
+          List.iter
+            (fun a ->
+              let ts = Simnet.Sim_time.to_ns a.Activity.timestamp in
+              Alcotest.(check bool) "within window" true
+                (ts >= min_ts + (span * 45 / 100) && ts <= min_ts + (span * 55 / 100)))
+            (Log.to_list log))
+        logs
+
+let test_query_host_filter () =
+  with_dir @@ fun dir ->
+  store_of_run dir;
+  match Store.Query.run ~dir (Store.Query.predicate ~hosts:[ "db1" ] ()) with
+  | Error e -> Alcotest.fail e
+  | Ok (logs, _) ->
+      Alcotest.(check (list string)) "only db1" [ "db1" ] (List.map Log.hostname logs);
+      Alcotest.(check bool) "non-empty" true (Log.total logs > 0)
+
+(* ---- compaction ---- *)
+
+let test_compaction_equivalence () =
+  with_dir @@ fun dir ->
+  store_of_run dir;
+  let before =
+    match Store.Query.run ~dir Store.Query.all with
+    | Ok (logs, _) -> logs
+    | Error e -> failwith e
+  in
+  let m0 = match Store.Manifest.load ~dir with Ok m -> m | Error e -> failwith e in
+  let stats =
+    match Store.Compact.run ~min_records:10_000 ~dir () with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  Alcotest.(check bool) "fewer segments" true
+    (stats.Store.Compact.segments_after < stats.segments_before);
+  let m1 = match Store.Manifest.load ~dir with Ok m -> m | Error e -> failwith e in
+  Alcotest.(check int) "records preserved"
+    (Store.Manifest.total_records m0)
+    (Store.Manifest.total_records m1);
+  (* ids of merged segments never collide with survivors *)
+  let ids = List.map (fun (s : Store.Segment.meta) -> s.Store.Segment.id) m1.segments in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  match Store.Query.run ~dir Store.Query.all with
+  | Error e -> Alcotest.fail e
+  | Ok (after, _) ->
+      Alcotest.(check bool) "query result unchanged" true (collection_equal before after)
+
+let test_compaction_retention () =
+  with_dir @@ fun dir ->
+  store_of_run dir;
+  let m0 = match Store.Manifest.load ~dir with Ok m -> m | Error e -> failwith e in
+  (* Retain a window much smaller than the run: old segments must go. *)
+  let stats =
+    match Store.Compact.run ~min_records:1 ~retain_ns:1_000_000 ~dir () with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  Alcotest.(check bool) "some segments retired" true (stats.Store.Compact.retired > 0);
+  let m1 = match Store.Manifest.load ~dir with Ok m -> m | Error e -> failwith e in
+  Alcotest.(check bool) "fewer live segments" true
+    (List.length m1.Store.Manifest.segments < List.length m0.Store.Manifest.segments);
+  (* Deleted segment files are gone from disk too. *)
+  let live =
+    List.map (fun (s : Store.Segment.meta) -> s.Store.Segment.file) m1.segments
+  in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".pts" then
+        Alcotest.(check bool) (Printf.sprintf "%s is live" f) true (List.mem f live))
+    (Sys.readdir dir)
+
+(* ---- writer + policy end to end ---- *)
+
+let test_writer_with_reduction () =
+  with_dir @@ fun dir ->
+  let o = Lazy.force outcome in
+  let cfg = correlate_cfg () in
+  let policy =
+    match Store.Policy.of_string "causal,sample=0.25@3" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let writer = Store.Writer.create ~policy ~correlate:cfg ~roll_records:2000 ~dir () in
+  Store.Writer.ingest writer o.S.logs;
+  let stats = Store.Writer.close writer in
+  Alcotest.(check bool) "records reduced" true (stats.Store.Writer.records_out < stats.records_in);
+  Alcotest.(check bool) "bytes reduced" true (stats.Store.Writer.bytes_out < stats.bytes_in);
+  match Store.Query.run ~dir Store.Query.all with
+  | Error e -> Alcotest.fail e
+  | Ok (reduced, _) ->
+      (* Per-batch reduction's one caveat (see writer.mli): a request
+         straddling a segment boundary is reduced as two independent
+         halves, so a few deformed CAGs can survive — but only a few,
+         bounded by the requests in flight at each boundary, never a
+         constant fraction of the run. *)
+      let result = Correlator.correlate cfg reduced in
+      let finished = List.length result.Correlator.cags in
+      let deformed = List.length result.Correlator.deformed in
+      Alcotest.(check bool)
+        (Printf.sprintf "deformed %d small vs %d finished" deformed finished)
+        true
+        (float_of_int deformed < 0.05 *. float_of_int (finished + deformed))
+
+(* ---- Online tee: live correlation and durable capture share one feed ---- *)
+
+let test_online_tee () =
+  with_dir @@ fun dir ->
+  let o = Lazy.force outcome in
+  let cfg = correlate_cfg () in
+  let writer = Store.Writer.create ~roll_records:1000 ~dir () in
+  let hosts = List.map Log.hostname o.S.logs in
+  let online =
+    Core.Online.create ~config:cfg ~hosts
+      ~on_activity:(Store.Writer.observe writer)
+      ~telemetry:(Telemetry.Registry.create ())
+      ()
+  in
+  List.concat_map Log.to_list o.S.logs
+  |> List.stable_sort Activity.compare_by_time
+  |> List.iter (Core.Online.observe online);
+  Core.Online.finish online;
+  ignore (Store.Writer.close writer);
+  (* The store captured the raw feed: querying it back returns exactly the
+     original collection, while the online run correlated the same feed. *)
+  match Store.Query.run ~dir Store.Query.all with
+  | Error e -> Alcotest.fail e
+  | Ok (loaded, _) ->
+      Alcotest.(check bool) "store holds the raw feed" true
+        (collection_equal o.S.logs loaded);
+      Alcotest.(check int) "online paths match offline"
+        (List.length (Correlator.correlate cfg o.S.logs).Correlator.cags)
+        (List.length (Core.Online.paths online))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "to_string/of_string roundtrip" `Quick test_policy_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_policy_errors;
+          Alcotest.test_case "defaults" `Quick test_policy_defaults;
+        ] );
+      ( "segment",
+        [
+          Alcotest.test_case "roundtrip + meta" `Quick test_segment_roundtrip;
+          Alcotest.test_case "corruption rejected" `Quick test_segment_rejects_corruption;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "save/load/rebuild" `Quick test_manifest_roundtrip;
+          Alcotest.test_case "corrupt rejected" `Quick test_manifest_corrupt;
+        ] );
+      ( "writer",
+        [
+          Alcotest.test_case "rolls segments" `Quick test_writer_rolls_segments;
+          Alcotest.test_case "reduction needs correlator" `Quick test_writer_requires_correlate;
+          Alcotest.test_case "streaming reduction" `Quick test_writer_with_reduction;
+          Alcotest.test_case "online correlation tee" `Quick test_online_tee;
+        ] );
+      ( "fidelity",
+        [
+          Alcotest.test_case "round-trip reproduces identical CAGs" `Quick
+            test_roundtrip_fidelity;
+          Alcotest.test_case "4x reduction keeps top-3 ranks" `Quick test_reduction_fidelity;
+          Alcotest.test_case "whole requests only" `Quick test_reduction_keeps_whole_requests;
+          Alcotest.test_case "seed-deterministic" `Quick test_reduction_deterministic;
+          Alcotest.test_case "head and p boundaries" `Quick test_reduction_head_and_boundaries;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "manifest prunes segments" `Quick test_query_prunes_segments;
+          Alcotest.test_case "host filter" `Quick test_query_host_filter;
+        ] );
+      ( "compact",
+        [
+          Alcotest.test_case "merge preserves content" `Quick test_compaction_equivalence;
+          Alcotest.test_case "retention deletes old segments" `Quick test_compaction_retention;
+        ] );
+    ]

@@ -231,6 +231,43 @@ let test_loss_kind () =
     (not (List.exists (Activity.equal_kind Activity.Receive) kinds));
   Alcotest.(check int) "others kept" 6 (List.length kinds)
 
+let activities_of collection = List.concat_map Log.to_list collection
+
+let test_loss_kind_preserves_others () =
+  let collection = H.logs_of_request () in
+  let count_kind k coll =
+    activities_of coll
+    |> List.filter (fun a -> Activity.equal_kind a.Activity.kind k)
+    |> List.length
+  in
+  let before k = count_kind k collection in
+  let rng = Rng.create ~seed:5 in
+  let dropped = Loss.drop_kind ~rng ~p:1.0 ~kind:Activity.Send collection in
+  Alcotest.(check int) "sends gone" 0 (count_kind Activity.Send dropped);
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s untouched" (Activity.kind_to_string k))
+        (before k) (count_kind k dropped))
+    [ Activity.Begin; Activity.End_; Activity.Receive ]
+
+let test_loss_deterministic () =
+  let spec =
+    { Tiersim.Scenario.default with Tiersim.Scenario.clients = 5; time_scale = 0.02 }
+  in
+  let collection = (Tiersim.Scenario.run spec).Tiersim.Scenario.logs in
+  let survivors drop =
+    let rng = Rng.create ~seed:77 in
+    activities_of (drop ~rng collection)
+  in
+  let same a b = List.length a = List.length b && List.for_all2 Activity.equal a b in
+  Alcotest.(check bool) "drop: same seed, same survivors" true
+    (same (survivors (Loss.drop ~p:0.3)) (survivors (Loss.drop ~p:0.3)));
+  Alcotest.(check bool) "drop_kind: same seed, same survivors" true
+    (same
+       (survivors (Loss.drop_kind ~p:0.5 ~kind:Activity.Receive))
+       (survivors (Loss.drop_kind ~p:0.5 ~kind:Activity.Receive)))
+
 let prop_loss_rate =
   QCheck.Test.make ~name:"loss rate roughly honoured" ~count:20
     QCheck.(int_range 0 100)
@@ -323,6 +360,94 @@ let prop_binary_roundtrip =
           List.for_all2 Activity.equal (Log.to_list (List.hd collection)) (Log.to_list loaded)
       | Ok _ | Error _ -> false)
 
+(* A multi-host collection generator for the format property tests: the
+   single-log shape above misses the cross-log string/context/flow table
+   sharing, which is where interning bugs would live. *)
+let arbitrary_collection =
+  let open QCheck.Gen in
+  let gen =
+    int_range 0 3 >>= fun hosts ->
+    let host_gen i =
+      list_size (int_range 0 25) (QCheck.gen arbitrary_activity) >>= fun acts ->
+      return (Log.of_list ~hostname:(Printf.sprintf "node%d" i) acts)
+    in
+    let rec build i acc =
+      if i >= hosts then return (List.rev acc)
+      else host_gen i >>= fun log -> build (i + 1) (log :: acc)
+    in
+    build 0 []
+  in
+  QCheck.make
+    ~print:(fun c ->
+      String.concat ";"
+        (List.map (fun l -> Printf.sprintf "%s:%d" (Log.hostname l) (Log.length l)) c))
+    gen
+
+let collection_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         String.equal (Log.hostname x) (Log.hostname y)
+         && Log.length x = Log.length y
+         && List.for_all2 Activity.equal (Log.to_list x) (Log.to_list y))
+       a b
+
+let prop_binary_collection_roundtrip =
+  QCheck.Test.make ~name:"binary roundtrip on randomized collections" ~count:100
+    arbitrary_collection (fun collection ->
+      match Trace.Binary_format.decode (Trace.Binary_format.encode collection) with
+      | Ok loaded -> collection_equal collection loaded
+      | Error _ -> false)
+
+let corpus_encoding () =
+  Trace.Binary_format.encode (H.logs_of_request ())
+
+let test_binary_truncation_corpus () =
+  let encoded = corpus_encoding () in
+  let n = String.length encoded in
+  for len = 4 to n - 1 do
+    match Trace.Binary_format.decode (String.sub encoded 0 len) with
+    | Ok _ -> Alcotest.failf "prefix of %d/%d bytes decoded" len n
+    | Error msg ->
+        if not (H.contains msg "offset") then
+          Alcotest.failf "truncation at %d: error %S names no offset" len msg
+    | exception e ->
+        Alcotest.failf "truncation at %d raised %s" len (Printexc.to_string e)
+  done
+
+let test_binary_byte_flip_corpus () =
+  let encoded = corpus_encoding () in
+  let n = String.length encoded in
+  List.iter
+    (fun mask ->
+      for i = 0 to n - 1 do
+        let b = Bytes.of_string encoded in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+        match Trace.Binary_format.decode (Bytes.to_string b) with
+        | Ok _ -> ()  (* flips in sizes/ports can still decode; that's fine *)
+        | Error msg ->
+            (* Magic damage is reported as a non-PTB1 file; everything past
+               the magic must name the failing offset. *)
+            if i >= 4 && not (H.contains msg "offset") then
+              Alcotest.failf "flip %#x at %d: error %S names no offset" mask i msg
+        | exception e ->
+            Alcotest.failf "flip %#x at %d raised %s" mask i (Printexc.to_string e)
+      done)
+    [ 0x01; 0x80; 0xFF ]
+
+let test_binary_truncated_file_load () =
+  let collection = H.logs_of_request () in
+  let path = Filename.temp_file "pt" ".ptb" in
+  Trace.Binary_format.save collection ~path;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 (String.length full - 7)));
+  (match Trace.Binary_format.load ~path with
+  | Ok _ -> Alcotest.fail "truncated file loaded"
+  | Error msg ->
+      Alcotest.(check bool) "error names an offset" true (H.contains msg "offset"));
+  Sys.remove path
+
 (* ---- Ground truth ---- *)
 
 let test_gt_lifecycle () =
@@ -405,6 +530,8 @@ let () =
         [
           Alcotest.test_case "p=0 and p=1" `Quick test_loss_none_and_all;
           Alcotest.test_case "kind-selective" `Quick test_loss_kind;
+          Alcotest.test_case "other kinds untouched" `Quick test_loss_kind_preserves_others;
+          Alcotest.test_case "seed-deterministic" `Quick test_loss_deterministic;
           qtest prop_loss_rate;
         ] );
       ( "binary_format",
@@ -413,7 +540,11 @@ let () =
           Alcotest.test_case "compression vs text" `Quick test_binary_smaller_than_text;
           Alcotest.test_case "corruption rejected" `Quick test_binary_rejects_corruption;
           Alcotest.test_case "file io" `Quick test_binary_file_io;
+          Alcotest.test_case "truncation corpus" `Quick test_binary_truncation_corpus;
+          Alcotest.test_case "byte-flip corpus" `Quick test_binary_byte_flip_corpus;
+          Alcotest.test_case "truncated file load" `Quick test_binary_truncated_file_load;
           qtest prop_binary_roundtrip;
+          qtest prop_binary_collection_roundtrip;
         ] );
       ( "ground_truth",
         [
