@@ -10,11 +10,11 @@ build:
 test: build
 	dune runtest
 
-# A fast bench smoke: the store figure on quick grids, with the
-# machine-readable summary CI can diff (BENCH.json is untracked output;
-# BENCH_store.json in the repo is a committed reference run).
+# A fast bench smoke: the store and degraded-feed figures on quick grids,
+# with the machine-readable summary CI can diff (BENCH.json is untracked
+# output; BENCH_store.json in the repo is a committed reference run).
 bench-quick: build
-	dune exec bench/main.exe -- --quick --figure store --json BENCH.json
+	dune exec bench/main.exe -- --quick --figure store --figure degraded --json BENCH.json
 
 # Formatting check is advisory: the container does not ship ocamlformat,
 # so skip (with a note) when the tool is absent rather than failing CI.

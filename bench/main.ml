@@ -3,7 +3,8 @@
 
    Usage: main.exe [--figure ID]... [--scale S] [--quick] [--json FILE]
                    [--telemetry FILE] [--telemetry-format prom|json|report]
-     IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro store all
+     IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro store
+          degraded all
    Default: everything, at time_scale 0.1 (stage durations shrunk 10x;
    service times, think times and all rates untouched, so shapes match the
    paper's full-length runs).
@@ -649,6 +650,81 @@ let bench_online () =
     (if !quick then [ 100; 500 ] else [ 100; 300; 500 ]);
   Report.print t
 
+(* ---- ext-10: degraded feed (straggler eviction & backpressure) ---- *)
+
+let bench_degraded () =
+  let clients = if !quick then 120 else 300 in
+  (* app1's probe goes dark mid-run: a scaled 300 s into the run, well past
+     the up-ramp and well before the natural end, so roughly half the feed
+     arrives with one stream permanently silent. *)
+  let silence = ST.span_scale !time_scale (ST.ms 300_000) in
+  let spec =
+    {
+      (base_spec ()) with
+      S.clients;
+      faults = [ Faults.host_silence ~host:"app1" ~after:silence ];
+    }
+  in
+  let outcome = run spec in
+  let cfg = Correlator.config ~transform:outcome.S.transform () in
+  let hosts = List.map Trace.Log.hostname outcome.S.logs in
+  let merged =
+    List.concat_map Trace.Log.to_list outcome.S.logs
+    |> List.stable_sort Trace.Activity.compare_by_time
+  in
+  let replay ?straggler_timeout ?max_buffered () =
+    let online =
+      Core.Online.create ~config:cfg ~hosts ?straggler_timeout ?max_buffered ()
+    in
+    let peak = ref 0 in
+    List.iter
+      (fun a ->
+        Core.Online.observe online a;
+        peak := max !peak (Core.Online.pending online))
+      merged;
+    let live = List.length (Core.Online.paths online) in
+    Core.Online.finish online;
+    (online, live, !peak)
+  in
+  let t =
+    Report.table
+      ~title:"ext-10: degraded feed (app1 silent mid-run, 10 ms window)"
+      ~columns:
+        [
+          "mode"; "paths"; "emitted live"; "peak pending"; "deformed"; "evicted";
+          "backpressure";
+        ]
+  in
+  let row label (online, live, peak) =
+    let s = Core.Online.ranker_stats online in
+    let paths = Core.Online.paths online in
+    let deformed = List.length (List.filter Core.Cag.is_deformed paths) in
+    Report.add_row t
+      [
+        label;
+        Report.cell_int (List.length paths);
+        Report.cell_int live;
+        Report.cell_int peak;
+        Report.cell_int deformed;
+        Report.cell_int s.Core.Ranker.stragglers_evicted;
+        Report.cell_int s.Core.Ranker.backpressure_pops;
+      ];
+    (List.length paths, live, peak, deformed)
+  in
+  let _, live0, peak0, _ = row "wait forever" (replay ()) in
+  let paths1, live1, peak1, deformed1 =
+    row "straggler timeout 500 ms" (replay ~straggler_timeout:(ST.ms 500) ())
+  in
+  let _, _, peak2, _ = row "max buffered 500" (replay ~max_buffered:500 ()) in
+  Report.print t;
+  record_int ~figure:"degraded" "paths" paths1;
+  record_int ~figure:"degraded" "live_no_eviction" live0;
+  record_int ~figure:"degraded" "live_with_timeout" live1;
+  record_int ~figure:"degraded" "peak_pending_no_eviction" peak0;
+  record_int ~figure:"degraded" "peak_pending_with_timeout" peak1;
+  record_int ~figure:"degraded" "peak_pending_max_buffered" peak2;
+  record_int ~figure:"degraded" "deformed_with_timeout" deformed1
+
 (* ---- ext-8: trace format sizes ---- *)
 
 let bench_formats () =
@@ -899,6 +975,7 @@ let all_figures =
     ("formats", bench_formats);
     ("skewfix", bench_skewfix);
     ("online", bench_online);
+    ("degraded", bench_degraded);
     ("store", bench_store);
     ("micro", bench_micro);
   ]

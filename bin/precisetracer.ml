@@ -68,14 +68,15 @@ let faults =
         ("ejb-delay", Faults.ejb_delay);
         ("db-lock", Faults.database_lock);
         ("ejb-network", Faults.ejb_network);
+        ("host-silence", Faults.host_silence ~host:"app1" ~after:(ST.sec 15));
       ]
   in
   Arg.(
     value & opt_all fault []
     & info [ "fault" ] ~docv:"FAULT"
         ~doc:
-          "Inject a performance problem: $(b,ejb-delay), $(b,db-lock) or $(b,ejb-network). \
-           Repeatable.")
+          "Inject a performance problem: $(b,ejb-delay), $(b,db-lock), $(b,ejb-network), or \
+           $(b,host-silence) (app1's probe goes dark 15 virtual seconds in). Repeatable.")
 
 let window_ms =
   Arg.(
@@ -282,13 +283,67 @@ let simulate_cmd =
 
 (* ---- correlate ---- *)
 
+let transform_of_entry entry =
+  Core.Transform.config ~entry_points:[ entry ]
+    ~drop_programs:[ "rlogin"; "rlogind"; "ssh"; "sshd"; "mysql" ]
+    ()
+
 let correlate_logs ~window ~entry logs =
-  let transform =
-    Core.Transform.config ~entry_points:[ entry ]
-      ~drop_programs:[ "rlogin"; "rlogind"; "ssh"; "sshd"; "mysql" ]
+  Core.Correlator.correlate
+    (Core.Correlator.config ~transform:(transform_of_entry entry) ~window ())
+    logs
+
+(* Replay saved logs through the online pipeline: merge them into one
+   arrival-ordered feed and observe record by record, as a live collector
+   would. *)
+let correlate_online ~window ~entry ?straggler_timeout ?max_buffered logs =
+  let config = Core.Correlator.config ~transform:(transform_of_entry entry) ~window () in
+  let hosts = List.map Trace.Log.hostname logs in
+  let live = ref 0 in
+  let peak_pending = ref 0 in
+  let online =
+    Core.Online.create ~config ~hosts ?straggler_timeout ?max_buffered
+      ~on_path:(fun _ -> incr live)
       ()
   in
-  Core.Correlator.correlate (Core.Correlator.config ~transform ~window ()) logs
+  let feed =
+    List.stable_sort Trace.Activity.compare_by_time (List.concat_map Trace.Log.to_list logs)
+  in
+  List.iter
+    (fun a ->
+      Core.Online.observe online a;
+      peak_pending := max !peak_pending (Core.Online.pending online))
+    feed;
+  let live_before_close = !live in
+  Core.Online.finish online;
+  (online, live_before_close, !peak_pending)
+
+let print_online (online, live, peak_pending) =
+  let open Core in
+  let paths = Online.paths online in
+  let flagged = List.length (List.filter Cag.is_deformed paths) in
+  Format.printf
+    "%d causal paths online, %d emitted live before close (%d flagged deformed, %d \
+     unfinished); peak pending %d@."
+    (List.length paths) live flagged
+    (List.length (Online.deformed online))
+    peak_pending;
+  let rs = Online.ranker_stats online in
+  Format.printf
+    "ranker: %d candidates, %d noise discarded, %d resorted; stragglers %d evicted / %d \
+     resynced; %d backpressure pops@."
+    rs.Ranker.candidates rs.noise_discarded rs.resorted rs.stragglers_evicted
+    rs.straggler_resyncs rs.backpressure_pops;
+  (match List.filter (fun (_, n) -> n > 0) rs.Ranker.quarantined with
+  | [] -> ()
+  | q ->
+      Format.printf "quarantined:%s@."
+        (String.concat ""
+           (List.map
+              (fun (r, n) -> Printf.sprintf " %s=%d" (Ranker.reject_reason_to_string r) n)
+              q)));
+  let patterns = Pattern.classify paths in
+  List.iter (fun p -> Format.printf "  %a@." Pattern.pp p) patterns
 
 let print_correlation result =
   let open Core in
@@ -346,18 +401,60 @@ let correlate_cmd =
       value & opt int 0
       & info [ "show" ] ~docv:"N" ~doc:"Render the first $(docv) causal paths as swimlanes.")
   in
-  let run dir window_ms entry json_out show tfile tformat =
+  let online =
+    Arg.(
+      value & flag
+      & info [ "online" ]
+          ~doc:
+            "Replay the traces through the online correlator (one merged arrival-ordered \
+             feed) instead of the offline batch pipeline.")
+  in
+  let straggler_timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "straggler-timeout" ] ~docv:"MS"
+          ~doc:
+            "Online: evict a stream from the commit wait set once it falls more than $(docv) \
+             virtual milliseconds behind the feed watermark, so a silent host cannot stall \
+             the pipeline.")
+  in
+  let max_buffered =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-buffered" ] ~docv:"N"
+          ~doc:
+            "Online: bound held records at $(docv); past it the oldest window is \
+             force-resolved instead of waiting for input.")
+  in
+  let run dir window_ms entry json_out show online straggler_timeout_ms max_buffered tfile
+      tformat =
     match load_traces dir with
     | Error e -> `Error (false, e)
     | Ok logs ->
         Format.printf "loaded %d activities from %d nodes@." (Trace.Log.total logs)
           (List.length logs);
-        let result = correlate_logs ~window:(window_of window_ms) ~entry logs in
-        print_correlation result;
+        let window = window_of window_ms in
+        let cags =
+          if online then begin
+            let ((t, _, _) as run) =
+              correlate_online ~window ~entry
+                ?straggler_timeout:(Option.map window_of straggler_timeout_ms)
+                ?max_buffered logs
+            in
+            print_online run;
+            Core.Online.paths t
+          end
+          else begin
+            let result = correlate_logs ~window ~entry logs in
+            print_correlation result;
+            result.Core.Correlator.cags
+          end
+        in
         List.iteri
-          (fun i cag ->
-            if i < show then Format.printf "@.%s" (Core.Cag_render.render cag))
-          result.Core.Correlator.cags;
+          (fun i cag -> if i < show then Format.printf "@.%s" (Core.Cag_render.render cag))
+          cags;
         (match json_out with
         | Some file ->
             let oc = open_out file in
@@ -365,8 +462,7 @@ let correlate_cmd =
               ~finally:(fun () -> close_out oc)
               (fun () ->
                 output_string oc
-                  (Core.Json.to_string ~indent:true
-                     (Core.Cag_export.paths_to_json result.Core.Correlator.cags)));
+                  (Core.Json.to_string ~indent:true (Core.Cag_export.paths_to_json cags)));
             Format.printf "@.paths exported to %s@." file
         | None -> ());
         (* score against a saved oracle when one sits next to the traces *)
@@ -374,7 +470,7 @@ let correlate_cmd =
         if Sys.file_exists gt_path then begin
           match Trace.Ground_truth.load ~path:gt_path with
           | Ok gt ->
-              let verdict = Core.Accuracy.check ~ground_truth:gt result.Core.Correlator.cags in
+              let verdict = Core.Accuracy.check ~ground_truth:gt cags in
               Format.printf "@.%a@." Core.Accuracy.pp_verdict verdict
           | Error e -> Format.printf "@.could not read %s: %s@." gt_path e
         end;
@@ -385,8 +481,8 @@ let correlate_cmd =
     (Cmd.info "correlate" ~doc:"Correlate saved trace files into causal paths.")
     Term.(
       ret
-        (const run $ dir $ window_ms $ entry_arg $ json_out $ show $ telemetry_file
-       $ telemetry_format))
+        (const run $ dir $ window_ms $ entry_arg $ json_out $ show $ online
+       $ straggler_timeout_ms $ max_buffered $ telemetry_file $ telemetry_format))
 
 (* ---- evaluate ---- *)
 

@@ -22,6 +22,7 @@ and t = {
   mutable rev_vertices : vertex list;
   mutable vertex_count : int;
   mutable finished : bool;
+  mutable deformed : bool;
 }
 
 module Builder = struct
@@ -40,7 +41,16 @@ module Builder = struct
     }
 
   let create ~cag_id root =
-    let t = { cag_id; root; rev_vertices = [ root ]; vertex_count = 1; finished = false } in
+    let t =
+      {
+        cag_id;
+        root;
+        rev_vertices = [ root ];
+        vertex_count = 1;
+        finished = false;
+        deformed = false;
+      }
+    in
     root.cag <- Some t;
     t
 
@@ -81,10 +91,12 @@ module Builder = struct
     v.activity <- { a with Activity.timestamp; message = { a.message with size } }
 
   let finish t = t.finished <- true
+  let mark_deformed t = t.deformed <- true
 end
 
 let root t = t.root
 let is_finished t = t.finished
+let is_deformed t = t.deformed
 let vertices t = List.rev t.rev_vertices
 let size t = t.vertex_count
 let begin_ts t = t.root.activity.Activity.timestamp

@@ -34,6 +34,10 @@ and t = private {
   mutable rev_vertices : vertex list;
   mutable vertex_count : int;
   mutable finished : bool;
+  mutable deformed : bool;
+      (** The pipeline observed this path under degraded conditions (a
+          straggler host was evicted, or a GC evicted one of its SENDs):
+          the path may be missing activities. Orthogonal to [finished]. *)
 }
 
 module Builder : sig
@@ -67,10 +71,21 @@ module Builder : sig
       message: bump its timestamp and full size. *)
 
   val finish : t -> unit
+
+  val mark_deformed : t -> unit
+  (** Flag the path as possibly incomplete (degraded-feed conditions); it
+      is still emitted, so downstream consumers can weigh it. *)
 end
 
 val root : t -> vertex
 val is_finished : t -> bool
+
+val is_deformed : t -> bool
+(** True when the pipeline flagged this path as possibly incomplete — see
+    {!Builder.mark_deformed}. Deformed-but-finished paths are counted
+    separately by {!Online} so degraded feeds surface in telemetry rather
+    than silently skewing profiles. *)
+
 val vertices : t -> vertex list
 (** In insertion (= topological, = causal) order. *)
 

@@ -23,6 +23,7 @@ type stats = {
   mmap_entries : int;
   live_vertices : int;
   peak_live_vertices : int;
+  evicted_sends : int;
 }
 
 type t = {
@@ -45,6 +46,7 @@ type t = {
   mutable mmap_count : int;
   mutable live_vertices : int;
   mutable peak_live : int;
+  mutable evicted_sends : int;
 }
 
 let create ?(on_finished = fun _ -> ()) () =
@@ -68,6 +70,7 @@ let create ?(on_finished = fun _ -> ()) () =
     mmap_count = 0;
     live_vertices = 0;
     peak_live = 0;
+    evicted_sends = 0;
   }
 
 let has_mmap_send t flow =
@@ -281,7 +284,14 @@ let gc t ~older_than =
             incr evicted;
             (match v.Cag.cag with
             | None -> t.live_vertices <- t.live_vertices - 1
-            | Some _ -> ())
+            | Some _ -> (
+                t.evicted_sends <- t.evicted_sends + 1;
+                (* The owning CAG can no longer match this SEND's receives:
+                   if it is still open it will stay unfinished, so flag it
+                   deformed rather than silently losing it. *)
+                match open_cag_of v with
+                | Some cag -> Cag.Builder.mark_deformed cag
+                | None -> ()))
         | Some _ | None -> continue := false
       done;
       if Deque.is_empty q then stale_flows := flow :: !stale_flows)
@@ -306,4 +316,5 @@ let stats t =
     mmap_entries = t.mmap_count;
     live_vertices = t.live_vertices;
     peak_live_vertices = t.peak_live;
+    evicted_sends = t.evicted_sends;
   }

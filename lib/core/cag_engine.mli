@@ -39,6 +39,10 @@ type stats = {
   mmap_entries : int;  (** Outstanding SEND vertices right now. *)
   live_vertices : int;  (** Vertices of unfinished CAGs plus orphans. *)
   peak_live_vertices : int;
+  evicted_sends : int;
+      (** SEND vertices still attached to a CAG when {!gc} evicted them.
+          Their owning open CAG is flagged deformed (it would otherwise
+          stay unfinished and uncounted forever). *)
 }
 
 type t

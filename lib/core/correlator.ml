@@ -68,9 +68,13 @@ let correlate_stream ?(telemetry = R.default) cfg collection ~on_path =
            anything older than twice the skew allowance behind the
            correlation frontier. *)
         if !steps land 0xfff = 0 then begin
+          (* Clamp at the trace origin: early activities would otherwise
+             yield a negative horizon, and a SEND stamped exactly at time
+             zero must never be evicted while still matchable. *)
           let horizon =
-            Sim_time.add activity.Trace.Activity.timestamp
-              (Sim_time.span_scale (-2.0) cfg.skew_allowance)
+            Sim_time.max Sim_time.zero
+              (Sim_time.add activity.Trace.Activity.timestamp
+                 (Sim_time.span_scale (-2.0) cfg.skew_allowance))
           in
           ignore (Cag_engine.gc engine ~older_than:horizon)
         end;

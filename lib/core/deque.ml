@@ -49,6 +49,16 @@ let promote t i =
   done;
   t.buf.(t.head) <- v
 
+let insert t i v =
+  if i < 0 || i > t.len then invalid_arg "Deque.insert: out of bounds";
+  if t.len = Array.length t.buf then grow t v;
+  t.len <- t.len + 1;
+  (* Shift [i..len-2] back by one, then drop [v] into the hole. *)
+  for j = t.len - 1 downto i + 1 do
+    t.buf.(index t j) <- t.buf.(index t (j - 1))
+  done;
+  t.buf.(index t i) <- v
+
 let find_index t p =
   let rec loop i = if i >= t.len then None else if p (get t i) then Some i else loop (i + 1) in
   loop 0

@@ -27,6 +27,13 @@ val promote : 'a t -> int -> unit
     elements [0..i-1] back one slot; order among them is preserved.
     [promote t 1] is the paper's head swap. *)
 
+val insert : 'a t -> int -> 'a -> unit
+(** [insert t i x] places [x] at index [i] from the front, shifting
+    elements [i..] back one slot; [insert t 0] is {!push_front} and
+    [insert t (length t)] is {!push_back}. Used by the ranker to re-sort a
+    late-but-tolerable record into its host's fetched queue.
+    @raise Invalid_argument when out of bounds. *)
+
 val find_index : 'a t -> ('a -> bool) -> int option
 (** Index of the first element satisfying the predicate. *)
 

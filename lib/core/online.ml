@@ -8,15 +8,42 @@ type t = {
   ranker : Ranker.t;
   engine : Cag_engine.t;
   telemetry : R.t;
+  skew_allowance : Sim_time.span;
   mutable accepted : int;
   mutable resolved : int;
   mutable watermark : Sim_time.t;  (* latest fed local timestamp, any host *)
   mutable finished : bool;
+  mutable seen_evictions : int;  (* ranker counts already mirrored *)
+  mutable seen_resyncs : int;
   m_observed : R.counter;
   m_paths : R.counter;
+  m_deformed_paths : R.counter;
   m_pending : R.gauge;
   m_lag : Telemetry.Histogram.t;
+  m_quarantined : Ranker.reject_reason -> R.counter;
+  m_evictions : R.counter;
+  m_resyncs : R.counter;
+  m_stragglers : R.gauge;
+  m_peak_memory : R.gauge;
 }
+
+(* Mirror the ranker's straggler counters incrementally (they advance
+   inside [rank_step], outside our sight) and refresh the live gauges. *)
+let sync_degraded t =
+  let s = Ranker.stats t.ranker in
+  if s.Ranker.stragglers_evicted > t.seen_evictions then begin
+    R.add t.m_evictions (s.Ranker.stragglers_evicted - t.seen_evictions);
+    t.seen_evictions <- s.Ranker.stragglers_evicted
+  end;
+  if s.Ranker.straggler_resyncs > t.seen_resyncs then begin
+    R.add t.m_resyncs (s.Ranker.straggler_resyncs - t.seen_resyncs);
+    t.seen_resyncs <- s.Ranker.straggler_resyncs
+  end;
+  R.set t.m_stragglers (float_of_int (Ranker.stragglers_active t.ranker));
+  let held =
+    Ranker.held t.ranker + Cag_engine.live_vertices t.engine + Cag_engine.mmap_entries t.engine
+  in
+  R.set_max t.m_peak_memory (float_of_int held)
 
 let drain t =
   let rec loop () =
@@ -24,6 +51,17 @@ let drain t =
     | Ranker.Candidate a ->
         t.resolved <- t.resolved + 1;
         Cag_engine.step t.engine a;
+        (* Periodically evict unmatched sends that can no longer match,
+           with the horizon clamped at the trace origin (matchable SENDs
+           at trace start must survive early GC rounds). *)
+        if t.resolved land 0xfff = 0 then begin
+          let horizon =
+            Sim_time.max Sim_time.zero
+              (Sim_time.add a.Activity.timestamp
+                 (Sim_time.span_scale (-2.0) t.skew_allowance))
+          in
+          ignore (Cag_engine.gc t.engine ~older_than:horizon)
+        end;
         loop ()
     | Ranker.Need_input | Ranker.Exhausted -> ()
   in
@@ -33,8 +71,8 @@ let pending t =
   let s = Ranker.stats t.ranker in
   t.accepted - s.Ranker.candidates - s.Ranker.noise_discarded
 
-let create ~config ~hosts ?(on_path = fun _ -> ()) ?(on_activity = fun _ -> ())
-    ?(telemetry = R.default) () =
+let create ~config ~hosts ?straggler_timeout ?max_buffered ?reorder_slack
+    ?(on_path = fun _ -> ()) ?(on_activity = fun _ -> ()) ?(telemetry = R.default) () =
   let holder = ref None in
   let engine =
     Cag_engine.create
@@ -42,6 +80,13 @@ let create ~config ~hosts ?(on_path = fun _ -> ()) ?(on_activity = fun _ -> ())
         (match !holder with
         | Some t ->
             R.incr t.m_paths;
+            (* A path completing while some stream is evicted as a
+               straggler may be missing that stream's activities: flag it
+               deformed so consumers can weigh it. *)
+            if Ranker.stragglers_active t.ranker > 0 || Cag.is_deformed cag then begin
+              Cag.Builder.mark_deformed cag;
+              R.incr t.m_deformed_paths
+            end;
             (* Completion lag: how far the feed watermark has run past the
                path's END when the path pops out — the "bounded lag" the
                online mode promises. *)
@@ -54,7 +99,7 @@ let create ~config ~hosts ?(on_path = fun _ -> ()) ?(on_activity = fun _ -> ())
   let ranker =
     Ranker.create_online ~window:config.Correlator.window
       ~skew_allowance:config.Correlator.skew_allowance
-      ~ablation:config.Correlator.ablation
+      ~ablation:config.Correlator.ablation ?straggler_timeout ?max_buffered ?reorder_slack
       ~has_mmap_send:(Cag_engine.has_mmap_send engine)
       ~hosts ()
   in
@@ -65,42 +110,77 @@ let create ~config ~hosts ?(on_path = fun _ -> ()) ?(on_activity = fun _ -> ())
       ranker;
       engine;
       telemetry;
+      skew_allowance = config.Correlator.skew_allowance;
       accepted = 0;
       resolved = 0;
       watermark = Sim_time.zero;
       finished = false;
+      seen_evictions = 0;
+      seen_resyncs = 0;
       m_observed =
         R.counter telemetry ~help:"Activities accepted by the online correlator"
           "pt_online_observed_total";
       m_paths =
         R.counter telemetry ~help:"Causal paths completed online" "pt_online_paths_total";
+      m_deformed_paths =
+        R.counter telemetry
+          ~help:"Paths completed under degraded conditions and flagged deformed"
+          "pt_online_deformed_paths_total";
       m_pending =
         R.gauge telemetry ~help:"Activities accepted but not yet resolved" "pt_online_pending";
       m_lag =
         R.histogram telemetry
           ~help:"Feed-watermark lead over a completing path's END, virtual seconds"
           "pt_online_path_lag_seconds";
+      m_quarantined =
+        (fun reason ->
+          R.counter telemetry ~help:"Malformed records quarantined instead of raising"
+            ~labels:[ ("reason", Ranker.reject_reason_to_string reason) ]
+            "pt_online_quarantined_total");
+      m_evictions =
+        R.counter telemetry ~help:"Streams evicted as stragglers"
+          "pt_online_stragglers_evicted_total";
+      m_resyncs =
+        R.counter telemetry ~help:"Straggler streams reintegrated after catching up"
+          "pt_online_straggler_resyncs_total";
+      m_stragglers =
+        R.gauge telemetry ~help:"Streams currently evicted as stragglers"
+          "pt_online_stragglers_active";
+      m_peak_memory =
+        R.gauge telemetry
+          ~help:"Peak simultaneously-held records online (ranker + engine)"
+          "pt_online_peak_memory_records";
     }
   in
   holder := Some t;
+  (* Pre-register every quarantine reason so the family is exposed (at
+     zero) even on clean feeds. *)
+  List.iter (fun r -> ignore (t.m_quarantined r : R.counter)) Ranker.all_reject_reasons;
   t
 
 let observe t raw =
   t.on_activity raw;
   match Transform.classify t.transform raw with
   | None -> ()
-  | Some activity ->
-      Ranker.feed t.ranker activity;
-      t.accepted <- t.accepted + 1;
-      R.incr t.m_observed;
-      if Sim_time.(activity.Activity.timestamp > t.watermark) then
-        t.watermark <- activity.Activity.timestamp;
-      drain t;
-      R.set t.m_pending (float_of_int (pending t))
+  | Some activity -> (
+      match Ranker.feed t.ranker activity with
+      | Ranker.Quarantined reason ->
+          (* Never raises — not even after [finish] or on garbage input;
+             the record is counted and kept for inspection instead. *)
+          R.incr (t.m_quarantined reason)
+      | Ranker.Accepted | Ranker.Resorted ->
+          t.accepted <- t.accepted + 1;
+          R.incr t.m_observed;
+          if Sim_time.(activity.Activity.timestamp > t.watermark) then
+            t.watermark <- activity.Activity.timestamp;
+          drain t;
+          sync_degraded t;
+          R.set t.m_pending (float_of_int (pending t)))
 
 let finish t =
   Ranker.close_input t.ranker;
   drain t;
+  sync_degraded t;
   R.set t.m_pending (float_of_int (pending t));
   if not t.finished then begin
     t.finished <- true;
@@ -112,8 +192,14 @@ let paths t = Cag_engine.finished t.engine
 let deformed t = Cag_engine.unfinished t.engine
 let ranker_stats t = Ranker.stats t.ranker
 let engine_stats t = Cag_engine.stats t.engine
+let quarantine_log t = Ranker.quarantine_log t.ranker
+let stragglers_active t = Ranker.stragglers_active t.ranker
 
-let attach ~config ~probe ~hosts ?on_path ?on_activity ?telemetry () =
-  let t = create ~config ~hosts ?on_path ?on_activity ?telemetry () in
+let attach ~config ~probe ~hosts ?straggler_timeout ?max_buffered ?reorder_slack ?on_path
+    ?on_activity ?telemetry () =
+  let t =
+    create ~config ~hosts ?straggler_timeout ?max_buffered ?reorder_slack ?on_path
+      ?on_activity ?telemetry ()
+  in
   Trace.Probe.add_listener probe (observe t);
   t

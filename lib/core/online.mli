@@ -12,13 +12,38 @@
     {!Ranker.rank_step}), so the online run produces {e exactly} the same
     CAGs as an offline run over the final logs — a property the test
     suite asserts. The price is latency: a path completes at most
-    [skew_allowance] (plus feeding lag) after its END activity. *)
+    [skew_allowance] (plus feeding lag) after its END activity.
+
+    {1 Degraded feeds}
+
+    Production feeds are imperfect, and the pipeline degrades gracefully
+    rather than deadlocking or raising (see {!Ranker} for the underlying
+    mechanisms):
+
+    - a host that falls silent for longer than [straggler_timeout] is
+      evicted from the commit wait set, so paths keep completing; paths
+      finishing while a straggler is evicted are flagged deformed
+      ({!Cag.is_deformed}) and counted in
+      [pt_online_deformed_paths_total];
+    - malformed records (unknown host, fed after {!finish}, duplicates,
+      timestamp regressions beyond the skew allowance, too-late records)
+      are quarantined and counted in
+      [pt_online_quarantined_total{reason=...}] — {!observe} never
+      raises; regressions within the allowance are re-sorted into place;
+    - [max_buffered] bounds held records: past it the ranker
+      force-resolves the oldest window instead of waiting, and the
+      [pt_online_peak_memory_records] gauge mirrors the peak footprint
+      (ranker held records + engine live vertices + mmap entries), the
+      online analogue of the offline Fig. 11 memory proxy. *)
 
 type t
 
 val create :
   config:Correlator.config ->
   hosts:string list ->
+  ?straggler_timeout:Simnet.Sim_time.span ->
+  ?max_buffered:int ->
+  ?reorder_slack:Simnet.Sim_time.span ->
   ?on_path:(Cag.t -> unit) ->
   ?on_activity:(Trace.Activity.t -> unit) ->
   ?telemetry:Telemetry.Registry.t ->
@@ -29,32 +54,43 @@ val create :
     {e raw} observed activity before the BEGIN/END transform or any
     filtering — the tee point for a capture-to-disk consumer such as a
     store writer ([Store.Writer.observe]), so correlation and durable
-    capture share one feed. The run reports itself into
+    capture share one feed. [straggler_timeout], [max_buffered] and
+    [reorder_slack] configure the degraded-feed behaviour described
+    above (all off by default). The run reports itself into
     [telemetry] (default {!Telemetry.Registry.default}): live pending
     depth ([pt_online_pending]), accepted activities, completed paths, the
     path-completion lag against the feed watermark
-    ([pt_online_path_lag_seconds]), and — on {!finish} — the same
-    {!Ranker.stats}/{!Cag_engine.stats} mirror an offline
-    {!Correlator.correlate} run records, so online and offline runs are
-    comparable through one snapshot. *)
+    ([pt_online_path_lag_seconds]), the degraded-feed counters, and — on
+    {!finish} — the same {!Ranker.stats}/{!Cag_engine.stats} mirror an
+    offline {!Correlator.correlate} run records, so online and offline
+    runs are comparable through one snapshot. *)
 
 val observe : t -> Trace.Activity.t -> unit
 (** Push one raw activity (SEND/RECEIVE, as the probe reports them). The
     BEGIN/END transform and noise filters of the configuration are applied
-    here; progress is drained eagerly. Activities of one host must arrive
-    in non-decreasing local-timestamp order. *)
+    here; progress is drained eagerly. Never raises: out-of-contract
+    records (including any fed after {!finish}) are quarantined and
+    counted instead. *)
 
 val finish : t -> unit
-(** Declare the input complete and drain everything that remains. *)
+(** Declare the input complete and drain everything that remains.
+    Idempotent; further {!observe} calls are quarantined as [closed]. *)
 
 val paths : t -> Cag.t list
 (** Completed paths so far, in completion order. *)
 
 val deformed : t -> Cag.t list
-(** Unfinished CAGs; meaningful after {!finish}. *)
+(** Unfinished CAGs; meaningful after {!finish}. (Finished-but-flagged
+    paths are found via {!Cag.is_deformed} on {!paths}.) *)
 
 val pending : t -> int
 (** Activities accepted but not yet resolved into a candidate. *)
+
+val stragglers_active : t -> int
+(** Streams currently evicted as stragglers. *)
+
+val quarantine_log : t -> (Ranker.reject_reason * Trace.Activity.t) list
+(** Most recent quarantined records (bounded ring). *)
 
 val ranker_stats : t -> Ranker.stats
 val engine_stats : t -> Cag_engine.stats
@@ -63,6 +99,9 @@ val attach :
   config:Correlator.config ->
   probe:Trace.Probe.t ->
   hosts:string list ->
+  ?straggler_timeout:Simnet.Sim_time.span ->
+  ?max_buffered:int ->
+  ?reorder_slack:Simnet.Sim_time.span ->
   ?on_path:(Cag.t -> unit) ->
   ?on_activity:(Trace.Activity.t -> unit) ->
   ?telemetry:Telemetry.Registry.t ->

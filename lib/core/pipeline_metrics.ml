@@ -10,6 +10,22 @@ let add_ranker_stats reg (s : Ranker.stats) =
     s.forced_fetches;
   c "pt_ranker_forced_discards_total" "Discards of receives with unpromotable buffered sends"
     s.forced_discards;
+  c "pt_ranker_resorted_total" "Late records re-sorted into place within the skew allowance"
+    s.resorted;
+  c "pt_ranker_stragglers_evicted_total" "Streams marked lagging past the straggler timeout"
+    s.stragglers_evicted;
+  c "pt_ranker_straggler_resyncs_total" "Lagging streams reintegrated after catching up"
+    s.straggler_resyncs;
+  c "pt_ranker_backpressure_pops_total" "Oldest-window force-resolutions under max_buffered"
+    s.backpressure_pops;
+  List.iter
+    (fun (reason, n) ->
+      R.add
+        (R.counter reg ~help:"Malformed records quarantined by the ranker"
+           ~labels:[ ("reason", Ranker.reject_reason_to_string reason) ]
+           "pt_ranker_quarantined_total")
+        n)
+    s.quarantined;
   R.set_max
     (R.gauge reg ~help:"High-water mark of buffered activities" "pt_ranker_peak_buffered")
     (float_of_int s.peak_buffered)
@@ -31,6 +47,8 @@ let add_engine_stats reg (s : Cag_engine.stats) =
   c "pt_engine_orphans_total" "Vertices correlated outside any CAG" s.orphans;
   c "pt_engine_crossed_boundaries_total" "RECEIVEs spanning two logical messages"
     s.crossed_boundaries;
+  c "pt_engine_evicted_sends_total" "Open-CAG SEND vertices evicted by GC (CAG flagged deformed)"
+    s.evicted_sends;
   R.set (R.gauge reg ~help:"Outstanding SEND vertices in the mmap" "pt_engine_mmap_entries")
     (float_of_int s.mmap_entries);
   R.set

@@ -9,7 +9,34 @@ type stream = {
   mutable cursor : int;
   mutable closed : bool;
   mutable last_ts : Sim_time.t;
+  mutable last_fed : Activity.t option;
+  mutable last_popped : Sim_time.t;
+      (* Highest timestamp committed (popped) from this stream; late
+         arrivals below it can no longer be ordered and are quarantined. *)
+  mutable lagging : bool;
+      (* Evicted as a straggler: [safe_to_pop]/[noise_decidable] stop
+         waiting on this stream until its feed catches the watermark. *)
 }
+
+type reject_reason = Unknown_host | Closed | Duplicate | Regression | Stale
+
+let reject_reason_to_string = function
+  | Unknown_host -> "unknown_host"
+  | Closed -> "closed"
+  | Duplicate -> "duplicate"
+  | Regression -> "regression"
+  | Stale -> "stale"
+
+let reason_index = function
+  | Unknown_host -> 0
+  | Closed -> 1
+  | Duplicate -> 2
+  | Regression -> 3
+  | Stale -> 4
+
+let all_reject_reasons = [ Unknown_host; Closed; Duplicate; Regression; Stale ]
+
+type feed_result = Accepted | Resorted | Quarantined of reject_reason
 
 type stats = {
   fetched : int;
@@ -19,24 +46,41 @@ type stats = {
   forced_fetches : int;
   forced_discards : int;
   peak_buffered : int;
+  resorted : int;
+  quarantined : (reject_reason * int) list;
+  stragglers_evicted : int;
+  straggler_resyncs : int;
+  backpressure_pops : int;
 }
 
 type ablation = { disable_rule1 : bool; disable_promotion : bool }
 
 let no_ablation = { disable_rule1 = false; disable_promotion = false }
 
+(* Most recent quarantined records kept for inspection; counts are exact,
+   the log is a ring. *)
+let quarantine_cap = 256
+
 type t = {
   window : Sim_time.span;
   skew_allowance : Sim_time.span;
   ablation : ablation;
+  straggler_timeout : Sim_time.span option;
+  max_buffered : int option;
+  reorder_slack : Sim_time.span;
   streams : stream array;  (* one per node log *)
+  host_index : (string, int) Hashtbl.t;  (* host -> index in [streams] *)
   queues : Activity.t Deque.t array;  (* parallel to [streams] *)
   buffered_sends : (int * int) Address.Flow_table.t;
       (* flow -> (buffered SEND count, home queue index): every SEND of a
          flow originates on one node, so lookups and promotion searches can
          target exactly that queue. *)
   has_mmap_send : Address.flow -> bool;
+  quarantine_log : (reject_reason * Activity.t) Deque.t;
+  quarantine_counts : int array;  (* indexed by [reason_index] *)
+  mutable watermark : Sim_time.t;  (* max feed timestamp across streams *)
   mutable buffered : int;
+  mutable backlog : int;  (* fed but not yet fetched into a queue *)
   mutable fetched : int;
   mutable candidates : int;
   mutable noise_discarded : int;
@@ -44,22 +88,44 @@ type t = {
   mutable forced_fetches : int;
   mutable forced_discards : int;
   mutable peak_buffered : int;
+  mutable resorted : int;
+  mutable stragglers_evicted : int;
+  mutable straggler_resyncs : int;
+  mutable backpressure_pops : int;
   mutable force_step : Sim_time.span;
       (* Current deferred-noise fetch increment; doubles while consecutive
          force-fetches fail to surface a candidate, resets on success. *)
 }
 
-let make ~window ~skew_allowance ~ablation ~has_mmap_send streams =
+let make ~window ~skew_allowance ~ablation ~straggler_timeout ~max_buffered ~reorder_slack
+    ~has_mmap_send streams =
   if Sim_time.span_ns window <= 0 then invalid_arg "Ranker.create: window must be positive";
+  let host_index = Hashtbl.create (Array.length streams) in
+  Array.iteri (fun i s -> Hashtbl.replace host_index s.host i) streams;
+  (* A slack beyond the skew allowance is unusable: [feed] quarantines
+     regressions larger than the allowance, so no later record can arrive
+     below [last_ts - skew_allowance] anyway. *)
+  let reorder_slack =
+    if Sim_time.compare_span reorder_slack skew_allowance > 0 then skew_allowance
+    else reorder_slack
+  in
   {
     window;
     skew_allowance;
     ablation;
+    straggler_timeout;
+    max_buffered;
+    reorder_slack;
     streams;
+    host_index;
     queues = Array.map (fun (_ : stream) -> Deque.create ()) streams;
     buffered_sends = Address.Flow_table.create 256;
     has_mmap_send;
+    quarantine_log = Deque.create ();
+    quarantine_counts = Array.make 5 0;
+    watermark = Sim_time.zero;
     buffered = 0;
+    backlog = 0;
     fetched = 0;
     candidates = 0;
     noise_discarded = 0;
@@ -67,6 +133,10 @@ let make ~window ~skew_allowance ~ablation ~has_mmap_send streams =
     forced_fetches = 0;
     forced_discards = 0;
     peak_buffered = 0;
+    resorted = 0;
+    stragglers_evicted = 0;
+    straggler_resyncs = 0;
+    backpressure_pops = 0;
     force_step = window;
   }
 
@@ -87,41 +157,43 @@ let create ~window ?(skew_allowance = Sim_time.sec 1) ?(ablation = no_ablation)
                (match Array.length items with
                | 0 -> Sim_time.zero
                | n -> items.(n - 1).Activity.timestamp);
+             last_fed = None;
+             last_popped = Sim_time.zero;
+             lagging = false;
            })
          collection)
   in
-  make ~window ~skew_allowance ~ablation ~has_mmap_send streams
+  make ~window ~skew_allowance ~ablation ~straggler_timeout:None ~max_buffered:None
+    ~reorder_slack:(Sim_time.ms 0) ~has_mmap_send streams
 
 let create_online ~window ?(skew_allowance = Sim_time.sec 1) ?(ablation = no_ablation)
-    ~has_mmap_send ~hosts () =
+    ?straggler_timeout ?max_buffered ?(reorder_slack = Sim_time.ms 0) ~has_mmap_send ~hosts ()
+    =
   let streams =
     Array.of_list
       (List.map
          (fun host ->
-           { host; items = [||]; len = 0; cursor = 0; closed = false; last_ts = Sim_time.zero })
+           {
+             host;
+             items = [||];
+             len = 0;
+             cursor = 0;
+             closed = false;
+             last_ts = Sim_time.zero;
+             last_fed = None;
+             last_popped = Sim_time.zero;
+             lagging = false;
+           })
          hosts)
   in
-  make ~window ~skew_allowance ~ablation ~has_mmap_send streams
+  make ~window ~skew_allowance ~ablation ~straggler_timeout ~max_buffered ~reorder_slack
+    ~has_mmap_send streams
 
-let feed t (a : Activity.t) =
-  let host = a.context.host in
-  let stream =
-    match Array.find_opt (fun s -> String.equal s.host host) t.streams with
-    | Some s -> s
-    | None -> invalid_arg ("Ranker.feed: unknown host " ^ host)
-  in
-  if stream.closed then invalid_arg "Ranker.feed: stream closed";
-  if stream.len > 0 && Sim_time.(a.timestamp < stream.last_ts) then
-    invalid_arg "Ranker.feed: timestamp regression";
-  if stream.len = Array.length stream.items then begin
-    let ncap = max 64 (2 * Array.length stream.items) in
-    let nitems = Array.make ncap a in
-    Array.blit stream.items 0 nitems 0 stream.len;
-    stream.items <- nitems
-  end;
-  stream.items.(stream.len) <- a;
-  stream.len <- stream.len + 1;
-  stream.last_ts <- a.timestamp
+let quarantine t reason a =
+  t.quarantine_counts.(reason_index reason) <- t.quarantine_counts.(reason_index reason) + 1;
+  if Deque.length t.quarantine_log >= quarantine_cap then ignore (Deque.pop_front t.quarantine_log);
+  Deque.push_back t.quarantine_log (reason, a);
+  Quarantined reason
 
 let close_input t = Array.iter (fun s -> s.closed <- true) t.streams
 
@@ -140,30 +212,125 @@ let count_send t i (a : Activity.t) delta =
       else Address.Flow_table.replace t.buffered_sends flow (n', i)
   | Activity.Begin | Activity.End_ | Activity.Receive -> ()
 
+let note_buffered t =
+  t.fetched <- t.fetched + 1;
+  if t.buffered > t.peak_buffered then t.peak_buffered <- t.buffered
+
 let push t i a =
   Deque.push_back t.queues.(i) a;
   count_send t i a 1;
   t.buffered <- t.buffered + 1;
-  t.fetched <- t.fetched + 1;
-  if t.buffered > t.peak_buffered then t.peak_buffered <- t.buffered
+  note_buffered t
 
-let pop t i =
-  let a = Deque.pop_front t.queues.(i) in
-  count_send t i a (-1);
-  t.buffered <- t.buffered - 1;
-  a
+(* Place a late record among the already-fetched items of its stream. *)
+let insert_fetched t i pos a =
+  Deque.insert t.queues.(i) pos a;
+  count_send t i a 1;
+  t.buffered <- t.buffered + 1;
+  note_buffered t
+
+(* Insert [a] into [stream.items] at [pos], growing the array if needed. *)
+let insert_item stream pos a =
+  if stream.len = Array.length stream.items then begin
+    let ncap = max 64 (2 * Array.length stream.items) in
+    let nitems = Array.make ncap a in
+    Array.blit stream.items 0 nitems 0 stream.len;
+    stream.items <- nitems
+  end;
+  for j = stream.len downto pos + 1 do
+    stream.items.(j) <- stream.items.(j - 1)
+  done;
+  stream.items.(pos) <- a;
+  stream.len <- stream.len + 1
+
+let feed t (a : Activity.t) =
+  let host = a.Activity.context.host in
+  match Hashtbl.find_opt t.host_index host with
+  | None -> quarantine t Unknown_host a
+  | Some i ->
+      let stream = t.streams.(i) in
+      if stream.closed then quarantine t Closed a
+      else if
+        match stream.last_fed with Some prev -> Activity.equal prev a | None -> false
+      then quarantine t Duplicate a
+      else if stream.len > 0 && Sim_time.(a.timestamp < stream.last_ts) then begin
+        (* A timestamp regression. Within the skew allowance the record is
+           merely late — re-sort it into place; beyond it, or behind what
+           this stream already committed, it is unusable. *)
+        let late_by = Sim_time.diff stream.last_ts a.timestamp in
+        if Sim_time.compare_span late_by t.skew_allowance > 0 then quarantine t Regression a
+        else if Sim_time.(a.timestamp < stream.last_popped) then quarantine t Stale a
+        else begin
+          (match
+             Deque.find_index t.queues.(i) (fun (x : Activity.t) ->
+                 Sim_time.(a.timestamp < x.timestamp))
+           with
+          | Some pos -> insert_fetched t i pos a
+          | None ->
+              (* Behind no fetched item: keep the unfetched region sorted.
+                 Regressions are small, so scan from the tail. *)
+              let pos = ref stream.len in
+              while
+                !pos > stream.cursor
+                && Sim_time.(a.timestamp < stream.items.(!pos - 1).Activity.timestamp)
+              do
+                decr pos
+              done;
+              insert_item stream !pos a;
+              t.backlog <- t.backlog + 1);
+          stream.last_fed <- Some a;
+          t.resorted <- t.resorted + 1;
+          Resorted
+        end
+      end
+      else begin
+        insert_item stream stream.len a;
+        t.backlog <- t.backlog + 1;
+        stream.last_ts <- a.timestamp;
+        stream.last_fed <- Some a;
+        if Sim_time.(t.watermark < a.timestamp) then t.watermark <- a.timestamp;
+        (if stream.lagging then
+           let caught_up =
+             match t.straggler_timeout with
+             | Some limit ->
+                 Sim_time.compare_span (Sim_time.diff t.watermark a.timestamp) limit <= 0
+             | None -> true
+           in
+           if caught_up then begin
+             (* Reintegrate: the stream rejoins the wait set and the next
+                [refill] performs the resync fetch of its backlog. *)
+             stream.lagging <- false;
+             t.straggler_resyncs <- t.straggler_resyncs + 1
+           end);
+        Accepted
+      end
 
 (* Pull every stream item with timestamp <= deadline into its queue. *)
 let fetch_until t deadline =
   Array.iteri
     (fun i s ->
-      while
-        s.cursor < s.len && Sim_time.(s.items.(s.cursor).Activity.timestamp <= deadline)
-      do
+      while s.cursor < s.len && Sim_time.(s.items.(s.cursor).Activity.timestamp <= deadline) do
         push t i s.items.(s.cursor);
-        s.cursor <- s.cursor + 1
-      done)
+        s.cursor <- s.cursor + 1;
+        t.backlog <- t.backlog - 1
+      done;
+      (* Reclaim the consumed prefix so a long-lived online stream holds
+         only its unfetched backlog, not everything ever fed. *)
+      if s.cursor > 64 && 2 * s.cursor >= s.len then begin
+        let remaining = s.len - s.cursor in
+        Array.blit s.items s.cursor s.items 0 remaining;
+        s.len <- remaining;
+        s.cursor <- 0
+      end)
     t.streams
+
+let pop t i =
+  let a = Deque.pop_front t.queues.(i) in
+  count_send t i a (-1);
+  t.buffered <- t.buffered - 1;
+  let s = t.streams.(i) in
+  if Sim_time.(s.last_popped < a.Activity.timestamp) then s.last_popped <- a.Activity.timestamp;
+  a
 
 (* Minimum local timestamp among queue heads and unfetched stream fronts:
    the sliding window's left edge. *)
@@ -296,22 +463,46 @@ let try_force_fetch t hs =
 
 type step = Candidate of Activity.t | Need_input | Exhausted
 
+(* An open stream that would block the pipeline but has fallen further
+   than [straggler_timeout] behind the global feed watermark is evicted
+   from the wait set — it is presumed silent (crashed probe, partitioned
+   host), and a silent host must not stall everyone else forever. Returns
+   whether the stream may be skipped. *)
+let straggler_skippable t s =
+  s.lagging
+  ||
+  match t.straggler_timeout with
+  | Some limit when Sim_time.compare_span (Sim_time.diff t.watermark s.last_ts) limit > 0 ->
+      s.lagging <- true;
+      t.stragglers_evicted <- t.stragglers_evicted + 1;
+      true
+  | Some _ | None -> false
+
 (* Popping candidate [a] commits to its position in the causal order; with
    live input this is only safe once every still-open stream that has
    nothing buffered has reported past [a.ts + skew_allowance] - no future
    activity can then belong before [a]. Closed streams and streams with
-   buffered or fetched-but-unranked data behave exactly as offline. *)
+   buffered or fetched-but-unranked data behave exactly as offline. With a
+   non-zero [reorder_slack], every open stream must additionally have
+   reported past [a.ts + slack]: a record delayed by up to the slack could
+   otherwise still arrive and re-sort ahead of [a]. *)
 let safe_to_pop t (a : Activity.t) =
   let horizon = Sim_time.add a.Activity.timestamp t.skew_allowance in
+  let slack_floor =
+    if Sim_time.span_ns t.reorder_slack > 0 then
+      Some (Sim_time.add a.Activity.timestamp t.reorder_slack)
+    else None
+  in
   let ok = ref true in
   Array.iteri
     (fun i s ->
-      if
-        (not s.closed)
-        && Deque.is_empty t.queues.(i)
-        && s.cursor >= s.len
-        && Sim_time.(s.last_ts < horizon)
-      then ok := false)
+      if not s.closed then begin
+        let blocking =
+          (Deque.is_empty t.queues.(i) && s.cursor >= s.len && Sim_time.(s.last_ts < horizon))
+          || (match slack_floor with Some f -> Sim_time.(s.last_ts < f) | None -> false)
+        in
+        if blocking && not (straggler_skippable t s) then ok := false
+      end)
     t.streams;
   !ok
 
@@ -322,30 +513,45 @@ let fully_consumed t =
    the wire: every open stream must have reported past the allowance. *)
 let noise_decidable t (suspect : Activity.t) =
   let target = Sim_time.add suspect.Activity.timestamp t.skew_allowance in
-  Array.for_all (fun s -> s.closed || Sim_time.(s.last_ts >= target)) t.streams
+  let ok = ref true in
+  Array.iter
+    (fun s ->
+      if (not s.closed) && Sim_time.(s.last_ts < target) && not (straggler_skippable t s) then
+        ok := false)
+    t.streams;
+  !ok
+
+let held t = t.buffered + t.backlog
+
+let over_budget t =
+  match t.max_buffered with Some limit -> held t > limit | None -> false
 
 let rec rank_step t =
   refill t;
   match heads t with
   | [] -> if fully_consumed t then Exhausted else Need_input
   | hs -> (
+      (* Backpressure: past [max_buffered] held records, stop waiting for
+         reassuring input and force-resolve the oldest window instead. *)
+      let force = over_budget t in
+      let emit i =
+        t.candidates <- t.candidates + 1;
+        t.force_step <- t.window;
+        Candidate (pop t i)
+      in
+      let emit_or_wait i a =
+        if safe_to_pop t a then emit i
+        else if force then begin
+          t.backpressure_pops <- t.backpressure_pops + 1;
+          emit i
+        end
+        else Need_input
+      in
       match (if t.ablation.disable_rule1 then None else head_receive_matching_mmap t hs) with
-      | Some (i, a) ->
-          if safe_to_pop t a then begin
-            t.candidates <- t.candidates + 1;
-            t.force_step <- t.window;
-            Candidate (pop t i)
-          end
-          else Need_input
+      | Some (i, a) -> emit_or_wait i a
       | None -> (
           match lowest_priority_non_receive hs with
-          | Some (i, a) ->
-              if safe_to_pop t a then begin
-                t.candidates <- t.candidates + 1;
-                t.force_step <- t.window;
-                Candidate (pop t i)
-              end
-              else Need_input
+          | Some (i, a) -> emit_or_wait i a
           | None ->
               (* Every head is an unmatched RECEIVE. *)
               if (not t.ablation.disable_promotion) && try_promote t hs then rank_step t
@@ -371,8 +577,10 @@ let rec rank_step t =
                       if Sim_time.(a.timestamp < best.timestamp) then c else b)
                     (List.hd pool) (List.tl pool)
                 in
-                if not (noise_decidable t suspect) then Need_input
+                let decidable = noise_decidable t suspect in
+                if (not decidable) && not force then Need_input
                 else begin
+                  if not decidable then t.backpressure_pops <- t.backpressure_pops + 1;
                   ignore (pop t i);
                   t.noise_discarded <- t.noise_discarded + 1;
                   if forced then t.forced_discards <- t.forced_discards + 1;
@@ -385,6 +593,13 @@ let rank t =
 
 let buffered t = t.buffered
 
+let stragglers_active t =
+  Array.fold_left (fun n s -> if s.lagging && not s.closed then n + 1 else n) 0 t.streams
+
+let quarantine_log t = Deque.to_list t.quarantine_log
+
+let quarantined_total t = Array.fold_left ( + ) 0 t.quarantine_counts
+
 let stats t =
   {
     fetched = t.fetched;
@@ -394,4 +609,10 @@ let stats t =
     forced_fetches = t.forced_fetches;
     forced_discards = t.forced_discards;
     peak_buffered = t.peak_buffered;
+    resorted = t.resorted;
+    quarantined =
+      List.map (fun r -> (r, t.quarantine_counts.(reason_index r))) all_reject_reasons;
+    stragglers_evicted = t.stragglers_evicted;
+    straggler_resyncs = t.straggler_resyncs;
+    backpressure_pops = t.backpressure_pops;
   }

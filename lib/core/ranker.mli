@@ -23,6 +23,25 @@
 
 type t
 
+type reject_reason =
+  | Unknown_host  (** No stream exists for the record's host. *)
+  | Closed  (** Fed after {!close_input}. *)
+  | Duplicate  (** Identical to the previous record of its stream. *)
+  | Regression  (** Timestamp behind the stream by more than the skew allowance. *)
+  | Stale
+      (** Late within the allowance, but behind what its stream already
+          committed to the engine — too late to re-sort. *)
+
+val reject_reason_to_string : reject_reason -> string
+(** Stable lower-snake label, used as the [reason] metric label. *)
+
+val all_reject_reasons : reject_reason list
+
+type feed_result =
+  | Accepted
+  | Resorted  (** A tolerable regression, re-sorted into place. *)
+  | Quarantined of reject_reason
+
 type stats = {
   fetched : int;  (** Activities pulled into the buffer. *)
   candidates : int;  (** Activities returned by [rank]. *)
@@ -34,6 +53,13 @@ type stats = {
           unpromotable — expected to be zero; a non-zero value flags an
           interleaving outside the algorithm's assumptions. *)
   peak_buffered : int;  (** High-water mark of buffered activities. *)
+  resorted : int;  (** Late records re-sorted into place. *)
+  quarantined : (reject_reason * int) list;  (** Per-reason reject counts. *)
+  stragglers_evicted : int;  (** Streams marked lagging past the timeout. *)
+  straggler_resyncs : int;  (** Lagging streams reintegrated on catch-up. *)
+  backpressure_pops : int;
+      (** Candidates force-resolved (or noise force-discarded) because
+          held records exceeded [max_buffered]. *)
 }
 
 type ablation = { disable_rule1 : bool; disable_promotion : bool }
@@ -72,22 +98,50 @@ val rank : t -> Trace.Activity.t option
     withheld until enough input has arrived that no later-fed activity
     could precede them (each stream's feed watermark must pass the
     candidate's timestamp plus the skew allowance), so online results
-    match the offline run on the same trace exactly. *)
+    match the offline run on the same trace exactly.
+
+    {2 Degraded feeds}
+
+    Live input is imperfect, and the ranker degrades gracefully rather
+    than stalling or raising:
+
+    - {b Straggler eviction} ([straggler_timeout]): an open stream that
+      falls further than the timeout behind the global feed watermark is
+      evicted from the wait set, so a silent host cannot stall everyone
+      else forever. If it later catches back up to within the timeout it
+      is reintegrated (a resync), and its backlog is fetched normally.
+    - {b Input quarantine}: {!feed} never raises. Malformed records —
+      unknown host, post-close, duplicates, large timestamp regressions,
+      too-late records — are counted per {!reject_reason} and kept in a
+      bounded inspection log; regressions within the skew allowance are
+      re-sorted into place instead.
+    - {b Backpressure} ([max_buffered]): when held records (buffered plus
+      unfetched backlog) exceed the bound, {!rank_step} force-resolves the
+      oldest window instead of waiting for reassuring input, so memory
+      stays bounded even when safety cannot be established.
+    - {b Reorder slack} ([reorder_slack], default zero): with a non-zero
+      slack every candidate additionally waits until all open streams have
+      reported past [candidate.ts + slack], which restores exact
+      offline equality when each stream's feed may be reordered by up to
+      the slack (clamped to the skew allowance). *)
 
 val create_online :
   window:Simnet.Sim_time.span ->
   ?skew_allowance:Simnet.Sim_time.span ->
   ?ablation:ablation ->
+  ?straggler_timeout:Simnet.Sim_time.span ->
+  ?max_buffered:int ->
+  ?reorder_slack:Simnet.Sim_time.span ->
   has_mmap_send:(Simnet.Address.flow -> bool) ->
   hosts:string list ->
   unit ->
   t
 
-val feed : t -> Trace.Activity.t -> unit
-(** Append one activity to its host's stream. Activities of one host must
-    arrive in non-decreasing timestamp order.
-    @raise Invalid_argument on an unknown host, a closed stream, or a
-    timestamp regression. *)
+val feed : t -> Trace.Activity.t -> feed_result
+(** Append one activity to its host's stream. Never raises: malformed
+    records are {!Quarantined} (counted per reason, logged in a bounded
+    ring), and regressions within the skew allowance are {!Resorted} into
+    place. *)
 
 val close_input : t -> unit
 (** No more activities will be fed; pending candidates become decidable. *)
@@ -101,5 +155,19 @@ val rank_step : t -> step
 
 val buffered : t -> int
 (** Activities currently held in the ranker's queues. *)
+
+val held : t -> int
+(** Buffered activities plus the unfetched backlog — everything the
+    ranker currently holds; the quantity bounded by [max_buffered] and
+    the online peak-memory proxy. *)
+
+val stragglers_active : t -> int
+(** Open streams currently evicted as stragglers. *)
+
+val quarantine_log : t -> (reject_reason * Trace.Activity.t) list
+(** The most recent quarantined records (bounded ring; counts in
+    {!stats} are exact even when the ring has wrapped). *)
+
+val quarantined_total : t -> int
 
 val stats : t -> stats

@@ -4,12 +4,15 @@ type t =
   | Ejb_delay of { mean : Sim_time.span }
   | Database_lock of { extra_hold : Sim_time.span }
   | Ejb_network of { bandwidth_mbps : float }
+  | Host_silence of { host : string; after : Sim_time.span }
 
 let name = function
   | Ejb_delay _ -> "EJB_Delay"
   | Database_lock _ -> "Database_Lock"
   | Ejb_network _ -> "EJB_Network"
+  | Host_silence _ -> "Host_Silence"
 
 let ejb_delay = Ejb_delay { mean = Sim_time.ms 30 }
 let database_lock = Database_lock { extra_hold = Sim_time.ms 8 }
 let ejb_network = Ejb_network { bandwidth_mbps = 10.0 }
+let host_silence ~host ~after = Host_silence { host; after }

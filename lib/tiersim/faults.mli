@@ -16,9 +16,16 @@ type t =
       (** Queries on the items table serialise behind one lock, held for
           the query's CPU time plus [extra_hold]. *)
   | Ejb_network of { bandwidth_mbps : float }
+  | Host_silence of { host : string; after : Simnet.Sim_time.span }
+      (** The host's probe goes dark [after] into the run (crash or
+          partition): the service keeps running but the host logs nothing
+          further — the straggler scenario the fault-tolerant online
+          pipeline must survive. Applied as log truncation by
+          {!Scenario.run}. *)
 
 val name : t -> string
-(** The paper's labels: ["EJB_Delay"], ["Database_Lock"], ["EJB_Network"]. *)
+(** The paper's labels: ["EJB_Delay"], ["Database_Lock"], ["EJB_Network"]
+    — plus ["Host_Silence"] for the probe-crash fault. *)
 
 val ejb_delay : t
 (** 30 ms mean extra delay. *)
@@ -28,3 +35,5 @@ val database_lock : t
 
 val ejb_network : t
 (** 10 Mbps. *)
+
+val host_silence : host:string -> after:Simnet.Sim_time.span -> t

@@ -120,9 +120,19 @@ let run spec =
   (* Run the three stages, then let in-flight work drain completely. *)
   Engine.run engine;
   let probe = Service.probe svc in
+  (* Probe faults apply after the run: a silenced host's log is truncated
+     at the fault instant, exactly what a crashed tracer leaves behind. *)
+  let logs =
+    List.fold_left
+      (fun logs -> function
+        | Faults.Host_silence { host; after } ->
+            Trace.Loss.silence ~host ~after:(Sim_time.add Sim_time.zero after) logs
+        | Faults.Ejb_delay _ | Faults.Database_lock _ | Faults.Ejb_network _ -> logs)
+      (Trace.Probe.logs probe) spec.faults
+  in
   {
     spec;
-    logs = Trace.Probe.logs probe;
+    logs;
     ground_truth = Service.ground_truth svc;
     metrics = Service.metrics svc;
     measure_from = t_up;

@@ -389,7 +389,9 @@ let create cfg =
           (match cfg.fault_onset with
           | None -> apply ()
           | Some delay -> ignore (Engine.schedule_after engine ~delay apply))
-      | Faults.Ejb_delay _ | Faults.Database_lock _ -> ())
+      (* Host_silence is a probe fault, not a service fault: the service
+         runs unchanged and Scenario.run truncates the host's log. *)
+      | Faults.Ejb_delay _ | Faults.Database_lock _ | Faults.Host_silence _ -> ())
     cfg.faults;
   let probe =
     Trace.Probe.attach ~stack ~overhead:cfg.probe_overhead

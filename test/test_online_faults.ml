@@ -1,0 +1,352 @@
+(* Tests for the fault-tolerant online pipeline: input quarantine (feed
+   never raises), straggler eviction and resync, bounded-memory
+   backpressure, the reorder-slack equivalence with offline correlation,
+   and the GC safeguards (horizon clamp, evicted-send deformation). *)
+
+module H = Test_helpers.Helpers
+module S = Tiersim.Scenario
+module Faults = Tiersim.Faults
+module Activity = Trace.Activity
+module Log = Trace.Log
+module Loss = Trace.Loss
+module Ranker = Core.Ranker
+module Online = Core.Online
+module ST = Simnet.Sim_time
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let reason : Ranker.reject_reason Alcotest.testable =
+  Alcotest.testable
+    (fun fmt r -> Format.pp_print_string fmt (Ranker.reject_reason_to_string r))
+    ( = )
+
+let result : Ranker.feed_result Alcotest.testable =
+  Alcotest.testable
+    (fun fmt -> function
+      | Ranker.Accepted -> Format.pp_print_string fmt "Accepted"
+      | Ranker.Resorted -> Format.pp_print_string fmt "Resorted"
+      | Ranker.Quarantined r ->
+          Format.fprintf fmt "Quarantined %s" (Ranker.reject_reason_to_string r))
+    ( = )
+
+let online_ranker ?(window = ST.ms 10) ?(skew_allowance = ST.ms 10) ?straggler_timeout
+    ?max_buffered ?reorder_slack hosts =
+  Ranker.create_online ~window ~skew_allowance ?straggler_timeout ?max_buffered
+    ?reorder_slack
+    ~has_mmap_send:(fun _ -> false)
+    ~hosts ()
+
+let web_begin ts = H.act ~kind:Activity.Begin ~ts ~ctx:H.web_ctx ~flow:H.client_web_flow ~size:1
+let app_begin ts = H.act ~kind:Activity.Begin ~ts ~ctx:H.app_ctx ~flow:H.web_app_flow ~size:1
+
+let drain r =
+  let rec loop acc =
+    match Ranker.rank_step r with
+    | Ranker.Candidate a -> loop (a :: acc)
+    | Ranker.Need_input | Ranker.Exhausted -> List.rev acc
+  in
+  loop []
+
+let ms n = n * 1_000_000
+
+(* ---- quarantine: every reject reason, and never an exception ---- *)
+
+let test_quarantine_unknown_host () =
+  let r = online_ranker [ "web" ] in
+  Alcotest.check result "unknown host quarantined"
+    (Ranker.Quarantined Ranker.Unknown_host)
+    (Ranker.feed r (app_begin 0));
+  Alcotest.(check int) "logged" 1 (List.length (Ranker.quarantine_log r))
+
+let test_quarantine_after_close () =
+  let r = online_ranker [ "web" ] in
+  Ranker.close_input r;
+  Alcotest.check result "post-close feed quarantined" (Ranker.Quarantined Ranker.Closed)
+    (Ranker.feed r (web_begin 0))
+
+let test_quarantine_duplicate () =
+  let r = online_ranker [ "web" ] in
+  let a = web_begin 0 in
+  Alcotest.check result "first copy accepted" Ranker.Accepted (Ranker.feed r a);
+  Alcotest.check result "second copy quarantined" (Ranker.Quarantined Ranker.Duplicate)
+    (Ranker.feed r a)
+
+let test_quarantine_large_regression () =
+  let r = online_ranker ~skew_allowance:(ST.ms 10) [ "web" ] in
+  Alcotest.check result "t=50ms" Ranker.Accepted (Ranker.feed r (web_begin (ms 50)));
+  Alcotest.check result "40 ms behind is beyond the allowance"
+    (Ranker.Quarantined Ranker.Regression)
+    (Ranker.feed r (web_begin (ms 10)))
+
+let test_quarantine_stale_behind_commit () =
+  (* web commits (pops) up to t=1ms while app's report at t=20ms keeps the
+     pipeline moving; a late web record at t=0.5ms is within the skew
+     allowance but behind the committed order: Stale, not Resorted. *)
+  let r = online_ranker ~skew_allowance:(ST.ms 10) [ "web"; "app" ] in
+  Alcotest.check result "web t=0" Ranker.Accepted (Ranker.feed r (web_begin 0));
+  Alcotest.check result "web t=1ms" Ranker.Accepted (Ranker.feed r (web_begin (ms 1)));
+  Alcotest.check result "app t=20ms" Ranker.Accepted (Ranker.feed r (app_begin (ms 20)));
+  let popped = drain r in
+  Alcotest.(check int) "web records committed" 2 (List.length popped);
+  Alcotest.check result "late record behind the commit point"
+    (Ranker.Quarantined Ranker.Stale)
+    (Ranker.feed r (web_begin 500_000));
+  Alcotest.(check (list (pair reason Alcotest.int)))
+    "per-reason stats"
+    [
+      (Ranker.Unknown_host, 0); (Ranker.Closed, 0); (Ranker.Duplicate, 0);
+      (Ranker.Regression, 0); (Ranker.Stale, 1);
+    ]
+    (Ranker.stats r).Ranker.quarantined
+
+let test_resort_within_allowance () =
+  (* A record 3 ms late (within the 10 ms allowance) is re-sorted into
+     place: candidates still come out in timestamp order. *)
+  let r = online_ranker ~skew_allowance:(ST.ms 10) [ "web" ] in
+  Alcotest.check result "t=0" Ranker.Accepted (Ranker.feed r (web_begin 0));
+  Alcotest.check result "t=5ms" Ranker.Accepted (Ranker.feed r (web_begin (ms 5)));
+  Alcotest.check result "t=2ms resorted" Ranker.Resorted (Ranker.feed r (web_begin (ms 2)));
+  Ranker.close_input r;
+  let ts = List.map (fun (a : Activity.t) -> ST.to_ns a.timestamp) (drain r) in
+  Alcotest.(check (list int)) "timestamp order restored" [ 0; ms 2; ms 5 ] ts;
+  Alcotest.(check int) "counted" 1 (Ranker.stats r).Ranker.resorted
+
+(* ---- straggler eviction and resync ---- *)
+
+let test_straggler_eviction_and_resync () =
+  let r = online_ranker ~straggler_timeout:(ST.ms 50) [ "web"; "app" ] in
+  ignore (Ranker.feed r (app_begin 0) : Ranker.feed_result);
+  for i = 0 to 20 do
+    ignore (Ranker.feed r (web_begin (ms (10 * i))) : Ranker.feed_result)
+  done;
+  (* app last reported at t=0 while the watermark is at t=200ms: far past
+     the 50 ms timeout, so it must not stall web's candidates. *)
+  let popped = drain r in
+  Alcotest.(check bool) "web emits despite the silent peer" true (List.length popped >= 20);
+  Alcotest.(check int) "one straggler evicted" 1 (Ranker.stats r).Ranker.stragglers_evicted;
+  Alcotest.(check int) "active straggler gauge" 1 (Ranker.stragglers_active r);
+  (* app catches back up to within the timeout of the watermark. *)
+  Alcotest.check result "catch-up accepted" Ranker.Accepted
+    (Ranker.feed r (app_begin (ms 180)));
+  Alcotest.(check int) "resynced" 1 (Ranker.stats r).Ranker.straggler_resyncs;
+  Alcotest.(check int) "no active stragglers" 0 (Ranker.stragglers_active r)
+
+let test_no_eviction_without_timeout () =
+  let r = online_ranker [ "web"; "app" ] in
+  ignore (Ranker.feed r (app_begin 0) : Ranker.feed_result);
+  for i = 0 to 20 do
+    ignore (Ranker.feed r (web_begin (ms (10 * i))) : Ranker.feed_result)
+  done;
+  let popped = drain r in
+  (* Without a straggler timeout the silent stream stalls everything past
+     its last report plus the allowance. *)
+  Alcotest.(check bool) "stalled behind the silent stream" true (List.length popped <= 2);
+  Alcotest.(check int) "nothing evicted" 0 (Ranker.stats r).Ranker.stragglers_evicted
+
+(* ---- bounded-memory backpressure ---- *)
+
+let test_backpressure_bounds_held_records () =
+  let limit = 50 in
+  let r = online_ranker ~max_buffered:limit [ "web"; "app" ] in
+  (* app never reports: without backpressure every web record would sit
+     buffered forever waiting for reassurance. *)
+  for i = 0 to 199 do
+    ignore (Ranker.feed r (web_begin (ms i)) : Ranker.feed_result);
+    ignore (drain r : Activity.t list);
+    Alcotest.(check bool)
+      (Printf.sprintf "held <= limit after record %d" i)
+      true
+      (Ranker.held r <= limit)
+  done;
+  Alcotest.(check bool) "forced pops counted" true
+    ((Ranker.stats r).Ranker.backpressure_pops > 0);
+  Ranker.close_input r;
+  ignore (drain r : Activity.t list);
+  Alcotest.(check int) "every record still emitted" 200 (Ranker.stats r).Ranker.candidates
+
+(* ---- reorder slack: online equals offline under bounded reordering ---- *)
+
+let logs_of_requests n =
+  let reqs = List.init n (fun k -> H.simple_request ~base:(k * ms 15) ()) in
+  let pick f = List.concat_map f reqs in
+  [
+    Log.of_list ~hostname:"web" (pick (fun (w, _, _) -> w));
+    Log.of_list ~hostname:"app" (pick (fun (_, a, _) -> a));
+    Log.of_list ~hostname:"db" (pick (fun (_, _, d) -> d));
+  ]
+
+let request_config () =
+  let transform = Core.Transform.config ~entry_points:[ H.ep "10.0.1.1" 80 ] () in
+  Core.Correlator.config ~transform ~window:(ST.ms 10) ()
+
+let prop_reordered_feed_matches_offline =
+  QCheck.Test.make ~count:25 ~name:"reordered feed + slack = offline multiset"
+    QCheck.(pair (int_bound 10_000) (int_range 1 6))
+    (fun (seed, n) ->
+      let logs = logs_of_requests n in
+      let cfg = request_config () in
+      let offline = Core.Correlator.correlate cfg logs in
+      let max_delay = ST.ms 2 in
+      let feed =
+        Loss.reorder_feed ~rng:(Simnet.Rng.create ~seed) ~p:0.3 ~max_delay logs
+      in
+      let online =
+        Online.create ~config:cfg ~hosts:[ "web"; "app"; "db" ] ~reorder_slack:max_delay ()
+      in
+      List.iter (Online.observe online) feed;
+      Online.finish online;
+      let sigs cags = List.sort compare (List.map Core.Pattern.signature_of cags) in
+      List.length (Online.quarantine_log online) = 0
+      && sigs (Online.paths online) = sigs offline.Core.Correlator.cags)
+
+(* ---- never raises: adversarial feed accounting ---- *)
+
+let prop_feed_never_raises_and_accounts =
+  QCheck.Test.make ~count:50 ~name:"feed never raises; every record accounted"
+    QCheck.(list_of_size Gen.(int_range 1 80) (triple (int_bound 2) (int_bound 50) (int_bound 3)))
+    (fun records ->
+      let r = online_ranker ~skew_allowance:(ST.ms 5) [ "web"; "app" ] in
+      let accepted = ref 0 in
+      let half = List.length records / 2 in
+      List.iteri
+        (fun i (h, ts_ms, k) ->
+          if i = half then Ranker.close_input r;
+          let host = List.nth [ "web"; "app"; "mars" ] h in
+          let kind =
+            match k with
+            | 0 -> Activity.Begin
+            | 1 -> Activity.Send
+            | 2 -> Activity.Receive
+            | _ -> Activity.End_
+          in
+          let a =
+            H.act ~kind ~ts:(ms ts_ms) ~ctx:(H.ctx ~host ()) ~flow:H.client_web_flow ~size:1
+          in
+          (match Ranker.feed r a with
+          | Ranker.Accepted | Ranker.Resorted -> incr accepted
+          | Ranker.Quarantined _ -> ());
+          ignore (Ranker.rank_step r : Ranker.step))
+        records;
+      ignore (drain r : Activity.t list);
+      !accepted + Ranker.quarantined_total r = List.length records)
+
+(* ---- Online: observe after finish is quarantined, not an exception ---- *)
+
+let test_observe_after_finish () =
+  let w, _, _ = H.simple_request () in
+  let cfg = request_config () in
+  let online = Online.create ~config:cfg ~hosts:[ "web"; "app"; "db" ] () in
+  Online.finish online;
+  List.iter (Online.observe online) w;
+  let closed =
+    List.filter (fun (r, _) -> r = Ranker.Closed) (Online.quarantine_log online)
+  in
+  Alcotest.(check int) "every post-close record quarantined as Closed" (List.length w)
+    (List.length closed)
+
+(* ---- GC safeguards ---- *)
+
+let test_gc_clamp_keeps_trace_start_sends () =
+  (* A request starting at t=0 with a small skew allowance: the periodic
+     GC horizon (candidate ts - 2 * allowance) goes negative early in the
+     trace and must clamp at the origin instead of evicting the opening
+     SENDs. *)
+  let logs = H.logs_of_request ~base:0 () in
+  let transform = Core.Transform.config ~entry_points:[ H.ep "10.0.1.1" 80 ] () in
+  let cfg =
+    Core.Correlator.config ~transform ~window:(ST.ms 10) ~skew_allowance:(ST.ms 2) ()
+  in
+  let r = Core.Correlator.correlate cfg logs in
+  Alcotest.(check int) "one complete path" 1 (List.length r.Core.Correlator.cags);
+  Alcotest.(check int) "nothing evicted" 0
+    r.Core.Correlator.engine_stats.Core.Cag_engine.evicted_sends
+
+let test_gc_eviction_flags_open_cag_deformed () =
+  let engine = Core.Cag_engine.create () in
+  Core.Cag_engine.step engine (web_begin 0);
+  Core.Cag_engine.step engine
+    (H.act ~kind:Activity.Send ~ts:(ms 1) ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:1);
+  (* The RECEIVE never arrives; GC past the send must count the eviction
+     and flag the still-open path as deformed. *)
+  let evicted = Core.Cag_engine.gc engine ~older_than:(ST.of_ns (ms 100)) in
+  Alcotest.(check bool) "something evicted" true (evicted >= 1);
+  Alcotest.(check int) "evicted send counted" 1
+    (Core.Cag_engine.stats engine).Core.Cag_engine.evicted_sends;
+  match Core.Cag_engine.unfinished engine with
+  | [ cag ] -> Alcotest.(check bool) "open path deformed" true (Core.Cag.is_deformed cag)
+  | l -> Alcotest.failf "expected one open path, got %d" (List.length l)
+
+(* ---- end to end: one host permanently silent mid-run ---- *)
+
+let test_silent_host_end_to_end () =
+  let spec =
+    {
+      S.default with
+      S.clients = 20;
+      time_scale = 0.02;
+      faults =
+        [ Faults.host_silence ~host:"app1" ~after:(ST.span_scale 0.02 (ST.ms 300_000)) ];
+    }
+  in
+  let outcome = S.run spec in
+  let cfg = Core.Correlator.config ~transform:outcome.S.transform () in
+  let hosts = List.map Log.hostname outcome.S.logs in
+  let merged =
+    List.concat_map Log.to_list outcome.S.logs
+    |> List.stable_sort Activity.compare_by_time
+  in
+  let replay ?straggler_timeout () =
+    let online = Online.create ~config:cfg ~hosts ?straggler_timeout () in
+    List.iter (Online.observe online) merged;
+    let live = List.length (Online.paths online) in
+    Online.finish online;
+    (online, live)
+  in
+  let _, live_stalled = replay () in
+  let online, live = replay ~straggler_timeout:(ST.ms 500) () in
+  let paths = Online.paths online in
+  Alcotest.(check bool) "paths produced" true (List.length paths > 0);
+  Alcotest.(check bool) "straggler evicted" true
+    ((Online.ranker_stats online).Ranker.stragglers_evicted >= 1);
+  Alcotest.(check bool) "keeps emitting after the silence" true (live > live_stalled);
+  Alcotest.(check bool) "post-silence paths flagged deformed" true
+    (List.exists Core.Cag.is_deformed paths);
+  Alcotest.(check int) "clean feed, nothing quarantined" 0
+    (List.length (Online.quarantine_log online))
+
+let () =
+  Alcotest.run "online_faults"
+    [
+      ( "quarantine",
+        [
+          Alcotest.test_case "unknown host" `Quick test_quarantine_unknown_host;
+          Alcotest.test_case "after close" `Quick test_quarantine_after_close;
+          Alcotest.test_case "duplicate" `Quick test_quarantine_duplicate;
+          Alcotest.test_case "large regression" `Quick test_quarantine_large_regression;
+          Alcotest.test_case "stale behind commit" `Quick test_quarantine_stale_behind_commit;
+          Alcotest.test_case "resort within allowance" `Quick test_resort_within_allowance;
+          qtest prop_feed_never_raises_and_accounts;
+        ] );
+      ( "straggler",
+        [
+          Alcotest.test_case "eviction and resync" `Quick test_straggler_eviction_and_resync;
+          Alcotest.test_case "no eviction without timeout" `Quick
+            test_no_eviction_without_timeout;
+        ] );
+      ( "backpressure",
+        [ Alcotest.test_case "bounds held records" `Quick test_backpressure_bounds_held_records ]
+      );
+      ("reorder", [ qtest prop_reordered_feed_matches_offline ]);
+      ( "online",
+        [
+          Alcotest.test_case "observe after finish" `Quick test_observe_after_finish;
+          Alcotest.test_case "silent host end to end" `Slow test_silent_host_end_to_end;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "horizon clamped at origin" `Quick
+            test_gc_clamp_keeps_trace_start_sends;
+          Alcotest.test_case "eviction flags open path" `Quick
+            test_gc_eviction_flags_open_cag_deformed;
+        ] );
+    ]
