@@ -1,0 +1,45 @@
+(* Scratch: does compaction reset len to 0 and let a regression slip through? *)
+module H = Test_helpers.Helpers
+module Activity = Trace.Activity
+module Ranker = Core.Ranker
+module ST = Simnet.Sim_time
+
+let ms n = n * 1_000_000
+let web_begin ts = H.act ~kind:Activity.Begin ~ts ~ctx:H.web_ctx ~flow:H.client_web_flow ~size:1
+let app_begin ts = H.act ~kind:Activity.Begin ~ts ~ctx:H.app_ctx ~flow:H.web_app_flow ~size:1
+
+let drain r =
+  let rec loop n =
+    match Ranker.rank_step r with
+    | Ranker.Candidate _ -> loop (n + 1)
+    | Ranker.Need_input | Ranker.Exhausted -> n
+  in
+  loop 0
+
+let show = function
+  | Ranker.Accepted -> "Accepted"
+  | Ranker.Resorted -> "Resorted"
+  | Ranker.Quarantined r -> "Quarantined " ^ Ranker.reject_reason_to_string r
+
+let () =
+  let r =
+    Ranker.create_online ~window:(ST.ms 10) ~skew_allowance:(ST.ms 10)
+      ~has_mmap_send:(fun _ -> false)
+      ~hosts:[ "web"; "app" ] ()
+  in
+  (* Feed 200 interleaved records per host so everything gets fetched,
+     popped, and the consumed prefix compacted (cursor > 64). *)
+  for i = 0 to 199 do
+    ignore (Ranker.feed r (web_begin (ms i)) : Ranker.feed_result);
+    ignore (Ranker.feed r (app_begin (ms i)) : Ranker.feed_result);
+    ignore (drain r : int)
+  done;
+  Printf.printf "held after drain: %d\n" (Ranker.held r);
+  (* Late web record 5 ms behind web's last_ts (199 ms), within the 10 ms
+     allowance, but far behind the commit point (~189 ms was popped):
+     should be Quarantined Stale, never plain Accepted. *)
+  let res = Ranker.feed r (web_begin (ms 194)) in
+  Printf.printf "late-within-allowance result: %s\n" (show res);
+  (* And one behind by MORE than the allowance: should be Regression. *)
+  let res2 = Ranker.feed r (web_begin (ms 100)) in
+  Printf.printf "far-behind result: %s\n" (show res2)
