@@ -1,6 +1,6 @@
 # Minimal CI entry points. `make ci` is what a pipeline should run.
 
-.PHONY: all build test fmt bench-quick ci clean
+.PHONY: all build test test-parallel fmt bench-quick ci clean
 
 all: build
 
@@ -10,11 +10,18 @@ build:
 test: build
 	dune runtest
 
-# A fast bench smoke: the store and degraded-feed figures on quick grids,
-# with the machine-readable summary CI can diff (BENCH.json is untracked
-# output; BENCH_store.json in the repo is a committed reference run).
+# The suite again with two worker domains, so every ?jobs/?pool code path
+# (sharded correlation, parallel segment scans and reduction) runs
+# genuinely parallel in CI even where tests default to PT_JOBS unset.
+test-parallel: build
+	PT_JOBS=2 dune runtest --force
+
+# A fast bench smoke: the store, degraded-feed and sharded-correlation
+# figures on quick grids, with the machine-readable summary CI can diff
+# (BENCH.json is untracked output; BENCH_store.json and
+# BENCH_parallel.json in the repo are committed reference runs).
 bench-quick: build
-	dune exec bench/main.exe -- --quick --figure store --figure degraded --json BENCH.json
+	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure parallel --json BENCH.json
 
 # Formatting check is advisory: the container does not ship ocamlformat,
 # so skip (with a note) when the tool is absent rather than failing CI.
@@ -25,7 +32,7 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-ci: fmt build test bench-quick
+ci: fmt build test test-parallel bench-quick
 
 clean:
 	dune clean

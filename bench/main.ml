@@ -1,10 +1,12 @@
 (* The benchmark harness: regenerates every table and figure of the paper's
    evaluation (§5), plus the extensions listed in DESIGN.md.
 
-   Usage: main.exe [--figure ID]... [--scale S] [--quick] [--json FILE]
-                   [--telemetry FILE] [--telemetry-format prom|json|report]
+   Usage: main.exe [--figure ID]... [--scale S] [--quick] [--jobs N]
+                   [--json FILE] [--telemetry FILE]
+                   [--telemetry-format prom|json|report]
      IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro store
-          degraded all
+          degraded parallel all
+   --jobs adds an extra domain count to the parallel figure's 1/2/4 grid.
    Default: everything, at time_scale 0.1 (stage durations shrunk 10x;
    service times, think times and all rates untouched, so shapes match the
    paper's full-length runs).
@@ -40,6 +42,7 @@ let quick = ref false
 let telemetry_out = ref None
 let telemetry_format = ref `Prom
 let json_out = ref None
+let jobs_override = ref None
 
 (* ---- machine-readable results (--json) ---- *)
 
@@ -900,6 +903,67 @@ let bench_store () =
     [ "causal"; "causal,sample=0.5@1"; "causal,sample=0.25@1"; "causal,sample=0.1@1" ];
   Report.print t_red
 
+(* ---- ext-11: domain-parallel sharded correlation ---- *)
+
+let bench_parallel () =
+  (* Low concurrency leaves request-quiescent gaps in the feed — the
+     regime where epoch sharding engages. Heavily overlapped workloads
+     (accuracy/fig-9 grids) collapse to one epoch by design. *)
+  let clients = if !quick then 6 else 10 in
+  let spec = { (base_spec ()) with S.clients } in
+  let outcome = run spec in
+  let cfg = Correlator.config ~transform:outcome.S.transform () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, serial_s = time (fun () -> Correlator.correlate cfg outcome.S.logs) in
+  let serial_digest = Core.Shard.digest serial in
+  let plan = Core.Shard.plan cfg outcome.S.logs in
+  let epochs = Array.length (Core.Shard.epoch_ranges plan) in
+  let t =
+    Report.table
+      ~title:
+        (Printf.sprintf
+           "ext-11: sharded correlation speedup (%d epochs from %d cut candidates; host has \
+            %d domain(s))"
+           epochs
+           (Core.Shard.cut_candidates plan)
+           (Domain.recommended_domain_count ()))
+      ~columns:[ "jobs"; "seconds"; "speedup vs serial"; "output vs serial" ]
+  in
+  Report.add_row t
+    [ "serial"; Report.cell_float ~decimals:4 serial_s; "1.00"; "reference" ];
+  let grid =
+    [ 1; 2; 4 ]
+    @ (match !jobs_override with Some j when not (List.mem j [ 1; 2; 4 ]) -> [ j ] | _ -> [])
+  in
+  List.iter
+    (fun jobs ->
+      let result, secs = time (fun () -> Core.Shard.correlate ~jobs cfg outcome.S.logs) in
+      let equal = String.equal (Core.Shard.digest result) serial_digest in
+      Report.add_row t
+        [
+          Report.cell_int jobs;
+          Report.cell_float ~decimals:4 secs;
+          Report.cell_float ~decimals:2 (serial_s /. secs);
+          (if equal then "identical" else "DIVERGED");
+        ];
+      record_float ~figure:"parallel" (Printf.sprintf "seconds_jobs_%d" jobs) secs;
+      record_float ~figure:"parallel"
+        (Printf.sprintf "speedup_jobs_%d" jobs)
+        (serial_s /. secs);
+      record_int ~figure:"parallel"
+        (Printf.sprintf "serial_equal_jobs_%d" jobs)
+        (if equal then 1 else 0))
+    grid;
+  Report.print t;
+  record_float ~figure:"parallel" "seconds_serial" serial_s;
+  record_int ~figure:"parallel" "epochs" epochs;
+  record_int ~figure:"parallel" "cut_candidates" (Core.Shard.cut_candidates plan);
+  record_int ~figure:"parallel" "host_domains" (Domain.recommended_domain_count ())
+
 (* ---- bechamel micro-benchmarks ---- *)
 
 let micro_tests () =
@@ -977,6 +1041,7 @@ let all_figures =
     ("online", bench_online);
     ("degraded", bench_degraded);
     ("store", bench_store);
+    ("parallel", bench_parallel);
     ("micro", bench_micro);
   ]
 
@@ -1000,6 +1065,9 @@ let () =
         parse rest
     | "--quick" :: rest ->
         quick := true;
+        parse rest
+    | "--jobs" :: j :: rest ->
+        jobs_override := Some (max 1 (int_of_string j));
         parse rest
     | "--telemetry" :: file :: rest ->
         telemetry_out := Some file;

@@ -83,6 +83,18 @@ let window_ms =
     value & opt float 10.0
     & info [ "window-ms" ] ~docv:"MS" ~doc:"Correlator sliding-window size, milliseconds.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for sharded correlation and store segment scans. Defaults to the \
+           $(b,PT_JOBS) environment variable, else the machine's recommended domain count. \
+           Output is identical at any value.")
+
+let jobs_of = function Some j -> max 1 j | None -> Parallel.Pool.default_jobs ()
+
 let spec_of clients mix max_threads time_scale seed skew_ms noise faults =
   {
     S.default with
@@ -111,9 +123,9 @@ let policy_conv =
 (* Load traces from DIR, whatever their format: a segmented store (has a
    MANIFEST.json), binary PTB1 files (recognised by magic, any filename)
    and/or per-node *.trace text files — mixed contents are merged. *)
-let load_traces dir =
+let load_traces ?jobs dir =
   if Store.Manifest.exists ~dir then
-    match Store.Query.run ~dir Store.Query.all with
+    match Store.Query.run ?jobs ~dir Store.Query.all with
     | Ok (logs, _) -> Ok logs
     | Error e -> Error e
   else
@@ -288,8 +300,8 @@ let transform_of_entry entry =
     ~drop_programs:[ "rlogin"; "rlogind"; "ssh"; "sshd"; "mysql" ]
     ()
 
-let correlate_logs ~window ~entry logs =
-  Core.Correlator.correlate
+let correlate_logs ?jobs ~window ~entry logs =
+  Core.Shard.correlate ?jobs
     (Core.Correlator.config ~transform:(transform_of_entry entry) ~window ())
     logs
 
@@ -428,9 +440,10 @@ let correlate_cmd =
             "Online: bound held records at $(docv); past it the oldest window is \
              force-resolved instead of waiting for input.")
   in
-  let run dir window_ms entry json_out show online straggler_timeout_ms max_buffered tfile
-      tformat =
-    match load_traces dir with
+  let run dir window_ms entry jobs json_out show online straggler_timeout_ms max_buffered
+      tfile tformat =
+    let jobs = jobs_of jobs in
+    match load_traces ~jobs dir with
     | Error e -> `Error (false, e)
     | Ok logs ->
         Format.printf "loaded %d activities from %d nodes@." (Trace.Log.total logs)
@@ -447,7 +460,7 @@ let correlate_cmd =
             Core.Online.paths t
           end
           else begin
-            let result = correlate_logs ~window ~entry logs in
+            let result = correlate_logs ~jobs ~window ~entry logs in
             print_correlation result;
             result.Core.Correlator.cags
           end
@@ -481,7 +494,7 @@ let correlate_cmd =
     (Cmd.info "correlate" ~doc:"Correlate saved trace files into causal paths.")
     Term.(
       ret
-        (const run $ dir $ window_ms $ entry_arg $ json_out $ show $ online
+        (const run $ dir $ window_ms $ entry_arg $ jobs_arg $ json_out $ show $ online
        $ straggler_timeout_ms $ max_buffered $ telemetry_file $ telemetry_format))
 
 (* ---- evaluate ---- *)
@@ -496,15 +509,16 @@ let evaluate_cmd =
             "Skip the simulation: correlate saved traces from $(docv) (trace files or a \
              segmented store) and score them against $(docv)/ground_truth.txt.")
   in
-  let run spec window_ms from entry tfile tformat =
+  let run spec window_ms from entry jobs tfile tformat =
+    let jobs = jobs_of jobs in
     match from with
     | Some dir -> (
-        match load_traces dir with
+        match load_traces ~jobs dir with
         | Error e -> `Error (false, e)
         | Ok logs -> (
             Format.printf "loaded %d activities from %d nodes@." (Trace.Log.total logs)
               (List.length logs);
-            let result = correlate_logs ~window:(window_of window_ms) ~entry logs in
+            let result = correlate_logs ~jobs ~window:(window_of window_ms) ~entry logs in
             print_correlation result;
             let gt_path = Filename.concat dir "ground_truth.txt" in
             match Trace.Ground_truth.load ~path:gt_path with
@@ -524,7 +538,7 @@ let evaluate_cmd =
           Core.Correlator.config ~transform:outcome.S.transform
             ~window:(window_of window_ms) ()
         in
-        let result = Core.Correlator.correlate cfg outcome.S.logs in
+        let result = Core.Shard.correlate ~jobs cfg outcome.S.logs in
         print_correlation result;
         let verdict =
           Core.Accuracy.check ~ground_truth:outcome.S.ground_truth
@@ -541,7 +555,7 @@ let evaluate_cmd =
           traces with --from.")
     Term.(
       ret
-        (const run $ spec_term $ window_ms $ from $ entry_arg $ telemetry_file
+        (const run $ spec_term $ window_ms $ from $ entry_arg $ jobs_arg $ telemetry_file
        $ telemetry_format))
 
 (* ---- diagnose ---- *)
@@ -691,8 +705,8 @@ let store_query_cmd =
       & info [ "o"; "out" ] ~docv:"DIR"
           ~doc:"Write the matching activities to $(docv)/traces.ptb (binary).")
   in
-  let run dir since_ms until_ms hosts out tfile tformat =
-    match Store.Query.run ~dir (predicate_of since_ms until_ms hosts) with
+  let run dir since_ms until_ms hosts jobs out tfile tformat =
+    match Store.Query.run ~jobs:(jobs_of jobs) ~dir (predicate_of since_ms until_ms hosts) with
     | Error e -> `Error (false, e)
     | Ok (logs, stats) ->
         Format.printf "%a@." Store.Query.pp_stats stats;
@@ -715,7 +729,7 @@ let store_query_cmd =
        ~doc:"Time-range/host query over a store; cold segments are pruned via the manifest.")
     Term.(
       ret
-        (const run $ store_dir_arg $ since $ until $ hosts $ out $ telemetry_file
+        (const run $ store_dir_arg $ since $ until $ hosts $ jobs_arg $ out $ telemetry_file
        $ telemetry_format))
 
 let store_compact_cmd =

@@ -72,7 +72,8 @@ let pp ppf t =
     (t.mean_total_s *. 1e3);
   List.iter
     (fun (c, pct) ->
-      Format.fprintf ppf "@,  %-18s %5.1f%%" (Latency.component_label c) (pct *. 100.0))
+      Format.fprintf ppf "@,  %-18s %5.1f%%" (Latency.component_label c)
+        (Report.clamp_share pct *. 100.0))
     (component_percentages t);
   Format.fprintf ppf "@]"
 
@@ -84,10 +85,23 @@ type hop_tail = {
   tail_max_s : float;
 }
 
+(* Nearest-rank estimator over the sorted samples: the value at index
+   round(p * (n - 1)) — i.e. linear rank interpolation rounded to the
+   nearest member, so every percentile is an actual observed sample. For
+   n = 1 every p yields the single sample; an empty array yields 0.
+   Callers must pass finite samples only ([sorted_finite]): NaN compares
+   greater than everything under [Float.compare], so a single NaN sample
+   would otherwise sort last and silently masquerade as the p99/max. *)
 let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0.0
   else sorted.(max 0 (min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1))))))
+
+(* Drop non-finite samples (NaN, +/-inf) and sort ascending. *)
+let sorted_finite samples =
+  let finite = Array.of_list (List.filter Float.is_finite samples) in
+  Array.sort Float.compare finite;
+  finite
 
 let finished_paths ?normalize (pattern : Pattern.t) =
   let members = List.filter Cag.is_finished pattern.Pattern.cags in
@@ -101,15 +115,14 @@ let hop_tails ?normalize pattern =
   List.init hop_count (fun i ->
       let samples =
         List.map (fun row -> Sim_time.span_to_float_s row.(i).Latency.span) matrix
-        |> Array.of_list
+        |> sorted_finite
       in
-      Array.sort Float.compare samples;
       {
         tail_comp = (List.hd matrix).(i).Latency.comp;
         p50_s = percentile samples 0.50;
         p90_s = percentile samples 0.90;
         p99_s = percentile samples 0.99;
-        tail_max_s = samples.(Array.length samples - 1);
+        tail_max_s = (if Array.length samples = 0 then 0.0 else samples.(Array.length samples - 1));
       })
 
 type total_tail = { t_p50_s : float; t_p90_s : float; t_p99_s : float; t_max_s : float }
@@ -117,14 +130,13 @@ type total_tail = { t_p50_s : float; t_p90_s : float; t_p99_s : float; t_max_s :
 let total_tail pattern =
   let members, _ = finished_paths pattern in
   let samples =
-    List.map (fun cag -> Sim_time.span_to_float_s (Cag.duration cag)) members |> Array.of_list
+    List.map (fun cag -> Sim_time.span_to_float_s (Cag.duration cag)) members |> sorted_finite
   in
-  Array.sort Float.compare samples;
   {
     t_p50_s = percentile samples 0.50;
     t_p90_s = percentile samples 0.90;
     t_p99_s = percentile samples 0.99;
-    t_max_s = samples.(Array.length samples - 1);
+    t_max_s = (if Array.length samples = 0 then 0.0 else samples.(Array.length samples - 1));
   }
 
 let pp_tails ppf pattern =

@@ -49,6 +49,20 @@ val hop_tails : ?normalize:(string -> string) -> Pattern.t -> hop_tail list
 (** Per-hop latency percentiles, in causal order along the path.
     @raise Invalid_argument on an empty pattern. *)
 
+val percentile : float array -> float -> float
+(** [percentile sorted p] is the {e nearest-rank} estimate over an
+    ascending-sorted array of finite samples: the element at index
+    [round (p * (n - 1))] — always an actually observed sample, never an
+    interpolation. [n = 1] yields the single sample for every [p]; an
+    empty array yields 0. The input must contain finite floats only
+    (see {!sorted_finite}): NaN compares greater than any float under
+    [Float.compare], so NaN samples would sort last and silently inflate
+    the upper percentiles. *)
+
+val sorted_finite : float list -> float array
+(** Drop non-finite samples (NaN, infinities) and sort ascending — the
+    required preprocessing for {!percentile}. *)
+
 type total_tail = { t_p50_s : float; t_p90_s : float; t_p99_s : float; t_max_s : float }
 
 val total_tail : Pattern.t -> total_tail

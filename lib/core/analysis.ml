@@ -143,11 +143,15 @@ let diagnose ~baseline ~observed =
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>component shares (baseline -> observed):";
+  (* Shares clamp to [0,1] for display (see Report.clamp_share); change_pp
+     stays faithful so a skew-driven shift is still visible as a delta. *)
   List.iter
     (fun d ->
       Format.fprintf ppf "@,  %-18s %5.1f%% -> %5.1f%%  (%+.1f)"
         (Latency.component_label d.comp)
-        (pct d.baseline_pct) (pct d.observed_pct) (pct d.change_pp))
+        (pct (Report.clamp_share d.baseline_pct))
+        (pct (Report.clamp_share d.observed_pct))
+        (pct d.change_pp))
     r.deltas;
   (match r.suspects with
   | [] -> Format.fprintf ppf "@,no suspect: profiles are consistent"

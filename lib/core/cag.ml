@@ -17,7 +17,7 @@ type vertex = {
 }
 
 and t = {
-  cag_id : int;
+  mutable cag_id : int;
   root : vertex;
   mutable rev_vertices : vertex list;
   mutable vertex_count : int;
@@ -26,11 +26,13 @@ and t = {
 }
 
 module Builder = struct
-  let next_vid = ref 0
+  (* Atomic: the sharded correlator builds CAGs from several domains at
+     once. Per-engine operations remain sequential, so vids still grow
+     monotonically along every single CAG (what [validate] checks). *)
+  let next_vid = Atomic.make 0
 
   let fresh_vertex activity =
-    let vid = !next_vid in
-    incr next_vid;
+    let vid = Atomic.fetch_and_add next_vid 1 in
     {
       vid;
       activity;
@@ -92,6 +94,7 @@ module Builder = struct
 
   let finish t = t.finished <- true
   let mark_deformed t = t.deformed <- true
+  let renumber t ~cag_id = t.cag_id <- cag_id
 end
 
 let root t = t.root

@@ -29,7 +29,7 @@ type vertex = private {
 }
 
 and t = private {
-  cag_id : int;
+  mutable cag_id : int;
   root : vertex;
   mutable rev_vertices : vertex list;
   mutable vertex_count : int;
@@ -75,6 +75,11 @@ module Builder : sig
   val mark_deformed : t -> unit
   (** Flag the path as possibly incomplete (degraded-feed conditions); it
       is still emitted, so downstream consumers can weigh it. *)
+
+  val renumber : t -> cag_id:int -> unit
+  (** Rewrite the CAG's id. Used by the sharded correlator when merging
+      per-epoch engines, whose local ids all start at zero, back into the
+      single global id sequence the serial run would have assigned. *)
 end
 
 val root : t -> vertex

@@ -27,8 +27,11 @@ type result = {
    proxy into familiar units. *)
 let bytes_per_record = 160
 
-let correlate_stream ?(telemetry = R.default) cfg collection ~on_path =
-  let t0 = Unix.gettimeofday () in
+(* The rank/step/gc loop over an already-transformed collection — shared
+   between the serial pipeline and the sharded correlator, which runs it
+   once per epoch in a worker domain. *)
+let correlate_prepared ?(telemetry = R.default) ?started cfg prepared ~on_path =
+  let t0 = match started with Some t -> t | None -> Unix.gettimeofday () in
   let activities_in =
     R.counter telemetry ~help:"Activities entering the correlator after transform"
       "pt_correlator_activities_total"
@@ -41,10 +44,6 @@ let correlate_stream ?(telemetry = R.default) cfg collection ~on_path =
     R.histogram telemetry
       ~help:"Ranker window occupancy (buffered activities), sampled per candidate"
       "pt_correlator_window_occupancy"
-  in
-  let prepared =
-    R.time telemetry ~labels:[ ("stage", "transform") ] "pt_correlator_stage_seconds" (fun () ->
-        Transform.apply cfg.transform collection)
   in
   R.add activities_in (Trace.Log.total prepared);
   let engine = Cag_engine.create ~on_finished:on_path () in
@@ -116,6 +115,14 @@ let correlate_stream ?(telemetry = R.default) cfg collection ~on_path =
     peak_memory_proxy = !peak;
     memory_bytes_estimate = !peak * bytes_per_record;
   }
+
+let correlate_stream ?(telemetry = R.default) cfg collection ~on_path =
+  let started = Unix.gettimeofday () in
+  let prepared =
+    R.time telemetry ~labels:[ ("stage", "transform") ] "pt_correlator_stage_seconds" (fun () ->
+        Transform.apply cfg.transform collection)
+  in
+  correlate_prepared ~telemetry ~started cfg prepared ~on_path
 
 let correlate ?telemetry cfg collection =
   correlate_stream ?telemetry cfg collection ~on_path:(fun _ -> ())

@@ -54,3 +54,15 @@ val correlate_stream :
   result
 (** Same, invoking [on_path] as each causal path completes — the paper's
     intended online use. *)
+
+val correlate_prepared :
+  ?telemetry:Telemetry.Registry.t ->
+  ?started:float ->
+  config ->
+  Trace.Log.collection ->
+  on_path:(Cag.t -> unit) ->
+  result
+(** The rank/step/gc loop alone, over a collection the {!Transform} pass
+    has already been applied to. This is what {!Shard} runs per epoch in
+    a worker domain; [started] (a [Unix.gettimeofday] stamp) backdates
+    [correlation_time] so callers can account setup they did themselves. *)

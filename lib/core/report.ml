@@ -52,3 +52,26 @@ let cell_int = string_of_int
 let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
 let cell_pct f = Printf.sprintf "%.1f%%" (f *. 100.0)
 let cell_span s = Format.asprintf "%a" Simnet.Sim_time.pp_span s
+
+(* Latency shares can legitimately leave [0,1] when clock skew pushes a
+   hop's span negative (Latency.percentages stays faithful to the data).
+   Presentation clamps — and counts, so a skewed profile is visible in
+   telemetry rather than silently rendered as a sane-looking percent. *)
+let clamp_share ?(telemetry = Telemetry.Registry.default) f =
+  if Float.is_nan f then begin
+    Telemetry.Registry.incr
+      (Telemetry.Registry.counter telemetry
+         ~help:"Latency shares outside [0,1] clamped at the presentation layer"
+         "pt_latency_share_out_of_range_total");
+    0.0
+  end
+  else if f < 0.0 || f > 1.0 then begin
+    Telemetry.Registry.incr
+      (Telemetry.Registry.counter telemetry
+         ~help:"Latency shares outside [0,1] clamped at the presentation layer"
+         "pt_latency_share_out_of_range_total");
+    Float.max 0.0 (Float.min 1.0 f)
+  end
+  else f
+
+let cell_share ?telemetry f = cell_pct (clamp_share ?telemetry f)

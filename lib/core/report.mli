@@ -26,4 +26,16 @@ val cell_float : ?decimals:int -> float -> string
 val cell_pct : float -> string
 (** [cell_pct 0.463] is ["46.3%"]. *)
 
+val clamp_share : ?telemetry:Telemetry.Registry.t -> float -> float
+(** Clamp a latency {e share} to [0,1] for display. Skew-pushed negative
+    hop spans can drive {!Latency.percentages} outside the unit interval;
+    the correlator output stays faithful, so presentation clamps here —
+    and every clamp (or NaN, rendered as 0) bumps
+    [pt_latency_share_out_of_range_total] in [telemetry] (default
+    registry) so the skew is flagged instead of silently prettified. *)
+
+val cell_share : ?telemetry:Telemetry.Registry.t -> float -> string
+(** [cell_pct] of [clamp_share]: the cell to use for any share of a
+    latency profile. *)
+
 val cell_span : Simnet.Sim_time.span -> string

@@ -1,0 +1,75 @@
+(** Domain-parallel offline correlation.
+
+    The offline pipeline is embarrassingly parallel between requests that
+    do not overlap in time: if the merged activity feed can be cut at an
+    instant where no request is open — every entry flow that saw a BEGIN
+    has seen its END (tracked as a flow set, since a chunked response
+    emits several ENDs), and every message flow's sent bytes are fully
+    received — then
+    the two sides share no CAG, no mmap entry and no cmap ancestry, and
+    correlating them in separate {!Ranker}/{!Cag_engine} instances gives
+    exactly the per-epoch restriction of the serial run.
+
+    {!correlate} finds such request-quiescent cuts (the same quiescence
+    the ranker's watermark machinery waits for, computed in one sweep
+    over the time-merged feed), correlates each epoch in a worker domain
+    of a {!Parallel.Pool}, and merges the per-epoch results back in epoch
+    order, re-keying CAG ids by each epoch's running [cags_started]
+    offset — so patterns, per-pattern breakdowns and path ids are
+    identical to the serial pipeline's. Requests that never close (lost
+    ENDs) or flows that never balance (a silent host's unreceived sends)
+    block all later cuts, so degraded feeds gracefully collapse toward
+    one big epoch: still correct, just less parallel.
+
+    What is {e not} identical to serial: wall-clock fields
+    ([correlation_time], the memory proxies, [peak_*] stats are
+    per-domain maxima), GC-cadence-dependent [evicted_sends], and the
+    engine's [thread_reuse_blocked] count — serial carries finished-CAG
+    cmap entries across epoch boundaries and counts the suppressed
+    context edges; a fresh per-epoch engine has nothing to suppress.
+    Neither changes any emitted path. *)
+
+type plan
+
+val plan :
+  ?cut_margin:Simnet.Sim_time.span ->
+  ?target_epochs:int ->
+  Correlator.config ->
+  Trace.Log.collection ->
+  plan
+(** Apply the transform and compute the epoch boundaries for a
+    collection. [cut_margin] (default: the config's window) is the
+    minimum quiescent gap cut at — at least the window, so the serial
+    ranker could not have fetched across the cut either.
+    [target_epochs] (default 64) coalesces adjacent candidate cuts so
+    scheduling overhead stays bounded on long traces. *)
+
+val epoch_ranges : plan -> (int * int) array
+(** The chosen [lo, hi) index ranges over the time-merged feed. *)
+
+val cut_candidates : plan -> int
+(** How many quiescent boundaries the sweep found (before coalescing). *)
+
+val correlate :
+  ?telemetry:Telemetry.Registry.t ->
+  ?pool:Parallel.Pool.t ->
+  ?jobs:int ->
+  ?cut_margin:Simnet.Sim_time.span ->
+  Correlator.config ->
+  Trace.Log.collection ->
+  Correlator.result
+(** Sharded offline correlation. [jobs] defaults to the pool's size, or
+    {!Parallel.Pool.default_jobs} when no pool is given; [jobs <= 1], or
+    a plan with a single epoch, falls back to the serial
+    {!Correlator.correlate} path byte-for-byte. Reports the usual
+    [pt_correlator_*]/[pt_ranker_*]/[pt_engine_*] metrics (counter
+    totals match the serial run, see above) plus [pt_parallel_*]
+    planning and per-epoch figures. *)
+
+val digest : Correlator.result -> string
+(** A canonical hex digest of everything the pattern/report layer shows:
+    finished/deformed counts, each pattern's signature, name, population
+    and member path ids, per-pattern component percentage breakdowns and
+    total-latency tail percentiles. Serial and sharded runs of the same
+    input produce equal digests; wall-clock and memory fields are
+    excluded on purpose. *)

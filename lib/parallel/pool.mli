@@ -1,0 +1,53 @@
+(** A fixed pool of worker domains with deterministic fork/join.
+
+    The pool runs index-range jobs: [run pool ~n f] evaluates [f i] for
+    every [i] in [0 .. n-1], distributing indices over the pool's domains
+    (the calling domain participates too), and returns only when all [n]
+    tasks have completed. Task results are keyed by index, never by
+    scheduling order, so a [map] is deterministic regardless of how the
+    domains interleave — the property the sharded correlator and the
+    store scanners rely on.
+
+    The pool is {e not} re-entrant: a task that calls back into its own
+    pool (or a second [run] racing a first) is executed inline on the
+    calling domain instead — correct, just serial. A pool of [jobs = 1]
+    spawns no domains at all and runs everything inline. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains (clamped to at least
+    one job). The pool lives until {!shutdown}. *)
+
+val size : t -> int
+(** The parallelism degree [jobs] the pool was created with. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent. Running jobs finish first. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and [shutdown] even on exceptions. *)
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** Evaluate [f i] for [i = 0 .. n-1] across the pool and wait for all of
+    them. If any task raises, the first exception (by completion order)
+    is re-raised in the caller after the join — remaining tasks still
+    run, so the pool stays consistent. *)
+
+val map : t -> n:int -> (int -> 'a) -> 'a array
+(** [map pool ~n f] is [| f 0; f 1; ...; f (n-1) |], computed across the
+    pool. The result array is in index order — deterministic no matter
+    how the domains interleave. *)
+
+val map_list : t -> 'a list -> ('a -> 'b) -> 'b list
+(** [map] over a list, preserving order. *)
+
+val default_jobs : unit -> int
+(** The parallelism degree used when the caller does not choose one: the
+    [PT_JOBS] environment variable if set to a positive integer, else
+    [Domain.recommended_domain_count ()]. Clamped to [1 .. 64]. *)
+
+val shared : unit -> t
+(** A process-wide pool of {!default_jobs} domains, created on first use
+    and never shut down (worker domains die with the process). Callers
+    that take an optional [?pool] argument default to this. *)

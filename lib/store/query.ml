@@ -54,20 +54,38 @@ let record_matches predicate (a : Activity.t) =
   (match predicate.since_ns with Some s -> ts >= s | None -> true)
   && match predicate.until_ns with Some u -> ts <= u | None -> true
 
-let run ?(telemetry = R.default) ~dir predicate =
+let run ?(telemetry = R.default) ?pool ?jobs ~dir predicate =
   let t0 = Unix.gettimeofday () in
   match Manifest.load ~dir with
   | Error e -> Error e
   | Ok manifest -> (
       let selected = select manifest predicate in
-      let rec decode acc = function
-        | [] -> Ok (List.rev acc)
-        | meta :: rest -> (
-            match Segment.read ~dir meta with
-            | Ok collection -> decode (collection :: acc) rest
-            | Error e -> Error e)
+      let metas = Array.of_list selected in
+      let n = Array.length metas in
+      let jobs =
+        match (pool, jobs) with
+        | Some p, _ -> Parallel.Pool.size p
+        | None, Some j -> max 1 j
+        | None, None -> Parallel.Pool.default_jobs ()
       in
-      match decode [] selected with
+      let decoded =
+        if n <= 1 || jobs <= 1 then Array.map (fun m -> Segment.read ~dir m) metas
+        else
+          let scan p = Parallel.Pool.map p ~n (fun i -> Segment.read ~dir metas.(i)) in
+          match pool with
+          | Some p -> scan p
+          | None -> Parallel.Pool.with_pool ~jobs scan
+      in
+      (* Surface the first error in manifest order, not completion order,
+         so a failing query reports the same segment at any [jobs]. *)
+      let rec collect acc i =
+        if i >= n then Ok (List.rev acc)
+        else
+          match decoded.(i) with
+          | Ok collection -> collect (collection :: acc) (i + 1)
+          | Error e -> Error e
+      in
+      match collect [] 0 with
       | Error e -> Error e
       | Ok collections ->
           let records_scanned =

@@ -37,9 +37,18 @@ val merge : Trace.Log.collection list -> Trace.Log.collection
 
 val run :
   ?telemetry:Telemetry.Registry.t ->
+  ?pool:Parallel.Pool.t ->
+  ?jobs:int ->
   dir:string ->
   predicate ->
   (Trace.Log.collection * stats, string) result
 (** Execute a query against the store at [dir]. Query wall time and
     scan/return counts are recorded into [telemetry] under
-    [pt_store_query_*]. *)
+    [pt_store_query_*].
+
+    Surviving segments are decoded in parallel across [pool] (or a
+    transient pool of [jobs] domains; default {!Parallel.Pool.default_jobs}).
+    Decoding is per-segment and the results are merged in manifest order,
+    so output — including which segment a failing query blames — is
+    identical at any [jobs]. [jobs <= 1] or a single segment decodes
+    inline with no domains spawned. *)

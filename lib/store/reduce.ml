@@ -152,7 +152,7 @@ let record_telemetry telemetry stats =
        "pt_store_reduce_effective_p")
     stats.effective_p
 
-let apply ?(telemetry = R.default) ~correlate ~policy collection =
+let apply ?(telemetry = R.default) ?pool ?jobs ~correlate ~policy collection =
   let activities_before = Log.total collection in
   let bytes_before = String.length (Trace.Binary_format.encode collection) in
   if Policy.is_none policy || activities_before = 0 then begin
@@ -194,27 +194,60 @@ let apply ?(telemetry = R.default) ~correlate ~policy collection =
       |> Array.of_list
     in
     let attribution = attribute requests in
-    let causal_activities = ref 0 and non_causal = ref 0 in
-    List.iter
-      (fun log ->
-        Log.iter log (fun a ->
-            match request_of attribution a with
-            | Some _ -> incr causal_activities
-            | None -> incr non_causal))
-      filtered;
-    let keep = Array.make (Array.length requests) true in
-    let effective_p =
-      keep_mask ~sampling:policy.Policy.sampling ~causal_activities:!causal_activities
-        ~bytes_before ~activities_before ~span_s:(time_span_s filtered) keep
+    (* The attribution tables are read-only from here on, so worker
+       domains can look activities up concurrently. Both passes below
+       (attribution counting, then the keep/drop filter) go per-log
+       through the pool; results are keyed by log index, so the reduced
+       collection is identical at any [jobs]. *)
+    let logs = Array.of_list filtered in
+    let nlogs = Array.length logs in
+    let run_passes pool_opt =
+      let pmap f =
+        match pool_opt with
+        | Some p -> Parallel.Pool.map p ~n:nlogs f
+        | None -> Array.init nlogs f
+      in
+      let counts =
+        pmap (fun i ->
+            let causal = ref 0 and non = ref 0 in
+            Log.iter logs.(i) (fun a ->
+                match request_of attribution a with
+                | Some _ -> incr causal
+                | None -> incr non);
+            (!causal, !non))
+      in
+      let causal_activities = Array.fold_left (fun acc (c, _) -> acc + c) 0 counts in
+      let non_causal = Array.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+      let keep = Array.make (Array.length requests) true in
+      let effective_p =
+        keep_mask ~sampling:policy.Policy.sampling ~causal_activities ~bytes_before
+          ~activities_before ~span_s:(time_span_s filtered) keep
+      in
+      let reduced =
+        pmap (fun i ->
+            Log.map_activities
+              (fun a ->
+                match request_of attribution a with
+                | Some idx -> if keep.(idx) then Some a else None
+                | None -> if policy.Policy.drop_non_causal then None else Some a)
+              [ logs.(i) ])
+        |> Array.to_list |> List.concat
+        |> List.filter (fun log -> Log.length log > 0)
+      in
+      (non_causal, keep, effective_p, reduced)
     in
-    let reduced =
-      Log.map_activities
-        (fun a ->
-          match request_of attribution a with
-          | Some idx -> if keep.(idx) then Some a else None
-          | None -> if policy.Policy.drop_non_causal then None else Some a)
-        filtered
-      |> List.filter (fun log -> Log.length log > 0)
+    let jobs =
+      match (pool, jobs) with
+      | Some p, _ -> Parallel.Pool.size p
+      | None, Some j -> max 1 j
+      | None, None -> Parallel.Pool.default_jobs ()
+    in
+    let non_causal, keep, effective_p, reduced =
+      if jobs <= 1 || nlogs <= 1 then run_passes None
+      else
+        match pool with
+        | Some p -> run_passes (Some p)
+        | None -> Parallel.Pool.with_pool ~jobs (fun p -> run_passes (Some p))
     in
     let bytes_after = String.length (Trace.Binary_format.encode reduced) in
     let stats =
@@ -226,7 +259,7 @@ let apply ?(telemetry = R.default) ~correlate ~policy collection =
         requests_total = Array.length requests;
         requests_kept =
           Array.fold_left (fun acc k -> if k then acc + 1 else acc) 0 keep;
-        non_causal = !non_causal;
+        non_causal;
         effective_p;
       }
     in

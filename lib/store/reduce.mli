@@ -42,6 +42,8 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val apply :
   ?telemetry:Telemetry.Registry.t ->
+  ?pool:Parallel.Pool.t ->
+  ?jobs:int ->
   correlate:Core.Correlator.config ->
   policy:Policy.t ->
   Trace.Log.collection ->
@@ -54,4 +56,11 @@ val apply :
 
     Reduction telemetry (bytes before/after, requests seen/kept, dropped
     activities) is recorded into [telemetry] (default
-    {!Telemetry.Registry.default}) under [pt_store_reduce_*]. *)
+    {!Telemetry.Registry.default}) under [pt_store_reduce_*].
+
+    The attribution pass (counting causal activities, then keeping or
+    dropping whole requests) runs per host-log across [pool] (or a
+    transient pool of [jobs] domains; default
+    {!Parallel.Pool.default_jobs}). The attribution tables are read-only
+    during both passes and results merge in log order, so the reduced
+    collection is identical at any [jobs]. *)

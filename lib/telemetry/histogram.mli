@@ -6,7 +6,12 @@
     like per-candidate window-occupancy sampling. Count, sum, exact min and
     max are tracked alongside, so [mean] and [max_value] are exact while
     quantiles are bucket-resolution approximations (always within one
-    bucket's relative error, and clamped to the exact observed range). *)
+    bucket's relative error, and clamped to the exact observed range).
+
+    Histograms are domain-safe: every operation (including {!merge_into}
+    and the snapshot readers) is serialised on an internal per-histogram
+    mutex, so concurrent observers from several domains never lose
+    updates. *)
 
 type t
 

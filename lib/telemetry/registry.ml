@@ -1,5 +1,11 @@
-type counter = { mutable c : int }
-type gauge = { mutable g : float }
+(* Counters and gauges are single atomics and histograms carry their own
+   mutex, so metric *updates* are domain-safe lock-free (or one short
+   critical section). The registry itself — the family table and each
+   family's entry list — is guarded by [lock], taken only on handle
+   resolution and snapshots, never on the hot update path. *)
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 type metric =
   | Counter_m of counter
@@ -10,11 +16,16 @@ type entry = { labels : (string * string) list; metric : metric }
 
 type meta = { help : string; mutable entries : entry list (* newest first *) }
 
-type t = { families : (string, meta) Hashtbl.t }
+type t = { lock : Mutex.t; families : (string, meta) Hashtbl.t }
 
-let create () = { families = Hashtbl.create 64 }
+let create () = { lock = Mutex.create (); families = Hashtbl.create 64 }
 let default = create ()
-let reset t = Hashtbl.reset t.families
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let reset t = locked t (fun () -> Hashtbl.reset t.families)
 
 let normalize_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
@@ -25,59 +36,66 @@ let kind_name = function
   | Hist_m _ -> "histogram"
 
 (* Find-or-create the entry for (name, labels); [make] builds the metric,
-   [cast] projects an existing one (raising on a kind clash). *)
+   [cast] projects an existing one (raising on a kind clash). Runs under
+   the registry lock so two domains resolving the same handle always get
+   the same metric. *)
 let resolve t ~help ~labels name ~make ~cast =
   let labels = normalize_labels labels in
-  let meta =
-    match Hashtbl.find_opt t.families name with
-    | Some m -> m
-    | None ->
-        let m = { help; entries = [] } in
-        Hashtbl.replace t.families name m;
-        m
-  in
-  match List.find_opt (fun e -> e.labels = labels) meta.entries with
-  | Some e -> cast name e.metric
-  | None ->
-      let metric = make () in
-      (* Kind consistency across label sets of one family. *)
-      (match meta.entries with
-      | { metric = existing; _ } :: _ when kind_name existing <> kind_name metric ->
-          invalid_arg
-            (Printf.sprintf "Telemetry.Registry: %s is a %s, not a %s" name
-               (kind_name existing) (kind_name metric))
-      | _ -> ());
-      meta.entries <- { labels; metric } :: meta.entries;
-      (match cast name metric with v -> v)
+  locked t (fun () ->
+      let meta =
+        match Hashtbl.find_opt t.families name with
+        | Some m -> m
+        | None ->
+            let m = { help; entries = [] } in
+            Hashtbl.replace t.families name m;
+            m
+      in
+      match List.find_opt (fun e -> e.labels = labels) meta.entries with
+      | Some e -> cast name e.metric
+      | None ->
+          let metric = make () in
+          (* Kind consistency across label sets of one family. *)
+          (match meta.entries with
+          | { metric = existing; _ } :: _ when kind_name existing <> kind_name metric ->
+              invalid_arg
+                (Printf.sprintf "Telemetry.Registry: %s is a %s, not a %s" name
+                   (kind_name existing) (kind_name metric))
+          | _ -> ());
+          meta.entries <- { labels; metric } :: meta.entries;
+          (match cast name metric with v -> v))
 
 let clash name want got =
   invalid_arg (Printf.sprintf "Telemetry.Registry: %s is a %s, not a %s" name got want)
 
 let counter t ?(help = "") ?(labels = []) name =
   resolve t ~help ~labels name
-    ~make:(fun () -> Counter_m { c = 0 })
+    ~make:(fun () -> Counter_m (Atomic.make 0))
     ~cast:(fun name -> function
       | Counter_m c -> c
       | m -> clash name "counter" (kind_name m))
 
-let incr c = c.c <- c.c + 1
+let incr c = Atomic.incr c
 
 let add c n =
   if n < 0 then invalid_arg "Telemetry.Registry.add: counters only go up";
-  c.c <- c.c + n
+  ignore (Atomic.fetch_and_add c n)
 
-let counter_value c = c.c
+let counter_value c = Atomic.get c
 
 let gauge t ?(help = "") ?(labels = []) name =
   resolve t ~help ~labels name
-    ~make:(fun () -> Gauge_m { g = 0.0 })
+    ~make:(fun () -> Gauge_m (Atomic.make 0.0))
     ~cast:(fun name -> function
       | Gauge_m g -> g
       | m -> clash name "gauge" (kind_name m))
 
-let set g v = g.g <- v
-let set_max g v = if v > g.g then g.g <- v
-let gauge_value g = g.g
+let set g v = Atomic.set g v
+
+let rec set_max g v =
+  let cur = Atomic.get g in
+  if v > cur && not (Atomic.compare_and_set g cur v) then set_max g v
+
+let gauge_value g = Atomic.get g
 
 let histogram t ?(help = "") ?(labels = []) ?buckets_per_decade name =
   resolve t ~help ~labels name
@@ -120,8 +138,8 @@ type sample = { labels : (string * string) list; value : value }
 type family = { name : string; help : string; samples : sample list }
 
 let value_of_metric = function
-  | Counter_m c -> Counter c.c
-  | Gauge_m g -> Gauge g.g
+  | Counter_m c -> Counter (Atomic.get c)
+  | Gauge_m g -> Gauge (Atomic.get g)
   | Hist_m h ->
       Hist
         {
@@ -136,16 +154,24 @@ let value_of_metric = function
         }
 
 let snapshot t =
-  Hashtbl.fold
-    (fun name meta acc ->
+  (* Collect the structure under the registry lock, read the metric
+     values outside it (histogram readers take their own locks). *)
+  let entries =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun name (meta : meta) acc -> (name, meta.help, meta.entries) :: acc)
+          t.families [])
+  in
+  List.map
+    (fun (name, help, entries) ->
       let samples =
         List.map
           (fun (e : entry) -> { labels = e.labels; value = value_of_metric e.metric })
-          meta.entries
+          entries
         |> List.sort (fun a b -> compare a.labels b.labels)
       in
-      { name; help = meta.help; samples } :: acc)
-    t.families []
+      { name; help; samples })
+    entries
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 let find_sample families ?(labels = []) name =

@@ -12,7 +12,13 @@
     Registering the same name with two different metric kinds raises
     [Invalid_argument]; re-registering the same kind returns the existing
     handle (so components created repeatedly accumulate, which is what a
-    whole-process self-profile wants). *)
+    whole-process self-profile wants).
+
+    The registry is domain-safe: handle resolution and snapshots are
+    serialised on a per-registry mutex, counter/gauge updates are single
+    atomic operations, and histograms serialise on their own lock — so
+    [pt_*] totals stay exact when several domains (the sharded
+    correlator's workers) report into one registry concurrently. *)
 
 type t
 

@@ -326,6 +326,33 @@ let test_query_prunes_segments () =
             (Log.to_list log))
         logs
 
+let test_query_boundary_inclusive () =
+  with_dir @@ fun dir ->
+  (* Two segments meeting exactly at t = 200ns: the last record of the
+     first and the first record of the second carry the boundary
+     timestamp. Segment pruning and record filtering are both
+     inclusive-inclusive, so the degenerate window [200, 200] must scan
+     both segments and return the record from each side. *)
+  let mk ts = H.act ~kind:Activity.Send ~ts ~ctx:H.web_ctx ~flow:H.web_app_flow ~size:10 in
+  let seg_a = [ Log.of_list ~hostname:"web" [ mk 100; mk 200 ] ] in
+  let seg_b = [ Log.of_list ~hostname:"web" [ mk 200; mk 300 ] ] in
+  let meta_a = Store.Segment.write ~dir ~id:0 ~policy:"none" seg_a in
+  let meta_b = Store.Segment.write ~dir ~id:1 ~policy:"none" seg_b in
+  Store.Manifest.save
+    (Store.Manifest.add (Store.Manifest.add Store.Manifest.empty meta_a) meta_b)
+    ~dir;
+  match Store.Query.run ~dir (Store.Query.predicate ~since_ns:200 ~until_ns:200 ()) with
+  | Error e -> Alcotest.fail e
+  | Ok (logs, stats) ->
+      Alcotest.(check int) "both segments scanned" 2 stats.Store.Query.segments_scanned;
+      let records = List.concat_map Log.to_list logs in
+      Alcotest.(check int) "one record from each side" 2 (List.length records);
+      List.iter
+        (fun a ->
+          Alcotest.(check int) "exactly on the boundary" 200
+            (Simnet.Sim_time.to_ns a.Activity.timestamp))
+        records
+
 let test_query_host_filter () =
   with_dir @@ fun dir ->
   store_of_run dir;
@@ -490,6 +517,8 @@ let () =
       ( "query",
         [
           Alcotest.test_case "manifest prunes segments" `Quick test_query_prunes_segments;
+          Alcotest.test_case "segment boundary is inclusive" `Quick
+            test_query_boundary_inclusive;
           Alcotest.test_case "host filter" `Quick test_query_host_filter;
         ] );
       ( "compact",
