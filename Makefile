@@ -16,12 +16,13 @@ test: build
 test-parallel: build
 	PT_JOBS=2 dune runtest --force
 
-# A fast bench smoke: the store, degraded-feed and sharded-correlation
-# figures on quick grids, with the machine-readable summary CI can diff
-# (BENCH.json is untracked output; BENCH_store.json and
-# BENCH_parallel.json in the repo are committed reference runs).
+# A fast bench smoke: the store, degraded-feed, collection-plane and
+# sharded-correlation figures on quick grids, with the machine-readable
+# summary CI can diff (BENCH.json is untracked output; BENCH_store.json,
+# BENCH_collect.json and BENCH_parallel.json in the repo are committed
+# reference runs).
 bench-quick: build
-	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure parallel --json BENCH.json
+	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure collect --figure parallel --json BENCH.json
 
 # Formatting check is advisory: the container does not ship ocamlformat,
 # so skip (with a note) when the tool is absent rather than failing CI.

@@ -5,7 +5,7 @@
                    [--json FILE] [--telemetry FILE]
                    [--telemetry-format prom|json|report]
      IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro store
-          degraded parallel all
+          degraded collect parallel all
    --jobs adds an extra domain count to the parallel figure's 1/2/4 grid.
    Default: everything, at time_scale 0.1 (stage durations shrunk 10x;
    service times, think times and all rates untouched, so shapes match the
@@ -728,6 +728,127 @@ let bench_degraded () =
   record_int ~figure:"degraded" "peak_pending_max_buffered" peak2;
   record_int ~figure:"degraded" "deformed_with_timeout" deformed1
 
+(* ---- ext-12: in-band collection plane (agents, wire, collector) ---- *)
+
+let bench_collect () =
+  let clients = if !quick then 120 else 300 in
+  let spec = { (base_spec ()) with S.clients } in
+  (* Out-of-band baseline: probes append to per-host logs that the offline
+     correlator reads for free after the run ends. *)
+  let baseline = run spec in
+  let in_band ~batch =
+    let reg = Telemetry.Registry.create () in
+    let deploy = ref None in
+    let config =
+      { Collect.Deploy.default_config with Collect.Deploy.batch_records = batch }
+    in
+    let outcome =
+      S.run
+        ~before_run:(fun svc ->
+          deploy := Some (Collect.Deploy.install ~telemetry:reg ~config svc))
+        ~after_run:(fun _ -> Collect.Deploy.finish (Option.get !deploy))
+        spec
+    in
+    (outcome, Option.get !deploy, reg)
+  in
+  let lag_of reg =
+    match
+      Telemetry.Registry.(find_sample (snapshot reg) "pt_collect_delivery_lag_seconds")
+    with
+    | Some (Telemetry.Registry.Hist h) when h.count > 0 -> (h.p50, h.p90, h.p99)
+    | _ -> (0.0, 0.0, 0.0)
+  in
+  let t =
+    Report.table
+      ~title:
+        (Printf.sprintf
+           "ext-12: in-band collection plane (%d clients, batch-size sweep)" clients)
+      ~columns:
+        [
+          "batch"; "frames"; "bytes/record"; "retransmits"; "lag p50 ms"; "lag p90 ms";
+          "lag p99 ms"; "identical";
+        ]
+  in
+  (* Small batches bind before the 50 ms flush interval does, so the sweep
+     exposes the per-frame overhead; 256 is the agent default. *)
+  let batches = if !quick then [ 8; 32; 256 ] else [ 8; 32; 64; 256 ] in
+  let default_batch = 256 in
+  let headline = ref None in
+  List.iter
+    (fun batch ->
+      let outcome, deploy, reg = in_band ~batch in
+      let frames, bytes, retransmits =
+        List.fold_left
+          (fun (f, b, r) agent ->
+            let s = Collect.Agent.stats agent in
+            ( f + s.Collect.Agent.frames_shipped,
+              b + s.Collect.Agent.bytes_shipped,
+              r + s.Collect.Agent.retransmits ))
+          (0, 0, 0)
+          (Collect.Deploy.agents deploy)
+      in
+      let delivered =
+        Collect.Collector.delivered_records (Collect.Deploy.collector deploy)
+      in
+      let p50, p90, p99 = lag_of reg in
+      (* Byte-identical to the offline correlator run over this same run's
+         logs: the acceptance criterion of the collection plane. *)
+      let online_paths = Core.Online.paths (Collect.Deploy.online deploy) in
+      let cfg = Correlator.config ~transform:outcome.S.transform () in
+      let offline = Correlator.correlate cfg outcome.S.logs in
+      let sigs cags = List.sort compare (List.map Pattern.signature_of cags) in
+      let identical = sigs online_paths = sigs offline.Correlator.cags in
+      Report.add_row t
+        [
+          Report.cell_int batch;
+          Report.cell_int frames;
+          Report.cell_float ~decimals:1
+            (float_of_int bytes /. float_of_int (max 1 delivered));
+          Report.cell_int retransmits;
+          Report.cell_float ~decimals:2 (p50 *. 1e3);
+          Report.cell_float ~decimals:2 (p90 *. 1e3);
+          Report.cell_float ~decimals:2 (p99 *. 1e3);
+          (if identical then "yes" else "NO");
+        ];
+      record_int ~figure:"collect" (Printf.sprintf "frames_batch%d" batch) frames;
+      record_float ~figure:"collect"
+        (Printf.sprintf "bytes_per_record_batch%d" batch)
+        (float_of_int bytes /. float_of_int (max 1 delivered));
+      if batch = default_batch then headline := Some (outcome, p50, p90, p99, identical))
+    batches;
+  Report.print t;
+  let outcome, p50, p90, p99, identical = Option.get !headline in
+  let c =
+    Report.table
+      ~title:"ext-12: shipping overhead, in-band vs out-of-band"
+      ~columns:[ "mode"; "throughput rps"; "mean rt ms" ]
+  in
+  Report.add_row c
+    [
+      "out-of-band";
+      Report.cell_float ~decimals:1 baseline.S.summary.Metrics.throughput_rps;
+      Report.cell_float ~decimals:2 (baseline.S.summary.Metrics.mean_rt_s *. 1e3);
+    ];
+  Report.add_row c
+    [
+      Printf.sprintf "in-band (batch %d)" default_batch;
+      Report.cell_float ~decimals:1 outcome.S.summary.Metrics.throughput_rps;
+      Report.cell_float ~decimals:2 (outcome.S.summary.Metrics.mean_rt_s *. 1e3);
+    ];
+  Report.print c;
+  record_float ~figure:"collect" "lag_p50_ms" (p50 *. 1e3);
+  record_float ~figure:"collect" "lag_p90_ms" (p90 *. 1e3);
+  record_float ~figure:"collect" "lag_p99_ms" (p99 *. 1e3);
+  record_scalar ~figure:"collect" "identical" (Json.Bool identical);
+  record_float ~figure:"collect" "throughput_out_of_band_rps"
+    baseline.S.summary.Metrics.throughput_rps;
+  record_float ~figure:"collect" "throughput_in_band_rps"
+    outcome.S.summary.Metrics.throughput_rps;
+  record_float ~figure:"collect" "mean_rt_out_of_band_ms"
+    (baseline.S.summary.Metrics.mean_rt_s *. 1e3);
+  record_float ~figure:"collect" "mean_rt_in_band_ms"
+    (outcome.S.summary.Metrics.mean_rt_s *. 1e3)
+
 (* ---- ext-8: trace format sizes ---- *)
 
 let bench_formats () =
@@ -1040,6 +1161,7 @@ let all_figures =
     ("skewfix", bench_skewfix);
     ("online", bench_online);
     ("degraded", bench_degraded);
+    ("collect", bench_collect);
     ("store", bench_store);
     ("parallel", bench_parallel);
     ("micro", bench_micro);

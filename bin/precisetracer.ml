@@ -69,14 +69,19 @@ let faults =
         ("db-lock", Faults.database_lock);
         ("ejb-network", Faults.ejb_network);
         ("host-silence", Faults.host_silence ~host:"app1" ~after:(ST.sec 15));
+        ( "agent-crash",
+          Faults.agent_crash ~host:"app1" ~after:(ST.sec 15)
+            ~restart_after:(Some (ST.sec 5)) );
       ]
   in
   Arg.(
     value & opt_all fault []
     & info [ "fault" ] ~docv:"FAULT"
         ~doc:
-          "Inject a performance problem: $(b,ejb-delay), $(b,db-lock), $(b,ejb-network), or \
-           $(b,host-silence) (app1's probe goes dark 15 virtual seconds in). Repeatable.")
+          "Inject a performance problem: $(b,ejb-delay), $(b,db-lock), $(b,ejb-network), \
+           $(b,host-silence) (app1's probe goes dark 15 virtual seconds in), or \
+           $(b,agent-crash) (app1's collection agent dies 15 virtual seconds in and \
+           restarts 5 seconds later; only meaningful with $(b,--collect)). Repeatable.")
 
 let window_ms =
   Arg.(
@@ -220,6 +225,41 @@ let print_summary outcome =
   Format.printf "captured %d activities on %d nodes@." outcome.S.activity_count
     (List.length outcome.S.logs)
 
+let print_collect d =
+  let online = Collect.Deploy.online d in
+  let paths = Core.Online.paths online in
+  let flagged = List.length (List.filter Core.Cag.is_deformed paths) in
+  Format.printf "collect: %d causal paths online (%d flagged deformed, %d unfinished)@."
+    (List.length paths) flagged
+    (List.length (Core.Online.deformed online));
+  List.iter
+    (fun agent ->
+      let s = Collect.Agent.stats agent in
+      Format.printf
+        "  agent %s: observed %d, reduced %d, dropped %d, shipped %d frames (%d \
+         retransmits, %d bytes), acked %d records over %d connection%s@."
+        (Collect.Agent.host agent) s.Collect.Agent.observed s.Collect.Agent.reduced
+        (Collect.Agent.dropped_total s) s.Collect.Agent.frames_shipped
+        s.Collect.Agent.retransmits s.Collect.Agent.bytes_shipped
+        s.Collect.Agent.acked_records s.Collect.Agent.connections
+        (if s.Collect.Agent.connections = 1 then "" else "s"))
+    (Collect.Deploy.agents d);
+  let collector = Collect.Deploy.collector d in
+  List.iter
+    (fun (host, (hs : Collect.Collector.host_stats)) ->
+      Format.printf
+        "  collector<-%s: %d frames / %d records delivered, %d duplicates, %d skipped@."
+        host hs.Collect.Collector.delivered_frames hs.Collect.Collector.delivered_records
+        hs.Collect.Collector.duplicate_frames hs.Collect.Collector.skipped_frames)
+    (Collect.Collector.stats collector);
+  match
+    Telemetry.Registry.(find_sample (snapshot default)) "pt_collect_delivery_lag_seconds"
+  with
+  | Some (Telemetry.Registry.Hist h) when h.count > 0 ->
+      Format.printf "  delivery lag: p50 %.1f ms, p90 %.1f ms, p99 %.1f ms@."
+        (h.p50 *. 1e3) (h.p90 *. 1e3) (h.p99 *. 1e3)
+  | _ -> ()
+
 let simulate_cmd =
   let out =
     Arg.(
@@ -257,8 +297,77 @@ let simulate_cmd =
       & info [ "segment-records" ] ~docv:"N"
           ~doc:"Roll a new store segment every $(docv) buffered activities.")
   in
-  let run spec out binary store_dir store_policy segment_records tfile tformat =
-    let outcome = S.run spec in
+  let collect =
+    Arg.(
+      value & flag
+      & info [ "collect" ]
+          ~doc:
+            "Run the in-band collection plane: one agent per traced host ships the probe's \
+             records over the simulated network to a central collector feeding an online \
+             correlation (see docs/COLLECT.md). Shipping consumes the same NICs and CPUs \
+             as the service.")
+  in
+  let collect_batch =
+    Arg.(
+      value & opt int Collect.Agent.default_config.Collect.Agent.batch_records
+      & info [ "collect-batch" ] ~docv:"N" ~doc:"Agent frame size: records per PTC1 frame.")
+  in
+  let collect_buffer =
+    Arg.(
+      value & opt int Collect.Agent.default_config.Collect.Agent.max_spool_records
+      & info [ "collect-buffer" ] ~docv:"N"
+          ~doc:"Agent buffer bound: records held (batch + encode queue + spool) before \
+                the overflow policy engages.")
+  in
+  let collect_overflow =
+    Arg.(
+      value
+      & opt (enum [ ("drop-oldest", Collect.Agent.Drop_oldest); ("block", Collect.Agent.Block) ])
+          Collect.Agent.Drop_oldest
+      & info [ "collect-overflow" ] ~docv:"POLICY"
+          ~doc:
+            "Agent overflow policy: $(b,drop-oldest) evicts the oldest unshipped frames, \
+             $(b,block) drops incoming records.")
+  in
+  let agent_policy =
+    Arg.(
+      value
+      & opt policy_conv Store.Policy.none
+      & info [ "agent-policy" ] ~docv:"POLICY"
+          ~doc:
+            "Agent-local reduction applied before shipping, e.g. \
+             $(b,causal,sample=0.25@7). Default $(b,none) (ship everything).")
+  in
+  let run spec out binary store_dir store_policy segment_records collect collect_batch
+      collect_buffer collect_overflow agent_policy tfile tformat =
+    let deploy = ref None in
+    let writer = ref None in
+    let before_run svc =
+      if collect then begin
+        Option.iter
+          (fun dir ->
+            let correlate =
+              Core.Correlator.config ~transform:(Tiersim.Service.transform_config svc) ()
+            in
+            writer :=
+              Some
+                (Store.Writer.create ~policy:store_policy ~correlate
+                   ~roll_records:segment_records ~dir ()))
+          store_dir;
+        let config =
+          {
+            Collect.Deploy.default_config with
+            Collect.Deploy.batch_records = collect_batch;
+            max_spool_records = collect_buffer;
+            overflow = collect_overflow;
+            policy = agent_policy;
+          }
+        in
+        deploy := Some (Collect.Deploy.install ~config ?writer:!writer svc)
+      end
+    in
+    let after_run _ = Option.iter Collect.Deploy.finish !deploy in
+    let outcome = S.run ~before_run ~after_run spec in
     print_summary outcome;
     (match out with
     | Some dir ->
@@ -272,8 +381,15 @@ let simulate_cmd =
           (if binary then "traces.ptb" else "trace files")
           dir
     | None -> ());
-    (match store_dir with
-    | Some dir ->
+    Option.iter print_collect !deploy;
+    (match (store_dir, !writer) with
+    | Some dir, Some w ->
+        (* --collect --store: the writer was fed in-band by the collector *)
+        let stats = Store.Writer.close w in
+        Trace.Ground_truth.save outcome.S.ground_truth
+          ~path:(Filename.concat dir "ground_truth.txt");
+        Format.printf "store %s: %a@." dir Store.Writer.pp_stats stats
+    | Some dir, None ->
         let correlate = Core.Correlator.config ~transform:outcome.S.transform () in
         let writer =
           Store.Writer.create ~policy:store_policy ~correlate
@@ -284,13 +400,14 @@ let simulate_cmd =
         Trace.Ground_truth.save outcome.S.ground_truth
           ~path:(Filename.concat dir "ground_truth.txt");
         Format.printf "store %s: %a@." dir Store.Writer.pp_stats stats
-    | None -> ());
+    | None, _ -> ());
     write_telemetry tfile tformat
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the simulated three-tier testbed.")
     Term.(
       const run $ spec_term $ out $ binary $ store_out $ store_policy $ segment_records
+      $ collect $ collect_batch $ collect_buffer $ collect_overflow $ agent_policy
       $ telemetry_file $ telemetry_format)
 
 (* ---- correlate ---- *)
@@ -813,7 +930,7 @@ let store_cmd =
 
 let () =
   let info =
-    Cmd.info "precisetracer" ~version:"1.0.0"
+    Cmd.info "precisetracer" ~version:Version.version
       ~doc:"Precise request tracing for multi-tier services of black boxes (DSN 2009), reproduced."
   in
   exit

@@ -1,0 +1,480 @@
+module Engine = Simnet.Engine
+module Node = Simnet.Node
+module Cpu = Simnet.Cpu
+module Tcp = Simnet.Tcp
+module Sim_time = Simnet.Sim_time
+module Activity = Trace.Activity
+module R = Telemetry.Registry
+
+let program_name = "ptagent"
+
+type overflow = Drop_oldest | Block
+
+type config = {
+  batch_records : int;
+  flush_interval : Sim_time.span;
+  max_spool_records : int;
+  overflow : overflow;
+  policy : Store.Policy.t;
+  correlate : Core.Correlator.config option;
+  max_inflight_frames : int;
+  cpu_per_record : Sim_time.span;
+  cpu_per_frame : Sim_time.span;
+  send_chunk : int;
+  reconnect_delay : Sim_time.span;
+}
+
+let default_config =
+  {
+    batch_records = 256;
+    flush_interval = Sim_time.ms 50;
+    max_spool_records = 65536;
+    overflow = Drop_oldest;
+    policy = Store.Policy.none;
+    correlate = None;
+    max_inflight_frames = 8;
+    cpu_per_record = Sim_time.us 1;
+    cpu_per_frame = Sim_time.us 100;
+    send_chunk = 8192;
+    reconnect_delay = Sim_time.ms 100;
+  }
+
+(* A cut batch spooled as an encoded frame body, resendable until acked. *)
+type entry = {
+  seq : int;
+  payload : string;
+  records : int;
+  watermark : Sim_time.t;
+  mutable sent : bool;  (* transmitted on the current connection *)
+  mutable ever_sent : bool;  (* transmitted on any connection (retransmit marker) *)
+  mutable nudged : bool;  (* already resent once to communicate an eviction gap *)
+}
+
+let drop_reasons = [ "agent_down"; "buffer_full"; "crash"; "evicted" ]
+
+type t = {
+  wire : Wire.t;
+  node : Node.t;
+  engine : Engine.t;
+  collector : Simnet.Address.endpoint;
+  cfg : config;
+  hostname : string;
+  mutable proc : Simnet.Proc.t;
+  mutable sock : Tcp.socket option;
+  mutable alive : bool;
+  mutable epoch : int;
+      (* bumped by crash/restart so continuations parked across the
+         transition (CPU completions, socket callbacks) detect they
+         belong to a dead incarnation and do nothing *)
+  mutable batch : Activity.t list;  (* newest first *)
+  mutable batch_n : int;
+  encode_q : (Activity.t list * int * Sim_time.t) Queue.t;
+  mutable queued : int;  (* records in encode_q *)
+  mutable encoding : bool;
+  mutable spool : entry list;  (* oldest first; send order *)
+  mutable spool_records : int;
+  mutable next_seq : int;
+  mutable last_acked : int;
+  mutable sending : bool;
+  mutable in_flight : entry option;
+  mutable flush_timer : Engine.timer option;
+  (* stats mirrors (exact per-run view; telemetry accumulates) *)
+  mutable s_observed : int;
+  mutable s_reduced : int;
+  s_dropped : (string, int ref) Hashtbl.t;
+  mutable s_frames : int;
+  mutable s_retransmits : int;
+  mutable s_bytes : int;
+  mutable s_acked : int;
+  mutable s_connections : int;
+  (* telemetry handles *)
+  c_observed : R.counter;
+  c_reduced : R.counter;
+  c_dropped : (string, R.counter) Hashtbl.t;
+  c_frames : R.counter;
+  c_retransmits : R.counter;
+  c_bytes : R.counter;
+  c_acked : R.counter;
+  c_connections : R.counter;
+  g_spool_peak : R.gauge;
+}
+
+let host t = t.hostname
+let is_up t = t.alive
+let held t = t.batch_n + t.queued + t.spool_records
+let oldest_resendable t = match t.spool with e :: _ -> e.seq | [] -> t.next_seq
+
+let drop t reason n =
+  if n > 0 then begin
+    (match Hashtbl.find_opt t.s_dropped reason with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace t.s_dropped reason (ref n));
+    match Hashtbl.find_opt t.c_dropped reason with
+    | Some c -> R.add c n
+    | None -> ()
+  end
+
+let create ?(telemetry = R.default) ?(config = default_config) ~wire ~node ~collector () =
+  if config.batch_records <= 0 then invalid_arg "Agent.create: batch_records";
+  if config.max_spool_records <= 0 then invalid_arg "Agent.create: max_spool_records";
+  if config.send_chunk <= 0 then invalid_arg "Agent.create: send_chunk";
+  if (not (Store.Policy.is_none config.policy)) && config.correlate = None then
+    invalid_arg "Agent.create: a reduction policy needs a correlate config";
+  let hostname = Node.hostname node in
+  let labels = [ ("host", hostname) ] in
+  let counter help name = R.counter telemetry ~help ~labels name in
+  let c_dropped = Hashtbl.create 8 in
+  List.iter
+    (fun reason ->
+      Hashtbl.replace c_dropped reason
+        (R.counter telemetry ~help:"Records lost at the collection agent"
+           ~labels:(("host", hostname) :: [ ("reason", reason) ])
+           "pt_collect_dropped_total"))
+    drop_reasons;
+  let s_dropped = Hashtbl.create 8 in
+  List.iter (fun reason -> Hashtbl.replace s_dropped reason (ref 0)) drop_reasons;
+  {
+    wire;
+    node;
+    engine = Node.engine node;
+    collector;
+    cfg = config;
+    hostname;
+    proc = Node.spawn node ~program:program_name;
+    sock = None;
+    alive = true;
+    epoch = 0;
+    batch = [];
+    batch_n = 0;
+    encode_q = Queue.create ();
+    queued = 0;
+    encoding = false;
+    spool = [];
+    spool_records = 0;
+    next_seq = 0;
+    last_acked = -1;
+    sending = false;
+    in_flight = None;
+    flush_timer = None;
+    s_observed = 0;
+    s_reduced = 0;
+    s_dropped;
+    s_frames = 0;
+    s_retransmits = 0;
+    s_bytes = 0;
+    s_acked = 0;
+    s_connections = 0;
+    c_observed = counter "Own-host records accepted from the probe" "pt_collect_observed_total";
+    c_reduced = counter "Records removed by the agent-local policy" "pt_collect_reduced_total";
+    c_dropped;
+    c_frames = counter "Frame transmissions (including retransmits)" "pt_collect_frames_shipped_total";
+    c_retransmits = counter "Frames retransmitted after reconnect" "pt_collect_retransmits_total";
+    c_bytes = counter "Wire bytes shipped to the collector" "pt_collect_bytes_shipped_total";
+    c_acked = counter "Records acknowledged by the collector" "pt_collect_acked_records_total";
+    c_connections = counter "Connections dialled to the collector" "pt_collect_connections_total";
+    g_spool_peak =
+      R.gauge telemetry ~help:"Peak records buffered at the agent (batch + encode queue + spool)"
+        ~labels "pt_collect_spool_peak_records";
+  }
+
+(* Frames written to the socket but not yet acknowledged. The send
+   window bounds this: the simulated socket buffer is unbounded, so
+   without application-level flow control the whole spool would be
+   written eagerly and backpressure (eviction) could never engage. *)
+let inflight_frames t = List.length (List.filter (fun e -> e.sent) t.spool)
+
+let rec pump t =
+  match t.sock with
+  | Some sock
+    when t.alive && (not t.sending) && inflight_frames t < t.cfg.max_inflight_frames -> (
+      match List.find_opt (fun e -> not e.sent) t.spool with
+      | None -> ()
+      | Some e ->
+          t.sending <- true;
+          t.in_flight <- Some e;
+          if e.ever_sent then begin
+            t.s_retransmits <- t.s_retransmits + 1;
+            R.incr t.c_retransmits
+          end;
+          e.sent <- true;
+          e.ever_sent <- true;
+          let bytes =
+            Frame.encode ~seq:e.seq ~oldest:(oldest_resendable t) ~host:t.hostname
+              ~watermark:e.watermark ~payload:e.payload
+          in
+          t.s_frames <- t.s_frames + 1;
+          R.incr t.c_frames;
+          t.s_bytes <- t.s_bytes + String.length bytes;
+          R.add t.c_bytes (String.length bytes);
+          let epoch = t.epoch in
+          Wire.send t.wire sock ~proc:t.proc ~chunk:t.cfg.send_chunk bytes ~k:(fun () ->
+              if t.epoch = epoch then begin
+                t.sending <- false;
+                t.in_flight <- None;
+                ensure_horizon t;
+                pump t
+              end))
+  | _ -> ()
+
+(* An eviction can open a sequence gap underneath a frame that was
+   transmitted earlier, whose [oldest] header therefore predates the
+   gap: once everything below the gap is acked, the collector would wait
+   forever for the evicted seqs. Resend the stranded head once — the
+   retransmit carries the fresh horizon and unblocks delivery. *)
+and ensure_horizon t =
+  match t.spool with
+  | e :: _
+    when e.sent && (not e.nudged)
+         && (match t.in_flight with Some f -> not (f == e) | None -> true)
+         && e.seq > t.last_acked + 1 ->
+      e.nudged <- true;
+      e.sent <- false;
+      pump t
+  | _ -> ()
+
+let handle_ack t seq =
+  if seq > t.last_acked then begin
+    t.last_acked <- seq;
+    let acked, kept = List.partition (fun e -> e.seq <= seq) t.spool in
+    t.spool <- kept;
+    List.iter
+      (fun e ->
+        t.spool_records <- t.spool_records - e.records;
+        t.s_acked <- t.s_acked + e.records;
+        R.add t.c_acked e.records)
+      acked;
+    ensure_horizon t;
+    (* the ack freed send-window slots *)
+    pump t
+  end
+
+let rec connect t =
+  if t.alive && t.sock = None then begin
+    let epoch = t.epoch in
+    Tcp.connect (Wire.stack t.wire) ~node:t.node ~proc:t.proc ~dst:t.collector
+      ~k:(fun sock ->
+        if t.epoch <> epoch || not t.alive then Tcp.close (Wire.stack t.wire) sock
+        else begin
+          t.sock <- Some sock;
+          t.s_connections <- t.s_connections + 1;
+          R.incr t.c_connections;
+          (* resend-from-last-ack: everything still spooled goes again *)
+          List.iter (fun e -> e.sent <- false) t.spool;
+          recv_loop t sock epoch (Frame.Ack_decoder.create ());
+          pump t
+        end)
+  end
+
+and recv_loop t sock epoch dec =
+  Wire.recv t.wire sock ~proc:t.proc
+    ~k:(fun data ->
+      if t.epoch <> epoch then ()
+      else if String.equal data "" then begin
+        (* collector went away: redial after the back-off *)
+        t.sock <- None;
+        t.sending <- false;
+        t.in_flight <- None;
+        if t.alive then
+          ignore
+            (Engine.schedule_after t.engine ~delay:t.cfg.reconnect_delay (fun () ->
+                 if t.epoch = epoch then connect t))
+      end
+      else begin
+        Frame.Ack_decoder.feed dec data;
+        (match Frame.Ack_decoder.drain dec with
+        | Ok seqs -> List.iter (handle_ack t) seqs
+        | Error _ ->
+            (* a corrupt ack stream cannot be trusted; drop the
+               connection and let the redial resynchronise *)
+            Tcp.close (Wire.stack t.wire) sock);
+        if t.epoch = epoch then recv_loop t sock epoch dec
+      end)
+    ()
+
+let rec kick_encode t =
+  if t.alive && (not t.encoding) && not (Queue.is_empty t.encode_q) then begin
+    t.encoding <- true;
+    let records, n, watermark = Queue.peek t.encode_q in
+    let kept =
+      if Store.Policy.is_none t.cfg.policy then records
+      else
+        match t.cfg.correlate with
+        | None -> assert false (* rejected at create *)
+        | Some correlate ->
+            (* private registry: the throwaway attribution pass must not
+               pollute the process self-profile with store metrics *)
+            let collection, _ =
+              Store.Reduce.apply ~telemetry:(R.create ()) ~jobs:1 ~correlate
+                ~policy:t.cfg.policy
+                [ Trace.Log.of_list ~hostname:t.hostname records ]
+            in
+            List.concat_map Trace.Log.to_list collection
+    in
+    let kept_n = List.length kept in
+    let payload = Frame.encode_payload ~host:t.hostname kept in
+    let work =
+      Sim_time.span_add t.cfg.cpu_per_frame
+        (Sim_time.span_scale (float_of_int n) t.cfg.cpu_per_record)
+    in
+    let epoch = t.epoch in
+    Cpu.submit (Node.cpu t.node) ~work (fun () ->
+        if t.epoch = epoch then begin
+          t.encoding <- false;
+          ignore (Queue.pop t.encode_q);
+          t.queued <- t.queued - n;
+          if n > kept_n then begin
+            t.s_reduced <- t.s_reduced + (n - kept_n);
+            R.add t.c_reduced (n - kept_n)
+          end;
+          let e =
+            {
+              seq = t.next_seq;
+              payload;
+              records = kept_n;
+              watermark;
+              sent = false;
+              ever_sent = false;
+              nudged = false;
+            }
+          in
+          t.next_seq <- t.next_seq + 1;
+          t.spool <- t.spool @ [ e ];
+          t.spool_records <- t.spool_records + kept_n;
+          pump t;
+          kick_encode t
+        end)
+  end
+
+let cut t =
+  match t.batch with
+  | [] -> ()
+  | newest :: _ ->
+      (match t.flush_timer with
+      | Some tm ->
+          Engine.cancel t.engine tm;
+          t.flush_timer <- None
+      | None -> ());
+      let records = List.rev t.batch and n = t.batch_n in
+      t.batch <- [];
+      t.batch_n <- 0;
+      Queue.push (records, n, newest.Activity.timestamp) t.encode_q;
+      t.queued <- t.queued + n;
+      kick_encode t
+
+let arm_flush t =
+  if t.flush_timer = None then
+    t.flush_timer <-
+      Some
+        (Engine.schedule_after t.engine ~delay:t.cfg.flush_interval (fun () ->
+             t.flush_timer <- None;
+             if t.alive then cut t))
+
+(* Admit under Drop_oldest by evicting never-transmitted frames. Send
+   order equals spool order, so the unsent frames are a contiguous
+   suffix behind the sent-but-unacked prefix; evicting the suffix's
+   oldest member keeps every remaining range contiguous, and frames the
+   collector may already hold are never double-counted as dropped. *)
+let evict_for_room t =
+  let rec evict_first_unsent acc = function
+    | e :: rest when e.sent -> evict_first_unsent (e :: acc) rest
+    | e :: rest ->
+        t.spool <- List.rev_append acc rest;
+        t.spool_records <- t.spool_records - e.records;
+        drop t "evicted" e.records;
+        true
+    | [] -> false
+  in
+  let continue = ref true in
+  while !continue && held t >= t.cfg.max_spool_records do
+    if not (evict_first_unsent [] t.spool) then continue := false
+  done
+
+let observe t (a : Activity.t) =
+  if String.equal a.Activity.context.host t.hostname then begin
+    t.s_observed <- t.s_observed + 1;
+    R.incr t.c_observed;
+    if not t.alive then drop t "agent_down" 1
+    else begin
+      if held t >= t.cfg.max_spool_records then begin
+        match t.cfg.overflow with
+        | Drop_oldest -> evict_for_room t
+        | Block -> ()
+      end;
+      if held t >= t.cfg.max_spool_records then drop t "buffer_full" 1
+      else begin
+        t.batch <- a :: t.batch;
+        t.batch_n <- t.batch_n + 1;
+        R.set_max t.g_spool_peak (float_of_int (held t));
+        if t.batch_n >= t.cfg.batch_records then cut t else arm_flush t
+      end
+    end
+  end
+
+let attach t probe =
+  Trace.Probe.exempt_program probe program_name;
+  Trace.Probe.add_listener probe (observe t)
+
+let start t = connect t
+let flush t = if t.alive then cut t
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.epoch <- t.epoch + 1;
+    (match t.sock with Some s -> Tcp.close (Wire.stack t.wire) s | None -> ());
+    t.sock <- None;
+    t.sending <- false;
+    t.in_flight <- None;
+    t.encoding <- false;
+    (match t.flush_timer with
+    | Some tm ->
+        Engine.cancel t.engine tm;
+        t.flush_timer <- None
+    | None -> ());
+    (* the open batch and encode queue live in process memory: lost *)
+    drop t "crash" (t.batch_n + t.queued);
+    t.batch <- [];
+    t.batch_n <- 0;
+    Queue.clear t.encode_q;
+    t.queued <- 0
+    (* the spool is the agent's disk frame store: it survives *)
+  end
+
+let restart t =
+  if not t.alive then begin
+    t.alive <- true;
+    t.epoch <- t.epoch + 1;
+    t.proc <- Node.spawn t.node ~program:program_name;
+    connect t
+  end
+
+type stats = {
+  observed : int;
+  reduced : int;
+  dropped : (string * int) list;
+  frames_shipped : int;
+  retransmits : int;
+  bytes_shipped : int;
+  acked_records : int;
+  spooled_records : int;
+  queued_records : int;
+  connections : int;
+}
+
+let stats t =
+  {
+    observed = t.s_observed;
+    reduced = t.s_reduced;
+    dropped =
+      Hashtbl.fold (fun reason r acc -> (reason, !r) :: acc) t.s_dropped []
+      |> List.sort compare;
+    frames_shipped = t.s_frames;
+    retransmits = t.s_retransmits;
+    bytes_shipped = t.s_bytes;
+    acked_records = t.s_acked;
+    spooled_records = t.spool_records;
+    queued_records = t.batch_n + t.queued;
+    connections = t.s_connections;
+  }
+
+let dropped_total s = List.fold_left (fun acc (_, n) -> acc + n) 0 s.dropped

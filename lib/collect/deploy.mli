@@ -1,0 +1,53 @@
+(** Wire the collection plane into a {!Tiersim.Service} deployment.
+
+    [install] adds a collector node ([collect1], off the traced set) to
+    the service's network, starts one {!Agent} per traced server node
+    (web, app, db), exempts the agents' processes from the probe, and
+    feeds the collector's in-order delivery into a {!Core.Online}
+    correlation — so a single simulated run covers workload, tracing,
+    shipping and online correlation, all sharing one virtual clock and
+    competing for the same NICs and CPUs.
+
+    [Tiersim.Faults.Agent_crash] entries in the service's fault list are
+    translated into scheduled {!Agent.crash} / {!Agent.restart} calls.
+
+    Call {!finish} after the simulation drains to close the online run
+    (resolving any still-open windows). *)
+
+type config = {
+  batch_records : int;
+  flush_interval : Simnet.Sim_time.span;
+  max_spool_records : int;
+  overflow : Agent.overflow;
+  policy : Store.Policy.t;  (** Agent-local reduction applied before shipping. *)
+  port : int;  (** Collector listen port. *)
+  window : Simnet.Sim_time.span option;  (** Correlation window (None: default). *)
+  straggler_timeout : Simnet.Sim_time.span option;
+  max_buffered : int option;
+}
+
+val default_config : config
+(** Agent defaults, no policy, port 7441, no straggler/backpressure
+    limits. *)
+
+type t
+
+val install :
+  ?telemetry:Telemetry.Registry.t ->
+  ?config:config ->
+  ?writer:Store.Writer.t ->
+  Tiersim.Service.t ->
+  t
+(** Must run before the simulation starts (the agents dial during the
+    run's first instants). [writer] tees every delivered record into a
+    trace store via {!Core.Online}'s [on_activity] hook. *)
+
+val online : t -> Core.Online.t
+val collector : t -> Collector.t
+val agents : t -> Agent.t list
+val agent : t -> host:string -> Agent.t option
+
+val finish : t -> unit
+(** Close the online correlation, resolving every window the delivered
+    records can support (a drained simulation has already flushed and
+    acked everything a live agent held). Idempotent. *)

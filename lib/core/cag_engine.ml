@@ -147,6 +147,17 @@ let handle_begin t (a : Activity.t) =
   cmap_set t a root
 
 let finish_cag t cag =
+  (* A SEND whose bytes were never fully matched by a RECEIVE means the
+     receiving side of the interaction is missing from the input (log
+     loss, an agent outage): the path still closes at its END, but it is
+     a truncated rendition of the real request and must say so. *)
+  if
+    List.exists
+      (fun (v : Cag.vertex) ->
+        Activity.equal_kind v.Cag.activity.Activity.kind Activity.Send
+        && v.Cag.unreceived > 0)
+      (Cag.vertices cag)
+  then Cag.Builder.mark_deformed cag;
   Cag.Builder.finish cag;
   t.cags_finished <- t.cags_finished + 1;
   t.rev_finished <- cag :: t.rev_finished;

@@ -38,7 +38,7 @@ type stack = {
   engine : Engine.t;
   listeners : (Address.endpoint, listener) Hashtbl.t;
   mutable observers : (syscall -> unit) list;  (* registration order *)
-  mutable overhead : Node.t -> Sim_time.span;
+  mutable overhead : Node.t -> Proc.t -> Sim_time.span;
   mutable syscalls : int;
   mutable next_conn_id : int;
 }
@@ -48,7 +48,7 @@ let create_stack ~engine =
     engine;
     listeners = Hashtbl.create 16;
     observers = [];
-    overhead = (fun _ -> Sim_time.span_zero);
+    overhead = (fun _ _ -> Sim_time.span_zero);
     syscalls = 0;
     next_conn_id = 0;
   }
@@ -94,8 +94,8 @@ let in_dir sock =
 (* Instrumentation overhead is CPU work on the syscall's node: the probe
    handler executes in kernel context and competes for the cores, so its
    cost inflates under load — the effect behind the paper's Figs. 12-13. *)
-let after_overhead t node k =
-  let ov = t.overhead node in
+let after_overhead t node proc k =
+  let ov = t.overhead node proc in
   if Sim_time.span_ns ov <= 0 then k () else Cpu.submit (Node.cpu node) ~work:ov k
 
 (* Deliver [k] through the sender's egress link then the receiver's ingress
@@ -128,7 +128,7 @@ let send t sock ~proc ~size ~k =
   through_links ~src_node:(own_node sock) ~dst_node:(peer_node sock) ~size (fun () ->
       dir.available <- dir.available + size;
       wake_readers (peer_socket sock));
-  after_overhead t (own_node sock) k
+  after_overhead t (own_node sock) proc k
 
 (* Completion of a recv syscall of [n] bytes: log the activity, then resume
    the caller after any instrumentation overhead. *)
@@ -136,7 +136,7 @@ let complete_recv t sock ~proc ~n ~k =
   t.syscalls <- t.syscalls + 1;
   let flow = Address.flow ~src:(peer_endpoint sock) ~dst:(local_endpoint sock) in
   notify t { node = own_node sock; proc; kind = Syscall_recv; flow; size = n };
-  after_overhead t (own_node sock) (fun () -> k n)
+  after_overhead t (own_node sock) proc (fun () -> k n)
 
 let recv t sock ~proc ~max ~k =
   if max <= 0 then invalid_arg "Tcp.recv: max must be positive";

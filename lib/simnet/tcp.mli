@@ -32,10 +32,12 @@ val add_observer : stack -> (syscall -> unit) -> unit
 (** Register a tracer. Observers run synchronously at the syscall's virtual
     instant, in registration order. *)
 
-val set_syscall_overhead : stack -> (Node.t -> Sim_time.span) -> unit
+val set_syscall_overhead : stack -> (Node.t -> Proc.t -> Sim_time.span) -> unit
 (** Model instrumentation overhead: each traced syscall costs the given
     span of {e CPU work} on its node before the caller continues, so the
-    cost compounds under load like a real probe handler's. Default: zero. *)
+    cost compounds under load like a real probe handler's. The hook sees
+    the calling process so a tracer can exempt its own collection
+    daemons. Default: zero. *)
 
 val listen : stack -> Node.t -> port:int -> accept:(socket -> unit) -> unit
 (** Bind a listener. [accept] fires (with the server-side socket) when a

@@ -5,14 +5,21 @@ type t =
   | Database_lock of { extra_hold : Sim_time.span }
   | Ejb_network of { bandwidth_mbps : float }
   | Host_silence of { host : string; after : Sim_time.span }
+  | Agent_crash of {
+      host : string;
+      after : Sim_time.span;
+      restart_after : Sim_time.span option;
+    }
 
 let name = function
   | Ejb_delay _ -> "EJB_Delay"
   | Database_lock _ -> "Database_Lock"
   | Ejb_network _ -> "EJB_Network"
   | Host_silence _ -> "Host_Silence"
+  | Agent_crash _ -> "Agent_Crash"
 
 let ejb_delay = Ejb_delay { mean = Sim_time.ms 30 }
 let database_lock = Database_lock { extra_hold = Sim_time.ms 8 }
 let ejb_network = Ejb_network { bandwidth_mbps = 10.0 }
 let host_silence ~host ~after = Host_silence { host; after }
+let agent_crash ~host ~after ~restart_after = Agent_crash { host; after; restart_after }

@@ -22,6 +22,19 @@ type t =
           further — the straggler scenario the fault-tolerant online
           pipeline must survive. Applied as log truncation by
           {!Scenario.run}. *)
+  | Agent_crash of {
+      host : string;
+      after : Simnet.Sim_time.span;
+      restart_after : Simnet.Sim_time.span option;
+    }
+      (** The collection agent on [host] dies [after] into the run and,
+          if [restart_after] is set, comes back that much later,
+          reconnecting and resending from the last acknowledged frame.
+          The probe and service are untouched — only shipping is
+          affected, so offline logs stay complete while the in-band
+          collection plane ({!Collect.Deploy}) loses whatever the agent's
+          backpressure semantics say it must. Ignored by deployments
+          without a collection plane. *)
 
 val name : t -> string
 (** The paper's labels: ["EJB_Delay"], ["Database_Lock"], ["EJB_Network"]
@@ -37,3 +50,9 @@ val ejb_network : t
 (** 10 Mbps. *)
 
 val host_silence : host:string -> after:Simnet.Sim_time.span -> t
+
+val agent_crash :
+  host:string ->
+  after:Simnet.Sim_time.span ->
+  restart_after:Simnet.Sim_time.span option ->
+  t

@@ -89,7 +89,7 @@ let install_noise svc spec ~until =
         (Trace.Noise.mysql_client_spec ~connections:db_connections
            ~mean_interval:(Sim_time.ms 12) ~port:3306)
 
-let run spec =
+let run ?before_run ?after_run spec =
   let up, runtime, down = stage_spans ~time_scale:spec.time_scale in
   let cfg =
     {
@@ -105,6 +105,7 @@ let run spec =
   let svc = Service.create cfg in
   let engine = Service.engine svc in
   if spec.tracing then Trace.Probe.enable (Service.probe svc);
+  (match before_run with Some f -> f svc | None -> ());
   let t_up = Sim_time.add Sim_time.zero up in
   let t_run_end = Sim_time.add t_up runtime in
   let t_down_end = Sim_time.add t_run_end down in
@@ -119,6 +120,7 @@ let run spec =
   install_noise svc spec ~until:t_down_end;
   (* Run the three stages, then let in-flight work drain completely. *)
   Engine.run engine;
+  (match after_run with Some f -> f svc | None -> ());
   let probe = Service.probe svc in
   (* Probe faults apply after the run: a silenced host's log is truncated
      at the fault instant, exactly what a crashed tracer leaves behind. *)
@@ -127,7 +129,8 @@ let run spec =
       (fun logs -> function
         | Faults.Host_silence { host; after } ->
             Trace.Loss.silence ~host ~after:(Sim_time.add Sim_time.zero after) logs
-        | Faults.Ejb_delay _ | Faults.Database_lock _ | Faults.Ejb_network _ -> logs)
+        | Faults.Ejb_delay _ | Faults.Database_lock _ | Faults.Ejb_network _
+        | Faults.Agent_crash _ -> logs)
       (Trace.Probe.logs probe) spec.faults
   in
   {

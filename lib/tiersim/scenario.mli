@@ -53,9 +53,13 @@ type outcome = {
   sim_events : int;
 }
 
-val run : spec -> outcome
+val run : ?before_run:(Service.t -> unit) -> ?after_run:(Service.t -> unit) -> spec -> outcome
 (** Build the deployment, run the three stages plus drain, and collect
-    everything. Deterministic for a fixed spec. *)
+    everything. Deterministic for a fixed spec. [before_run] fires after
+    the probe is enabled but before any load is scheduled — the hook an
+    in-band collection plane ({!Collect.Deploy.install}) uses to join the
+    deployment; [after_run] fires as soon as the event queue drains,
+    before outcome assembly. *)
 
 val stage_spans :
   time_scale:float -> Simnet.Sim_time.span * Simnet.Sim_time.span * Simnet.Sim_time.span

@@ -391,7 +391,8 @@ let create cfg =
           | Some delay -> ignore (Engine.schedule_after engine ~delay apply))
       (* Host_silence is a probe fault, not a service fault: the service
          runs unchanged and Scenario.run truncates the host's log. *)
-      | Faults.Ejb_delay _ | Faults.Database_lock _ | Faults.Host_silence _ -> ())
+      | Faults.Ejb_delay _ | Faults.Database_lock _ | Faults.Host_silence _
+      | Faults.Agent_crash _ -> ())
     cfg.faults;
   let probe =
     Trace.Probe.attach ~stack ~overhead:cfg.probe_overhead

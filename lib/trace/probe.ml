@@ -7,6 +7,7 @@ type t = {
   mutable enabled : bool;
   overhead : Sim_time.span;
   only : string list option;
+  mutable exempt : string list;  (* programs never logged nor slowed *)
   node_logs : (string, Log.t) Hashtbl.t;
   mutable count : int;
   mutable listeners : (Activity.t -> unit) list;  (* registration order *)
@@ -41,8 +42,10 @@ let log_for t node =
       Hashtbl.replace t.node_logs hostname log;
       log
 
+let exempted t program = List.exists (String.equal program) t.exempt
+
 let on_syscall t (sc : Tcp.syscall) =
-  if t.enabled && traced t sc.node then begin
+  if t.enabled && traced t sc.node && not (exempted t sc.proc.Simnet.Proc.program) then begin
     let kind =
       match sc.kind with Tcp.Syscall_send -> Activity.Send | Tcp.Syscall_recv -> Activity.Receive
     in
@@ -72,6 +75,7 @@ let attach ~stack ?(overhead = Sim_time.us 20) ?only () =
       enabled = false;
       overhead;
       only;
+      exempt = [];
       node_logs = Hashtbl.create 16;
       count = 0;
       listeners = [];
@@ -79,11 +83,16 @@ let attach ~stack ?(overhead = Sim_time.us 20) ?only () =
     }
   in
   Tcp.add_observer stack (on_syscall t);
-  Tcp.set_syscall_overhead stack (fun node ->
-      if t.enabled && traced t node then t.overhead else Sim_time.span_zero);
+  Tcp.set_syscall_overhead stack (fun node proc ->
+      if t.enabled && traced t node && not (exempted t proc.Simnet.Proc.program) then
+        t.overhead
+      else Sim_time.span_zero);
   t
 
 let add_listener t f = t.listeners <- t.listeners @ [ f ]
+
+let exempt_program t program =
+  if not (exempted t program) then t.exempt <- program :: t.exempt
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let is_enabled t = t.enabled

@@ -32,6 +32,12 @@ val add_listener : t -> (Activity.t -> unit) -> unit
     append), in registration order — the hook for live consumers such as
     {!Core.Online}. Listeners see nothing while the probe is disabled. *)
 
+val exempt_program : t -> string -> unit
+(** Processes of the named program are neither logged nor slowed on any
+    node — how a tracer excludes itself. The collection plane's shipping
+    daemons ([Collect.Agent]) register here so their own send/recv
+    syscalls do not feed back into the trace they are shipping. *)
+
 val logs : t -> Log.collection
 (** One log per node that performed at least one traced syscall. Stable
     order (by hostname). *)

@@ -314,6 +314,135 @@ let test_silent_host_end_to_end () =
   Alcotest.(check int) "clean feed, nothing quarantined" 0
     (List.length (Online.quarantine_log online))
 
+(* ---- end to end: the in-band collection plane vs out-of-band logs ---- *)
+
+(* One canonical string per path: the pattern signature plus the full
+   rendered breakdown, so "byte-identical" means exactly that. *)
+let canon cags =
+  List.sort compare
+    (List.map
+       (fun c -> Core.Pattern.signature_of c ^ "\n" ^ Core.Cag_render.render c)
+       cags)
+
+let install_collect svc deploy =
+  deploy := Some (Collect.Deploy.install ~telemetry:(Telemetry.Registry.create ()) svc)
+
+let check_identity_of what (s : Collect.Agent.stats) =
+  Alcotest.(check int)
+    (what ^ ": observed = reduced + dropped + acked + spooled + queued")
+    s.Collect.Agent.observed
+    (s.Collect.Agent.reduced + Collect.Agent.dropped_total s
+   + s.Collect.Agent.acked_records + s.Collect.Agent.spooled_records
+   + s.Collect.Agent.queued_records)
+
+let test_in_band_equals_out_of_band () =
+  (* Same run, two collection paths: the agents ship every record in-band
+     over the simulated network to the online correlation, while the
+     scenario's out-of-band logs capture the probe output directly. A
+     faultless shipping plane must not change a single byte of the
+     resulting patterns or latency breakdowns. *)
+  let spec = { S.default with S.clients = 20; time_scale = 0.02 } in
+  let deploy = ref None in
+  let outcome =
+    S.run
+      ~before_run:(fun svc -> install_collect svc deploy)
+      ~after_run:(fun _ -> Collect.Deploy.finish (Option.get !deploy))
+      spec
+  in
+  let d = Option.get !deploy in
+  let online = Collect.Deploy.online d in
+  let cfg = Core.Correlator.config ~transform:outcome.S.transform () in
+  let offline = Core.Correlator.correlate cfg outcome.S.logs in
+  Alcotest.(check int) "clean delivery, nothing quarantined" 0
+    (List.length (Online.quarantine_log online));
+  Alcotest.(check (list string))
+    "patterns and breakdowns byte-identical to out-of-band"
+    (canon offline.Core.Correlator.cags)
+    (canon (Online.paths online));
+  Alcotest.(check (list string))
+    "deformed paths byte-identical to out-of-band"
+    (canon offline.Core.Correlator.deformed)
+    (canon (Online.deformed online));
+  (* every probe record reached an agent, and every agent reconciles *)
+  let total_logged = List.fold_left (fun acc l -> acc + Log.length l) 0 outcome.S.logs in
+  let observed, acked =
+    List.fold_left
+      (fun (o, a) agent ->
+        let s = Collect.Agent.stats agent in
+        check_identity_of "faultless end to end" s;
+        Alcotest.(check int)
+          (Collect.Agent.host agent ^ ": no loss on a faultless run")
+          0
+          (Collect.Agent.dropped_total s);
+        (o + s.Collect.Agent.observed, a + s.Collect.Agent.acked_records))
+      (0, 0) (Collect.Deploy.agents d)
+  in
+  Alcotest.(check int) "agents observed exactly the out-of-band records" total_logged
+    observed;
+  Alcotest.(check int) "collector delivered exactly the acked records" acked
+    (Collect.Collector.delivered_records (Collect.Deploy.collector d))
+
+let test_agent_crash_subset_and_accounting () =
+  (* app1's agent crashes mid-run and restarts two scaled minutes later:
+     records observed while it is down are lost at the edge, so the
+     in-band complete paths must be a strict subset of what the
+     out-of-band logs support, the outage-spanning paths must surface as
+     deformed, and the pt_collect_* accounting must reconcile. *)
+  let scale = 0.02 in
+  let spec =
+    {
+      S.default with
+      S.clients = 20;
+      time_scale = scale;
+      faults =
+        [
+          Faults.agent_crash ~host:"app1"
+            ~after:(ST.span_scale scale (ST.ms 200_000))
+            ~restart_after:(Some (ST.span_scale scale (ST.ms 100_000)));
+        ];
+    }
+  in
+  let deploy = ref None in
+  let outcome =
+    S.run
+      ~before_run:(fun svc -> install_collect svc deploy)
+      ~after_run:(fun _ -> Collect.Deploy.finish (Option.get !deploy))
+      spec
+  in
+  let d = Option.get !deploy in
+  let online = Collect.Deploy.online d in
+  let cfg = Core.Correlator.config ~transform:outcome.S.transform () in
+  let offline = Core.Correlator.correlate cfg outcome.S.logs in
+  let intact, truncated =
+    List.partition (fun c -> not (Core.Cag.is_deformed c)) (Online.paths online)
+  in
+  let on_complete = canon intact in
+  let off_complete = canon offline.Core.Correlator.cags in
+  Alcotest.(check bool) "every intact in-band path exists out-of-band" true
+    (List.for_all (fun p -> List.mem p off_complete) on_complete);
+  Alcotest.(check bool) "the outage lost at least one path" true
+    (List.length on_complete < List.length off_complete);
+  (* requests whose app1 records were dropped close as truncated
+     renditions (an unmatched interior SEND) and must say so *)
+  Alcotest.(check bool) "outage-spanning paths flagged deformed" true
+    (List.length truncated > 0);
+  let app = Option.get (Collect.Deploy.agent d ~host:"app1") in
+  let s = Collect.Agent.stats app in
+  check_identity_of "crashed agent" s;
+  Alcotest.(check bool) "records dropped at the edge" true
+    (Collect.Agent.dropped_total s > 0);
+  Alcotest.(check bool) "agent reconnected after restart" true
+    (s.Collect.Agent.connections >= 2);
+  let acked =
+    List.fold_left
+      (fun a agent ->
+        check_identity_of "crash end to end" (Collect.Agent.stats agent);
+        a + (Collect.Agent.stats agent).Collect.Agent.acked_records)
+      0 (Collect.Deploy.agents d)
+  in
+  Alcotest.(check int) "delivered = emitted - dropped - still-buffered" acked
+    (Collect.Collector.delivered_records (Collect.Deploy.collector d))
+
 let () =
   Alcotest.run "online_faults"
     [
@@ -348,5 +477,12 @@ let () =
             test_gc_clamp_keeps_trace_start_sends;
           Alcotest.test_case "eviction flags open path" `Quick
             test_gc_eviction_flags_open_cag_deformed;
+        ] );
+      ( "collect",
+        [
+          Alcotest.test_case "in-band equals out-of-band" `Slow
+            test_in_band_equals_out_of_band;
+          Alcotest.test_case "agent crash: subset, deformed, accounting" `Slow
+            test_agent_crash_subset_and_accounting;
         ] );
     ]

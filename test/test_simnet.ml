@@ -569,7 +569,7 @@ let test_tcp_double_bind () =
 
 let test_tcp_overhead_delays_continuation () =
   let e, stack, a, b = two_nodes () in
-  Tcp.set_syscall_overhead stack (fun _ -> Sim_time.us 50);
+  Tcp.set_syscall_overhead stack (fun _ _ -> Sim_time.us 50);
   let server = Node.spawn b ~program:"server" in
   Tcp.listen stack b ~port:7000 ~accept:(fun _ -> ());
   let client = Node.spawn a ~program:"client" in
