@@ -22,7 +22,7 @@ test-parallel: build
 # BENCH_collect.json and BENCH_parallel.json in the repo are committed
 # reference runs).
 bench-quick: build
-	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure collect --figure parallel --json BENCH.json
+	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure collect --figure parallel --figure diagnose --json BENCH.json
 
 # Formatting check is advisory: the container does not ship ocamlformat,
 # so skip (with a note) when the tool is absent rather than failing CI.

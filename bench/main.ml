@@ -5,7 +5,7 @@
                    [--json FILE] [--telemetry FILE]
                    [--telemetry-format prom|json|report]
      IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro store
-          degraded collect parallel all
+          degraded collect parallel diagnose all
    --jobs adds an extra domain count to the parallel figure's 1/2/4 grid.
    Default: everything, at time_scale 0.1 (stage durations shrunk 10x;
    service times, think times and all rates untouched, so shapes match the
@@ -432,7 +432,10 @@ let bench_fig17 () =
           let report = Core.Analysis.diagnose ~baseline:normal ~observed:avg in
           Format.printf "diagnosis for %s:@." name;
           (match report.Core.Analysis.suspects with
-          | s :: _ -> Format.printf "  prime suspect: %s (%s)@." s.Core.Analysis.subject s.reason
+          | s :: _ ->
+              Format.printf "  prime suspect: %s (%s)@."
+                (Core.Analysis.subject_label s.Core.Analysis.subject)
+                s.reason
           | [] -> Format.printf "  no suspect found@.");
           Format.printf "@.")
         abnormal
@@ -1085,6 +1088,76 @@ let bench_parallel () =
   record_int ~figure:"parallel" "cut_candidates" (Core.Shard.cut_candidates plan);
   record_int ~figure:"parallel" "host_domains" (Domain.recommended_domain_count ())
 
+(* ---- ext: streaming diagnosis scored across the fault matrix ---- *)
+
+let bench_diagnose () =
+  let clients = if !quick then 60 else 150 in
+  let scale = !time_scale *. if !quick then 0.5 else 1.0 in
+  let cases =
+    [
+      ("control", None);
+      ("ejb-delay", Some Faults.ejb_delay);
+      ("db-lock", Some Faults.database_lock);
+      ("ejb-network", Some Faults.ejb_network);
+    ]
+  in
+  let t =
+    Report.table
+      ~title:
+        (Printf.sprintf
+           "ext-13: streaming diagnosis over the in-band feed, fault injected mid-run \
+            (%d clients)"
+           clients)
+      ~columns:
+        [ "case"; "paths"; "verdicts"; "first culprit"; "correct"; "ttd (s)"; "false alarms" ]
+  in
+  let correct = ref 0 in
+  let faulted = ref 0 in
+  List.iter
+    (fun (label, fault) ->
+      let spec =
+        {
+          (base_spec ()) with
+          S.name = label;
+          clients;
+          time_scale = scale;
+          faults = Option.to_list fault;
+        }
+      in
+      let reg = Telemetry.Registry.create () in
+      let r = Diagnose.Live.run ~telemetry:reg spec in
+      let s = r.Diagnose.Live.score in
+      (match fault with
+      | Some _ ->
+          incr faulted;
+          if s.Diagnose.Verdict.correct then incr correct
+      | None -> ());
+      Report.add_row t
+        [
+          label;
+          Report.cell_int r.Diagnose.Live.paths_fed;
+          Report.cell_int s.Diagnose.Verdict.verdicts_total;
+          Option.value s.Diagnose.Verdict.first_culprit ~default:"-";
+          (if s.Diagnose.Verdict.correct then "yes" else "NO");
+          (match s.Diagnose.Verdict.time_to_detection_s with
+          | Some ttd -> Report.cell_float ~decimals:1 ttd
+          | None -> "-");
+          Report.cell_int s.Diagnose.Verdict.false_alarms;
+        ];
+      record_int ~figure:"diagnose"
+        (Printf.sprintf "false_alarms_%s" label)
+        s.Diagnose.Verdict.false_alarms;
+      record_int ~figure:"diagnose"
+        (Printf.sprintf "correct_%s" label)
+        (if s.Diagnose.Verdict.correct then 1 else 0);
+      match s.Diagnose.Verdict.time_to_detection_s with
+      | Some ttd -> record_float ~figure:"diagnose" (Printf.sprintf "ttd_s_%s" label) ttd
+      | None -> ())
+    cases;
+  Report.print t;
+  record_float ~figure:"diagnose" "accuracy"
+    (float_of_int !correct /. float_of_int (max 1 !faulted))
+
 (* ---- bechamel micro-benchmarks ---- *)
 
 let micro_tests () =
@@ -1164,6 +1237,7 @@ let all_figures =
     ("collect", bench_collect);
     ("store", bench_store);
     ("parallel", bench_parallel);
+    ("diagnose", bench_diagnose);
     ("micro", bench_micro);
   ]
 

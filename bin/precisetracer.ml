@@ -100,7 +100,17 @@ let jobs_arg =
 
 let jobs_of = function Some j -> max 1 j | None -> Parallel.Pool.default_jobs ()
 
-let spec_of clients mix max_threads time_scale seed skew_ms noise faults =
+let fault_onset_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "fault-onset" ] ~docv:"MS"
+        ~doc:
+          "Hold the injected faults back until $(docv) virtual milliseconds into the run \
+           (default: active from the start). $(b,diagnose --live) defaults this to the \
+           middle of the runtime session.")
+
+let spec_of clients mix max_threads time_scale seed skew_ms noise faults fault_onset_ms =
   {
     S.default with
     S.clients;
@@ -111,11 +121,13 @@ let spec_of clients mix max_threads time_scale seed skew_ms noise faults =
     skew = ST.ms skew_ms;
     noise = (if noise then S.Paper_noise { db_connections = 4 } else S.No_noise);
     faults;
+    fault_onset = Option.map (fun ms -> ST.span_of_float_s (ms /. 1e3)) fault_onset_ms;
   }
 
 let spec_term =
   Term.(
-    const spec_of $ clients $ mix $ max_threads $ time_scale $ seed $ skew_ms $ noise $ faults)
+    const spec_of $ clients $ mix $ max_threads $ time_scale $ seed $ skew_ms $ noise $ faults
+    $ fault_onset_ms)
 
 let window_of ms = ST.span_of_float_s (ms /. 1e3)
 
@@ -677,39 +689,226 @@ let evaluate_cmd =
 
 (* ---- diagnose ---- *)
 
+let write_json_file path j =
+  let body = Core.Json.to_string ~indent:true j ^ "\n" in
+  if String.equal path "-" then print_string body
+  else begin
+    match open_out path with
+    | oc ->
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body);
+        Format.printf "json written to %s@." path
+    | exception Sys_error msg ->
+        Format.eprintf "cannot write json: %s@." msg;
+        exit 1
+  end
+
+let report_to_json ~pattern (report : Core.Analysis.report) =
+  let delta (d : Core.Analysis.delta) =
+    Core.Json.Obj
+      [
+        ("component", Core.Json.String (Core.Latency.component_label d.Core.Analysis.comp));
+        ("baseline_pct", Core.Json.Float d.Core.Analysis.baseline_pct);
+        ("observed_pct", Core.Json.Float d.Core.Analysis.observed_pct);
+        ("change_pp", Core.Json.Float d.Core.Analysis.change_pp);
+      ]
+  in
+  let suspect (s : Core.Analysis.suspect) =
+    Core.Json.Obj
+      [
+        ("subject", Core.Json.String (Core.Analysis.subject_label s.Core.Analysis.subject));
+        ("severity", Core.Json.Float s.Core.Analysis.severity);
+        ("reason", Core.Json.String s.Core.Analysis.reason);
+      ]
+  in
+  Core.Json.Obj
+    [
+      ("mode", Core.Json.String "offline");
+      ("pattern", Core.Json.String pattern);
+      ("deltas", Core.Json.List (List.map delta report.Core.Analysis.deltas));
+      ("suspects", Core.Json.List (List.map suspect report.Core.Analysis.suspects));
+    ]
+
 let diagnose_cmd =
   let baseline_clients =
     Arg.(
       value & opt int 300
-      & info [ "baseline-clients" ] ~docv:"N" ~doc:"Client count of the healthy baseline run.")
+      & info [ "baseline-clients" ] ~docv:"N"
+          ~doc:"Client count of the healthy baseline run (offline mode).")
   in
-  let run spec baseline_clients tfile tformat =
-    let viewitem_avg spec =
+  let pattern_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pattern" ] ~docv:"NAME"
+          ~doc:
+            "Pattern to diagnose, by tier-route name (e.g. \
+             $(b,httpd>java>mysqld>java>httpd)). Default: the most frequent pattern \
+             present in both runs.")
+  in
+  let live =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:
+            "Streaming mode: run one scenario with the in-band collection plane, inject \
+             the faults mid-run, and watch the online path feed with the streaming \
+             detector — verdicts print as they fire, then the run is scored against the \
+             injected ground truth (see docs/DIAGNOSE.md).")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the structured result (report, or verdicts + score) to $(docv); \
+                \"-\" writes to stdout.")
+  in
+  let baseline_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Live mode: arm the detector with this saved baseline instead of learning one \
+             from the run's healthy up-ramp.")
+  in
+  let save_baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-baseline" ] ~docv:"FILE"
+          ~doc:"Live mode: save the baseline the detector ran with (for later --baseline).")
+  in
+  let share_threshold =
+    Arg.(
+      value
+      & opt float Diagnose.Detector.default_config.Diagnose.Detector.share_threshold
+      & info [ "share-threshold" ] ~docv:"F"
+          ~doc:"Live mode: minimum latency-share drift severity that fires a verdict.")
+  in
+  let run_offline spec baseline_clients pattern_name json tfile tformat =
+    let classify_run spec =
       let outcome = S.run spec in
       let cfg = Core.Correlator.config ~transform:outcome.S.transform () in
       let result = Core.Correlator.correlate cfg outcome.S.logs in
-      let patterns = Core.Pattern.classify result.Core.Correlator.cags in
-      let two_db p =
-        List.length
-          (String.split_on_char '>' p.Core.Pattern.name |> List.filter (String.equal "mysqld"))
-        >= 2
-      in
-      let p = match List.find_opt two_db patterns with Some p -> p | None -> List.hd patterns in
-      Core.Aggregate.of_pattern p
+      Core.Pattern.classify result.Core.Correlator.cags
     in
-    let baseline =
-      viewitem_avg { spec with S.clients = baseline_clients; faults = []; max_threads = 250 }
+    let base_patterns =
+      classify_run
+        { spec with S.clients = baseline_clients; faults = []; fault_onset = None; max_threads = 250 }
     in
-    let observed = viewitem_avg spec in
-    Format.printf "%a@." Core.Analysis.pp_report (Core.Analysis.diagnose ~baseline ~observed);
-    write_telemetry tfile tformat
+    let obs_patterns = classify_run spec in
+    let find_by_name name = List.find_opt (fun p -> String.equal p.Core.Pattern.name name) in
+    let picked =
+      match pattern_name with
+      | Some name -> (
+          match (find_by_name name base_patterns, find_by_name name obs_patterns) with
+          | Some b, Some o -> Ok (name, b, o)
+          | None, _ -> Error (Printf.sprintf "pattern %S absent from the baseline run" name)
+          | _, None -> Error (Printf.sprintf "pattern %S absent from the observed run" name))
+      | None ->
+          (* Most frequent observed pattern that the baseline run also saw
+             (classify orders by descending population). *)
+          let rec pick = function
+            | [] -> Error "no pattern present in both runs"
+            | o :: rest -> (
+                match find_by_name o.Core.Pattern.name base_patterns with
+                | Some b -> Ok (o.Core.Pattern.name, b, o)
+                | None -> pick rest)
+          in
+          pick obs_patterns
+    in
+    match picked with
+    | Error e -> `Error (false, e)
+    | Ok (name, b, o) ->
+        let report =
+          Core.Analysis.diagnose
+            ~baseline:(Core.Aggregate.of_pattern b)
+            ~observed:(Core.Aggregate.of_pattern o)
+        in
+        (* With --json - the human report moves to stderr so stdout stays
+           machine-parseable. *)
+        let hum = if json = Some "-" then Format.err_formatter else Format.std_formatter in
+        Format.fprintf hum "pattern %s: %d baseline paths vs %d observed paths@." name
+          (Core.Pattern.count b) (Core.Pattern.count o);
+        Format.fprintf hum "%a@." Core.Analysis.pp_report report;
+        Option.iter (fun f -> write_json_file f (report_to_json ~pattern:name report)) json;
+        write_telemetry tfile tformat;
+        `Ok ()
+  in
+  let run_live spec json baseline_file save_baseline share_threshold tfile tformat =
+    let loaded =
+      match baseline_file with
+      | None -> Ok None
+      | Some path -> (
+          match Diagnose.Baseline.load ~path with
+          | Ok b -> Ok (Some b)
+          | Error e -> Error e)
+    in
+    match loaded with
+    | Error e -> `Error (false, e)
+    | Ok baseline ->
+        let config =
+          let d = { Diagnose.Detector.default_config with Diagnose.Detector.share_threshold } in
+          match baseline with
+          | Some _ -> d
+          | None ->
+              (* Learning inline: freeze at the end of the up-ramp. *)
+              {
+                d with
+                Diagnose.Detector.freeze_after =
+                  Some (fst (S.runtime_session ~time_scale:spec.S.time_scale));
+              }
+        in
+        let hum = if json = Some "-" then Format.err_formatter else Format.std_formatter in
+        let r =
+          Diagnose.Live.run ~config ?baseline
+            ~on_verdict:(fun v -> Format.fprintf hum "%a@." Diagnose.Detector.pp_verdict v)
+            spec
+        in
+        Format.fprintf hum "@.%d paths watched in-band, %d verdicts@." r.Diagnose.Live.paths_fed
+          (List.length r.Diagnose.Live.verdicts);
+        Format.fprintf hum "%a@." Diagnose.Verdict.pp_score r.Diagnose.Live.score;
+        (match (save_baseline, r.Diagnose.Live.baseline) with
+        | Some path, Some bl -> (
+            match Diagnose.Baseline.save bl ~path with
+            | Ok () -> Format.fprintf hum "baseline saved to %s@." path
+            | Error e ->
+                Format.eprintf "cannot save baseline: %s@." e;
+                exit 1)
+        | Some _, None -> Format.eprintf "no baseline learned; nothing saved@."
+        | None, _ -> ());
+        Option.iter
+          (fun f ->
+            write_json_file f
+              (Core.Json.Obj
+                 [
+                   ("mode", Core.Json.String "live");
+                   ( "verdicts",
+                     Core.Json.List
+                       (List.map Diagnose.Detector.verdict_to_json r.Diagnose.Live.verdicts) );
+                   ("score", Diagnose.Verdict.score_to_json r.Diagnose.Live.score);
+                   ("paths_fed", Core.Json.Int r.Diagnose.Live.paths_fed);
+                 ]))
+          json;
+        write_telemetry tfile tformat;
+        `Ok ()
+  in
+  let run spec live baseline_clients pattern_name json baseline_file save_baseline
+      share_threshold tfile tformat =
+    if live then run_live spec json baseline_file save_baseline share_threshold tfile tformat
+    else run_offline spec baseline_clients pattern_name json tfile tformat
   in
   Cmd.v
     (Cmd.info "diagnose"
        ~doc:
-         "Compare the given configuration's latency-percentage profile against a healthy \
-          baseline and rank suspect components.")
-    Term.(const run $ spec_term $ baseline_clients $ telemetry_file $ telemetry_format)
+         "Find the component responsible for a performance problem: compare a suspect run \
+          against a healthy baseline (offline), or watch a live run's in-band path feed \
+          with the streaming detector (--live).")
+    Term.(
+      ret
+        (const run $ spec_term $ live $ baseline_clients $ pattern_arg $ json_file
+       $ baseline_file $ save_baseline $ share_threshold $ telemetry_file $ telemetry_format))
 
 (* ---- store ---- *)
 

@@ -38,7 +38,7 @@ type t = {
   mutable finished : bool;
 }
 
-let install ?(telemetry = R.default) ?(config = default_config) ?writer svc =
+let install ?(telemetry = R.default) ?(config = default_config) ?writer ?on_path svc =
   let engine = Service.engine svc in
   let stack = Service.stack svc in
   let wire = Wire.create stack in
@@ -51,7 +51,7 @@ let install ?(telemetry = R.default) ?(config = default_config) ?writer svc =
     Core.Online.create ~config:correlate ~hosts:(Service.server_hostnames svc)
       ?straggler_timeout:config.straggler_timeout ?max_buffered:config.max_buffered
       ?on_activity:(Option.map (fun w a -> Store.Writer.observe w a) writer)
-      ~telemetry ()
+      ?on_path ~telemetry ()
   in
   (* The collector is an extra, untraced machine on the same network. *)
   let collector_node =

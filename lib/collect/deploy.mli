@@ -36,11 +36,15 @@ val install :
   ?telemetry:Telemetry.Registry.t ->
   ?config:config ->
   ?writer:Store.Writer.t ->
+  ?on_path:(Core.Cag.t -> unit) ->
   Tiersim.Service.t ->
   t
 (** Must run before the simulation starts (the agents dial during the
     run's first instants). [writer] tees every delivered record into a
-    trace store via {!Core.Online}'s [on_activity] hook. *)
+    trace store via {!Core.Online}'s [on_activity] hook. [on_path] fires
+    as each causal path completes out of the in-band feed, at the
+    simulated instant the collector's delivered records support it — the
+    hook a live diagnosis plane ([Diagnose.Live]) consumes. *)
 
 val online : t -> Core.Online.t
 val collector : t -> Collector.t

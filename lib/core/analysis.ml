@@ -5,7 +5,30 @@ type delta = {
   change_pp : float;
 }
 
-type suspect = { subject : string; reason : string; severity : float }
+type subject =
+  | Tier of string
+  | Tier_network of string
+  | Interaction of { src : string; dst : string }
+
+let subject_label = function
+  | Tier t -> "tier " ^ t
+  | Tier_network t -> "network of tier " ^ t
+  | Interaction { src; dst } -> Printf.sprintf "interaction %s->%s" src dst
+
+let compare_subject a b =
+  match (a, b) with
+  | Tier a, Tier b -> String.compare a b
+  | Tier _, _ -> -1
+  | _, Tier _ -> 1
+  | Tier_network a, Tier_network b -> String.compare a b
+  | Tier_network _, _ -> -1
+  | _, Tier_network _ -> 1
+  | Interaction a, Interaction b -> (
+      match String.compare a.src b.src with 0 -> String.compare a.dst b.dst | c -> c)
+
+let equal_subject a b = compare_subject a b = 0
+
+type suspect = { subject : subject; reason : string; severity : float }
 type report = { deltas : delta list; suspects : suspect list }
 
 let internal_threshold = 0.08
@@ -69,7 +92,7 @@ let compare_profiles ~baseline ~observed =
         | Some d when d.change_pp >= internal_threshold ->
             Some
               {
-                subject = "tier " ^ tier;
+                subject = Tier tier;
                 reason =
                   Printf.sprintf "internal share %s rose %.0f%% -> %.0f%%"
                     (Latency.component_label d.comp)
@@ -88,8 +111,7 @@ let compare_profiles ~baseline ~observed =
         then
           Some
             {
-              subject =
-                Printf.sprintf "interaction %s->%s" d.comp.Latency.src d.comp.Latency.dst;
+              subject = Interaction { src = d.comp.Latency.src; dst = d.comp.Latency.dst };
               reason =
                 Printf.sprintf
                   "share %s rose %.0f%% -> %.0f%%: admission at %s (queueing, thread pool) or \
@@ -117,7 +139,7 @@ let compare_profiles ~baseline ~observed =
         | Some d when rise >= 0.08 && grew >= 2 && d.change_pp <= collapse_threshold ->
             Some
               {
-                subject = "network of tier " ^ tier;
+                subject = Tier_network tier;
                 reason =
                   Printf.sprintf
                     "interactions around %s gained %.0f points across %d components while %s \
@@ -157,5 +179,7 @@ let pp_report ppf r =
   | [] -> Format.fprintf ppf "@,no suspect: profiles are consistent"
   | suspects ->
       Format.fprintf ppf "@,suspects:";
-      List.iter (fun s -> Format.fprintf ppf "@,  %-24s %s" s.subject s.reason) suspects);
+      List.iter
+        (fun s -> Format.fprintf ppf "@,  %-24s %s" (subject_label s.subject) s.reason)
+        suspects);
   Format.fprintf ppf "@]"

@@ -21,8 +21,27 @@ type delta = {
   change_pp : float;  (** observed - baseline, in percentage points /100. *)
 }
 
+(** What a suspect names — the methodology's three conclusions, as a
+    structured value so downstream consumers (the streaming detector, the
+    verdict scorer, JSON exports) can match on it instead of parsing a
+    label. *)
+type subject =
+  | Tier of string  (** The tier itself: its internal share rose. *)
+  | Tier_network of string
+      (** The tier's network: surrounding interactions rose together while
+          the tier's internal share collapsed. *)
+  | Interaction of { src : string; dst : string }
+      (** The [src]->[dst] boundary: admission at [dst] (accept queue,
+          thread pool) or the network between them. *)
+
+val subject_label : subject -> string
+(** ["tier java"], ["network of tier java"], ["interaction httpd->java"]. *)
+
+val compare_subject : subject -> subject -> int
+val equal_subject : subject -> subject -> bool
+
 type suspect = {
-  subject : string;  (** Tier or interaction under suspicion. *)
+  subject : subject;  (** Tier or interaction under suspicion. *)
   reason : string;  (** One-sentence justification citing the deltas. *)
   severity : float;  (** Magnitude of the supporting change, [0,1]. *)
 }

@@ -32,11 +32,26 @@ type t = {
   config : config;
   patterns : (string, pattern_state) Hashtbl.t;
   mutable rev_alerts : alert list;
+  telemetry : Telemetry.Registry.t;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?(telemetry = Telemetry.Registry.default) () =
   if config.warmup <= 0 || config.window <= 0 then invalid_arg "Drift.create: bad config";
-  { config; patterns = Hashtbl.create 8; rev_alerts = [] }
+  { config; patterns = Hashtbl.create 8; rev_alerts = []; telemetry }
+
+(* Alerts share the diagnose plane's counter so dashboards see legacy
+   drift alarms and detector verdicts in one family (docs/TELEMETRY.md). *)
+let count_alert t alert =
+  Telemetry.Registry.incr
+    (Telemetry.Registry.counter t.telemetry
+       ~help:"Diagnose-plane alerts by culprit, pattern and detector kind"
+       ~labels:
+         [
+           ("comp", Latency.component_label alert.comp);
+           ("kind", "drift");
+           ("pattern", alert.pattern_name);
+         ]
+       "pt_diagnose_alerts_total")
 
 let shares cag =
   let parts = Latency.percentages (Latency.breakdown cag) in
@@ -115,6 +130,7 @@ let observe t cag =
                     }
                   in
                   t.rev_alerts <- alert :: t.rev_alerts;
+                  count_alert t alert;
                   fired := alert :: !fired
                 end
                 else if (not st.armed.(i)) && delta < t.config.threshold /. 2.0 then

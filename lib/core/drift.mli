@@ -12,7 +12,16 @@
 
     Hysteresis: a component alerts once when it crosses the threshold and
     re-arms only after falling back below half of it, so a sustained
-    regression produces one alert, not one per path. *)
+    regression produces one alert, not one per path.
+
+    The streaming performance-debugging plane ([lib/diagnose], see
+    docs/DIAGNOSE.md) subsumes and extends this module: its [Detector]
+    runs the full {!Analysis} methodology (tier / interaction / tier-
+    network suspects) over the same per-pattern share windows, adds
+    pattern-mix and throughput/latency anomaly detection, and scores
+    itself against injected-fault ground truth. This module stays as the
+    minimal dependency-free alarm inside [lib/core]; both report into the
+    same [pt_diagnose_alerts_total] telemetry family. *)
 
 type config = {
   warmup : int;  (** Paths used to learn a pattern's baseline profile. *)
@@ -35,7 +44,10 @@ val pp_alert : Format.formatter -> alert -> unit
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?telemetry:Telemetry.Registry.t -> unit -> t
+(** Alerts are counted into
+    [pt_diagnose_alerts_total{comp,pattern,kind="drift"}] on [telemetry]
+    (default {!Telemetry.Registry.default}). *)
 
 val observe : t -> Cag.t -> alert list
 (** Feed one completed path; returns the alerts this path triggered

@@ -1,0 +1,544 @@
+module Cag = Core.Cag
+module Pattern = Core.Pattern
+module Latency = Core.Latency
+module Analysis = Core.Analysis
+module Json = Core.Json
+module Sim_time = Simnet.Sim_time
+module Registry = Telemetry.Registry
+
+type kind =
+  | Share_drift
+  | Pattern_new
+  | Pattern_vanished
+  | Pattern_shift
+  | Latency_shift
+  | Throughput_drop
+  | Throughput_surge
+
+let kind_to_string = function
+  | Share_drift -> "share_drift"
+  | Pattern_new -> "pattern_new"
+  | Pattern_vanished -> "pattern_vanished"
+  | Pattern_shift -> "pattern_shift"
+  | Latency_shift -> "latency_shift"
+  | Throughput_drop -> "throughput_drop"
+  | Throughput_surge -> "throughput_surge"
+
+type verdict = {
+  at : Sim_time.t;
+  kind : kind;
+  pattern : string option;
+  culprit : Analysis.subject option;
+  baseline_value : float;
+  observed_value : float;
+  reason : string;
+  paths_seen : int;
+}
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "[%8.3fs] %-16s %s" (Sim_time.to_float_s v.at)
+    (kind_to_string v.kind) v.reason
+
+let verdict_to_json v =
+  Json.Obj
+    [
+      ("at_s", Json.Float (Sim_time.to_float_s v.at));
+      ("kind", Json.String (kind_to_string v.kind));
+      ( "pattern",
+        match v.pattern with Some p -> Json.String p | None -> Json.Null );
+      ( "culprit",
+        match v.culprit with
+        | Some s -> Json.String (Analysis.subject_label s)
+        | None -> Json.Null );
+      ("baseline_value", Json.Float v.baseline_value);
+      ("observed_value", Json.Float v.observed_value);
+      ("reason", Json.String v.reason);
+      ("paths_seen", Json.Int v.paths_seen);
+    ]
+
+type config = {
+  warmup_paths : int;
+  freeze_after : Sim_time.t option;
+  window : int;
+  min_window : int;
+  share_threshold : float;
+  rearm_factor : float;
+  mix_window : int;
+  mix_tolerance : float;
+  mix_min_frequency : float;
+  latency_factor : float;
+  throughput_window_s : float;
+  throughput_factor : float;
+  detect_surge : bool;
+}
+
+let default_config =
+  {
+    warmup_paths = 400;
+    freeze_after = None;
+    window = 80;
+    min_window = 40;
+    share_threshold = 0.10;
+    rearm_factor = 0.5;
+    mix_window = 200;
+    mix_tolerance = 0.15;
+    mix_min_frequency = 0.05;
+    latency_factor = 2.5;
+    throughput_window_s = 5.0;
+    throughput_factor = 3.0;
+    detect_surge = false;
+  }
+
+(* Per-pattern sliding state: latency-share observations plus the
+   hysteresis flags for each §5.4 subject this pattern has implicated. *)
+type pstate = {
+  p_components : Latency.component list;
+  p_arity : int;
+  p_shares : float array Queue.t;
+  p_durations : float Queue.t;
+  p_share_armed : (string, bool ref) Hashtbl.t;
+  mutable p_latency_armed : bool;
+}
+
+type mix_flags = {
+  mutable m_new_armed : bool;
+  mutable m_vanish_armed : bool;
+  mutable m_shift_armed : bool;
+}
+
+type t = {
+  config : config;
+  telemetry : Registry.t;
+  now : (unit -> Sim_time.t) option;
+  learner : Baseline.builder;
+  mutable bl : Baseline.t option;
+  mutable frozen_at_s : float;
+  patterns : (string, pstate) Hashtbl.t;
+  mix_ring : string Queue.t;
+  names : (string, string) Hashtbl.t;
+  mix_flags : (string, mix_flags) Hashtbl.t;
+  tp_times : float Queue.t;
+  mutable drop_armed : bool;
+  mutable surge_armed : bool;
+  mutable verdicts_rev : verdict list;
+  mutable n_paths : int;
+  c_paths : Registry.counter;
+  c_windows : Registry.counter;
+  g_baseline_patterns : Registry.gauge;
+}
+
+let create ?(config = default_config) ?baseline ?now
+    ?(telemetry = Registry.default) () =
+  let t =
+    {
+      config;
+      telemetry;
+      now;
+      learner = Baseline.builder ~capacity:config.warmup_paths ();
+      bl = None;
+      frozen_at_s = neg_infinity;
+      patterns = Hashtbl.create 8;
+      mix_ring = Queue.create ();
+      names = Hashtbl.create 8;
+      mix_flags = Hashtbl.create 8;
+      tp_times = Queue.create ();
+      drop_armed = true;
+      surge_armed = true;
+      verdicts_rev = [];
+      n_paths = 0;
+      c_paths =
+        Registry.counter telemetry
+          ~help:"Finished paths consumed by the streaming detector"
+          "pt_diagnose_paths_total";
+      c_windows =
+        Registry.counter telemetry
+          ~help:"Full per-pattern windows judged against the baseline"
+          "pt_diagnose_windows_total";
+      g_baseline_patterns =
+        Registry.gauge telemetry
+          ~help:"Patterns in the baseline the detector is armed with"
+          "pt_diagnose_baseline_patterns";
+    }
+  in
+  (match baseline with
+  | Some bl ->
+      t.bl <- Some bl;
+      Registry.set t.g_baseline_patterns
+        (float_of_int (List.length bl.Baseline.patterns))
+  | None -> ());
+  t
+
+let warmed t = Option.is_some t.bl
+let baseline t = t.bl
+let verdicts t = List.rev t.verdicts_rev
+let paths_seen t = t.n_paths
+
+let fire t ~at ~kind ?pattern ?culprit ~baseline_value ~observed_value reason =
+  let v =
+    {
+      at;
+      kind;
+      pattern;
+      culprit;
+      baseline_value;
+      observed_value;
+      reason;
+      paths_seen = t.n_paths;
+    }
+  in
+  t.verdicts_rev <- v :: t.verdicts_rev;
+  let comp =
+    match culprit with Some s -> Analysis.subject_label s | None -> "none"
+  in
+  Registry.incr
+    (Registry.counter t.telemetry
+       ~help:"Detector verdicts fired, by kind, culprit and pattern"
+       ~labels:
+         [
+           ("comp", comp);
+           ("kind", kind_to_string kind);
+           ("pattern", Option.value pattern ~default:"all");
+         ]
+       "pt_diagnose_alerts_total");
+  v
+
+let queue_mean q =
+  let n = Queue.length q in
+  if n = 0 then 0.0
+  else Queue.fold (fun acc v -> acc +. v) 0.0 q /. float_of_int n
+
+let ring_push q cap v =
+  Queue.push v q;
+  if Queue.length q > cap then ignore (Queue.pop q)
+
+(* ---- warmup ---- *)
+
+let freeze_now t at =
+  let bl = Baseline.freeze t.learner in
+  t.bl <- Some bl;
+  t.frozen_at_s <- Sim_time.to_float_s at;
+  Registry.set t.g_baseline_patterns
+    (float_of_int (List.length bl.Baseline.patterns))
+
+let learn_path t at cag =
+  Baseline.learn t.learner cag;
+  match t.config.freeze_after with
+  | None ->
+      if Baseline.seen t.learner >= t.config.warmup_paths then freeze_now t at
+  | Some ft ->
+      if
+        Sim_time.compare at ft >= 0
+        && Baseline.seen t.learner >= t.config.min_window
+      then freeze_now t at
+
+(* ---- judged stream ---- *)
+
+let pstate_for t ~signature ~components =
+  match Hashtbl.find_opt t.patterns signature with
+  | Some ps -> ps
+  | None ->
+      let ps =
+        {
+          p_components = components;
+          p_arity = List.length components;
+          p_shares = Queue.create ();
+          p_durations = Queue.create ();
+          p_share_armed = Hashtbl.create 8;
+          p_latency_armed = true;
+        }
+      in
+      Hashtbl.replace t.patterns signature ps;
+      ps
+
+let mix_flags_for t signature =
+  match Hashtbl.find_opt t.mix_flags signature with
+  | Some f -> f
+  | None ->
+      let f = { m_new_armed = true; m_vanish_armed = true; m_shift_armed = true } in
+      Hashtbl.replace t.mix_flags signature f;
+      f
+
+let window_profile ps =
+  let acc = Array.make ps.p_arity 0.0 in
+  Queue.iter (fun shares -> Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) shares)
+    ps.p_shares;
+  let n = float_of_int (Queue.length ps.p_shares) in
+  List.mapi (fun i c -> (c, acc.(i) /. n)) ps.p_components
+
+(* Share drift: compare the pattern's window-mean profile against its
+   baseline profile and let the §5.4 rules name the culprit. Each subject
+   fires once per excursion, re-arming when its severity recedes below
+   [share_threshold * rearm_factor]. Returns the fired verdicts plus the
+   top live suspect (for latency-shift attribution). *)
+let check_share t bl at ~signature ~name ps =
+  let cfg = t.config in
+  if Queue.length ps.p_shares < cfg.min_window then ([], None)
+  else
+    match Baseline.find bl ~signature with
+    | Some bp when List.length bp.Baseline.components = ps.p_arity ->
+        Registry.incr t.c_windows;
+        let observed = window_profile ps in
+        let report =
+          Analysis.compare_profiles ~baseline:(Baseline.profile bp) ~observed
+        in
+        let live = Hashtbl.create 8 in
+        let fired =
+          List.filter_map
+            (fun (s : Analysis.suspect) ->
+              let label = Analysis.subject_label s.subject in
+              Hashtbl.replace live label s.severity;
+              let armed =
+                match Hashtbl.find_opt ps.p_share_armed label with
+                | Some r -> r
+                | None ->
+                    let r = ref true in
+                    Hashtbl.replace ps.p_share_armed label r;
+                    r
+              in
+              if s.severity >= cfg.share_threshold && !armed then begin
+                armed := false;
+                Some
+                  (fire t ~at ~kind:Share_drift ~pattern:name
+                     ~culprit:s.subject ~baseline_value:0.0
+                     ~observed_value:s.severity
+                     (Printf.sprintf "pattern %s: %s (severity %.2f) — %s" name
+                        label s.severity s.reason))
+              end
+              else begin
+                if
+                  s.severity < cfg.share_threshold *. cfg.rearm_factor
+                  && not !armed
+                then armed := true;
+                None
+              end)
+            report.Analysis.suspects
+        in
+        (* Subjects that dropped out of the suspect list entirely have
+           recovered: re-arm them. *)
+        Hashtbl.iter
+          (fun label armed ->
+            if (not !armed) && not (Hashtbl.mem live label) then armed := true)
+          ps.p_share_armed;
+        let top =
+          match report.Analysis.suspects with
+          | s :: _ -> Some s.Analysis.subject
+          | [] -> None
+        in
+        (fired, top)
+    | _ -> ([], None)
+
+let check_latency t bl at ~signature ~name ps ~top_suspect =
+  let cfg = t.config in
+  if Queue.length ps.p_durations < cfg.min_window then []
+  else
+    match Baseline.find bl ~signature with
+    | Some bp when bp.Baseline.mean_duration_s > 0.0 ->
+        let mean = queue_mean ps.p_durations in
+        let ratio = mean /. bp.Baseline.mean_duration_s in
+        if ratio >= cfg.latency_factor && ps.p_latency_armed then begin
+          ps.p_latency_armed <- false;
+          [
+            fire t ~at ~kind:Latency_shift ~pattern:name ?culprit:top_suspect
+              ~baseline_value:bp.Baseline.mean_duration_s ~observed_value:mean
+              (Printf.sprintf
+                 "pattern %s: mean latency %.1fms vs baseline %.1fms (x%.1f)"
+                 name (1000.0 *. mean)
+                 (1000.0 *. bp.Baseline.mean_duration_s)
+                 ratio);
+          ]
+        end
+        else begin
+          if
+            ratio < cfg.latency_factor *. cfg.rearm_factor
+            && not ps.p_latency_armed
+          then ps.p_latency_armed <- true;
+          []
+        end
+    | _ -> []
+
+let check_mix t bl at =
+  let cfg = t.config in
+  if Queue.length t.mix_ring < cfg.mix_window then []
+  else begin
+    let total = float_of_int (Queue.length t.mix_ring) in
+    let freqs = Hashtbl.create 8 in
+    Queue.iter
+      (fun s ->
+        Hashtbl.replace freqs s
+          (1 + Option.value (Hashtbl.find_opt freqs s) ~default:0))
+      t.mix_ring;
+    let freq s =
+      float_of_int (Option.value (Hashtbl.find_opt freqs s) ~default:0) /. total
+    in
+    let name_of s = Option.value (Hashtbl.find_opt t.names s) ~default:s in
+    (* Baseline patterns: vanished or frequency-shifted. *)
+    let from_baseline =
+      List.concat_map
+        (fun (bp : Baseline.pattern_profile) ->
+          if bp.frequency < cfg.mix_min_frequency then []
+          else begin
+            let obs = freq bp.signature in
+            let flags = mix_flags_for t bp.signature in
+            if obs = 0.0 then
+              if flags.m_vanish_armed then begin
+                flags.m_vanish_armed <- false;
+                [
+                  fire t ~at ~kind:Pattern_vanished ~pattern:bp.name
+                    ~baseline_value:bp.frequency ~observed_value:0.0
+                    (Printf.sprintf
+                       "pattern %s vanished (baseline frequency %.0f%%)" bp.name
+                       (100.0 *. bp.frequency));
+                ]
+              end
+              else []
+            else begin
+              if
+                obs >= cfg.mix_min_frequency *. cfg.rearm_factor
+                && not flags.m_vanish_armed
+              then flags.m_vanish_armed <- true;
+              let delta = Float.abs (obs -. bp.frequency) in
+              if delta >= cfg.mix_tolerance && flags.m_shift_armed then begin
+                flags.m_shift_armed <- false;
+                [
+                  fire t ~at ~kind:Pattern_shift ~pattern:bp.name
+                    ~baseline_value:bp.frequency ~observed_value:obs
+                    (Printf.sprintf
+                       "pattern %s frequency %.0f%% vs baseline %.0f%%" bp.name
+                       (100.0 *. obs) (100.0 *. bp.frequency));
+                ]
+              end
+              else begin
+                if
+                  delta < cfg.mix_tolerance *. cfg.rearm_factor
+                  && not flags.m_shift_armed
+                then flags.m_shift_armed <- true;
+                []
+              end
+            end
+          end)
+        bl.Baseline.patterns
+    in
+    (* Observed patterns absent from the baseline. *)
+    let novel =
+      Hashtbl.fold
+        (fun signature _ acc ->
+          match Baseline.find bl ~signature with
+          | Some _ -> acc
+          | None ->
+              let obs = freq signature in
+              let flags = mix_flags_for t signature in
+              if obs >= cfg.mix_min_frequency && flags.m_new_armed then begin
+                flags.m_new_armed <- false;
+                fire t ~at ~kind:Pattern_new ~pattern:(name_of signature)
+                  ~baseline_value:0.0 ~observed_value:obs
+                  (Printf.sprintf
+                     "new pattern %s at %.0f%% of traffic (absent from baseline)"
+                     (name_of signature) (100.0 *. obs))
+                :: acc
+              end
+              else begin
+                if
+                  obs < cfg.mix_min_frequency *. cfg.rearm_factor
+                  && not flags.m_new_armed
+                then flags.m_new_armed <- true;
+                acc
+              end)
+        freqs []
+    in
+    from_baseline @ List.rev novel
+  end
+
+let check_throughput t bl at time_s =
+  let cfg = t.config in
+  let base = bl.Baseline.throughput_rps in
+  if base <= 0.0 || time_s < t.frozen_at_s +. cfg.throughput_window_s then []
+  else begin
+    let rate =
+      float_of_int (Queue.length t.tp_times) /. cfg.throughput_window_s
+    in
+    let drop_thr = base /. cfg.throughput_factor in
+    let dropped =
+      if rate <= drop_thr && t.drop_armed then begin
+        t.drop_armed <- false;
+        [
+          fire t ~at ~kind:Throughput_drop ~baseline_value:base
+            ~observed_value:rate
+            (Printf.sprintf "throughput %.0f paths/s vs baseline %.0f paths/s"
+               rate base);
+        ]
+      end
+      else begin
+        if rate >= drop_thr /. cfg.rearm_factor && not t.drop_armed then
+          t.drop_armed <- true;
+        []
+      end
+    in
+    let surged =
+      if not cfg.detect_surge then []
+      else begin
+        let surge_thr = base *. cfg.throughput_factor in
+        if rate >= surge_thr && t.surge_armed then begin
+          t.surge_armed <- false;
+          [
+            fire t ~at ~kind:Throughput_surge ~baseline_value:base
+              ~observed_value:rate
+              (Printf.sprintf
+                 "throughput %.0f paths/s vs baseline %.0f paths/s" rate base);
+          ]
+        end
+        else begin
+          if rate <= surge_thr *. cfg.rearm_factor && not t.surge_armed then
+            t.surge_armed <- true;
+          []
+        end
+      end
+    in
+    dropped @ surged
+  end
+
+let judge t bl at cag =
+  let cfg = t.config in
+  (* A supplied baseline arms the detector before any stream time has
+     passed; anchor the throughput grace window at the first judged
+     path instead of the (never set) freeze instant. *)
+  if t.frozen_at_s = neg_infinity then t.frozen_at_s <- Sim_time.to_float_s at;
+  let signature = Pattern.signature_of cag in
+  let name = Pattern.name_of cag in
+  let parts = Latency.percentages (Latency.breakdown cag) in
+  let components = List.map fst parts in
+  Hashtbl.replace t.names signature name;
+  ring_push t.mix_ring cfg.mix_window signature;
+  let time_s = Sim_time.to_float_s at in
+  Queue.push time_s t.tp_times;
+  while
+    (not (Queue.is_empty t.tp_times))
+    && Queue.peek t.tp_times < time_s -. cfg.throughput_window_s
+  do
+    ignore (Queue.pop t.tp_times)
+  done;
+  let ps = pstate_for t ~signature ~components in
+  if List.length components = ps.p_arity then begin
+    ring_push ps.p_shares cfg.window (Array.of_list (List.map snd parts));
+    ring_push ps.p_durations cfg.window
+      (Sim_time.span_to_float_s (Cag.duration cag))
+  end;
+  let share_verdicts, top_suspect = check_share t bl at ~signature ~name ps in
+  let latency_verdicts = check_latency t bl at ~signature ~name ps ~top_suspect in
+  let mix_verdicts = check_mix t bl at in
+  let tp_verdicts = check_throughput t bl at time_s in
+  share_verdicts @ latency_verdicts @ mix_verdicts @ tp_verdicts
+
+let observe t cag =
+  if not (Cag.is_finished cag) then []
+  else begin
+    let at =
+      match t.now with Some f -> f () | None -> Cag.end_ts cag
+    in
+    t.n_paths <- t.n_paths + 1;
+    Registry.incr t.c_paths;
+    match t.bl with
+    | None ->
+        learn_path t at cag;
+        []
+    | Some bl -> judge t bl at cag
+  end

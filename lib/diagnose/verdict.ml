@@ -1,0 +1,150 @@
+module Analysis = Core.Analysis
+module Json = Core.Json
+module Sim_time = Simnet.Sim_time
+module Faults = Tiersim.Faults
+module Registry = Telemetry.Registry
+
+type expectation = {
+  fault_name : string;
+  expected : string;
+  accepts : Analysis.subject -> bool;
+}
+
+(* The simulated RUBiS deployment runs httpd/java/mysqld (§5.1); the
+   faults target the app and db tiers by program name. *)
+let expectation_of fault =
+  match fault with
+  | Faults.Ejb_delay _ ->
+      Some
+        {
+          fault_name = Faults.name fault;
+          expected = "tier java";
+          accepts =
+            (function Analysis.Tier t -> String.equal t "java" | _ -> false);
+        }
+  | Faults.Database_lock _ ->
+      Some
+        {
+          fault_name = Faults.name fault;
+          expected = "tier mysqld";
+          accepts =
+            (function Analysis.Tier t -> String.equal t "mysqld" | _ -> false);
+        }
+  | Faults.Ejb_network _ ->
+      Some
+        {
+          fault_name = Faults.name fault;
+          expected = "network of tier java (or an adjacent interaction)";
+          accepts =
+            (function
+            | Analysis.Tier_network t -> String.equal t "java"
+            | Analysis.Interaction { src; dst } ->
+                String.equal src "java" || String.equal dst "java"
+            | Analysis.Tier _ -> false);
+        }
+  | Faults.Host_silence _ | Faults.Agent_crash _ -> None
+
+type score = {
+  fault : string option;
+  onset_s : float option;
+  detected : bool;
+  correct : bool;
+  time_to_detection_s : float option;
+  first_culprit : string option;
+  false_alarms : int;
+  verdicts_total : int;
+}
+
+let score ?(telemetry = Registry.default) ?fault ?onset verdicts =
+  (* A fault with no recorded onset was active from the start. *)
+  let onset =
+    match (onset, fault) with
+    | None, Some _ -> Some Sim_time.zero
+    | _ -> onset
+  in
+  let onset_s = Option.map Sim_time.to_float_s onset in
+  let after_onset (v : Detector.verdict) =
+    match onset with
+    | None -> false
+    | Some o -> Sim_time.compare v.Detector.at o >= 0
+  in
+  let post = List.filter after_onset verdicts in
+  let pre = List.filter (fun v -> not (after_onset v)) verdicts in
+  let expectation = Option.bind fault expectation_of in
+  let matching =
+    match expectation with
+    | None -> post
+    | Some e ->
+        List.filter
+          (fun (v : Detector.verdict) ->
+            match v.Detector.culprit with
+            | Some s -> e.accepts s
+            | None -> false)
+          post
+  in
+  let time_to_detection_s =
+    match (matching, onset_s) with
+    | v :: _, Some o ->
+        let ttd = Sim_time.to_float_s v.Detector.at -. o in
+        Registry.observe
+          (Registry.histogram telemetry
+             ~help:"Time from fault onset to the first correct verdict"
+             "pt_diagnose_ttd_seconds")
+          ttd;
+        Some ttd
+    | _ -> None
+  in
+  let first_culprit =
+    List.find_map
+      (fun (v : Detector.verdict) ->
+        Option.map Analysis.subject_label v.Detector.culprit)
+      post
+  in
+  let detected = post <> [] in
+  let false_alarms = List.length pre in
+  let correct =
+    match fault with
+    | None -> false_alarms = 0
+    | Some _ -> matching <> []
+  in
+  {
+    fault = Option.map Faults.name fault;
+    onset_s;
+    detected;
+    correct;
+    time_to_detection_s;
+    first_culprit;
+    false_alarms;
+    verdicts_total = List.length verdicts;
+  }
+
+let pp_score ppf s =
+  let fault = Option.value s.fault ~default:"none (control)" in
+  Format.fprintf ppf "@[<v>fault: %s@," fault;
+  (match s.onset_s with
+  | Some o -> Format.fprintf ppf "onset: %.1fs@," o
+  | None -> ());
+  Format.fprintf ppf "detected: %b  correct: %b@," s.detected s.correct;
+  (match s.time_to_detection_s with
+  | Some ttd -> Format.fprintf ppf "time to detection: %.1fs@," ttd
+  | None -> ());
+  (match s.first_culprit with
+  | Some c -> Format.fprintf ppf "first culprit: %s@," c
+  | None -> ());
+  Format.fprintf ppf "false alarms: %d  verdicts: %d@]" s.false_alarms
+    s.verdicts_total
+
+let score_to_json s =
+  let opt_f = function Some f -> Json.Float f | None -> Json.Null in
+  let opt_s = function Some v -> Json.String v | None -> Json.Null in
+  Json.Obj
+    [
+      ("fault", opt_s s.fault);
+      ("onset_s", opt_f s.onset_s);
+      ("detected", Json.Bool s.detected);
+      ("correct", Json.Bool s.correct);
+      ("time_to_detection_s", opt_f s.time_to_detection_s);
+      ("first_culprit", opt_s s.first_culprit);
+      ("false_alarms", Json.Int s.false_alarms);
+      ("verdicts_total", Json.Int s.verdicts_total);
+    ]

@@ -1,0 +1,52 @@
+(** Scoring detector output against injected ground truth.
+
+    The simulator knows which fault it injected and when
+    ({!Tiersim.Faults}, [fault_onset]); the detector only sees the path
+    stream. This module closes the loop: it maps each fault onto the
+    {!Core.Analysis.subject} the §5.4 methodology should blame —
+    [Ejb_delay] onto the app tier, [Database_lock] onto the db tier,
+    [Ejb_network] onto the app tier's network or an adjacent interaction
+    — and grades a verdict stream for detection, culprit correctness,
+    time-to-detection and false alarms. *)
+
+type expectation = {
+  fault_name : string;  (** The paper's label for the fault. *)
+  expected : string;  (** Human-readable description of the culprit. *)
+  accepts : Core.Analysis.subject -> bool;
+      (** Does this named culprit correctly blame the fault? *)
+}
+
+val expectation_of : Tiersim.Faults.t -> expectation option
+(** [None] for faults with no performance signature of their own
+    ([Host_silence], [Agent_crash] break collection, not the service). *)
+
+type score = {
+  fault : string option;  (** [None] for a faultless control run. *)
+  onset_s : float option;  (** Injection instant, stream seconds. *)
+  detected : bool;  (** Any verdict at or after onset. *)
+  correct : bool;
+      (** Fault runs: some post-onset verdict names an accepted culprit
+          (or merely detects, when no expectation exists). Control runs:
+          no false alarms. *)
+  time_to_detection_s : float option;
+      (** First correct post-onset verdict minus onset. Also observed
+          into the [pt_diagnose_ttd_seconds] histogram. *)
+  first_culprit : string option;
+      (** Label of the first post-onset verdict that names a culprit. *)
+  false_alarms : int;
+      (** Verdicts strictly before onset — every verdict, on a control
+          run. *)
+  verdicts_total : int;
+}
+
+val score :
+  ?telemetry:Telemetry.Registry.t ->
+  ?fault:Tiersim.Faults.t ->
+  ?onset:Simnet.Sim_time.t ->
+  Detector.verdict list ->
+  score
+(** Grade a verdict stream. Omit [fault] (and [onset]) for a control
+    run: every verdict then counts as a false alarm. *)
+
+val pp_score : Format.formatter -> score -> unit
+val score_to_json : score -> Core.Json.t

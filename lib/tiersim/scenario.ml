@@ -62,6 +62,15 @@ let stage_spans ~time_scale =
     scale (Sim_time.ms 450_009),
     scale (Sim_time.ms 60_010) )
 
+let mid_run_onset ?(frac = 0.5) ~time_scale () =
+  let up, runtime, _ = stage_spans ~time_scale in
+  Sim_time.span_add up (Sim_time.span_scale frac runtime)
+
+let runtime_session ~time_scale =
+  let up, runtime, _ = stage_spans ~time_scale in
+  let from = Sim_time.add Sim_time.zero up in
+  (from, Sim_time.add from runtime)
+
 let install_noise svc spec ~until =
   match spec.noise with
   | No_noise -> ()

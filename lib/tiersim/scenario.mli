@@ -64,3 +64,13 @@ val run : ?before_run:(Service.t -> unit) -> ?after_run:(Service.t -> unit) -> s
 val stage_spans :
   time_scale:float -> Simnet.Sim_time.span * Simnet.Sim_time.span * Simnet.Sim_time.span
 (** (up-ramp, runtime, down-ramp) after scaling the paper's durations. *)
+
+val mid_run_onset : ?frac:float -> time_scale:float -> unit -> Simnet.Sim_time.span
+(** The canonical [fault_onset] for a mid-run injection: the up-ramp plus
+    [frac] (default 0.5) of the runtime session — late enough that a
+    diagnosis baseline can be learned on healthy traffic, early enough
+    that the abnormal regime dominates the rest of the session. *)
+
+val runtime_session : time_scale:float -> Simnet.Sim_time.t * Simnet.Sim_time.t
+(** The (start, end) instants of the runtime session: QoS and diagnosis
+    verdicts are measured inside this interval only (ramps excluded). *)

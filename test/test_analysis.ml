@@ -310,7 +310,9 @@ let test_diagnose_tier_internal () =
   in
   let report = Analysis.compare_profiles ~baseline ~observed in
   (match report.Analysis.suspects with
-  | s :: _ -> Alcotest.(check string) "tier java blamed" "tier java" s.Analysis.subject
+  | s :: _ ->
+      Alcotest.(check string) "tier java blamed" "tier java"
+        (Analysis.subject_label s.Analysis.subject)
   | [] -> Alcotest.fail "no suspect");
   (match report.deltas with
   | d :: _ ->
@@ -324,7 +326,8 @@ let test_diagnose_interaction () =
   let report = Analysis.compare_profiles ~baseline ~observed in
   match report.Analysis.suspects with
   | s :: _ ->
-      Alcotest.(check string) "interaction blamed" "interaction httpd->java" s.Analysis.subject
+      Alcotest.(check string) "interaction blamed" "interaction httpd->java"
+        (Analysis.subject_label s.Analysis.subject)
   | [] -> Alcotest.fail "no suspect"
 
 let test_diagnose_network () =
@@ -343,7 +346,9 @@ let test_diagnose_network () =
     ]
   in
   let report = Analysis.compare_profiles ~baseline ~observed in
-  let subjects = List.map (fun s -> s.Analysis.subject) report.Analysis.suspects in
+  let subjects =
+    List.map (fun s -> Analysis.subject_label s.Analysis.subject) report.Analysis.suspects
+  in
   Alcotest.(check bool) "network of java suspected" true
     (List.mem "network of tier java" subjects)
 

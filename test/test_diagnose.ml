@@ -1,0 +1,423 @@
+(* Tests for the streaming performance-debugging plane (lib/diagnose):
+   baseline learning and JSON round-trip, the streaming detector's alarm
+   classes (share drift, pattern mix, latency shift, throughput drop)
+   with their hysteresis, the ground-truth scorer, and one live
+   end-to-end run per polarity (fault / control). *)
+
+module H = Test_helpers.Helpers
+module Activity = Trace.Activity
+module Baseline = Diagnose.Baseline
+module Detector = Diagnose.Detector
+module Verdict = Diagnose.Verdict
+module Analysis = Core.Analysis
+module Faults = Tiersim.Faults
+module S = Tiersim.Scenario
+module ST = Simnet.Sim_time
+
+(* ---- synthetic path streams ---- *)
+
+(* One correlated three-tier request ending at [base + 9ms * stretch].
+   [db_extra] lengthens the db tier's internal share (and the total
+   duration) by shifting everything at or after the db reply; [stretch]
+   scales every offset uniformly, changing the duration but not one
+   share point. *)
+let mk_cag ?(db_extra = ST.span_zero) ?(stretch = 1) ~base () =
+  let w, a, d = H.simple_request ~base:0 () in
+  let shift (x : Activity.t) =
+    let off = ST.to_ns x.Activity.timestamp * stretch in
+    let ts = ST.add (ST.of_ns (base + off)) ST.span_zero in
+    let ts =
+      if off >= 5_000_000 * stretch then ST.add ts db_extra else ts
+    in
+    { x with Activity.timestamp = ts }
+  in
+  let logs =
+    [
+      Trace.Log.of_list ~hostname:"web" (List.map shift w);
+      Trace.Log.of_list ~hostname:"app" (List.map shift a);
+      Trace.Log.of_list ~hostname:"db" (List.map shift d);
+    ]
+  in
+  let engine, _ = H.correlate_raw logs in
+  List.hd (Core.Cag_engine.finished engine)
+
+(* A two-tier request (no db hop): a second, shorter pattern. [program]
+   renames the app tier, which changes the signature — handy for
+   synthesising a pattern the baseline has never seen. *)
+let mk_short_cag ?(program = "java") ~base () =
+  let app_ctx = H.ctx ~host:"app" ~program ~pid:20 ~tid:21 () in
+  let w =
+    [
+      H.act ~kind:Activity.Begin ~ts:base ~ctx:H.web_ctx ~flow:H.client_web_flow ~size:400;
+      H.act ~kind:Activity.Send ~ts:(base + 1_000_000) ~ctx:H.web_ctx ~flow:H.web_app_flow
+        ~size:500;
+      H.act ~kind:Activity.Receive ~ts:(base + 4_000_000) ~ctx:H.web_ctx
+        ~flow:H.app_web_flow ~size:900;
+      H.act ~kind:Activity.End_ ~ts:(base + 5_000_000) ~ctx:H.web_ctx
+        ~flow:H.web_client_flow ~size:1000;
+    ]
+  in
+  let a =
+    [
+      H.act ~kind:Activity.Receive ~ts:(base + 2_000_000) ~ctx:app_ctx ~flow:H.web_app_flow
+        ~size:500;
+      H.act ~kind:Activity.Send ~ts:(base + 3_000_000) ~ctx:app_ctx ~flow:H.app_web_flow
+        ~size:900;
+    ]
+  in
+  let logs =
+    [ Trace.Log.of_list ~hostname:"web" w; Trace.Log.of_list ~hostname:"app" a ]
+  in
+  let engine, _ = H.correlate_raw logs in
+  List.hd (Core.Cag_engine.finished engine)
+
+let detector ?baseline config =
+  Detector.create ~config ?baseline ~telemetry:(Telemetry.Registry.create ()) ()
+
+let feed det cags = List.concat_map (Detector.observe det) cags
+
+let healthy n ~from ~spacing = List.init n (fun i -> mk_cag ~base:(from + (i * spacing)) ())
+
+let kinds vs = List.map (fun v -> v.Detector.kind) vs
+
+(* ---- baseline ---- *)
+
+let test_baseline_round_trip () =
+  let cags =
+    healthy 40 ~from:0 ~spacing:20_000_000
+    @ List.init 10 (fun i -> mk_short_cag ~base:(800_000_000 + (i * 20_000_000)) ())
+  in
+  let bl = Baseline.of_paths cags in
+  Alcotest.(check int) "paths" 50 bl.Baseline.total_paths;
+  Alcotest.(check int) "patterns" 2 (List.length bl.Baseline.patterns);
+  let top = List.hd bl.Baseline.patterns in
+  Alcotest.(check string) "dominant pattern" "httpd>java>mysqld>java>httpd"
+    top.Baseline.name;
+  Alcotest.(check (float 1e-9)) "frequency" 0.8 top.Baseline.frequency;
+  Alcotest.(check (float 1e-6)) "mean duration" 0.009 top.Baseline.mean_duration_s;
+  let sum = Array.fold_left ( +. ) 0.0 top.Baseline.shares in
+  Alcotest.(check (float 1e-6)) "shares sum to 1" 1.0 sum;
+  Alcotest.(check bool) "throughput learned" true (bl.Baseline.throughput_rps > 0.0);
+  let path = Filename.temp_file "pt_baseline" ".json" in
+  (match Baseline.save bl ~path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %s" e);
+  let bl' =
+    match Baseline.load ~path with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "load: %s" e
+  in
+  Sys.remove path;
+  Alcotest.(check int) "total round-trips" bl.Baseline.total_paths bl'.Baseline.total_paths;
+  Alcotest.(check (float 1e-9)) "throughput round-trips" bl.Baseline.throughput_rps
+    bl'.Baseline.throughput_rps;
+  List.iter2
+    (fun (p : Baseline.pattern_profile) (p' : Baseline.pattern_profile) ->
+      Alcotest.(check string) "signature" p.Baseline.signature p'.Baseline.signature;
+      Alcotest.(check int) "count" p.Baseline.count p'.Baseline.count;
+      Alcotest.(check (float 1e-9)) "frequency" p.Baseline.frequency p'.Baseline.frequency;
+      Array.iteri
+        (fun i v -> Alcotest.(check (float 1e-9)) "share" v p'.Baseline.shares.(i))
+        p.Baseline.shares)
+    bl.Baseline.patterns bl'.Baseline.patterns
+
+let test_baseline_rejects_bad_json () =
+  (match Baseline.of_json (Core.Json.Obj [ ("format", Core.Json.String "nope") ]) with
+  | Ok _ -> Alcotest.fail "accepted an unknown format tag"
+  | Error e -> Alcotest.(check bool) "names the tag" true (String.length e > 0));
+  match Baseline.load ~path:"/nonexistent/pt_baseline.json" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error _ -> ()
+
+let test_baseline_sliding_window () =
+  (* Capacity keeps only the most recent paths: early outliers age out. *)
+  let drifted = List.init 30 (fun i -> mk_cag ~db_extra:(ST.ms 9) ~base:(i * 20_000_000) ()) in
+  let fresh = healthy 50 ~from:600_000_000 ~spacing:20_000_000 in
+  let bl = Baseline.of_paths ~capacity:50 (drifted @ fresh) in
+  Alcotest.(check int) "window holds capacity" 50 bl.Baseline.total_paths;
+  Alcotest.(check int) "one pattern" 1 (List.length bl.Baseline.patterns);
+  let top = List.hd bl.Baseline.patterns in
+  Alcotest.(check (float 1e-6)) "drifted paths aged out" 0.009 top.Baseline.mean_duration_s
+
+(* ---- detector: share drift ---- *)
+
+let small_config =
+  {
+    Detector.default_config with
+    Detector.warmup_paths = 30;
+    window = 10;
+    min_window = 10;
+  }
+
+let test_warmup_smaller_than_window () =
+  (* Arming is governed by warmup_paths even when it is smaller than the
+     judging window; judging starts as soon as min_window fills. *)
+  let cfg =
+    { Detector.default_config with Detector.warmup_paths = 20; window = 80; min_window = 10 }
+  in
+  let det = detector cfg in
+  let vs = feed det (healthy 20 ~from:0 ~spacing:20_000_000) in
+  Alcotest.(check int) "quiet during warmup" 0 (List.length vs);
+  Alcotest.(check bool) "armed after warmup" true (Detector.warmed det);
+  let drifted =
+    List.init 40 (fun i -> mk_cag ~db_extra:(ST.ms 9) ~base:(400_000_000 + (i * 20_000_000)) ())
+  in
+  let vs = feed det drifted in
+  let drifts =
+    List.filter (fun v -> v.Detector.kind = Detector.Share_drift) vs
+  in
+  (match drifts with
+  | [] -> Alcotest.fail "no share-drift verdict for a 9ms db regression"
+  | v :: _ -> (
+      match v.Detector.culprit with
+      | Some (Analysis.Tier "mysqld") -> ()
+      | Some s -> Alcotest.failf "wrong culprit: %s" (Analysis.subject_label s)
+      | None -> Alcotest.fail "share drift without a culprit"));
+  Alcotest.(check int) "paths counted" 60 (Detector.paths_seen det)
+
+let test_single_path_pattern_is_quiet () =
+  (* A pattern seen once during warmup must neither crash the detector
+     nor fire mix alarms (it is below mix_min_frequency). *)
+  let cfg = { small_config with Detector.warmup_paths = 31; mix_window = 20 } in
+  let det = detector cfg in
+  let warm =
+    healthy 30 ~from:0 ~spacing:20_000_000 @ [ mk_short_cag ~base:620_000_000 () ]
+  in
+  let vs = feed det warm in
+  Alcotest.(check int) "quiet warmup" 0 (List.length vs);
+  let vs = feed det (healthy 40 ~from:700_000_000 ~spacing:20_000_000) in
+  Alcotest.(check int) "steady stream stays quiet" 0 (List.length vs)
+
+let test_hysteresis_rearm_after_recovery () =
+  let det = detector small_config in
+  let t = ref 0 in
+  let stream n mk = List.init n (fun _ -> let b = !t in t := b + 20_000_000; mk b) in
+  let vvs = ref [] in
+  let run n mk = vvs := !vvs @ feed det (stream n mk) in
+  run 30 (fun b -> mk_cag ~base:b ());
+  run 30 (fun b -> mk_cag ~db_extra:(ST.ms 9) ~base:b ());
+  let after_first = List.length (kinds !vvs) in
+  Alcotest.(check int) "one alert per sustained excursion" 1 after_first;
+  run 40 (fun b -> mk_cag ~base:b ());
+  run 30 (fun b -> mk_cag ~db_extra:(ST.ms 9) ~base:b ());
+  let drifts =
+    List.filter
+      (fun v ->
+        v.Detector.kind = Detector.Share_drift
+        && match v.Detector.culprit with
+           | Some (Analysis.Tier "mysqld") -> true
+           | _ -> false)
+      !vvs
+  in
+  Alcotest.(check int) "re-armed after recovery, fired again" 2 (List.length drifts)
+
+let test_no_false_alarms_on_steady_stream () =
+  let det = detector small_config in
+  let t = ref 0 in
+  let cags =
+    List.init 230 (fun i ->
+        (* deterministic spacing jitter, 15..25ms *)
+        let b = !t in
+        t := b + 15_000_000 + (i * 7 mod 11) * 1_000_000;
+        mk_cag ~base:b ())
+  in
+  let vs = feed det cags in
+  Alcotest.(check int) "faultless stream, zero verdicts" 0 (List.length vs)
+
+(* ---- detector: pattern mix ---- *)
+
+let test_mix_vanished_and_new () =
+  let cfg =
+    { small_config with Detector.warmup_paths = 40; window = 30; min_window = 30; mix_window = 20 }
+  in
+  let det = detector cfg in
+  let t = ref 0 in
+  let next () = let b = !t in t := b + 20_000_000; b in
+  (* warmup: half three-tier, half two-tier *)
+  let warm =
+    List.init 40 (fun i ->
+        if i mod 2 = 0 then mk_cag ~base:(next ()) () else mk_short_cag ~base:(next ()) ())
+  in
+  ignore (feed det warm);
+  (* judged stream: the two-tier pattern is gone, a new program appears *)
+  let stream =
+    List.init 30 (fun i ->
+        if i mod 2 = 0 then mk_cag ~base:(next ()) ()
+        else mk_short_cag ~program:"tomcat" ~base:(next ()) ())
+  in
+  let vs = feed det stream in
+  let has k = List.mem k (kinds vs) in
+  Alcotest.(check bool) "vanished fired" true (has Detector.Pattern_vanished);
+  Alcotest.(check bool) "new-pattern fired" true (has Detector.Pattern_new);
+  let vanished =
+    List.find (fun v -> v.Detector.kind = Detector.Pattern_vanished) vs
+  in
+  Alcotest.(check (option string)) "names the vanished pattern"
+    (Some "httpd>java>httpd") vanished.Detector.pattern;
+  let novel = List.find (fun v -> v.Detector.kind = Detector.Pattern_new) vs in
+  Alcotest.(check (option string)) "names the new pattern"
+    (Some "httpd>tomcat>httpd") novel.Detector.pattern;
+  (* hysteresis: sustained, so each fires exactly once *)
+  Alcotest.(check int) "vanished fires once" 1
+    (List.length (List.filter (( = ) Detector.Pattern_vanished) (kinds vs)));
+  Alcotest.(check int) "new fires once" 1
+    (List.length (List.filter (( = ) Detector.Pattern_new) (kinds vs)))
+
+(* ---- detector: latency shift ---- *)
+
+let test_latency_shift_without_share_drift () =
+  (* Stretching every component uniformly keeps the share profile intact:
+     only the latency-shift detector may fire, and the verdict carries no
+     misleading share culprit. *)
+  let det = detector small_config in
+  ignore (feed det (healthy 30 ~from:0 ~spacing:20_000_000));
+  let slow =
+    List.init 15 (fun i -> mk_cag ~stretch:3 ~base:(600_000_000 + (i * 20_000_000)) ())
+  in
+  let vs = feed det slow in
+  Alcotest.(check bool) "latency shift fired" true
+    (List.mem Detector.Latency_shift (kinds vs));
+  Alcotest.(check int) "no share drift" 0
+    (List.length (List.filter (( = ) Detector.Share_drift) (kinds vs)));
+  let v = List.find (fun v -> v.Detector.kind = Detector.Latency_shift) vs in
+  Alcotest.(check bool) "observed above baseline" true
+    (v.Detector.observed_value > 2.0 *. v.Detector.baseline_value)
+
+(* ---- detector: throughput ---- *)
+
+let test_throughput_drop () =
+  let cfg = { small_config with Detector.throughput_window_s = 1.0 } in
+  let det = detector cfg in
+  ignore (feed det (healthy 30 ~from:0 ~spacing:10_000_000));
+  (* 100 paths/s learned; the stream collapses to 5/s *)
+  let slow = healthy 30 ~from:600_000_000 ~spacing:200_000_000 in
+  let vs = feed det slow in
+  let drops = List.filter (( = ) Detector.Throughput_drop) (kinds vs) in
+  Alcotest.(check int) "one drop verdict while sustained" 1 (List.length drops)
+
+(* ---- scorer ---- *)
+
+let mk_verdict ?(culprit = None) ~at_s () =
+  {
+    Detector.at = ST.add ST.zero (ST.span_of_float_s at_s);
+    kind = Detector.Share_drift;
+    pattern = Some "httpd>java>mysqld>java>httpd";
+    culprit;
+    baseline_value = 0.0;
+    observed_value = 0.15;
+    reason = "synthetic";
+    paths_seen = 100;
+  }
+
+let test_scorer_mapping () =
+  let reg = Telemetry.Registry.create () in
+  let onset = ST.add ST.zero (ST.span_of_float_s 8.0) in
+  let hit = mk_verdict ~culprit:(Some (Analysis.Tier "java")) ~at_s:10.0 () in
+  let s = Verdict.score ~telemetry:reg ~fault:Faults.ejb_delay ~onset [ hit ] in
+  Alcotest.(check bool) "detected" true s.Verdict.detected;
+  Alcotest.(check bool) "correct culprit" true s.Verdict.correct;
+  Alcotest.(check (option (float 1e-9))) "ttd" (Some 2.0) s.Verdict.time_to_detection_s;
+  Alcotest.(check (option string)) "culprit label" (Some "tier java")
+    s.Verdict.first_culprit;
+  Alcotest.(check int) "no false alarms" 0 s.Verdict.false_alarms;
+  (* same verdict, wrong fault: detected but not correct *)
+  let s = Verdict.score ~telemetry:reg ~fault:Faults.database_lock ~onset [ hit ] in
+  Alcotest.(check bool) "detected" true s.Verdict.detected;
+  Alcotest.(check bool) "tier java does not explain a db lock" false s.Verdict.correct;
+  (* network fault accepts both the tier network and adjacent interactions *)
+  let net c = Verdict.score ~telemetry:reg ~fault:Faults.ejb_network ~onset [ mk_verdict ~culprit:(Some c) ~at_s:9.0 () ] in
+  Alcotest.(check bool) "tier_network java accepted" true
+    (net (Analysis.Tier_network "java")).Verdict.correct;
+  Alcotest.(check bool) "adjacent interaction accepted" true
+    (net (Analysis.Interaction { src = "mysqld"; dst = "java" })).Verdict.correct;
+  Alcotest.(check bool) "unrelated interaction rejected" false
+    (net (Analysis.Interaction { src = "httpd"; dst = "httpd" })).Verdict.correct;
+  (* pre-onset verdicts are false alarms *)
+  let early = mk_verdict ~culprit:(Some (Analysis.Tier "java")) ~at_s:5.0 () in
+  let s = Verdict.score ~telemetry:reg ~fault:Faults.ejb_delay ~onset [ early; hit ] in
+  Alcotest.(check int) "early verdict is a false alarm" 1 s.Verdict.false_alarms;
+  Alcotest.(check bool) "still correct" true s.Verdict.correct;
+  (* control runs: any verdict is a false alarm and sinks correctness *)
+  let s = Verdict.score ~telemetry:reg [ hit ] in
+  Alcotest.(check bool) "control with verdicts is incorrect" false s.Verdict.correct;
+  Alcotest.(check int) "all false alarms" 1 s.Verdict.false_alarms;
+  let s = Verdict.score ~telemetry:reg [] in
+  Alcotest.(check bool) "silent control is correct" true s.Verdict.correct
+
+(* ---- live end to end ---- *)
+
+let live_spec name faults =
+  { S.default with S.name; clients = 50; time_scale = 0.05; faults }
+
+let test_live_detects_mid_run_fault () =
+  let reg = Telemetry.Registry.create () in
+  let r = Diagnose.Live.run ~telemetry:reg (live_spec "live-ejb" [ Faults.ejb_delay ]) in
+  let s = r.Diagnose.Live.score in
+  Alcotest.(check bool) "paths watched" true (r.Diagnose.Live.paths_fed > 100);
+  Alcotest.(check bool) "baseline learned" true
+    (Option.is_some r.Diagnose.Live.baseline);
+  Alcotest.(check bool) "detected" true s.Verdict.detected;
+  Alcotest.(check bool) "correct culprit" true s.Verdict.correct;
+  Alcotest.(check (option string)) "names the app tier" (Some "tier java")
+    s.Verdict.first_culprit;
+  Alcotest.(check int) "no false alarms" 0 s.Verdict.false_alarms;
+  Alcotest.(check bool) "ttd reported" true
+    (Option.is_some s.Verdict.time_to_detection_s);
+  (* every detector decision reports into the diagnosis telemetry *)
+  let families = Telemetry.Registry.snapshot reg in
+  (match Telemetry.Registry.find_sample families "pt_diagnose_paths_total" with
+  | Some (Telemetry.Registry.Counter n) ->
+      Alcotest.(check bool) "paths counted" true (n > 0)
+  | _ -> Alcotest.fail "pt_diagnose_paths_total missing");
+  let has_alert =
+    List.exists
+      (fun (f : Telemetry.Registry.family) ->
+        String.equal f.Telemetry.Registry.name "pt_diagnose_alerts_total"
+        && f.Telemetry.Registry.samples <> [])
+      families
+  in
+  Alcotest.(check bool) "alerts counted with labels" true has_alert
+
+let test_live_control_is_silent () =
+  let reg = Telemetry.Registry.create () in
+  let r = Diagnose.Live.run ~telemetry:reg (live_spec "live-control" []) in
+  let s = r.Diagnose.Live.score in
+  Alcotest.(check int) "zero verdicts" 0 (List.length r.Diagnose.Live.verdicts);
+  Alcotest.(check bool) "control scored correct" true s.Verdict.correct;
+  Alcotest.(check int) "zero false alarms" 0 s.Verdict.false_alarms
+
+let () =
+  Alcotest.run "diagnose"
+    [
+      ( "baseline",
+        [
+          Alcotest.test_case "round trip" `Quick test_baseline_round_trip;
+          Alcotest.test_case "bad json rejected" `Quick test_baseline_rejects_bad_json;
+          Alcotest.test_case "sliding window" `Quick test_baseline_sliding_window;
+        ] );
+      ( "detector",
+        [
+          Alcotest.test_case "warmup smaller than window" `Quick
+            test_warmup_smaller_than_window;
+          Alcotest.test_case "single-path pattern quiet" `Quick
+            test_single_path_pattern_is_quiet;
+          Alcotest.test_case "hysteresis re-arms after recovery" `Quick
+            test_hysteresis_rearm_after_recovery;
+          Alcotest.test_case "steady stream, zero verdicts" `Quick
+            test_no_false_alarms_on_steady_stream;
+          Alcotest.test_case "mix: vanished and new patterns" `Quick
+            test_mix_vanished_and_new;
+          Alcotest.test_case "latency shift without share drift" `Quick
+            test_latency_shift_without_share_drift;
+          Alcotest.test_case "throughput drop" `Quick test_throughput_drop;
+        ] );
+      ( "scorer",
+        [ Alcotest.test_case "fault-to-culprit mapping" `Quick test_scorer_mapping ] );
+      ( "live",
+        [
+          Alcotest.test_case "mid-run fault named live" `Quick
+            test_live_detects_mid_run_fault;
+          Alcotest.test_case "faultless control silent" `Quick
+            test_live_control_is_silent;
+        ] );
+    ]
