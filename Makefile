@@ -1,6 +1,6 @@
 # Minimal CI entry points. `make ci` is what a pipeline should run.
 
-.PHONY: all build test test-parallel fmt bench-quick ci clean
+.PHONY: all build test test-parallel fmt bench-quick bundle-gate ci clean
 
 all: build
 
@@ -16,13 +16,28 @@ test: build
 test-parallel: build
 	PT_JOBS=2 dune runtest --force
 
-# A fast bench smoke: the store, degraded-feed, collection-plane and
-# sharded-correlation figures on quick grids, with the machine-readable
-# summary CI can diff (BENCH.json is untracked output; BENCH_store.json,
-# BENCH_collect.json and BENCH_parallel.json in the repo are committed
-# reference runs).
+# A fast bench smoke: the store, degraded-feed, collection-plane,
+# sharded-correlation, diagnosis and bundle figures on quick grids, with
+# the machine-readable summary CI can diff (BENCH.json is untracked
+# output; the BENCH_*.json files in the repo are committed reference
+# runs).
 bench-quick: build
-	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure collect --figure parallel --figure diagnose --json BENCH.json
+	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure collect --figure parallel --figure diagnose --figure bundle --json BENCH.json
+
+# Bundle round-trip gate: record a control and a faulted run as PTZ1
+# bundles, then exercise every reader path — info (container framing),
+# query (embedded-store pruning), walk (back-link resolution) and diff
+# (culprit naming) — so a bundle written by HEAD is always readable by
+# HEAD.
+bundle-gate: build
+	rm -rf _bundle_gate && mkdir -p _bundle_gate
+	dune exec bin/precisetracer.exe -- simulate -c 60 --scale 0.05 --seed 11 --bundle _bundle_gate/control.ptz
+	dune exec bin/precisetracer.exe -- simulate -c 60 --scale 0.05 --seed 11 --fault ejb-delay --bundle _bundle_gate/fault.ptz
+	dune exec bin/precisetracer.exe -- bundle info _bundle_gate/control.ptz
+	dune exec bin/precisetracer.exe -- bundle query _bundle_gate/control.ptz --since-ms 500
+	dune exec bin/precisetracer.exe -- bundle walk _bundle_gate/control.ptz
+	dune exec bin/precisetracer.exe -- bundle diff _bundle_gate/control.ptz _bundle_gate/fault.ptz
+	rm -rf _bundle_gate
 
 # Formatting check is advisory: the container does not ship ocamlformat,
 # so skip (with a note) when the tool is absent rather than failing CI.
@@ -33,7 +48,7 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-ci: fmt build test test-parallel bench-quick
+ci: fmt build test test-parallel bench-quick bundle-gate
 
 clean:
 	dune clean

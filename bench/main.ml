@@ -5,7 +5,7 @@
                    [--json FILE] [--telemetry FILE]
                    [--telemetry-format prom|json|report]
      IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro store
-          degraded collect parallel diagnose all
+          degraded collect parallel diagnose bundle all
    --jobs adds an extra domain count to the parallel figure's 1/2/4 grid.
    Default: everything, at time_scale 0.1 (stage durations shrunk 10x;
    service times, think times and all rates untouched, so shapes match the
@@ -72,6 +72,7 @@ let emit_json file =
   let doc =
     Json.Obj
       [
+        ("schema", Json.Int 1);
         ("harness", Json.String "precisetracer-bench");
         ("time_scale", Json.Float !time_scale);
         ("quick", Json.Bool !quick);
@@ -1158,6 +1159,168 @@ let bench_diagnose () =
   record_float ~figure:"diagnose" "accuracy"
     (float_of_int !correct /. float_of_int (max 1 !faulted))
 
+(* ---- ext-14: single-file trace bundles (lib/bundle) ---- *)
+
+(* The offline diagnose culprit: most frequent observed pattern the
+   baseline also saw, compared share-against-share (§5.4). `bundle diff`
+   must blame the same subject from the packed profiles alone. *)
+let diagnose_culprit baseline_result fault_result =
+  let base_patterns = Pattern.classify baseline_result.Correlator.cags in
+  let obs_patterns = Pattern.classify fault_result.Correlator.cags in
+  let find name =
+    List.find_opt (fun p -> String.equal p.Pattern.name name) base_patterns
+  in
+  let rec pick = function
+    | [] -> None
+    | o :: rest -> (
+        match find o.Pattern.name with Some b -> Some (b, o) | None -> pick rest)
+  in
+  match pick obs_patterns with
+  | None -> None
+  | Some (b, o) -> (
+      let report =
+        Core.Analysis.diagnose
+          ~baseline:(Aggregate.of_pattern b)
+          ~observed:(Aggregate.of_pattern o)
+      in
+      match report.Core.Analysis.suspects with
+      | s :: _ -> Some (Core.Analysis.subject_label s.Core.Analysis.subject)
+      | [] -> None)
+
+let bench_bundle () =
+  let clients = if !quick then 100 else 200 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pt-bench-bundle-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let control_spec = { (base_spec ()) with S.name = "control"; clients } in
+  let control = run control_spec in
+  let config = Correlator.config ~transform:control.S.transform () in
+  let pack name spec =
+    let outcome = run spec in
+    let path = Filename.concat dir (name ^ ".ptz") in
+    let t0 = Unix.gettimeofday () in
+    match
+      Bundle.Pack.pack ~roll_records:4096 ~config
+        ~source:(`Logs outcome.S.logs) ~path ()
+    with
+    | Error e -> failwith e
+    | Ok summary -> (path, summary, Unix.gettimeofday () -. t0)
+  in
+  let control_path, summary, pack_s = pack "control" control_spec in
+  (* Pack throughput and bundle size vs the same records as a raw store. *)
+  let records_per_s = float_of_int summary.Bundle.Pack.records /. pack_s in
+  let overhead =
+    float_of_int summary.Bundle.Pack.bytes
+    /. float_of_int (max 1 summary.Bundle.Pack.store_bytes)
+  in
+  let t_pack =
+    Report.table ~title:"ext-14a: bundle pack (control run)"
+      ~columns:
+        [ "records"; "paths"; "back-links"; "bundle bytes"; "store bytes"; "overhead";
+          "pack (s)"; "records/s" ]
+  in
+  Report.add_row t_pack
+    [
+      Report.cell_int summary.Bundle.Pack.records;
+      Report.cell_int summary.Bundle.Pack.cags;
+      Report.cell_int summary.Bundle.Pack.links;
+      Report.cell_int summary.Bundle.Pack.bytes;
+      Report.cell_int summary.Bundle.Pack.store_bytes;
+      Printf.sprintf "%.2fx" overhead;
+      Report.cell_float ~decimals:4 pack_s;
+      Report.cell_float ~decimals:0 records_per_s;
+    ];
+  Report.print t_pack;
+  record_int ~figure:"bundle" "pack_records" summary.Bundle.Pack.records;
+  record_int ~figure:"bundle" "pack_links" summary.Bundle.Pack.links;
+  record_int ~figure:"bundle" "unresolved_links" summary.Bundle.Pack.unresolved_links;
+  record_int ~figure:"bundle" "bundle_bytes" summary.Bundle.Pack.bytes;
+  record_float ~figure:"bundle" "pack_records_per_s" records_per_s;
+  record_float ~figure:"bundle" "store_overhead_ratio" overhead;
+  (* Cold open: walk a request and query the embedded store from scratch. *)
+  let cold f =
+    let t0 = Unix.gettimeofday () in
+    (match Bundle.Reader.open_file control_path with
+    | Error e -> failwith e
+    | Ok reader -> f reader);
+    Unix.gettimeofday () -. t0
+  in
+  let walk_s =
+    cold (fun reader ->
+        match Bundle.Walk.view reader () with
+        | Ok _ -> ()
+        | Error e -> failwith e)
+  in
+  let query_s =
+    cold (fun reader ->
+        match Bundle.Reader.query reader Store.Query.all with
+        | Ok _ -> ()
+        | Error e -> failwith e)
+  in
+  record_float ~figure:"bundle" "cold_walk_ms" (walk_s *. 1e3);
+  record_float ~figure:"bundle" "cold_query_ms" (query_s *. 1e3);
+  (* Fault matrix: `bundle diff control fault` must blame the same subject
+     as the offline diagnose pipeline. *)
+  let t_diff =
+    Report.table
+      ~title:"ext-14b: bundle diff vs diagnose across the fault matrix"
+      ~columns:
+        [ "case"; "bundle bytes"; "pack (s)"; "diff (s)"; "diff culprit";
+          "diagnose culprit"; "agree" ]
+  in
+  let control_result = correlate control_spec in
+  List.iter
+    (fun (label, fault) ->
+      let spec =
+        { (base_spec ()) with S.name = label; clients; faults = [ fault ] }
+      in
+      let path, fsummary, fpack_s = pack label spec in
+      let t0 = Unix.gettimeofday () in
+      let diff_culprit =
+        match (Bundle.Reader.open_file control_path, Bundle.Reader.open_file path) with
+        | Ok a, Ok b -> (
+            match Bundle.Diff.diff a b with
+            | Ok d ->
+                Option.map
+                  (fun (s : Core.Analysis.suspect) ->
+                    Core.Analysis.subject_label s.Core.Analysis.subject)
+                  d.Bundle.Diff.culprit
+            | Error e -> failwith e)
+        | Error e, _ | _, Error e -> failwith e
+      in
+      let diff_s = Unix.gettimeofday () -. t0 in
+      let expected = diagnose_culprit control_result (correlate spec) in
+      let agree =
+        match (diff_culprit, expected) with
+        | Some a, Some b -> String.equal a b
+        | None, None -> true
+        | _ -> false
+      in
+      Report.add_row t_diff
+        [
+          label;
+          Report.cell_int fsummary.Bundle.Pack.bytes;
+          Report.cell_float ~decimals:4 fpack_s;
+          Report.cell_float ~decimals:4 diff_s;
+          Option.value diff_culprit ~default:"-";
+          Option.value expected ~default:"-";
+          (if agree then "yes" else "NO");
+        ];
+      record_float ~figure:"bundle" (Printf.sprintf "cold_diff_ms_%s" label) (diff_s *. 1e3);
+      record_int ~figure:"bundle"
+        (Printf.sprintf "diff_agrees_%s" label)
+        (if agree then 1 else 0))
+    [
+      ("ejb-delay", Faults.ejb_delay);
+      ("db-lock", Faults.database_lock);
+      ("ejb-network", Faults.ejb_network);
+    ];
+  Report.print t_diff
+
 (* ---- bechamel micro-benchmarks ---- *)
 
 let micro_tests () =
@@ -1238,6 +1401,7 @@ let all_figures =
     ("store", bench_store);
     ("parallel", bench_parallel);
     ("diagnose", bench_diagnose);
+    ("bundle", bench_bundle);
     ("micro", bench_micro);
   ]
 

@@ -9,7 +9,9 @@
                 correlate + score saved traces (--from)
      diagnose   compare a suspect configuration against a healthy baseline
                 and print the suspected components
-     store      ingest | query | compact | stat on segmented trace stores *)
+     store      ingest | query | compact | stat on segmented trace stores
+     bundle     pack | info | walk | query | diff on single-file PTZ1
+                recordings *)
 
 module S = Tiersim.Scenario
 module Workload = Tiersim.Workload
@@ -227,6 +229,44 @@ let write_telemetry file format =
             exit 1
       end
 
+(* ---- bundle packing shared by simulate/correlate/bundle pack ---- *)
+
+let bundle_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bundle" ] ~docv:"FILE"
+        ~doc:
+          "Also pack the run into a single-file PTZ1 bundle at $(docv): the raw store, the \
+           correlated causal paths with back-links to their records, and the pattern \
+           profiles (see docs/BUNDLE.md).")
+
+let scenario_json (spec : S.spec) =
+  let open Core.Json in
+  Obj
+    [
+      ("clients", Int spec.S.clients);
+      ("mix", String (Workload.mix_to_string spec.S.mix));
+      ("max_threads", Int spec.S.max_threads);
+      ("time_scale", Float spec.S.time_scale);
+      ("seed", Int spec.S.seed);
+      ("skew_ns", Int (ST.span_ns spec.S.skew));
+      ( "noise",
+        match spec.S.noise with
+        | S.No_noise -> Null
+        | S.Paper_noise { db_connections } -> Obj [ ("db_connections", Int db_connections) ] );
+      ("faults", Int (List.length spec.S.faults));
+      ( "fault_onset_ns",
+        match spec.S.fault_onset with None -> Null | Some s -> Int (ST.span_ns s) );
+    ]
+
+let pack_bundle ?telemetry ?scenario ?jobs ~config ~source path =
+  match Bundle.Pack.pack ?telemetry ?scenario ?jobs ~config ~source ~path () with
+  | Ok summary -> Format.printf "%a@." Bundle.Pack.pp_summary summary
+  | Error e ->
+      Format.eprintf "cannot pack bundle: %s@." e;
+      exit 1
+
 (* ---- simulate ---- *)
 
 let print_summary outcome =
@@ -351,7 +391,7 @@ let simulate_cmd =
              $(b,causal,sample=0.25@7). Default $(b,none) (ship everything).")
   in
   let run spec out binary store_dir store_policy segment_records collect collect_batch
-      collect_buffer collect_overflow agent_policy tfile tformat =
+      collect_buffer collect_overflow agent_policy bundle_out tfile tformat =
     let deploy = ref None in
     let writer = ref None in
     let before_run svc =
@@ -413,6 +453,12 @@ let simulate_cmd =
           ~path:(Filename.concat dir "ground_truth.txt");
         Format.printf "store %s: %a@." dir Store.Writer.pp_stats stats
     | None, _ -> ());
+    Option.iter
+      (fun path ->
+        let config = Core.Correlator.config ~transform:outcome.S.transform () in
+        pack_bundle ~scenario:(scenario_json spec) ~config
+          ~source:(`Logs outcome.S.logs) path)
+      bundle_out;
     write_telemetry tfile tformat
   in
   Cmd.v
@@ -420,7 +466,7 @@ let simulate_cmd =
     Term.(
       const run $ spec_term $ out $ binary $ store_out $ store_policy $ segment_records
       $ collect $ collect_batch $ collect_buffer $ collect_overflow $ agent_policy
-      $ telemetry_file $ telemetry_format)
+      $ bundle_out_arg $ telemetry_file $ telemetry_format)
 
 (* ---- correlate ---- *)
 
@@ -570,7 +616,7 @@ let correlate_cmd =
              force-resolved instead of waiting for input.")
   in
   let run dir window_ms entry jobs json_out show online straggler_timeout_ms max_buffered
-      tfile tformat =
+      bundle_out tfile tformat =
     let jobs = jobs_of jobs in
     match load_traces ~jobs dir with
     | Error e -> `Error (false, e)
@@ -616,6 +662,13 @@ let correlate_cmd =
               Format.printf "@.%a@." Core.Accuracy.pp_verdict verdict
           | Error e -> Format.printf "@.could not read %s: %s@." gt_path e
         end;
+        Option.iter
+          (fun path ->
+            let config =
+              Core.Correlator.config ~transform:(transform_of_entry entry) ~window ()
+            in
+            pack_bundle ~jobs ~config ~source:(`Logs logs) path)
+          bundle_out;
         write_telemetry tfile tformat;
         `Ok ()
   in
@@ -624,7 +677,8 @@ let correlate_cmd =
     Term.(
       ret
         (const run $ dir $ window_ms $ entry_arg $ jobs_arg $ json_out $ show $ online
-       $ straggler_timeout_ms $ max_buffered $ telemetry_file $ telemetry_format))
+       $ straggler_timeout_ms $ max_buffered $ bundle_out_arg $ telemetry_file
+       $ telemetry_format))
 
 (* ---- evaluate ---- *)
 
@@ -1127,6 +1181,235 @@ let store_cmd =
     (Cmd.info "store" ~doc:"Segmented trace store operations (see docs/STORE.md).")
     [ store_ingest_cmd; store_query_cmd; store_compact_cmd; store_stat_cmd ]
 
+(* ---- bundle ---- *)
+
+let bundle_file_arg ~at ~docv =
+  Arg.(
+    required
+    & pos at (some file) None
+    & info [] ~docv ~doc:"A PTZ1 bundle file (see docs/BUNDLE.md).")
+
+let json_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Also write the result as JSON to $(docv).")
+
+let write_json_out file json =
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Core.Json.to_string ~indent:true json);
+          output_char oc '\n');
+      Format.printf "written to %s@." file)
+    file
+
+let bundle_pack_cmd =
+  let src =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"SRC"
+          ~doc:
+            "Source directory: a segmented store (embedded verbatim, keeping its \
+             segmentation) or any trace directory (text/binary; cut into synthetic \
+             segments).")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Bundle file to write.")
+  in
+  let embed_telemetry =
+    Arg.(
+      value & flag
+      & info [ "embed-telemetry" ]
+          ~doc:
+            "Embed a snapshot of the packer's own metrics as a $(b,telemetry) section. Off \
+             by default so that repacking the same input stays byte-identical.")
+  in
+  let run src out window_ms entry jobs embed_telemetry =
+    let jobs = jobs_of jobs in
+    let config =
+      Core.Correlator.config ~transform:(transform_of_entry entry) ~window:(window_of window_ms)
+        ()
+    in
+    let source =
+      if Store.Manifest.exists ~dir:src then Ok (`Store_dir src)
+      else Result.map (fun logs -> `Logs logs) (load_traces ~jobs src)
+    in
+    match source with
+    | Error e -> `Error (false, e)
+    | Ok source ->
+        let telemetry =
+          if embed_telemetry then Some Telemetry.Registry.(snapshot default) else None
+        in
+        pack_bundle ?telemetry ~jobs ~config ~source out;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:"Pack a store or trace directory into a single-file PTZ1 bundle.")
+    Term.(
+      ret (const run $ src $ out $ window_ms $ entry_arg $ jobs_arg $ embed_telemetry))
+
+let bundle_info_cmd =
+  let run path =
+    match Bundle.Reader.open_file path with
+    | Error e -> `Error (false, e)
+    | Ok reader ->
+        let sections = Bundle.Reader.sections reader in
+        let t = Core.Report.table ~title:path ~columns:[ "section"; "offset"; "bytes" ] in
+        List.iter
+          (fun (s : Bundle.Container.section) ->
+            Core.Report.add_row t
+              [
+                s.Bundle.Container.name;
+                Core.Report.cell_int s.Bundle.Container.pos;
+                Core.Report.cell_int s.Bundle.Container.len;
+              ])
+          sections;
+        Core.Report.print t;
+        (match Bundle.Reader.summary_json reader with
+        | Some summary -> Format.printf "%s@." (Core.Json.to_string ~indent:true summary)
+        | None -> ());
+        (match Bundle.Reader.profiles reader with
+        | Ok profiles ->
+            List.iter
+              (fun (p : Bundle.Codec.profile) ->
+                Format.printf "  %-48s %6d paths  mean %8.3f ms@." p.Bundle.Codec.name
+                  p.Bundle.Codec.count
+                  (p.Bundle.Codec.mean_total_s *. 1e3))
+              profiles
+        | Error e -> Format.printf "  (patterns unavailable: %s)@." e);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe a bundle: sections, packer summary, pattern profiles.")
+    Term.(ret (const run $ bundle_file_arg ~at:0 ~docv:"BUNDLE"))
+
+let bundle_walk_cmd =
+  let cag_id =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "id" ] ~docv:"N" ~doc:"Walk the causal path with id $(docv).")
+  in
+  let pattern =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pattern" ] ~docv:"NAME"
+          ~doc:"Walk a member of pattern $(docv) (default: the most frequent pattern).")
+  in
+  let index =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "index" ] ~docv:"I" ~doc:"Which member of the pattern to walk (default 0).")
+  in
+  let run path cag_id pattern index json_file =
+    match Bundle.Reader.open_file path with
+    | Error e -> `Error (false, e)
+    | Ok reader -> (
+        match Bundle.Walk.view reader ?cag_id ?pattern ?index () with
+        | Error e -> `Error (false, e)
+        | Ok view ->
+            Format.printf "%a@." Bundle.Walk.pp view;
+            write_json_out json_file (Bundle.Walk.to_json view);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "walk"
+       ~doc:
+         "Step one request's causal path tier by tier: per-hop latency shares plus the raw \
+          records behind every hop.")
+    Term.(
+      ret
+        (const run $ bundle_file_arg ~at:0 ~docv:"BUNDLE" $ cag_id $ pattern $ index
+       $ json_out_arg))
+
+let bundle_query_cmd =
+  let since, until = since_until_args in
+  let hosts =
+    Arg.(
+      value & opt_all string []
+      & info [ "host" ] ~docv:"HOST" ~doc:"Keep only this node's log. Repeatable.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:"Write the matching activities to $(docv)/traces.ptb (binary).")
+  in
+  let run path since_ms until_ms hosts jobs out =
+    match Bundle.Reader.open_file path with
+    | Error e -> `Error (false, e)
+    | Ok reader -> (
+        match
+          Bundle.Reader.query ~jobs:(jobs_of jobs) reader (predicate_of since_ms until_ms hosts)
+        with
+        | Error e -> `Error (false, e)
+        | Ok (logs, stats) ->
+            Format.printf "%a@." Store.Query.pp_stats stats;
+            List.iter
+              (fun log ->
+                Format.printf "  %-10s %d activities@." (Trace.Log.hostname log)
+                  (Trace.Log.length log))
+              logs;
+            (match out with
+            | Some odir ->
+                if not (Sys.file_exists odir) then Sys.mkdir odir 0o755;
+                Trace.Binary_format.save logs ~path:(Filename.concat odir "traces.ptb");
+                Format.printf "written to %s/traces.ptb@." odir
+            | None -> ());
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Time-range/host query over a bundle's embedded store: the same manifest pruning \
+          as a directory store, decoding segments in place.")
+    Term.(
+      ret
+        (const run $ bundle_file_arg ~at:0 ~docv:"BUNDLE" $ since $ until $ hosts $ jobs_arg
+       $ out))
+
+let bundle_diff_cmd =
+  let run path_a path_b json_file =
+    match (Bundle.Reader.open_file path_a, Bundle.Reader.open_file path_b) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok a, Ok b -> (
+        match Bundle.Diff.diff a b with
+        | Error e -> `Error (false, e)
+        | Ok d ->
+            Format.printf "%a@." Bundle.Diff.pp d;
+            write_json_out json_file (Bundle.Diff.to_json d);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two bundles (baseline vs observed): pattern-mix drift, per-pattern \
+          latency-share deltas, and the culprit subject.")
+    Term.(
+      ret
+        (const run
+        $ bundle_file_arg ~at:0 ~docv:"BASELINE"
+        $ bundle_file_arg ~at:1 ~docv:"OBSERVED"
+        $ json_out_arg))
+
+let bundle_cmd =
+  Cmd.group
+    (Cmd.info "bundle"
+       ~doc:"Single-file PTZ1 trace recordings: pack, inspect, walk, query, diff.")
+    [ bundle_pack_cmd; bundle_info_cmd; bundle_walk_cmd; bundle_query_cmd; bundle_diff_cmd ]
+
 let () =
   let info =
     Cmd.info "precisetracer" ~version:Version.version
@@ -1134,4 +1417,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ simulate_cmd; correlate_cmd; evaluate_cmd; diagnose_cmd; store_cmd ]))
+       (Cmd.group info
+          [ simulate_cmd; correlate_cmd; evaluate_cmd; diagnose_cmd; store_cmd; bundle_cmd ]))

@@ -1,0 +1,172 @@
+module Analysis = Core.Analysis
+module Latency = Core.Latency
+module Json = Core.Json
+
+type mix_delta = {
+  name : string;
+  count_a : int;
+  count_b : int;
+  freq_a : float;
+  freq_b : float;
+}
+
+type pattern_report = {
+  p_name : string;
+  p_count_a : int;
+  p_count_b : int;
+  report : Analysis.report;
+}
+
+type t = {
+  bundle_a : string;
+  bundle_b : string;
+  total_a : int;
+  total_b : int;
+  mix : mix_delta list;
+  reports : pattern_report list;
+  culprit : Analysis.suspect option;
+}
+
+let ( let* ) = Result.bind
+
+let totals profiles = List.fold_left (fun acc (p : Codec.profile) -> acc + p.Codec.count) 0 profiles
+
+let find_profile profiles name =
+  List.find_opt (fun (p : Codec.profile) -> String.equal p.Codec.name name) profiles
+
+let diff a b =
+  let* pa = Reader.profiles a in
+  let* pb = Reader.profiles b in
+  let total_a = totals pa and total_b = totals pb in
+  let freq total count = if total = 0 then 0.0 else float_of_int count /. float_of_int total in
+  let names =
+    List.map (fun (p : Codec.profile) -> p.Codec.name) pb
+    @ List.filter_map
+        (fun (p : Codec.profile) ->
+          if find_profile pb p.Codec.name = None then Some p.Codec.name else None)
+        pa
+  in
+  let mix =
+    List.map
+      (fun name ->
+        let count_a = match find_profile pa name with Some p -> p.Codec.count | None -> 0 in
+        let count_b = match find_profile pb name with Some p -> p.Codec.count | None -> 0 in
+        { name; count_a; count_b; freq_a = freq total_a count_a; freq_b = freq total_b count_b })
+      names
+    |> List.sort (fun x y ->
+           compare
+             (Float.abs (y.freq_b -. y.freq_a), y.name)
+             (Float.abs (x.freq_b -. x.freq_a), x.name))
+  in
+  (* Per-pattern latency-share reports for patterns both bundles profiled,
+     in bundle-B frequency order (classify order of B). *)
+  let reports =
+    List.filter_map
+      (fun (pb_profile : Codec.profile) ->
+        match find_profile pa pb_profile.Codec.name with
+        | Some pa_profile when pa_profile.Codec.components <> [] && pb_profile.Codec.components <> []
+          ->
+            Some
+              {
+                p_name = pb_profile.Codec.name;
+                p_count_a = pa_profile.Codec.count;
+                p_count_b = pb_profile.Codec.count;
+                report =
+                  Analysis.compare_profiles ~baseline:(Codec.shares pa_profile)
+                    ~observed:(Codec.shares pb_profile);
+              }
+        | Some _ | None -> None)
+      pb
+  in
+  (* The culprit: top suspect of the most frequent shared pattern — the
+     same selection the offline diagnose command defaults to. *)
+  let culprit =
+    match reports with
+    | { report = { Analysis.suspects = s :: _; _ }; _ } :: _ -> Some s
+    | _ -> None
+  in
+  Ok
+    {
+      bundle_a = Reader.display a;
+      bundle_b = Reader.display b;
+      total_a;
+      total_b;
+      mix;
+      reports;
+      culprit;
+    }
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>A: %s (%d paths)@,B: %s (%d paths)@," d.bundle_a d.total_a d.bundle_b
+    d.total_b;
+  Format.fprintf ppf "@,pattern mix:";
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "@,  %-48s %6d -> %6d  (%5.1f%% -> %5.1f%%)" m.name m.count_a m.count_b
+        (m.freq_a *. 100.0) (m.freq_b *. 100.0))
+    d.mix;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@,@,pattern %s (%d vs %d paths):@,%a" r.p_name r.p_count_a r.p_count_b
+        Analysis.pp_report r.report)
+    d.reports;
+  (match d.culprit with
+  | Some s ->
+      Format.fprintf ppf "@,@,culprit: %s (severity %.2f) — %s"
+        (Analysis.subject_label s.Analysis.subject)
+        s.Analysis.severity s.Analysis.reason
+  | None -> Format.fprintf ppf "@,@,culprit: none (no shared pattern with profiles)");
+  Format.fprintf ppf "@]"
+
+let to_json d =
+  let delta (x : Analysis.delta) =
+    Json.Obj
+      [
+        ("component", Json.String (Latency.component_label x.Analysis.comp));
+        ("baseline_pct", Json.Float x.Analysis.baseline_pct);
+        ("observed_pct", Json.Float x.Analysis.observed_pct);
+        ("change_pp", Json.Float x.Analysis.change_pp);
+      ]
+  in
+  let suspect (s : Analysis.suspect) =
+    Json.Obj
+      [
+        ("subject", Json.String (Analysis.subject_label s.Analysis.subject));
+        ("severity", Json.Float s.Analysis.severity);
+        ("reason", Json.String s.Analysis.reason);
+      ]
+  in
+  Json.Obj
+    [
+      ("bundle_a", Json.String d.bundle_a);
+      ("bundle_b", Json.String d.bundle_b);
+      ("total_a", Json.Int d.total_a);
+      ("total_b", Json.Int d.total_b);
+      ( "mix",
+        Json.List
+          (List.map
+             (fun m ->
+               Json.Obj
+                 [
+                   ("pattern", Json.String m.name);
+                   ("count_a", Json.Int m.count_a);
+                   ("count_b", Json.Int m.count_b);
+                   ("freq_a", Json.Float m.freq_a);
+                   ("freq_b", Json.Float m.freq_b);
+                 ])
+             d.mix) );
+      ( "patterns",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("pattern", Json.String r.p_name);
+                   ("count_a", Json.Int r.p_count_a);
+                   ("count_b", Json.Int r.p_count_b);
+                   ("deltas", Json.List (List.map delta r.report.Analysis.deltas));
+                   ("suspects", Json.List (List.map suspect r.report.Analysis.suspects));
+                 ])
+             d.reports) );
+      ("culprit", match d.culprit with Some s -> suspect s | None -> Json.Null);
+    ]

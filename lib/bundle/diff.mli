@@ -1,0 +1,37 @@
+(** Bundle diff: compare two recordings — pattern-mix drift plus
+    per-pattern latency-share deltas (§5.4) naming culprit subjects.
+
+    Bundle A is the baseline, bundle B the observed run. The culprit is
+    the top suspect of the most frequent pattern seen by both runs — the
+    same default selection the offline [diagnose] command makes, so
+    [bundle diff control.ptz fault.ptz] and [diagnose] agree on the
+    blamed subject. *)
+
+type mix_delta = {
+  name : string;
+  count_a : int;
+  count_b : int;
+  freq_a : float;  (** Fraction of A's paths, [0, 1]. *)
+  freq_b : float;  (** Fraction of B's paths, [0, 1]. *)
+}
+
+type pattern_report = {
+  p_name : string;
+  p_count_a : int;
+  p_count_b : int;
+  report : Core.Analysis.report;  (** A as baseline, B as observed. *)
+}
+
+type t = {
+  bundle_a : string;
+  bundle_b : string;
+  total_a : int;
+  total_b : int;
+  mix : mix_delta list;  (** Sorted by |frequency shift|, largest first. *)
+  reports : pattern_report list;  (** Shared patterns, B's classify order. *)
+  culprit : Core.Analysis.suspect option;
+}
+
+val diff : Reader.t -> Reader.t -> (t, string) result
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Core.Json.t

@@ -1,0 +1,67 @@
+(** Reading a [PTZ1] bundle: sections decode in place at their offsets —
+    embedded store segments are never copied out to temp files — and every
+    decode error names the bundle-relative offset it was detected at.
+
+    Decoded artifacts (the canonical record collection, the path table,
+    the profiles) are cached on the handle after first use, so a [walk]
+    following a [query] pays for one decode. *)
+
+type t
+
+val open_file : string -> (t, string) result
+(** Read and validate the container framing (magic, manifest, section
+    table, per-section checksums) plus the embedded store manifest.
+    Section bodies are decoded lazily. *)
+
+val of_string : ?display:string -> string -> (t, string) result
+(** Same over in-memory bytes; [display] names the bundle in errors. *)
+
+val display : t -> string
+val manifest_json : t -> Core.Json.t
+val sections : t -> Container.section list
+val summary_json : t -> Core.Json.t option
+(** The packer's summary object from the manifest. *)
+
+val config : t -> (Core.Json.t option, string) result
+(** The scenario/correlation config section, if present. *)
+
+val store_manifest : t -> Store.Manifest.t
+
+val read_segment : t -> Store.Segment.meta -> (Trace.Log.collection, string) result
+(** Decode one embedded segment at its section offset. *)
+
+val collection : t -> (Trace.Log.collection, string) result
+(** The canonical record order: all embedded segments decoded in manifest
+    order and merged exactly as {!Store.Query.merge} does. Back-link
+    [(host, index)] coordinates index into this collection. Cached. *)
+
+val query :
+  ?telemetry:Telemetry.Registry.t ->
+  ?pool:Parallel.Pool.t ->
+  ?jobs:int ->
+  t ->
+  Store.Query.predicate ->
+  (Trace.Log.collection * Store.Query.stats, string) result
+(** {!Store.Query.run_with} against the embedded segments: identical
+    manifest pruning, parallel decode, merge and record filtering as a
+    directory-backed store query. *)
+
+val paths : t -> (Codec.decoded, string) result
+(** The correlated causal paths with their back-link table. Cached. *)
+
+val profiles : t -> (Codec.profile list, string) result
+(** Pattern profiles, in {!Core.Pattern.classify} order (most frequent
+    first). Cached. *)
+
+val telemetry : t -> (Telemetry.Registry.family list option, string) result
+(** The embedded telemetry snapshot, if the packer included one. *)
+
+val resolve :
+  t -> link_hosts:string array -> int * int -> (string * int * Trace.Activity.t, string) result
+(** Resolve one back-link to [(hostname, record index, raw activity)]. *)
+
+val resolve_links :
+  t ->
+  link_hosts:string array ->
+  (int * int) list ->
+  ((string * int * Trace.Activity.t) list, string) result

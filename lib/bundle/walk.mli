@@ -1,0 +1,36 @@
+(** Time-travel over one request: step its causal path tier by tier.
+
+    A walk renders a chosen finished path as its critical-path hops —
+    per-hop latency and share of the end-to-end time — and resolves every
+    hop's vertex through the back-link table to the exact raw records in
+    the embedded store that produced it (macro → micro in one file). *)
+
+type record_ref = { host : string; index : int; activity : Trace.Activity.t }
+(** One backing raw record: canonical coordinates plus the decoded
+    activity. *)
+
+type hop = {
+  comp : Core.Latency.component;
+  span_ns : int;
+  share : float;  (** Fraction of the end-to-end duration, [0, 1]. *)
+  at_vertex : Core.Cag.vertex;  (** The hop's arrival vertex. *)
+  records : record_ref list;  (** Raw records behind that vertex. *)
+}
+
+type view = {
+  cag_id : int;
+  pattern : string;
+  duration_ns : int;
+  deformed : bool;
+  begin_records : record_ref list;  (** Raw records behind the BEGIN. *)
+  hops : hop list;  (** In causal order along the critical path. *)
+}
+
+val view :
+  Reader.t -> ?cag_id:int -> ?pattern:string -> ?index:int -> unit -> (view, string) result
+(** Select a path and walk it. Selection: an explicit [cag_id]; or the
+    [index]-th member (default 0) of the named [pattern]; or, with
+    neither, the first member of the most frequent pattern. *)
+
+val pp : Format.formatter -> view -> unit
+val to_json : view -> Core.Json.t

@@ -14,6 +14,8 @@ type vertex = {
   mutable children : (edge_kind * vertex) list;
   mutable cag : t option;
   mutable unreceived : int;
+  mutable rev_sources : Activity.t list;
+  mutable rev_pending_sources : Activity.t list;
 }
 
 and t = {
@@ -40,6 +42,8 @@ module Builder = struct
       children = [];
       cag = None;
       unreceived = (match activity.Activity.kind with Send -> activity.message.size | _ -> 0);
+      rev_sources = [ activity ];
+      rev_pending_sources = [];
     }
 
   let create ~cag_id root =
@@ -92,11 +96,25 @@ module Builder = struct
     let a = v.activity in
     v.activity <- { a with Activity.timestamp; message = { a.message with size } }
 
+  let add_source v a = v.rev_sources <- a :: v.rev_sources
+
+  let stash_pending_source v a = v.rev_pending_sources <- a :: v.rev_pending_sources
+
+  let take_pending_sources v =
+    let chunks = List.rev v.rev_pending_sources in
+    v.rev_pending_sources <- [];
+    chunks
+
+  (* Prepend chunks observed before the vertex's creating activity, e.g.
+     the partial RECEIVEs preceding the completing one. *)
+  let add_earlier_sources v chunks = v.rev_sources <- v.rev_sources @ List.rev chunks
+
   let finish t = t.finished <- true
   let mark_deformed t = t.deformed <- true
   let renumber t ~cag_id = t.cag_id <- cag_id
 end
 
+let sources v = List.rev v.rev_sources
 let root t = t.root
 let is_finished t = t.finished
 let is_deformed t = t.deformed

@@ -26,6 +26,15 @@ type vertex = private {
   mutable cag : t option;  (** [None] while the vertex is an orphan. *)
   mutable unreceived : int;
       (** SEND bookkeeping: bytes not yet covered by RECEIVE activities. *)
+  mutable rev_sources : Trace.Activity.t list;
+      (** Provenance, newest first: every input activity folded into this
+          vertex (the creating one plus each merged syscall) — see
+          {!sources}. The back-link table of trace bundles is built from
+          this. *)
+  mutable rev_pending_sources : Trace.Activity.t list;
+      (** Engine bookkeeping on SEND vertices: partial RECEIVE chunks of
+          the in-flight message, transferred to the RECEIVE vertex when
+          the message completes. *)
 }
 
 and t = private {
@@ -70,6 +79,21 @@ module Builder : sig
   (** Extend a RECEIVE vertex to a later completion of the same (grown)
       message: bump its timestamp and full size. *)
 
+  val add_source : vertex -> Trace.Activity.t -> unit
+  (** Record one more input activity as folded into this vertex (a merged
+      SEND/END syscall, a RECEIVE chunk). *)
+
+  val stash_pending_source : vertex -> Trace.Activity.t -> unit
+  (** On a SEND vertex: remember a partial RECEIVE chunk of the in-flight
+      message until a later chunk completes it. *)
+
+  val take_pending_sources : vertex -> Trace.Activity.t list
+  (** Drain the stashed chunks (in observation order), clearing the stash. *)
+
+  val add_earlier_sources : vertex -> Trace.Activity.t list -> unit
+  (** Record chunks observed {e before} the vertex's creating activity
+      (they sort first in {!sources}). *)
+
   val finish : t -> unit
 
   val mark_deformed : t -> unit
@@ -81,6 +105,14 @@ module Builder : sig
       per-epoch engines, whose local ids all start at zero, back into the
       single global id sequence the serial run would have assigned. *)
 end
+
+val sources : vertex -> Trace.Activity.t list
+(** The input activities this vertex stands for, in observation order: the
+    creating activity, then every syscall merged into it (multi-part
+    SENDs/ENDs, the RECEIVE chunks of a message received piecewise).
+    Always non-empty. These are post-{!Transform} activities; they differ
+    from the raw stored records only in kind at entry points, which is how
+    bundle back-links resolve them to exact raw records. *)
 
 val root : t -> vertex
 val is_finished : t -> bool

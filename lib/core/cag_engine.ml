@@ -172,6 +172,7 @@ let handle_end t (a : Activity.t) =
          && Address.flow_equal parent.Cag.activity.Activity.message.flow a.message.flow ->
       (* A multi-part response: fold this syscall into the END vertex. *)
       Cag.Builder.grow_send parent a.message.size;
+      Cag.Builder.add_source parent a;
       t.end_merges <- t.end_merges + 1
   | Some parent ->
       let v = Cag.Builder.fresh_vertex a in
@@ -202,6 +203,7 @@ let handle_send t (a : Activity.t) =
          outranks Rule 2), the vertex left the mmap and must re-enter it. *)
       let was_drained = parent.Cag.unreceived = 0 in
       Cag.Builder.grow_send parent a.message.size;
+      Cag.Builder.add_source parent a;
       if was_drained then mmap_push_front t a.message.flow parent;
       t.send_merges <- t.send_merges + 1
   | Some parent ->
@@ -239,20 +241,31 @@ let handle_receive t (a : Activity.t) =
   | None -> t.unmatched_receives <- t.unmatched_receives + 1
   | Some sender ->
       let remaining = Cag.Builder.consume sender a.message.size in
-      if remaining > 0 then t.partial_receives <- t.partial_receives + 1
+      if remaining > 0 then begin
+        (* No vertex yet: park the chunk on the sender so the completing
+           RECEIVE vertex can claim the whole message's provenance. *)
+        Cag.Builder.stash_pending_source sender a;
+        t.partial_receives <- t.partial_receives + 1
+      end
       else begin
         if remaining < 0 then t.crossed_boundaries <- t.crossed_boundaries + 1;
         mmap_pop t a.message.flow;
         let full_size = sender.Cag.activity.Activity.message.size in
+        let chunks = Cag.Builder.take_pending_sources sender in
         match existing_receive_of t sender a with
         | Some v ->
             (* The message completed before (its SEND grew afterwards):
                extend the same RECEIVE vertex to the new completion. *)
             Cag.Builder.refresh_receive v ~timestamp:a.timestamp ~size:full_size;
+            List.iter (Cag.Builder.add_source v) chunks;
+            Cag.Builder.add_source v a;
             t.receive_merges <- t.receive_merges + 1
         | None ->
             let v = Cag.Builder.fresh_vertex a in
             bump_live t 1;
+            (* The completing chunk created the vertex; earlier chunks of
+               the same message precede it in observation order. *)
+            Cag.Builder.add_earlier_sources v chunks;
             Cag.Builder.set_full_size v full_size;
             (match open_cag_of sender with
             | Some cag ->

@@ -29,6 +29,11 @@ val total_records : t -> int
 val total_bytes : t -> int
 (** Payload bytes across live segments. *)
 
+val to_json : t -> Core.Json.t
+val of_json : Core.Json.t -> (t, string) result
+(** The [MANIFEST.json] object form, exposed so a manifest can live
+    embedded in a bundle container as well as in a store directory. *)
+
 val save : t -> dir:string -> unit
 val load : dir:string -> (t, string) result
 (** Errors on a missing or malformed manifest. *)

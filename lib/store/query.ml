@@ -54,74 +54,71 @@ let record_matches predicate (a : Activity.t) =
   (match predicate.since_ns with Some s -> ts >= s | None -> true)
   && match predicate.until_ns with Some u -> ts <= u | None -> true
 
-let run ?(telemetry = R.default) ?pool ?jobs ~dir predicate =
+let run_with ?(telemetry = R.default) ?pool ?jobs ~read manifest predicate =
   let t0 = Unix.gettimeofday () in
+  let selected = select manifest predicate in
+  let metas = Array.of_list selected in
+  let n = Array.length metas in
+  let jobs =
+    match (pool, jobs) with
+    | Some p, _ -> Parallel.Pool.size p
+    | None, Some j -> max 1 j
+    | None, None -> Parallel.Pool.default_jobs ()
+  in
+  let decoded =
+    if n <= 1 || jobs <= 1 then Array.map (fun m -> read m) metas
+    else
+      let scan p = Parallel.Pool.map p ~n (fun i -> read metas.(i)) in
+      match pool with Some p -> scan p | None -> Parallel.Pool.with_pool ~jobs scan
+  in
+  (* Surface the first error in manifest order, not completion order,
+     so a failing query reports the same segment at any [jobs]. *)
+  let rec collect acc i =
+    if i >= n then Ok (List.rev acc)
+    else
+      match decoded.(i) with
+      | Ok collection -> collect (collection :: acc) (i + 1)
+      | Error e -> Error e
+  in
+  match collect [] 0 with
+  | Error e -> Error e
+  | Ok collections ->
+      let records_scanned = List.fold_left (fun acc c -> acc + Log.total c) 0 collections in
+      let result =
+        merge collections
+        |> List.filter (fun log -> host_wanted predicate (Log.hostname log))
+        |> Log.map_activities (fun a -> if record_matches predicate a then Some a else None)
+        |> List.filter (fun log -> Log.length log > 0)
+      in
+      let seconds = Unix.gettimeofday () -. t0 in
+      let stats =
+        {
+          segments_total = List.length manifest.Manifest.segments;
+          segments_scanned = List.length selected;
+          records_scanned;
+          records_returned = Log.total result;
+          seconds;
+        }
+      in
+      Telemetry.Histogram.observe
+        (R.histogram telemetry ~help:"Store query wall time, seconds" "pt_store_query_seconds")
+        seconds;
+      R.add
+        (R.counter telemetry ~help:"Segments decoded by store queries"
+           "pt_store_query_segments_scanned_total")
+        stats.segments_scanned;
+      R.add
+        (R.counter telemetry ~help:"Segments skipped via the manifest index"
+           "pt_store_query_segments_pruned_total")
+        (stats.segments_total - stats.segments_scanned);
+      R.add
+        (R.counter telemetry ~help:"Records returned by store queries"
+           "pt_store_query_records_returned_total")
+        stats.records_returned;
+      Ok (result, stats)
+
+let run ?telemetry ?pool ?jobs ~dir predicate =
   match Manifest.load ~dir with
   | Error e -> Error e
-  | Ok manifest -> (
-      let selected = select manifest predicate in
-      let metas = Array.of_list selected in
-      let n = Array.length metas in
-      let jobs =
-        match (pool, jobs) with
-        | Some p, _ -> Parallel.Pool.size p
-        | None, Some j -> max 1 j
-        | None, None -> Parallel.Pool.default_jobs ()
-      in
-      let decoded =
-        if n <= 1 || jobs <= 1 then Array.map (fun m -> Segment.read ~dir m) metas
-        else
-          let scan p = Parallel.Pool.map p ~n (fun i -> Segment.read ~dir metas.(i)) in
-          match pool with
-          | Some p -> scan p
-          | None -> Parallel.Pool.with_pool ~jobs scan
-      in
-      (* Surface the first error in manifest order, not completion order,
-         so a failing query reports the same segment at any [jobs]. *)
-      let rec collect acc i =
-        if i >= n then Ok (List.rev acc)
-        else
-          match decoded.(i) with
-          | Ok collection -> collect (collection :: acc) (i + 1)
-          | Error e -> Error e
-      in
-      match collect [] 0 with
-      | Error e -> Error e
-      | Ok collections ->
-          let records_scanned =
-            List.fold_left (fun acc c -> acc + Log.total c) 0 collections
-          in
-          let result =
-            merge collections
-            |> List.filter (fun log -> host_wanted predicate (Log.hostname log))
-            |> Log.map_activities (fun a ->
-                   if record_matches predicate a then Some a else None)
-            |> List.filter (fun log -> Log.length log > 0)
-          in
-          let seconds = Unix.gettimeofday () -. t0 in
-          let stats =
-            {
-              segments_total = List.length manifest.Manifest.segments;
-              segments_scanned = List.length selected;
-              records_scanned;
-              records_returned = Log.total result;
-              seconds;
-            }
-          in
-          Telemetry.Histogram.observe
-            (R.histogram telemetry ~help:"Store query wall time, seconds"
-               "pt_store_query_seconds")
-            seconds;
-          R.add
-            (R.counter telemetry ~help:"Segments decoded by store queries"
-               "pt_store_query_segments_scanned_total")
-            stats.segments_scanned;
-          R.add
-            (R.counter telemetry ~help:"Segments skipped via the manifest index"
-               "pt_store_query_segments_pruned_total")
-            (stats.segments_total - stats.segments_scanned);
-          R.add
-            (R.counter telemetry ~help:"Records returned by store queries"
-               "pt_store_query_records_returned_total")
-            stats.records_returned;
-          Ok (result, stats))
+  | Ok manifest ->
+      run_with ?telemetry ?pool ?jobs ~read:(fun m -> Segment.read ~dir m) manifest predicate

@@ -35,6 +35,20 @@ val merge : Trace.Log.collection list -> Trace.Log.collection
 (** Merge collections: logs of the same hostname are combined and
     re-sorted; result ordered by hostname. *)
 
+val run_with :
+  ?telemetry:Telemetry.Registry.t ->
+  ?pool:Parallel.Pool.t ->
+  ?jobs:int ->
+  read:(Segment.meta -> (Trace.Log.collection, string) result) ->
+  Manifest.t ->
+  predicate ->
+  (Trace.Log.collection * stats, string) result
+(** The query engine over an abstract segment source: [read] resolves a
+    selected meta to its decoded collection (from a directory, or from
+    sections embedded in a bundle container — see [Bundle.Reader]). All
+    pruning, parallel decode, merge and record filtering is shared; the
+    semantics and determinism guarantees of {!run} apply. *)
+
 val run :
   ?telemetry:Telemetry.Registry.t ->
   ?pool:Parallel.Pool.t ->

@@ -99,9 +99,9 @@ let read_u32be s pos =
   lor (Char.code s.[pos + 2] lsl 8)
   lor Char.code s.[pos + 3]
 
-let write ~dir ~id ~policy ?raw_records ?raw_bytes collection =
+let encode ~id ~policy ?raw_records ?raw_bytes collection =
   let records = Log.total collection in
-  if records = 0 then invalid_arg "Segment.write: empty collection";
+  if records = 0 then invalid_arg "Segment.encode: empty collection";
   let payload = Trace.Binary_format.encode collection in
   let raw_records = Option.value ~default:records raw_records in
   let raw_bytes = Option.value ~default:(String.length payload) raw_bytes in
@@ -121,14 +121,17 @@ let write ~dir ~id ~policy ?raw_records ?raw_bytes collection =
     }
   in
   let header = Json.to_string (meta_to_json meta) in
+  let buf = Buffer.create (String.length payload + String.length header + 8) in
+  Buffer.add_string buf magic;
+  Buffer.add_string buf (u32be (String.length header));
+  Buffer.add_string buf header;
+  Buffer.add_string buf payload;
+  (meta, Buffer.contents buf)
+
+let write ~dir ~id ~policy ?raw_records ?raw_bytes collection =
+  let meta, data = encode ~id ~policy ?raw_records ?raw_bytes collection in
   let oc = open_out_bin (Filename.concat dir meta.file) in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc magic;
-      output_string oc (u32be (String.length header));
-      output_string oc header;
-      output_string oc payload);
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data);
   meta
 
 let read_file path =
@@ -139,50 +142,63 @@ let read_file path =
         ~finally:(fun () -> close_in ic)
         (fun () -> Ok (really_input_string ic (in_channel_length ic)))
 
-let parse_header data ~path =
-  if String.length data < 8 || not (String.equal (String.sub data 0 4) magic) then
-    Error (Printf.sprintf "%s: not a PTS1 segment" path)
+(* [pos]/[len] delimit the segment inside [data] (a whole file: pos 0;
+   an embedded section of a bundle: the section's body). Offsets in
+   errors are absolute within [data], so they are container-relative.
+   On success, returns the meta plus the payload's [pos, len) region. *)
+let parse_header_at data ~pos ~len ~what =
+  if pos < 0 || len < 0 || pos + len > String.length data then
+    Error (Printf.sprintf "%s: segment region [%d, %d) exceeds input" what pos (pos + len))
+  else if len < 8 || not (String.equal (String.sub data pos 4) magic) then
+    Error (Printf.sprintf "%s: not a PTS1 segment at offset %d" what pos)
   else begin
-    let header_len = read_u32be data 4 in
-    if 8 + header_len > String.length data then
-      Error (Printf.sprintf "%s: truncated segment header" path)
+    let header_len = read_u32be data (pos + 4) in
+    if 8 + header_len > len then
+      Error (Printf.sprintf "%s: truncated segment header at offset %d" what (pos + 4))
     else
-      match Json.of_string (String.sub data 8 header_len) with
-      | Error e -> Error (Printf.sprintf "%s: bad segment header: %s" path e)
+      match Json.of_string (String.sub data (pos + 8) header_len) with
+      | Error e -> Error (Printf.sprintf "%s: bad segment header at offset %d: %s" what (pos + 8) e)
       | Ok j -> (
           match meta_of_json j with
-          | Error e -> Error (Printf.sprintf "%s: %s" path e)
-          | Ok meta -> Ok (meta, 8 + header_len))
+          | Error e -> Error (Printf.sprintf "%s: at offset %d: %s" what (pos + 8) e)
+          | Ok meta ->
+              let skip = 8 + header_len in
+              Ok (meta, pos + skip, len - skip))
   end
+
+let parse_header data ~path =
+  Result.map
+    (fun (meta, payload_at, _) -> (meta, payload_at))
+    (parse_header_at data ~pos:0 ~len:(String.length data) ~what:path)
 
 let read_meta ~path =
   match read_file path with
   | Error e -> Error e
   | Ok data -> Result.map fst (parse_header data ~path)
 
+let read_embedded ~data ~pos ~len ~what meta =
+  match parse_header_at data ~pos ~len ~what with
+  | Error e -> Error e
+  | Ok (header_meta, payload_at, payload_len) ->
+      if header_meta.id <> meta.id || header_meta.records <> meta.records then
+        Error
+          (Printf.sprintf
+             "%s: header (id %d, %d records) disagrees with manifest (id %d, %d records)" what
+             header_meta.id header_meta.records meta.id meta.records)
+      else begin
+        match Trace.Binary_format.decode_region data ~pos:payload_at ~len:payload_len with
+        | Error e -> Error (Printf.sprintf "%s: %s" what e)
+        | Ok collection ->
+            let n = Log.total collection in
+            if n <> meta.records then
+              Error
+                (Printf.sprintf "%s: payload holds %d records, header declares %d" what n
+                   meta.records)
+            else Ok collection
+      end
+
 let read ~dir meta =
   let path = Filename.concat dir meta.file in
   match read_file path with
   | Error e -> Error e
-  | Ok data -> (
-      match parse_header data ~path with
-      | Error e -> Error e
-      | Ok (header_meta, payload_at) ->
-          if header_meta.id <> meta.id || header_meta.records <> meta.records then
-            Error
-              (Printf.sprintf "%s: header (id %d, %d records) disagrees with manifest (id %d, %d records)"
-                 path header_meta.id header_meta.records meta.id meta.records)
-          else begin
-            match
-              Trace.Binary_format.decode
-                (String.sub data payload_at (String.length data - payload_at))
-            with
-            | Error e -> Error (Printf.sprintf "%s: %s" path e)
-            | Ok collection ->
-                let n = Log.total collection in
-                if n <> meta.records then
-                  Error
-                    (Printf.sprintf "%s: payload holds %d records, header declares %d" path n
-                       meta.records)
-                else Ok collection
-          end)
+  | Ok data -> read_embedded ~data ~pos:0 ~len:(String.length data) ~what:path meta

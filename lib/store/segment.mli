@@ -55,9 +55,32 @@ val write :
     @raise Invalid_argument on an empty collection (the caller should
     simply not emit a segment). Raises [Sys_error] on I/O failure. *)
 
+val encode :
+  id:int ->
+  policy:string ->
+  ?raw_records:int ->
+  ?raw_bytes:int ->
+  Trace.Log.collection ->
+  meta * string
+(** The in-memory form of {!write}: the meta plus the exact bytes {!write}
+    would put on disk. Used by the bundle packer to embed segments without
+    a staging directory. *)
+
 val read : dir:string -> meta -> (Trace.Log.collection, string) result
 (** Decode the payload of a segment; verifies magic, header/manifest
     consistency (id and record count) and payload integrity. *)
+
+val read_embedded :
+  data:string -> pos:int -> len:int -> what:string -> meta -> (Trace.Log.collection, string) result
+(** Like {!read}, but over a segment embedded at [pos] (spanning [len]
+    bytes) inside a larger string — a section of a bundle container —
+    with no copying. [what] names the container in error messages; all
+    error offsets are absolute within [data], i.e. container-relative. *)
+
+val parse_header_at :
+  string -> pos:int -> len:int -> what:string -> (meta * int * int, string) result
+(** Parse only the index header of an embedded segment: returns the meta
+    and the payload's (offset, length) region within the input string. *)
 
 val read_meta : path:string -> (meta, string) result
 (** Read only the index header — O(header) regardless of payload size. *)

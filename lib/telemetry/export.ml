@@ -112,3 +112,118 @@ let to_json families =
        families)
 
 let to_json_string ?(indent = true) families = Json.to_string ~indent (to_json families)
+
+(* ---- snapshot restore (bundle embed/re-read) ---- *)
+
+let ( let* ) = Result.bind
+
+let number = function
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error "expected a number"
+
+let float_field j name =
+  match Json.member name j with
+  | Some v -> Result.map_error (fun e -> Printf.sprintf "field %S: %s" name e) (number v)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field j name =
+  match Json.member name j with
+  | Some (Json.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "missing int field %S" name)
+
+let labels_of_json = function
+  | Some (Json.Obj pairs) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match v with
+          | Json.String s -> Ok ((k, s) :: acc)
+          | _ -> Error (Printf.sprintf "label %S is not a string" k))
+        (Ok []) pairs
+      |> Result.map List.rev
+  | Some _ -> Error "labels is not an object"
+  | None -> Ok []
+
+let bucket_of_json j =
+  let* upper = float_field j "le" in
+  let* cumulative = int_field j "cumulative" in
+  Ok { Histogram.upper; cumulative }
+
+let sample_of_json kind j =
+  let* labels = labels_of_json (Json.member "labels" j) in
+  let* value =
+    match kind with
+    | "counter" ->
+        let* v = int_field j "value" in
+        Ok (Registry.Counter v)
+    | "gauge" ->
+        let* v = float_field j "value" in
+        Ok (Registry.Gauge v)
+    | "histogram" ->
+        let* count = int_field j "count" in
+        let* sum = float_field j "sum" in
+        let* min_v = float_field j "min" in
+        let* max_v = float_field j "max" in
+        let* p50 = float_field j "p50" in
+        let* p90 = float_field j "p90" in
+        let* p99 = float_field j "p99" in
+        let* buckets =
+          match Json.member "buckets" j with
+          | Some (Json.List items) ->
+              List.fold_left
+                (fun acc item ->
+                  let* acc = acc in
+                  let* b = bucket_of_json item in
+                  Ok (b :: acc))
+                (Ok []) items
+              |> Result.map List.rev
+          | _ -> Error "missing bucket list"
+        in
+        Ok (Registry.Hist { count; sum; min_v; max_v; p50; p90; p99; buckets })
+    | other -> Error (Printf.sprintf "unknown family type %S" other)
+  in
+  Ok { Registry.labels; value }
+
+let family_of_json name j =
+  let* help =
+    match Json.member "help" j with
+    | Some (Json.String s) -> Ok s
+    | Some _ -> Error "help is not a string"
+    | None -> Ok ""
+  in
+  let* kind =
+    match Json.member "type" j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error "missing family type"
+  in
+  let* samples =
+    match Json.member "samples" j with
+    | Some (Json.List items) ->
+        if String.equal kind "untyped" then Ok []
+        else
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              let* s = sample_of_json kind item in
+              Ok (s :: acc))
+            (Ok []) items
+          |> Result.map List.rev
+    | _ -> Error "missing sample list"
+  in
+  Ok { Registry.name; help; samples }
+
+let of_json = function
+  | Json.Obj pairs ->
+      List.fold_left
+        (fun acc (name, j) ->
+          let* acc = acc in
+          let* f =
+            Result.map_error
+              (fun e -> Printf.sprintf "telemetry family %S: %s" name e)
+              (family_of_json name j)
+          in
+          Ok (f :: acc))
+        (Ok []) pairs
+      |> Result.map List.rev
+  | _ -> Error "telemetry snapshot is not an object"

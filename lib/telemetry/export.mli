@@ -17,3 +17,8 @@ val to_json : Registry.family list -> Json.t
 
 val to_json_string : ?indent:bool -> Registry.family list -> string
 (** [Json.to_string] of {!to_json}; indented by default. *)
+
+val of_json : Json.t -> (Registry.family list, string) result
+(** Parse {!to_json} output back into a family list — how a telemetry
+    snapshot embedded in a trace bundle is restored on re-read. Inverse
+    of {!to_json} up to float formatting. *)

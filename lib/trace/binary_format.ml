@@ -24,12 +24,16 @@ let put_string buf s =
   put_uvarint buf (String.length s);
   Buffer.add_string buf s
 
-type reader = { data : string; mutable pos : int }
+(* [limit] is one past the last readable byte: decoding an embedded
+   payload (a segment inside a bundle container) sets [pos]/[limit] to the
+   payload's region, and every offset in a [Corrupt] error stays absolute
+   within [data] — i.e. container-relative with no copying. *)
+type reader = { data : string; mutable pos : int; limit : int }
 
 exception Corrupt of int * string
 
 let byte r =
-  if r.pos >= String.length r.data then raise (Corrupt (r.pos, "unexpected end of input"));
+  if r.pos >= r.limit then raise (Corrupt (r.pos, "unexpected end of input"));
   let c = Char.code r.data.[r.pos] in
   r.pos <- r.pos + 1;
   c
@@ -51,13 +55,13 @@ let get_varint r = unzigzag (get_uvarint r)
    allocation bomb before the truncation would be noticed. *)
 let get_count r what =
   let n = get_uvarint r in
-  if n > String.length r.data - r.pos then
+  if n > r.limit - r.pos then
     raise (Corrupt (r.pos, Printf.sprintf "%s count %d exceeds remaining input" what n));
   n
 
 let get_string r =
   let n = get_uvarint r in
-  if r.pos + n > String.length r.data then raise (Corrupt (r.pos, "string overruns input"));
+  if r.pos + n > r.limit then raise (Corrupt (r.pos, "string overruns input"));
   let s = String.sub r.data r.pos n in
   r.pos <- r.pos + n;
   s
@@ -162,11 +166,16 @@ let encode collection =
     collection;
   Buffer.contents buf
 
-let decode data =
-  if String.length data < 4 || not (String.equal (String.sub data 0 4) magic) then
-    Error "not a PTB1 file"
+let has_magic_at data pos =
+  String.length data - pos >= 4 && String.equal (String.sub data pos 4) magic
+
+let decode_region data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length data then
+    Error (Printf.sprintf "corrupt at offset %d: region [%d, %d) exceeds input" pos pos (pos + len))
+  else if len < 4 || not (has_magic_at data pos) then
+    Error (Printf.sprintf "corrupt at offset %d: no PTB1 magic" pos)
   else begin
-    let r = { data; pos = 4 } in
+    let r = { data; pos = pos + 4; limit = pos + len } in
     try
       let string_count = get_count r "string table" in
       let strings = Array.init string_count (fun _ -> get_string r) in
@@ -226,13 +235,16 @@ let decode data =
             in
             Log.of_list ~hostname items)
       in
-      if r.pos <> String.length data then
-        Error (Printf.sprintf "trailing garbage at offset %d" r.pos)
+      if r.pos <> r.limit then Error (Printf.sprintf "trailing garbage at offset %d" r.pos)
       else Ok logs
     with
     | Corrupt (pos, msg) -> Error (Printf.sprintf "corrupt at offset %d: %s" pos msg)
     | Invalid_argument msg -> Error (Printf.sprintf "corrupt at offset %d: %s" r.pos msg)
   end
+
+let decode data =
+  if not (has_magic_at data 0) then Error "not a PTB1 file"
+  else decode_region data ~pos:0 ~len:(String.length data)
 
 let save collection ~path =
   let oc = open_out_bin path in

@@ -18,6 +18,30 @@
 val magic : string
 (** The 4-byte file header, ["PTB1"]. *)
 
+(** {1 Codec primitives}
+
+    Shared with the other PT binary formats (the bundle's path table):
+    unsigned LEB128 varints, zigzag-encoded signed varints,
+    length-prefixed strings, and a bounds-checked reader whose [Corrupt]
+    errors carry offsets absolute within [data]. *)
+
+exception Corrupt of int * string
+
+type reader = { data : string; mutable pos : int; limit : int }
+
+val put_uvarint : Buffer.t -> int -> unit
+val put_varint : Buffer.t -> int -> unit
+val put_string : Buffer.t -> string -> unit
+
+val get_uvarint : reader -> int
+val get_varint : reader -> int
+val get_string : reader -> string
+
+val get_count : reader -> string -> int
+(** Read a count varint, raising [Corrupt] if it exceeds the remaining
+    input (each counted item takes at least one byte) — the allocation-
+    bomb guard for corrupt inputs. *)
+
 val is_binary : string -> bool
 (** Whether the bytes begin with {!magic}. *)
 
@@ -36,3 +60,11 @@ val encode : Log.collection -> string
 (** The raw encoded bytes (exposed for tests and benches). *)
 
 val decode : string -> (Log.collection, string) result
+
+val decode_region : string -> pos:int -> len:int -> (Log.collection, string) result
+(** Decode a PTB1 payload embedded at [pos] (spanning [len] bytes) inside
+    a larger string — e.g. a segment inside a bundle container — without
+    copying it out. Every error offset is absolute within [data], so when
+    [data] is a whole container file the offsets are container-relative.
+    [decode data] is [decode_region data ~pos:0 ~len:(String.length data)]
+    modulo the friendlier whole-file magic message. *)

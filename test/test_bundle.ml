@@ -1,0 +1,524 @@
+(* Tests for lib/bundle: the PTZ1 single-file container, the paths codec,
+   back-link invariants, deterministic packing, corruption handling with
+   named offsets, and diff-vs-diagnose culprit agreement — the acceptance
+   criteria of the bundle subsystem. *)
+
+module S = Tiersim.Scenario
+module Faults = Tiersim.Faults
+module Activity = Trace.Activity
+module Log = Trace.Log
+module Correlator = Core.Correlator
+module Pattern = Core.Pattern
+module Aggregate = Core.Aggregate
+module Analysis = Core.Analysis
+module Cag = Core.Cag
+module Json = Core.Json
+
+let temp_dir () =
+  let dir = Filename.temp_file "pt-bundle" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* One memoised mid-size three-tier run shared by the tests. *)
+let outcome = lazy (S.run { S.default with S.clients = 120; time_scale = 0.05; seed = 11 })
+
+let fault_outcome =
+  let cache = Hashtbl.create 4 in
+  fun (label, fault) ->
+    match Hashtbl.find_opt cache label with
+    | Some o -> o
+    | None ->
+        let o =
+          S.run
+            { S.default with S.clients = 120; time_scale = 0.05; seed = 11; faults = [ fault ] }
+        in
+        Hashtbl.replace cache label o;
+        o
+
+let config () =
+  let o = Lazy.force outcome in
+  Correlator.config ~transform:o.S.transform ()
+
+let pack_logs ?roll_records ~path logs =
+  match Bundle.Pack.pack ?roll_records ~config:(config ()) ~source:(`Logs logs) ~path () with
+  | Ok summary -> summary
+  | Error e -> Alcotest.failf "pack: %s" e
+
+let reader path =
+  match Bundle.Reader.open_file path with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "open %s: %s" path e
+
+let ok what = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" what e
+
+let collection_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         String.equal (Log.hostname x) (Log.hostname y)
+         && Log.length x = Log.length y
+         && List.for_all2 Activity.equal (Log.to_list x) (Log.to_list y))
+       a b
+
+(* The control bundle most tests share, packed once. *)
+let control =
+  lazy
+    (let dir = temp_dir () in
+     at_exit (fun () -> rm_rf dir);
+     let path = Filename.concat dir "control.ptz" in
+     let summary = pack_logs ~path (Lazy.force outcome).S.logs in
+     (path, summary))
+
+(* ---- container framing ---- *)
+
+let test_container_roundtrip () =
+  let sections =
+    [ ("config", "{}"); ("segments/000000", String.make 1000 'x'); ("paths", "payload") ]
+  in
+  let data = Bundle.Container.assemble ~manifest_extra:[] sections in
+  let _, parsed = ok "parse" (Bundle.Container.parse ~what:"t" data) in
+  Alcotest.(check int) "section count" 3 (List.length parsed);
+  List.iter
+    (fun (name, body) ->
+      match Bundle.Container.find parsed name with
+      | None -> Alcotest.failf "section %s missing" name
+      | Some s ->
+          Alcotest.(check string)
+            name body
+            (String.sub data s.Bundle.Container.pos s.Bundle.Container.len))
+    sections
+
+let test_container_deterministic () =
+  let sections = [ ("b", "bbb"); ("a", "aaa") ] in
+  let d1 = Bundle.Container.assemble ~manifest_extra:[] sections in
+  let d2 = Bundle.Container.assemble ~manifest_extra:[] sections in
+  Alcotest.(check string) "assemble is pure" d1 d2
+
+(* ---- pack determinism ---- *)
+
+let test_repack_identical () =
+  with_dir @@ fun dir ->
+  let logs = (Lazy.force outcome).S.logs in
+  let p1 = Filename.concat dir "one.ptz" in
+  let p2 = Filename.concat dir "two.ptz" in
+  let s1 = pack_logs ~path:p1 logs in
+  let s2 = pack_logs ~path:p2 logs in
+  Alcotest.(check int) "same size" s1.Bundle.Pack.bytes s2.Bundle.Pack.bytes;
+  Alcotest.(check bool) "byte-identical bundles" true (String.equal (read_file p1) (read_file p2))
+
+(* ---- read round-trip fidelity ---- *)
+
+let test_roundtrip_collection () =
+  let path, summary = Lazy.force control in
+  let logs = (Lazy.force outcome).S.logs in
+  let r = reader path in
+  let got = ok "collection" (Bundle.Reader.collection r) in
+  Alcotest.(check int) "summary records" (Log.total logs) summary.Bundle.Pack.records;
+  Alcotest.(check bool)
+    "embedded store reproduces the records" true
+    (collection_equal (Store.Query.merge [ logs ]) got)
+
+let test_roundtrip_paths_and_profiles () =
+  let path, _ = Lazy.force control in
+  let r = reader path in
+  let decoded = ok "paths" (Bundle.Reader.paths r) in
+  let cags = List.map (fun (p : Bundle.Codec.path) -> p.Bundle.Codec.cag) decoded.Bundle.Codec.paths in
+  (* The decoded graphs must regenerate the packed profiles byte for byte:
+     same patterns, same counts, same §5.4 component breakdowns. *)
+  let packed = ok "profiles" (Bundle.Reader.profiles r) in
+  let recomputed = Bundle.Codec.profiles_of_cags cags in
+  Alcotest.(check string)
+    "profiles byte-identical after decode"
+    (Json.to_string (Bundle.Codec.profiles_to_json packed))
+    (Json.to_string (Bundle.Codec.profiles_to_json recomputed));
+  (* And they must match a fresh correlation of the same records. *)
+  let o = Lazy.force outcome in
+  let result = Core.Shard.correlate (config ()) o.S.logs in
+  let fresh = Bundle.Codec.profiles_of_cags result.Correlator.cags in
+  Alcotest.(check string)
+    "profiles match a fresh correlation"
+    (Json.to_string (Bundle.Codec.profiles_to_json fresh))
+    (Json.to_string (Bundle.Codec.profiles_to_json packed));
+  let by_id =
+    List.fold_left
+      (fun m (c : Cag.t) -> (c.Cag.cag_id, c) :: m)
+      [] result.Correlator.cags
+  in
+  List.iter
+    (fun (c : Cag.t) ->
+      match List.assoc_opt c.Cag.cag_id by_id with
+      | None -> Alcotest.failf "decoded path %d not in fresh correlation" c.Cag.cag_id
+      | Some fresh ->
+          Alcotest.(check string)
+            (Printf.sprintf "signature of %d" c.Cag.cag_id)
+            (Pattern.signature_of fresh) (Pattern.signature_of c))
+    cags
+
+(* ---- back-link invariants ---- *)
+
+let test_every_vertex_resolves () =
+  let path, summary = Lazy.force control in
+  Alcotest.(check int) "no unresolved links" 0 summary.Bundle.Pack.unresolved_links;
+  let r = reader path in
+  let decoded = ok "paths" (Bundle.Reader.paths r) in
+  let hosts = decoded.Bundle.Codec.link_hosts in
+  List.iter
+    (fun (p : Bundle.Codec.path) ->
+      let vertices = Cag.vertices p.Bundle.Codec.cag in
+      Alcotest.(check int)
+        (Printf.sprintf "links rows for path %d" p.Bundle.Codec.cag.Cag.cag_id)
+        (List.length vertices)
+        (Array.length p.Bundle.Codec.links);
+      List.iteri
+        (fun i (v : Cag.vertex) ->
+          let links = p.Bundle.Codec.links.(i) in
+          if links = [] then
+            Alcotest.failf "path %d vertex %d has no backing records"
+              p.Bundle.Codec.cag.Cag.cag_id v.Cag.vid;
+          let resolved = ok "resolve" (Bundle.Reader.resolve_links r ~link_hosts:hosts links) in
+          (* The activity that stamped the vertex (the creating record, or
+             the completing chunk of a merged receive) is always among the
+             backing records. *)
+          let vertex_ns = Simnet.Sim_time.to_ns v.Cag.activity.Activity.timestamp in
+          if
+            not
+              (List.exists
+                 (fun (_, _, a) -> Simnet.Sim_time.to_ns a.Activity.timestamp = vertex_ns)
+                 resolved)
+          then
+            Alcotest.failf "path %d vertex %d: no backing record carries its timestamp"
+              p.Bundle.Codec.cag.Cag.cag_id v.Cag.vid)
+        vertices)
+    decoded.Bundle.Codec.paths
+
+let test_walk_resolves_every_hop () =
+  let path, _ = Lazy.force control in
+  let r = reader path in
+  let profiles = ok "profiles" (Bundle.Reader.profiles r) in
+  Alcotest.(check bool) "has patterns" true (profiles <> []);
+  List.iter
+    (fun (p : Bundle.Codec.profile) ->
+      let view = ok "walk" (Bundle.Walk.view r ~pattern:p.Bundle.Codec.name ()) in
+      Alcotest.(check string) "walk lands on the pattern" p.Bundle.Codec.name view.Bundle.Walk.pattern;
+      Alcotest.(check bool) "has hops" true (view.Bundle.Walk.hops <> []);
+      Alcotest.(check bool)
+        "begin resolves" true
+        (view.Bundle.Walk.begin_records <> []);
+      let share_sum =
+        List.fold_left (fun acc (h : Bundle.Walk.hop) -> acc +. h.Bundle.Walk.share) 0.0
+          view.Bundle.Walk.hops
+      in
+      Alcotest.(check bool)
+        "hop shares cover the end-to-end time" true
+        (Float.abs (share_sum -. 1.0) < 1e-6);
+      List.iter
+        (fun (h : Bundle.Walk.hop) ->
+          if h.Bundle.Walk.records = [] then
+            Alcotest.failf "pattern %s: hop %s resolves to no records" p.Bundle.Codec.name
+              (Core.Latency.component_label h.Bundle.Walk.comp))
+        view.Bundle.Walk.hops)
+    profiles
+
+(* Back-links are coordinates into the canonical merged record order, so
+   they must survive store compaction: pack a many-segment store, compact
+   it to one segment, repack — identical paths and patterns sections. *)
+let test_links_survive_compaction () =
+  with_dir @@ fun store_dir ->
+  with_dir @@ fun out_dir ->
+  let logs = (Lazy.force outcome).S.logs in
+  let writer = Store.Writer.create ~roll_records:1024 ~dir:store_dir () in
+  Store.Writer.ingest writer logs;
+  let wstats = Store.Writer.close writer in
+  Alcotest.(check bool) "multiple segments" true (wstats.Store.Writer.segments > 2);
+  let pack_store path =
+    match
+      Bundle.Pack.pack ~config:(config ()) ~source:(`Store_dir store_dir) ~path ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "pack store: %s" e
+  in
+  let section path name =
+    let data = read_file path in
+    let _, sections = ok "parse" (Bundle.Container.parse ~what:path data) in
+    match Bundle.Container.find sections name with
+    | Some s -> String.sub data s.Bundle.Container.pos s.Bundle.Container.len
+    | None -> Alcotest.failf "%s: no %s section" path name
+  in
+  let before = Filename.concat out_dir "before.ptz" in
+  let after = Filename.concat out_dir "after.ptz" in
+  let s1 = pack_store before in
+  (match Store.Compact.run ~min_records:max_int ~dir:store_dir () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "compact: %s" e);
+  let s2 = pack_store after in
+  Alcotest.(check bool) "compaction merged segments" true
+    (s2.Bundle.Pack.segments < s1.Bundle.Pack.segments);
+  Alcotest.(check string)
+    "paths section identical across compaction" (section before "paths") (section after "paths");
+  Alcotest.(check string)
+    "patterns section identical across compaction" (section before "patterns")
+    (section after "patterns")
+
+(* ---- embedded query ---- *)
+
+let test_query_matches_store () =
+  with_dir @@ fun store_dir ->
+  with_dir @@ fun out_dir ->
+  let logs = (Lazy.force outcome).S.logs in
+  let writer = Store.Writer.create ~roll_records:1024 ~dir:store_dir () in
+  Store.Writer.ingest writer logs;
+  ignore (Store.Writer.close writer);
+  let path = Filename.concat out_dir "b.ptz" in
+  (match Bundle.Pack.pack ~config:(config ()) ~source:(`Store_dir store_dir) ~path () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "pack: %s" e);
+  let r = reader path in
+  let all = Log.to_list (List.hd logs) in
+  let mid = List.nth all (List.length all / 2) in
+  let mid_ns = Simnet.Sim_time.to_ns mid.Activity.timestamp in
+  let predicate = Store.Query.predicate ~since_ns:mid_ns () in
+  let from_bundle, bstats = ok "bundle query" (Bundle.Reader.query r predicate) in
+  let from_store, sstats = ok "store query" (Store.Query.run ~dir:store_dir predicate) in
+  Alcotest.(check bool)
+    "bundle query equals store query" true
+    (collection_equal from_store from_bundle);
+  Alcotest.(check int)
+    "same pruning" sstats.Store.Query.segments_scanned bstats.Store.Query.segments_scanned;
+  Alcotest.(check bool)
+    "pruning engaged" true
+    (bstats.Store.Query.segments_scanned < bstats.Store.Query.segments_total)
+
+(* ---- corruption: named offsets, no exceptions ---- *)
+
+let expect_offset_error what = function
+  | Ok _ -> Alcotest.failf "%s: corrupt bundle accepted" what
+  | Error e ->
+      let mentions_offset =
+        let n = String.length e in
+        let rec scan i =
+          i + 6 <= n && (String.equal (String.sub e i 6) "offset" || scan (i + 1))
+        in
+        scan 0
+      in
+      if not mentions_offset then Alcotest.failf "%s: error does not name an offset: %s" what e
+
+let test_truncated_bundle () =
+  let path, _ = Lazy.force control in
+  let data = read_file path in
+  List.iter
+    (fun len ->
+      expect_offset_error
+        (Printf.sprintf "truncated to %d" len)
+        (Bundle.Reader.of_string (String.sub data 0 len)))
+    [ 0; 3; 4; 7; 8; String.length data / 3; String.length data - 1 ]
+
+let test_byte_flips_detected () =
+  let path, _ = Lazy.force control in
+  let data = read_file path in
+  let _, sections = ok "parse" (Bundle.Container.parse ~what:path data) in
+  (* A flip anywhere in any section body must be caught by the per-section
+     checksum at open, naming the section and its offset. *)
+  List.iter
+    (fun (s : Bundle.Container.section) ->
+      let at = s.Bundle.Container.pos + (s.Bundle.Container.len / 2) in
+      let corrupted = Bytes.of_string data in
+      Bytes.set corrupted at (Char.chr (Char.code (Bytes.get corrupted at) lxor 0xff));
+      expect_offset_error
+        (Printf.sprintf "flip in %s" s.Bundle.Container.name)
+        (Bundle.Reader.of_string (Bytes.to_string corrupted)))
+    sections;
+  (* Bad magic. *)
+  let corrupted = Bytes.of_string data in
+  Bytes.set corrupted 0 'X';
+  expect_offset_error "bad magic" (Bundle.Reader.of_string (Bytes.to_string corrupted))
+
+let test_decode_region_offsets () =
+  let logs = (Lazy.force outcome).S.logs in
+  let _, seg = Store.Segment.encode ~id:0 ~policy:"none" logs in
+  let _meta, payload_pos, payload_len =
+    ok "header" (Store.Segment.parse_header_at seg ~pos:0 ~len:(String.length seg) ~what:"seg")
+  in
+  (* Decoding at the true offset succeeds... *)
+  (match Trace.Binary_format.decode_region seg ~pos:payload_pos ~len:payload_len with
+  | Ok c -> Alcotest.(check int) "records" (Log.total logs) (Log.total c)
+  | Error e -> Alcotest.failf "decode_region: %s" e);
+  (* ...and every failure names an absolute offset inside the region. *)
+  expect_offset_error "truncated region"
+    (Result.map ignore
+       (Trace.Binary_format.decode_region
+          (String.sub seg 0 (payload_pos + (payload_len / 2)))
+          ~pos:payload_pos
+          ~len:(payload_len / 2)));
+  expect_offset_error "bad region bounds"
+    (Result.map ignore
+       (Trace.Binary_format.decode_region seg ~pos:payload_pos ~len:(payload_len + 10)))
+
+(* ---- diff vs diagnose ---- *)
+
+let fault_cases =
+  [ ("ejb-delay", Faults.ejb_delay); ("db-lock", Faults.database_lock);
+    ("ejb-network", Faults.ejb_network) ]
+
+(* The offline diagnose selection: most frequent observed pattern the
+   baseline also saw, §5.4-compared; culprit is the top suspect. *)
+let diagnose_culprit baseline_cags observed_cags =
+  let base = Pattern.classify baseline_cags in
+  let rec pick = function
+    | [] -> None
+    | (o : Pattern.t) :: rest -> (
+        match List.find_opt (fun b -> String.equal b.Pattern.name o.Pattern.name) base with
+        | Some b -> Some (b, o)
+        | None -> pick rest)
+  in
+  match pick (Pattern.classify observed_cags) with
+  | None -> None
+  | Some (b, o) -> (
+      let report =
+        Analysis.diagnose ~baseline:(Aggregate.of_pattern b) ~observed:(Aggregate.of_pattern o)
+      in
+      match report.Analysis.suspects with
+      | s :: _ -> Some (Analysis.subject_label s.Analysis.subject)
+      | [] -> None)
+
+let test_diff_names_diagnose_culprit () =
+  with_dir @@ fun dir ->
+  let control_path, _ = Lazy.force control in
+  let a = reader control_path in
+  let baseline = Core.Shard.correlate (config ()) (Lazy.force outcome).S.logs in
+  List.iter
+    (fun (label, fault) ->
+      let fo = fault_outcome (label, fault) in
+      let fpath = Filename.concat dir (label ^ ".ptz") in
+      ignore (pack_logs ~path:fpath fo.S.logs);
+      let b = reader fpath in
+      let d = ok "diff" (Bundle.Diff.diff a b) in
+      let observed = Core.Shard.correlate (config ()) fo.S.logs in
+      let expected = diagnose_culprit baseline.Correlator.cags observed.Correlator.cags in
+      let got =
+        Option.map
+          (fun (s : Analysis.suspect) -> Analysis.subject_label s.Analysis.subject)
+          d.Bundle.Diff.culprit
+      in
+      (match expected with
+      | None -> Alcotest.failf "%s: diagnose found no culprit" label
+      | Some _ -> ());
+      Alcotest.(check (option string)) (label ^ " culprit agrees") expected got;
+      Alcotest.(check bool)
+        (label ^ " mix covers both runs")
+        true
+        (List.for_all
+           (fun (m : Bundle.Diff.mix_delta) -> m.Bundle.Diff.count_a + m.Bundle.Diff.count_b > 0)
+           d.Bundle.Diff.mix))
+    fault_cases
+
+let test_diff_self_is_quiet () =
+  let path, _ = Lazy.force control in
+  let a = reader path in
+  let b = reader path in
+  let d = ok "diff" (Bundle.Diff.diff a b) in
+  Alcotest.(check int) "same totals" d.Bundle.Diff.total_a d.Bundle.Diff.total_b;
+  List.iter
+    (fun (m : Bundle.Diff.mix_delta) ->
+      Alcotest.(check bool)
+        "no frequency shift" true
+        (Float.abs (m.Bundle.Diff.freq_b -. m.Bundle.Diff.freq_a) < 1e-12))
+    d.Bundle.Diff.mix;
+  List.iter
+    (fun (r : Bundle.Diff.pattern_report) ->
+      List.iter
+        (fun (x : Analysis.delta) ->
+          Alcotest.(check bool)
+            "no share change" true
+            (Float.abs x.Analysis.change_pp < 1e-9))
+        r.Bundle.Diff.report.Analysis.deltas)
+    d.Bundle.Diff.reports
+
+(* ---- scenario + telemetry sections ---- *)
+
+let test_config_and_telemetry_sections () =
+  with_dir @@ fun dir ->
+  let logs = (Lazy.force outcome).S.logs in
+  let reg = Telemetry.Registry.create () in
+  let c = Telemetry.Registry.counter reg ~help:"test" "pt_test_total" in
+  Telemetry.Registry.incr c;
+  let scenario = Json.Obj [ ("clients", Json.Int 120) ] in
+  let path = Filename.concat dir "t.ptz" in
+  (match
+     Bundle.Pack.pack
+       ~telemetry:(Telemetry.Registry.snapshot reg)
+       ~scenario ~config:(config ()) ~source:(`Logs logs) ~path ()
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "pack: %s" e);
+  let r = reader path in
+  (match ok "config" (Bundle.Reader.config r) with
+  | Some j -> (
+      match Json.member "scenario" j with
+      | Some (Json.Obj _) -> ()
+      | _ -> Alcotest.fail "config section lost the scenario")
+  | None -> Alcotest.fail "no config section");
+  match ok "telemetry" (Bundle.Reader.telemetry r) with
+  | Some families ->
+      let found =
+        List.exists
+          (fun (f : Telemetry.Registry.family) ->
+            String.equal f.Telemetry.Registry.name "pt_test_total")
+          families
+      in
+      Alcotest.(check bool) "snapshot round-trips" true found
+  | None -> Alcotest.fail "no telemetry section"
+
+let () =
+  Alcotest.run "bundle"
+    [
+      ( "container",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_container_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_container_deterministic;
+        ] );
+      ( "pack",
+        [
+          Alcotest.test_case "repack is byte-identical" `Quick test_repack_identical;
+          Alcotest.test_case "collection round-trip" `Quick test_roundtrip_collection;
+          Alcotest.test_case "paths and profiles round-trip" `Quick
+            test_roundtrip_paths_and_profiles;
+          Alcotest.test_case "config and telemetry sections" `Quick
+            test_config_and_telemetry_sections;
+        ] );
+      ( "back-links",
+        [
+          Alcotest.test_case "every vertex resolves" `Quick test_every_vertex_resolves;
+          Alcotest.test_case "walk resolves every hop" `Quick test_walk_resolves_every_hop;
+          Alcotest.test_case "links survive compaction" `Quick test_links_survive_compaction;
+        ] );
+      ( "query",
+        [ Alcotest.test_case "matches the directory store" `Quick test_query_matches_store ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "truncation names offsets" `Quick test_truncated_bundle;
+          Alcotest.test_case "byte flips are detected" `Quick test_byte_flips_detected;
+          Alcotest.test_case "decode_region names offsets" `Quick test_decode_region_offsets;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "names the diagnose culprit" `Quick test_diff_names_diagnose_culprit;
+          Alcotest.test_case "self-diff is quiet" `Quick test_diff_self_is_quiet;
+        ] );
+    ]
