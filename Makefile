@@ -1,6 +1,6 @@
 # Minimal CI entry points. `make ci` is what a pipeline should run.
 
-.PHONY: all build test test-parallel fmt bench-quick bundle-gate ci clean
+.PHONY: all build test test-parallel fmt bench-quick bench-gate bundle-gate ci clean
 
 all: build
 
@@ -23,6 +23,14 @@ test-parallel: build
 # runs).
 bench-quick: build
 	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure collect --figure parallel --figure diagnose --figure bundle --json BENCH.json
+
+# Ingest regression gate: run the store figure fresh and compare its
+# native-arena ingest throughput against the committed reference run
+# (BENCH_store.json). Fails when the fresh figure drops below half the
+# committed one — wide enough to absorb shared-host timing noise, tight
+# enough to catch a real hot-path regression.
+bench-gate: build
+	dune exec bench/main.exe -- --quick --figure store --gate BENCH_store.json
 
 # Bundle round-trip gate: record a control and a faulted run as PTZ1
 # bundles, then exercise every reader path — info (container framing),
@@ -48,7 +56,7 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-ci: fmt build test test-parallel bench-quick bundle-gate
+ci: fmt build test test-parallel bench-quick bench-gate bundle-gate
 
 clean:
 	dune clean

@@ -2,7 +2,7 @@
    evaluation (§5), plus the extensions listed in DESIGN.md.
 
    Usage: main.exe [--figure ID]... [--scale S] [--quick] [--jobs N]
-                   [--json FILE] [--telemetry FILE]
+                   [--json FILE] [--gate FILE] [--telemetry FILE]
                    [--telemetry-format prom|json|report]
      IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro store
           degraded collect parallel diagnose bundle all
@@ -18,7 +18,11 @@
    --json emits a machine-readable summary: per-figure wall seconds plus
    the key scalar results each figure chooses to publish (see
    record_scalar below), so CI can diff bench runs without scraping
-   tables. *)
+   tables.
+
+   --gate FILE compares the fresh store figure's ingest throughput
+   against the committed reference in FILE (BENCH_store.json) and exits
+   non-zero on regression — the `make bench-gate` CI stage. *)
 
 module S = Tiersim.Scenario
 module Workload = Tiersim.Workload
@@ -43,6 +47,7 @@ let telemetry_out = ref None
 let telemetry_format = ref `Prom
 let json_out = ref None
 let jobs_override = ref None
+let gate_file = ref None
 
 (* ---- machine-readable results (--json) ---- *)
 
@@ -90,6 +95,67 @@ let emit_json file =
         Printf.eprintf "cannot write bench results: %s\n" msg;
         exit 1
   end
+
+(* ---- ingest-throughput gate (--gate) ---- *)
+
+(* Timing on shared CI hosts is noisy; the gate exists to catch a real
+   regression (the native path silently falling back to record-at-a-time
+   work), not scheduler jitter, so it allows the fresh figure to dip to
+   this fraction of the committed reference before failing. *)
+let gate_slack = 0.5
+
+let run_gate file =
+  let fresh =
+    List.fold_left
+      (fun acc (fig, (key, v)) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if String.equal fig "store" && String.equal key "ingest_records_per_s" then
+              match v with
+              | Json.Float f -> Some f
+              | Json.Int i -> Some (float_of_int i)
+              | _ -> None
+            else None)
+      None !scalars
+  in
+  let reference =
+    let ( let* ) = Option.bind in
+    let* body =
+      match In_channel.with_open_bin file In_channel.input_all with
+      | body -> Some body
+      | exception Sys_error _ -> None
+    in
+    let* doc = Result.to_option (Json.of_string body) in
+    let* figures = Json.member "figures" doc in
+    let* store = Json.member "store" figures in
+    let* results = Json.member "results" store in
+    let* v = Json.member "ingest_records_per_s" results in
+    match v with
+    | Json.Float f -> Some f
+    | Json.Int i -> Some (float_of_int i)
+    | _ -> None
+  in
+  match (fresh, reference) with
+  | None, _ ->
+      Printf.eprintf "bench gate: no fresh store figure (run with --figure store)\n";
+      exit 1
+  | _, None ->
+      Printf.eprintf "bench gate: cannot read ingest_records_per_s from %s\n" file;
+      exit 1
+  | Some fresh, Some reference ->
+      let floor = gate_slack *. reference in
+      if fresh < floor then begin
+        Printf.eprintf
+          "bench gate: ingest regression — %.0f records/s is below %.0f (%.0f%% of the \
+           committed %.0f in %s)\n"
+          fresh floor (100.0 *. gate_slack) reference file;
+        exit 1
+      end
+      else
+        Printf.printf
+          "bench gate: ingest %.0f records/s >= %.0f (%.0f%% of committed %.0f) — ok\n" fresh
+          floor (100.0 *. gate_slack) reference
 
 (* ---- memoised scenario runs and correlations ---- *)
 
@@ -914,32 +980,69 @@ let bench_store () =
   in
   rm_rf dir;
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
-  (* Ingest throughput: stream the run into segments, no reduction. *)
-  let t0 = Unix.gettimeofday () in
-  let writer = Store.Writer.create ~roll_records:4096 ~dir () in
-  Store.Writer.ingest writer collection;
-  let wstats = Store.Writer.close writer in
-  let ingest_s = Unix.gettimeofday () -. t0 in
-  let records_per_s = float_of_int wstats.Store.Writer.records_in /. ingest_s in
-  let mb_per_s = float_of_int wstats.Store.Writer.bytes_out /. ingest_s /. 1048576.0 in
-  let t_ingest =
-    Report.table ~title:"ext-9a: store ingest throughput (no reduction)"
-      ~columns:[ "records"; "segments"; "bytes"; "seconds"; "records/s"; "MB/s" ]
+  (* Ingest throughput: stream the run into segments, no reduction. The
+     native row is the headline — arenas are pre-built outside the timer,
+     the shape in which a live probe/collector feed already arrives — and
+     the record-path row keeps the text-era cost visible for comparison. *)
+  let arenas = Trace.Arena.of_collection collection in
+  (* Best of five passes per path: the first pass pays cold caches and
+     allocator growth the steady-state ingest path never sees again, and
+     the host's scheduling jitter swamps a single pass. *)
+  let ingest_with label feed =
+    let stats = ref None and secs = ref infinity in
+    for _ = 1 to 5 do
+      rm_rf dir;
+      (* Settle the heap outside the timed region: the scenario build above
+         leaves major-GC debt that would otherwise be collected mid-pass. *)
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      let writer = Store.Writer.create ~roll_records:4096 ~dir () in
+      feed writer;
+      let wstats = Store.Writer.close writer in
+      let ingest_s = Unix.gettimeofday () -. t0 in
+      if ingest_s < !secs then begin
+        secs := ingest_s;
+        stats := Some wstats
+      end
+    done;
+    (label, Option.get !stats, !secs)
   in
-  Report.add_row t_ingest
+  let runs =
     [
-      Report.cell_int wstats.Store.Writer.records_in;
-      Report.cell_int wstats.Store.Writer.segments;
-      Report.cell_int wstats.Store.Writer.bytes_out;
-      Report.cell_float ~decimals:4 ingest_s;
-      Report.cell_float ~decimals:0 records_per_s;
-      Report.cell_float ~decimals:2 mb_per_s;
-    ];
+      ingest_with "records (legacy)" (fun w -> Store.Writer.ingest w collection);
+      ingest_with "native arenas" (fun w -> Store.Writer.ingest_native w arenas);
+    ]
+  in
+  let t_ingest =
+    Report.table ~title:"ext-9a: store ingest throughput (no reduction, best of 5 passes)"
+      ~columns:[ "path"; "records"; "segments"; "bytes"; "seconds"; "records/s"; "MB/s" ]
+  in
+  let per_s = Hashtbl.create 4 in
+  List.iter
+    (fun (label, (wstats : Store.Writer.stats), ingest_s) ->
+      let records_per_s = float_of_int wstats.Store.Writer.records_in /. ingest_s in
+      let mb_per_s = float_of_int wstats.Store.Writer.bytes_out /. ingest_s /. 1048576.0 in
+      Hashtbl.replace per_s label (records_per_s, mb_per_s);
+      Report.add_row t_ingest
+        [
+          label;
+          Report.cell_int wstats.Store.Writer.records_in;
+          Report.cell_int wstats.Store.Writer.segments;
+          Report.cell_int wstats.Store.Writer.bytes_out;
+          Report.cell_float ~decimals:4 ingest_s;
+          Report.cell_float ~decimals:0 records_per_s;
+          Report.cell_float ~decimals:2 mb_per_s;
+        ])
+    runs;
   Report.print t_ingest;
+  let _, wstats, _ = List.nth runs 1 in
+  let native_per_s, native_mb_per_s = Hashtbl.find per_s "native arenas" in
+  let legacy_per_s, _ = Hashtbl.find per_s "records (legacy)" in
   record_int ~figure:"store" "ingest_records" wstats.Store.Writer.records_in;
   record_int ~figure:"store" "ingest_segments" wstats.Store.Writer.segments;
-  record_float ~figure:"store" "ingest_records_per_s" records_per_s;
-  record_float ~figure:"store" "ingest_mb_per_s" mb_per_s;
+  record_float ~figure:"store" "ingest_records_per_s" native_per_s;
+  record_float ~figure:"store" "ingest_mb_per_s" native_mb_per_s;
+  record_float ~figure:"store" "ingest_legacy_records_per_s" legacy_per_s;
   (* Query latency: whole store vs a narrow window the manifest can prune. *)
   let manifest =
     match Store.Manifest.load ~dir with Ok m -> m | Error e -> failwith e
@@ -1045,6 +1148,16 @@ let bench_parallel () =
   in
   let serial, serial_s = time (fun () -> Correlator.correlate cfg outcome.S.logs) in
   let serial_digest = Core.Shard.digest serial in
+  (* The native path starts from packed arenas — the shape the collection
+     plane delivers — so its serial row shows the binary hot path's win
+     and its sharded rows must still digest-match the record-path serial. *)
+  let arenas = Trace.Arena.of_collection outcome.S.logs in
+  let native_serial, native_serial_s =
+    time (fun () -> Correlator.correlate_arena cfg arenas)
+  in
+  let native_serial_equal =
+    String.equal (Core.Shard.digest native_serial) serial_digest
+  in
   let plan = Core.Shard.plan cfg outcome.S.logs in
   let epochs = Array.length (Core.Shard.epoch_ranges plan) in
   let t =
@@ -1056,10 +1169,18 @@ let bench_parallel () =
            epochs
            (Core.Shard.cut_candidates plan)
            (Domain.recommended_domain_count ()))
-      ~columns:[ "jobs"; "seconds"; "speedup vs serial"; "output vs serial" ]
+      ~columns:[ "path"; "jobs"; "seconds"; "speedup vs serial"; "output vs serial" ]
   in
   Report.add_row t
-    [ "serial"; Report.cell_float ~decimals:4 serial_s; "1.00"; "reference" ];
+    [ "records"; "serial"; Report.cell_float ~decimals:4 serial_s; "1.00"; "reference" ];
+  Report.add_row t
+    [
+      "native";
+      "serial";
+      Report.cell_float ~decimals:4 native_serial_s;
+      Report.cell_float ~decimals:2 (serial_s /. native_serial_s);
+      (if native_serial_equal then "identical" else "DIVERGED");
+    ];
   let grid =
     [ 1; 2; 4 ]
     @ (match !jobs_override with Some j when not (List.mem j [ 1; 2; 4 ]) -> [ j ] | _ -> [])
@@ -1068,12 +1189,25 @@ let bench_parallel () =
     (fun jobs ->
       let result, secs = time (fun () -> Core.Shard.correlate ~jobs cfg outcome.S.logs) in
       let equal = String.equal (Core.Shard.digest result) serial_digest in
+      let nresult, nsecs =
+        time (fun () -> Core.Shard.correlate_arena ~jobs cfg arenas)
+      in
+      let nequal = String.equal (Core.Shard.digest nresult) serial_digest in
       Report.add_row t
         [
+          "records";
           Report.cell_int jobs;
           Report.cell_float ~decimals:4 secs;
           Report.cell_float ~decimals:2 (serial_s /. secs);
           (if equal then "identical" else "DIVERGED");
+        ];
+      Report.add_row t
+        [
+          "native";
+          Report.cell_int jobs;
+          Report.cell_float ~decimals:4 nsecs;
+          Report.cell_float ~decimals:2 (serial_s /. nsecs);
+          (if nequal then "identical" else "DIVERGED");
         ];
       record_float ~figure:"parallel" (Printf.sprintf "seconds_jobs_%d" jobs) secs;
       record_float ~figure:"parallel"
@@ -1081,10 +1215,16 @@ let bench_parallel () =
         (serial_s /. secs);
       record_int ~figure:"parallel"
         (Printf.sprintf "serial_equal_jobs_%d" jobs)
-        (if equal then 1 else 0))
+        (if equal then 1 else 0);
+      record_float ~figure:"parallel" (Printf.sprintf "native_seconds_jobs_%d" jobs) nsecs;
+      record_int ~figure:"parallel"
+        (Printf.sprintf "native_serial_equal_jobs_%d" jobs)
+        (if nequal then 1 else 0))
     grid;
   Report.print t;
   record_float ~figure:"parallel" "seconds_serial" serial_s;
+  record_float ~figure:"parallel" "native_seconds_serial" native_serial_s;
+  record_int ~figure:"parallel" "native_serial_equal" (if native_serial_equal then 1 else 0);
   record_int ~figure:"parallel" "epochs" epochs;
   record_int ~figure:"parallel" "cut_candidates" (Core.Shard.cut_candidates plan);
   record_int ~figure:"parallel" "host_domains" (Domain.recommended_domain_count ())
@@ -1435,6 +1575,9 @@ let () =
     | "--json" :: file :: rest ->
         json_out := Some file;
         parse rest
+    | "--gate" :: file :: rest ->
+        gate_file := Some file;
+        parse rest
     | "--telemetry-format" :: fmt :: rest ->
         (match fmt with
         | "prom" -> telemetry_format := `Prom
@@ -1474,6 +1617,7 @@ let () =
       figure_seconds := (name, Unix.gettimeofday () -. t0) :: !figure_seconds)
     figures;
   (match !json_out with None -> () | Some file -> emit_json file);
+  (match !gate_file with None -> () | Some file -> run_gate file);
   match !telemetry_out with
   | None -> ()
   | Some file ->

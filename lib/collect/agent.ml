@@ -66,9 +66,8 @@ type t = {
       (* bumped by crash/restart so continuations parked across the
          transition (CPU completions, socket callbacks) detect they
          belong to a dead incarnation and do nothing *)
-  mutable batch : Activity.t list;  (* newest first *)
-  mutable batch_n : int;
-  encode_q : (Activity.t list * int * Sim_time.t) Queue.t;
+  mutable batch : Trace.Arena.t;  (* open batch, append order = probe order *)
+  encode_q : (Trace.Arena.t * int * Sim_time.t) Queue.t;
   mutable queued : int;  (* records in encode_q *)
   mutable encoding : bool;
   mutable spool : entry list;  (* oldest first; send order *)
@@ -101,7 +100,8 @@ type t = {
 
 let host t = t.hostname
 let is_up t = t.alive
-let held t = t.batch_n + t.queued + t.spool_records
+let batch_n t = Trace.Arena.length t.batch
+let held t = batch_n t + t.queued + t.spool_records
 let oldest_resendable t = match t.spool with e :: _ -> e.seq | [] -> t.next_seq
 
 let drop t reason n =
@@ -144,8 +144,7 @@ let create ?(telemetry = R.default) ?(config = default_config) ~wire ~node ~coll
     sock = None;
     alive = true;
     epoch = 0;
-    batch = [];
-    batch_n = 0;
+    batch = Trace.Arena.create ~capacity:(max 1 config.batch_records) ~host:hostname ();
     encode_q = Queue.create ();
     queued = 0;
     encoding = false;
@@ -294,9 +293,9 @@ and recv_loop t sock epoch dec =
 let rec kick_encode t =
   if t.alive && (not t.encoding) && not (Queue.is_empty t.encode_q) then begin
     t.encoding <- true;
-    let records, n, watermark = Queue.peek t.encode_q in
+    let arena, n, watermark = Queue.peek t.encode_q in
     let kept =
-      if Store.Policy.is_none t.cfg.policy then records
+      if Store.Policy.is_none t.cfg.policy then arena
       else
         match t.cfg.correlate with
         | None -> assert false (* rejected at create *)
@@ -306,12 +305,15 @@ let rec kick_encode t =
             let collection, _ =
               Store.Reduce.apply ~telemetry:(R.create ()) ~jobs:1 ~correlate
                 ~policy:t.cfg.policy
-                [ Trace.Log.of_list ~hostname:t.hostname records ]
+                [ Trace.Arena.to_log arena ]
             in
-            List.concat_map Trace.Log.to_list collection
+            (match Trace.Arena.of_collection collection with
+            | [ a ] -> a
+            | [] -> Trace.Arena.create ~host:t.hostname ()
+            | _ -> assert false (* the policy reduces one log to one log *))
     in
-    let kept_n = List.length kept in
-    let payload = Frame.encode_payload ~host:t.hostname kept in
+    let kept_n = Trace.Arena.length kept in
+    let payload = Frame.encode_payload_arena kept in
     let work =
       Sim_time.span_add t.cfg.cpu_per_frame
         (Sim_time.span_scale (float_of_int n) t.cfg.cpu_per_record)
@@ -346,20 +348,22 @@ let rec kick_encode t =
   end
 
 let cut t =
-  match t.batch with
-  | [] -> ()
-  | newest :: _ ->
-      (match t.flush_timer with
-      | Some tm ->
-          Engine.cancel t.engine tm;
-          t.flush_timer <- None
-      | None -> ());
-      let records = List.rev t.batch and n = t.batch_n in
-      t.batch <- [];
-      t.batch_n <- 0;
-      Queue.push (records, n, newest.Activity.timestamp) t.encode_q;
-      t.queued <- t.queued + n;
-      kick_encode t
+  let n = batch_n t in
+  if n > 0 then begin
+    (match t.flush_timer with
+    | Some tm ->
+        Engine.cancel t.engine tm;
+        t.flush_timer <- None
+    | None -> ());
+    let arena = t.batch in
+    (* the probe feeds in host-local time order, so the newest record is
+       the last row appended *)
+    let watermark = Sim_time.of_ns (Trace.Arena.ts arena (n - 1)) in
+    t.batch <- Trace.Arena.create ~capacity:(max 1 t.cfg.batch_records) ~host:t.hostname ();
+    Queue.push (arena, n, watermark) t.encode_q;
+    t.queued <- t.queued + n;
+    kick_encode t
+  end
 
 let arm_flush t =
   if t.flush_timer = None then
@@ -402,10 +406,9 @@ let observe t (a : Activity.t) =
       end;
       if held t >= t.cfg.max_spool_records then drop t "buffer_full" 1
       else begin
-        t.batch <- a :: t.batch;
-        t.batch_n <- t.batch_n + 1;
+        Trace.Arena.append_activity t.batch a;
         R.set_max t.g_spool_peak (float_of_int (held t));
-        if t.batch_n >= t.cfg.batch_records then cut t else arm_flush t
+        if batch_n t >= t.cfg.batch_records then cut t else arm_flush t
       end
     end
   end
@@ -432,9 +435,8 @@ let crash t =
         t.flush_timer <- None
     | None -> ());
     (* the open batch and encode queue live in process memory: lost *)
-    drop t "crash" (t.batch_n + t.queued);
-    t.batch <- [];
-    t.batch_n <- 0;
+    drop t "crash" (batch_n t + t.queued);
+    Trace.Arena.clear t.batch;
     Queue.clear t.encode_q;
     t.queued <- 0
     (* the spool is the agent's disk frame store: it survives *)
@@ -473,7 +475,7 @@ let stats t =
     bytes_shipped = t.s_bytes;
     acked_records = t.s_acked;
     spooled_records = t.spool_records;
-    queued_records = t.batch_n + t.queued;
+    queued_records = batch_n t + t.queued;
     connections = t.s_connections;
   }
 

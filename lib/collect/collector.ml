@@ -21,6 +21,10 @@ type host_state = {
   g_watermark : R.gauge;
 }
 
+(* Nameable default so [deliver] can skip materialising records when only
+   the arena sink (or nobody) is listening. *)
+let default_on_activity (_ : Trace.Activity.t) = ()
+
 type t = {
   wire : Wire.t;
   node : Node.t;
@@ -30,6 +34,7 @@ type t = {
   cpu_per_frame : Sim_time.span;
   cpu_per_record : Sim_time.span;
   on_activity : Trace.Activity.t -> unit;
+  on_arena : Trace.Arena.t -> unit;
   hosts : (string, host_state) Hashtbl.t;
   mutable decode_errors : int;
   telemetry : R.t;
@@ -67,7 +72,8 @@ let host_state t hostname =
 let deliver t s (f : Frame.t) =
   s.delivered_frames <- s.delivered_frames + 1;
   R.incr s.c_frames;
-  let n = List.length f.Frame.activities in
+  let arena = f.Frame.arena in
+  let n = Trace.Arena.length arena in
   s.delivered_records <- s.delivered_records + n;
   R.add s.c_records n;
   if Sim_time.(f.Frame.watermark > s.watermark) then begin
@@ -75,14 +81,17 @@ let deliver t s (f : Frame.t) =
     R.set s.g_watermark (Sim_time.to_float_s f.Frame.watermark)
   end;
   let now = Engine.now t.engine in
-  List.iter
-    (fun (a : Trace.Activity.t) ->
-      (* delivery lag vs the probe's stamp; clamped at zero because the
-         stamp is a skewed host-local clock *)
-      let lag = Sim_time.span_to_float_s (Sim_time.diff now a.Trace.Activity.timestamp) in
-      Telemetry.Histogram.observe t.h_lag (Float.max 0. lag);
-      t.on_activity a)
-    f.Frame.activities
+  for i = 0 to n - 1 do
+    (* delivery lag vs the probe's stamp; clamped at zero because the
+       stamp is a skewed host-local clock *)
+    let ts = Sim_time.of_ns (Trace.Arena.ts arena i) in
+    let lag = Sim_time.span_to_float_s (Sim_time.diff now ts) in
+    Telemetry.Histogram.observe t.h_lag (Float.max 0. lag)
+  done;
+  (* Records are materialised only when someone asked for them; the
+     native sink receives the frame's arena as-is. *)
+  if t.on_activity != default_on_activity then Trace.Arena.iter arena t.on_activity;
+  t.on_arena arena
 
 let handle_frame t (f : Frame.t) =
   let s = host_state t f.Frame.host in
@@ -146,7 +155,7 @@ let serve t sock =
                     Sim_time.span_add acc
                       (Sim_time.span_add t.cpu_per_frame
                          (Sim_time.span_scale
-                            (float_of_int (List.length f.Frame.activities))
+                            (float_of_int (Frame.records f))
                             t.cpu_per_record)))
                   Sim_time.span_zero frames
               in
@@ -170,7 +179,8 @@ let serve t sock =
   loop ()
 
 let create ?(telemetry = R.default) ?(recv_chunk = 8192) ?(cpu_per_frame = Sim_time.us 50)
-    ?(cpu_per_record = Sim_time.ns 500) ?(on_activity = fun _ -> ()) ~wire ~node ~port () =
+    ?(cpu_per_record = Sim_time.ns 500) ?(on_activity = default_on_activity)
+    ?(on_arena = fun _ -> ()) ~wire ~node ~port () =
   if recv_chunk <= 0 then invalid_arg "Collector.create: recv_chunk";
   let t =
     {
@@ -182,6 +192,7 @@ let create ?(telemetry = R.default) ?(recv_chunk = 8192) ?(cpu_per_frame = Sim_t
       cpu_per_frame;
       cpu_per_record;
       on_activity;
+      on_arena;
       hosts = Hashtbl.create 8;
       decode_errors = 0;
       telemetry;

@@ -21,6 +21,7 @@ val create :
   ?cpu_per_frame:Simnet.Sim_time.span ->
   ?cpu_per_record:Simnet.Sim_time.span ->
   ?on_activity:(Trace.Activity.t -> unit) ->
+  ?on_arena:(Trace.Arena.t -> unit) ->
   wire:Wire.t ->
   node:Simnet.Node.t ->
   port:int ->
@@ -28,8 +29,12 @@ val create :
   t
 (** Listen on [node]:[port]. Each delivered frame costs
     [cpu_per_frame + records * cpu_per_record] of collector CPU before
-    its activities reach [on_activity] (defaults 50 us + 500 ns).
-    [recv_chunk] is the recv-syscall buffer (default 8192). *)
+    its activities reach the sinks (defaults 50 us + 500 ns).
+    [on_arena] receives each delivered frame's payload in the native
+    representation (the zero-materialisation path — feed it to
+    {!Core.Online.observe_arena} or {!Store.Writer.ingest_native});
+    [on_activity], when supplied, receives the same rows materialised as
+    records. [recv_chunk] is the recv-syscall buffer (default 8192). *)
 
 val endpoint : t -> Simnet.Address.endpoint
 

@@ -50,17 +50,34 @@ let install ?(telemetry = R.default) ?(config = default_config) ?writer ?on_path
   let online =
     Core.Online.create ~config:correlate ~hosts:(Service.server_hostnames svc)
       ?straggler_timeout:config.straggler_timeout ?max_buffered:config.max_buffered
-      ?on_activity:(Option.map (fun w a -> Store.Writer.observe w a) writer)
       ?on_path ~telemetry ()
   in
-  (* The collector is an extra, untraced machine on the same network. *)
+  (* The collector is an extra, untraced machine on the same network.
+     Delivery stays in the native representation end to end: each frame's
+     arena is teed row-by-row into the store writer (raw, pre-transform,
+     exactly like the old record tee) and fed to the online correlator. *)
+  let on_arena =
+    match writer with
+    | None -> Core.Online.observe_arena online
+    | Some w ->
+        fun arena ->
+          let host = Trace.Arena.host_sid arena in
+          for i = 0 to Trace.Arena.length arena - 1 do
+            Store.Writer.observe_row w ~host
+              ~kind:(Trace.Arena.kind_code arena i)
+              ~ts:(Trace.Arena.ts arena i)
+              ~ctx:(Trace.Arena.ctx_id arena i)
+              ~flow:(Trace.Arena.flow_id arena i)
+              ~size:(Trace.Arena.size arena i)
+          done;
+          Core.Online.observe_arena online arena
+  in
   let collector_node =
     Node.create ~engine ~hostname:"collect1" ~ip:(Address.ip_of_string "10.0.9.1") ~cores:2
       ()
   in
   let collector =
-    Collector.create ~telemetry ~on_activity:(Core.Online.observe online) ~wire
-      ~node:collector_node ~port:config.port ()
+    Collector.create ~telemetry ~on_arena ~wire ~node:collector_node ~port:config.port ()
   in
   let agent_config =
     {

@@ -12,7 +12,8 @@ let max_payload_len = 1 lsl 28
 (* ---- encoding (same LEB128 primitives as Trace.Binary_format) ---- *)
 
 let put_uvarint buf n =
-  assert (n >= 0);
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Frame.put_uvarint: negative value %d" n);
   let rec go n =
     if n < 0x80 then Buffer.add_char buf (Char.chr n)
     else begin
@@ -22,8 +23,10 @@ let put_uvarint buf n =
   in
   go n
 
+let encode_payload_arena arena = Trace.Binary_format.encode_native [ arena ]
+
 let encode_payload ~host activities =
-  Trace.Binary_format.encode [ Trace.Log.of_list ~hostname:host activities ]
+  encode_payload_arena (Trace.Arena.of_log (Trace.Log.of_list ~hostname:host activities))
 
 let encode ~seq ~oldest ~host ~watermark ~payload =
   if seq < 0 then invalid_arg "Frame.encode: negative seq";
@@ -52,8 +55,11 @@ type t = {
   oldest : int;
   host : string;
   watermark : Sim_time.t;
-  activities : Trace.Activity.t list;
+  arena : Trace.Arena.t;  (* decoded payload rows, native representation *)
 }
+
+let records f = Trace.Arena.length f.arena
+let activities f = List.rev (Trace.Arena.fold f.arena (fun acc a -> a :: acc) [])
 
 (* ---- incremental decoding ----
 
@@ -170,19 +176,19 @@ let parse_frame c =
     raise (Bad (plen_at, Printf.sprintf "payload length %d exceeds limit" plen));
   let payload_at = abs_pos c in
   let payload = get_bytes c plen in
-  match Trace.Binary_format.decode payload with
+  match Trace.Binary_format.decode_native payload with
   | Error e -> raise (Bad (payload_at, Printf.sprintf "payload: %s" e))
-  | Ok collection ->
-      let activities =
-        match collection with
-        | [] -> []
-        | [ log ] ->
-            if not (String.equal (Trace.Log.hostname log) host) then
+  | Ok arenas ->
+      let arena =
+        match arenas with
+        | [] -> Trace.Arena.create ~host ()
+        | [ a ] ->
+            if not (String.equal (Trace.Arena.hostname a) host) then
               raise (Bad (payload_at, "payload hostname differs from frame header"));
-            Trace.Log.to_list log
+            a
         | _ -> raise (Bad (payload_at, "payload holds more than one log"))
       in
-      { seq; oldest; host; watermark; activities }
+      { seq; oldest; host; watermark; arena }
 
 module Decoder = struct
   type frame = t

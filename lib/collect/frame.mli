@@ -35,8 +35,17 @@ type t = {
   oldest : int;
   host : string;
   watermark : Simnet.Sim_time.t;  (** Host-local clock of the batch cut. *)
-  activities : Trace.Activity.t list;
+  arena : Trace.Arena.t;
+      (** Decoded payload rows in file order — the native representation;
+          records are materialised only where a consumer wants them. *)
 }
+
+val records : t -> int
+(** Row count of the payload. *)
+
+val activities : t -> Trace.Activity.t list
+(** The payload materialised as records, in payload order (tests and
+    record-level consumers; the hot path iterates [arena] directly). *)
 
 val magic : string
 (** ["PTC1"]. *)
@@ -44,8 +53,13 @@ val magic : string
 val ack_magic : string
 (** ["PTA1"]. *)
 
+val encode_payload_arena : Trace.Arena.t -> string
+(** The PTB1 payload bytes for one batch (what an agent spools) —
+    {!Trace.Binary_format.encode_native} over the single host arena. *)
+
 val encode_payload : host:string -> Trace.Activity.t list -> string
-(** The PTB1 payload bytes for one batch (what an agent spools). *)
+(** Record-list convenience over {!encode_payload_arena} (sorts into
+    {!Trace.Log} order first, like the store does). *)
 
 val encode :
   seq:int -> oldest:int -> host:string -> watermark:Simnet.Sim_time.t -> payload:string ->

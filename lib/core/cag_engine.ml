@@ -1,13 +1,7 @@
 module Activity = Trace.Activity
 module Address = Simnet.Address
+module Intern = Trace.Intern
 module Sim_time = Simnet.Sim_time
-
-module Context_table = Hashtbl.Make (struct
-  type t = Activity.context
-
-  let equal = Activity.equal_context
-  let hash = Activity.hash_context
-end)
 
 type stats = {
   cags_started : int;
@@ -26,9 +20,12 @@ type stats = {
   evicted_sends : int;
 }
 
+(* Both indexes are keyed on process-wide {!Intern} ids: one int hash per
+   lookup, no string hashing or structural context comparison on the
+   correlation hot path. *)
 type t = {
-  mmap : Cag.vertex Deque.t Address.Flow_table.t;
-  cmap : Cag.vertex Context_table.t;
+  mmap : (int, Cag.vertex Deque.t) Hashtbl.t;  (* flow id -> outstanding SENDs *)
+  cmap : (int, Cag.vertex) Hashtbl.t;  (* context id -> latest vertex *)
   on_finished : Cag.t -> unit;
   mutable rev_finished : Cag.t list;
   mutable open_cags : Cag.t list;  (* unfinished, most recent first *)
@@ -51,8 +48,8 @@ type t = {
 
 let create ?(on_finished = fun _ -> ()) () =
   {
-    mmap = Address.Flow_table.create 1024;
-    cmap = Context_table.create 256;
+    mmap = Hashtbl.create 1024;
+    cmap = Hashtbl.create 256;
     on_finished;
     rev_finished = [];
     open_cags = [];
@@ -74,16 +71,16 @@ let create ?(on_finished = fun _ -> ()) () =
   }
 
 let has_mmap_send t flow =
-  match Address.Flow_table.find_opt t.mmap flow with
+  match Hashtbl.find_opt t.mmap (Intern.flow_id flow) with
   | Some q -> not (Deque.is_empty q)
   | None -> false
 
 let mmap_deque t flow =
-  match Address.Flow_table.find_opt t.mmap flow with
+  match Hashtbl.find_opt t.mmap flow with
   | Some q -> q
   | None ->
       let q = Deque.create () in
-      Address.Flow_table.replace t.mmap flow q;
+      Hashtbl.replace t.mmap flow q;
       q
 
 let mmap_push t flow vertex =
@@ -98,16 +95,16 @@ let mmap_push_front t flow vertex =
   t.mmap_count <- t.mmap_count + 1
 
 let mmap_front t flow =
-  match Address.Flow_table.find_opt t.mmap flow with
+  match Hashtbl.find_opt t.mmap flow with
   | Some q -> Deque.peek_front q
   | None -> None
 
 let mmap_pop t flow =
-  match Address.Flow_table.find_opt t.mmap flow with
+  match Hashtbl.find_opt t.mmap flow with
   | Some q when not (Deque.is_empty q) ->
       ignore (Deque.pop_front q);
       t.mmap_count <- t.mmap_count - 1;
-      if Deque.is_empty q then Address.Flow_table.remove t.mmap flow
+      if Deque.is_empty q then Hashtbl.remove t.mmap flow
   | Some _ | None -> ()
 
 let bump_live t n =
@@ -126,8 +123,8 @@ let same_open_cag a b =
   | Some ca, Some cb -> ca == cb
   | _ -> false
 
-let cmap_parent t (a : Activity.t) = Context_table.find_opt t.cmap a.context
-let cmap_set t (a : Activity.t) v = Context_table.replace t.cmap a.context v
+let cmap_parent t ctx = Hashtbl.find_opt t.cmap ctx
+let cmap_set t ctx v = Hashtbl.replace t.cmap ctx v
 
 (* Attach [v] under [parent]'s open CAG (if any) with a context edge. *)
 let attach_context t ~parent v =
@@ -137,14 +134,14 @@ let attach_context t ~parent v =
       Cag.Builder.add_edge Cag.Context_edge ~parent ~child:v
   | None -> t.orphans <- t.orphans + 1
 
-let handle_begin t (a : Activity.t) =
+let handle_begin t ctx (a : Activity.t) =
   let root = Cag.Builder.fresh_vertex a in
   let cag = Cag.Builder.create ~cag_id:t.next_cag_id root in
   t.next_cag_id <- t.next_cag_id + 1;
   t.cags_started <- t.cags_started + 1;
   t.open_cags <- cag :: t.open_cags;
   bump_live t 1;
-  cmap_set t a root
+  cmap_set t ctx root
 
 let finish_cag t cag =
   (* A SEND whose bytes were never fully matched by a RECEIVE means the
@@ -165,8 +162,8 @@ let finish_cag t cag =
   t.live_vertices <- t.live_vertices - Cag.size cag;
   t.on_finished cag
 
-let handle_end t (a : Activity.t) =
-  match cmap_parent t a with
+let handle_end t ctx (a : Activity.t) =
+  match cmap_parent t ctx with
   | Some parent
     when Activity.equal_kind parent.Cag.activity.Activity.kind Activity.End_
          && Address.flow_equal parent.Cag.activity.Activity.message.flow a.message.flow ->
@@ -181,19 +178,19 @@ let handle_end t (a : Activity.t) =
       | Some cag ->
           Cag.Builder.adopt cag v;
           Cag.Builder.add_edge Cag.Context_edge ~parent ~child:v;
-          cmap_set t a v;
+          cmap_set t ctx v;
           finish_cag t cag
       | None ->
           t.orphans <- t.orphans + 1;
-          cmap_set t a v)
+          cmap_set t ctx v)
   | None ->
       let v = Cag.Builder.fresh_vertex a in
       bump_live t 1;
       t.orphans <- t.orphans + 1;
-      cmap_set t a v
+      cmap_set t ctx v
 
-let handle_send t (a : Activity.t) =
-  match cmap_parent t a with
+let handle_send t ctx flow (a : Activity.t) =
+  match cmap_parent t ctx with
   | Some parent
     when Activity.equal_kind parent.Cag.activity.Activity.kind Activity.Send
          && Address.flow_equal parent.Cag.activity.Activity.message.flow a.message.flow ->
@@ -204,26 +201,26 @@ let handle_send t (a : Activity.t) =
       let was_drained = parent.Cag.unreceived = 0 in
       Cag.Builder.grow_send parent a.message.size;
       Cag.Builder.add_source parent a;
-      if was_drained then mmap_push_front t a.message.flow parent;
+      if was_drained then mmap_push_front t flow parent;
       t.send_merges <- t.send_merges + 1
   | Some parent ->
       let v = Cag.Builder.fresh_vertex a in
       bump_live t 1;
       attach_context t ~parent v;
-      cmap_set t a v;
-      mmap_push t a.message.flow v
+      cmap_set t ctx v;
+      mmap_push t flow v
   | None ->
       (* First activity seen in this context (e.g. an untraced peer): the
          SEND still enters the mmap so its RECEIVEs correlate. *)
       let v = Cag.Builder.fresh_vertex a in
       bump_live t 1;
       t.orphans <- t.orphans + 1;
-      cmap_set t a v;
-      mmap_push t a.message.flow v
+      cmap_set t ctx v;
+      mmap_push t flow v
 
 (* The existing RECEIVE vertex of [sender]'s message in context [a.context],
    if the message was completed once already and has since grown. *)
-let existing_receive_of t sender (a : Activity.t) =
+let existing_receive_of t ctx sender (a : Activity.t) =
   let is_that_child (kind, (c : Cag.vertex)) =
     kind = Cag.Message_edge
     && Activity.equal_kind c.Cag.activity.Activity.kind Activity.Receive
@@ -233,11 +230,11 @@ let existing_receive_of t sender (a : Activity.t) =
   | Some (_, child) -> (
       (* Only reuse it while it is still the context's latest activity;
          otherwise fall back to a fresh vertex. *)
-      match cmap_parent t a with Some v when v == child -> Some child | _ -> None)
+      match cmap_parent t ctx with Some v when v == child -> Some child | _ -> None)
   | None -> None
 
-let handle_receive t (a : Activity.t) =
-  match mmap_front t a.message.flow with
+let handle_receive t ctx flow (a : Activity.t) =
+  match mmap_front t flow with
   | None -> t.unmatched_receives <- t.unmatched_receives + 1
   | Some sender ->
       let remaining = Cag.Builder.consume sender a.message.size in
@@ -249,10 +246,10 @@ let handle_receive t (a : Activity.t) =
       end
       else begin
         if remaining < 0 then t.crossed_boundaries <- t.crossed_boundaries + 1;
-        mmap_pop t a.message.flow;
+        mmap_pop t flow;
         let full_size = sender.Cag.activity.Activity.message.size in
         let chunks = Cag.Builder.take_pending_sources sender in
-        match existing_receive_of t sender a with
+        match existing_receive_of t ctx sender a with
         | Some v ->
             (* The message completed before (its SEND grew afterwards):
                extend the same RECEIVE vertex to the new completion. *)
@@ -273,21 +270,32 @@ let handle_receive t (a : Activity.t) =
                 Cag.Builder.add_edge Cag.Message_edge ~parent:sender ~child:v;
                 (* Thread-reuse check (pseudo-code lines 29-32): the adjacent
                    context edge is added only if both parents share the CAG. *)
-                (match cmap_parent t a with
+                (match cmap_parent t ctx with
                 | Some parent_cntx when same_open_cag parent_cntx sender ->
                     Cag.Builder.add_edge Cag.Context_edge ~parent:parent_cntx ~child:v
                 | Some _ -> t.thread_reuse_blocked <- t.thread_reuse_blocked + 1
                 | None -> ())
             | None -> t.orphans <- t.orphans + 1);
-            cmap_set t a v
+            cmap_set t ctx v
       end
 
-let step t (a : Activity.t) =
+(* [step_ids] is the native entry: callers that already hold the row's
+   interned ids (an arena-driven feed) pay no intern lookup at all. *)
+let step_ids t ~ctx ~flow (a : Activity.t) =
   match a.kind with
-  | Activity.Begin -> handle_begin t a
-  | Activity.End_ -> handle_end t a
-  | Activity.Send -> handle_send t a
-  | Activity.Receive -> handle_receive t a
+  | Activity.Begin -> handle_begin t ctx a
+  | Activity.End_ -> handle_end t ctx a
+  | Activity.Send -> handle_send t ctx flow a
+  | Activity.Receive -> handle_receive t ctx flow a
+
+let step t (a : Activity.t) =
+  let ctx = Intern.context_id a.context in
+  let flow =
+    match a.kind with
+    | Activity.Send | Activity.Receive -> Intern.flow_id a.message.flow
+    | Activity.Begin | Activity.End_ -> -1
+  in
+  step_ids t ~ctx ~flow a
 
 let live_vertices t = t.live_vertices
 let mmap_entries t = t.mmap_count
@@ -295,7 +303,7 @@ let mmap_entries t = t.mmap_count
 let gc t ~older_than =
   let evicted = ref 0 in
   let stale_flows = ref [] in
-  Address.Flow_table.iter
+  Hashtbl.iter
     (fun flow q ->
       (* Entries are FIFO per flow, so stale ones sit at the front. *)
       let continue = ref true in
@@ -320,7 +328,7 @@ let gc t ~older_than =
       done;
       if Deque.is_empty q then stale_flows := flow :: !stale_flows)
     t.mmap;
-  List.iter (Address.Flow_table.remove t.mmap) !stale_flows;
+  List.iter (Hashtbl.remove t.mmap) !stale_flows;
   !evicted
 let finished t = List.rev t.rev_finished
 let unfinished t = List.rev t.open_cags

@@ -56,6 +56,13 @@ val has_mmap_send : t -> Simnet.Address.flow -> bool
 val step : t -> Trace.Activity.t -> unit
 (** Correlate one candidate. Candidates must arrive in ranker order. *)
 
+val step_ids : t -> ctx:int -> flow:int -> Trace.Activity.t -> unit
+(** {!step} for callers that already hold the record's {!Trace.Intern}
+    context and flow ids (an arena-driven feed): no intern lookups on the
+    hot path. [flow] is ignored for BEGIN/END candidates (pass [-1]).
+    Both maps are keyed on these ids, so [step a] is just
+    [step_ids ~ctx:(context_id a.context) ~flow:... a]. *)
+
 val finished : t -> Cag.t list
 (** Completed CAGs, in completion order. *)
 

@@ -55,6 +55,22 @@ val correlate_stream :
 (** Same, invoking [on_path] as each causal path completes — the paper's
     intended online use. *)
 
+val correlate_arena :
+  ?telemetry:Telemetry.Registry.t -> config -> Trace.Arena.t list -> result
+(** {!correlate} fed from the native representation: the {!Transform}
+    pass runs as {!Transform.apply_native} (one memoised decision per
+    interned context/flow id) and records are materialised exactly once,
+    for the ranker. Decoded segments and collector batches take this
+    entry without round-tripping through {!Trace.Log}. *)
+
+val correlate_arena_stream :
+  ?telemetry:Telemetry.Registry.t ->
+  config ->
+  Trace.Arena.t list ->
+  on_path:(Cag.t -> unit) ->
+  result
+(** {!correlate_arena} invoking [on_path] as each path completes. *)
+
 val correlate_prepared :
   ?telemetry:Telemetry.Registry.t ->
   ?started:float ->

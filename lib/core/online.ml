@@ -1,9 +1,15 @@
 module Activity = Trace.Activity
+module Arena = Trace.Arena
 module Sim_time = Simnet.Sim_time
 module R = Telemetry.Registry
 
+(* Nameable default so the arena path can detect "nobody is listening"
+   physically and skip materialising filtered-out rows just to tee them. *)
+let default_on_activity (_ : Trace.Activity.t) = ()
+
 type t = {
   transform : Transform.config;
+  tmemo : Transform.memo;  (* per-id transform decisions for {!observe_arena} *)
   on_activity : Trace.Activity.t -> unit;
   ranker : Ranker.t;
   engine : Cag_engine.t;
@@ -72,7 +78,7 @@ let pending t =
   t.accepted - s.Ranker.candidates - s.Ranker.noise_discarded
 
 let create ~config ~hosts ?straggler_timeout ?max_buffered ?reorder_slack
-    ?(on_path = fun _ -> ()) ?(on_activity = fun _ -> ()) ?(telemetry = R.default) () =
+    ?(on_path = fun _ -> ()) ?(on_activity = default_on_activity) ?(telemetry = R.default) () =
   let holder = ref None in
   let engine =
     Cag_engine.create
@@ -106,6 +112,7 @@ let create ~config ~hosts ?straggler_timeout ?max_buffered ?reorder_slack
   let t =
     {
       transform = config.Correlator.transform;
+      tmemo = Transform.memo config.Correlator.transform;
       on_activity;
       ranker;
       engine;
@@ -158,24 +165,53 @@ let create ~config ~hosts ?straggler_timeout ?max_buffered ?reorder_slack
   List.iter (fun r -> ignore (t.m_quarantined r : R.counter)) Ranker.all_reject_reasons;
   t
 
+let feed_classified t activity =
+  match Ranker.feed t.ranker activity with
+  | Ranker.Quarantined reason ->
+      (* Never raises — not even after [finish] or on garbage input;
+         the record is counted and kept for inspection instead. *)
+      R.incr (t.m_quarantined reason)
+  | Ranker.Accepted | Ranker.Resorted ->
+      t.accepted <- t.accepted + 1;
+      R.incr t.m_observed;
+      if Sim_time.(activity.Activity.timestamp > t.watermark) then
+        t.watermark <- activity.Activity.timestamp;
+      drain t;
+      sync_degraded t;
+      R.set t.m_pending (float_of_int (pending t))
+
 let observe t raw =
   t.on_activity raw;
   match Transform.classify t.transform raw with
   | None -> ()
-  | Some activity -> (
-      match Ranker.feed t.ranker activity with
-      | Ranker.Quarantined reason ->
-          (* Never raises — not even after [finish] or on garbage input;
-             the record is counted and kept for inspection instead. *)
-          R.incr (t.m_quarantined reason)
-      | Ranker.Accepted | Ranker.Resorted ->
-          t.accepted <- t.accepted + 1;
-          R.incr t.m_observed;
-          if Sim_time.(activity.Activity.timestamp > t.watermark) then
-            t.watermark <- activity.Activity.timestamp;
-          drain t;
-          sync_degraded t;
-          R.set t.m_pending (float_of_int (pending t)))
+  | Some activity -> feed_classified t activity
+
+(* Row [i] as an activity record carrying the transform's rewritten kind.
+   The canonical interned context/flow are shared, so a kept row costs two
+   blocks (three when the kind was rewritten). *)
+let materialize_row arena i k =
+  let a = Arena.get arena i in
+  if Activity.kind_to_code a.Activity.kind = k then a
+  else
+    match Activity.kind_of_code k with
+    | Some kind -> { a with Activity.kind }
+    | None -> a (* unreachable: classify_row only returns valid codes *)
+
+let observe_arena t arena =
+  let custom = Transform.has_custom_keep t.transform in
+  (* Filtered-out rows only need materialising when a tee listener or a
+     custom keep predicate wants the raw record. *)
+  let raw_all = custom || t.on_activity != default_on_activity in
+  for i = 0 to Arena.length arena - 1 do
+    let k = Transform.classify_row t.tmemo arena i in
+    if raw_all then begin
+      let raw = Arena.get arena i in
+      t.on_activity raw;
+      if k >= 0 && ((not custom) || t.transform.Transform.keep raw) then
+        feed_classified t (materialize_row arena i k)
+    end
+    else if k >= 0 then feed_classified t (materialize_row arena i k)
+  done
 
 let finish t =
   Ranker.close_input t.ranker;

@@ -72,6 +72,14 @@ val observe : t -> Trace.Activity.t -> unit
     records (including any fed after {!finish}) are quarantined and
     counted instead. *)
 
+val observe_arena : t -> Trace.Arena.t -> unit
+(** {!observe} over every row of an arena, in row order — the native feed
+    for collector batches and decoded segments. Transform decisions are
+    memoised per interned context/flow id, and records are materialised
+    only for rows that survive the filters (unless an [on_activity] tee
+    or a custom [keep] needs the raw record). Same quarantine-not-raise
+    contract as {!observe}. *)
+
 val finish : t -> unit
 (** Declare the input complete and drain everything that remains.
     Idempotent; further {!observe} calls are quarantined as [closed]. *)

@@ -240,21 +240,18 @@ let merge_results ~started (results : Correlator.result array) : Correlator.resu
         memory_bytes_estimate = fold max 0 (fun r -> r.Correlator.memory_bytes_estimate);
       }
 
-let correlate ?(telemetry = R.default) ?pool ?jobs ?cut_margin (cfg : Correlator.config)
-    collection =
-  let jobs =
-    match (jobs, pool) with
-    | Some j, _ -> max 1 j
-    | None, Some p -> Pool.size p
-    | None, None -> Pool.default_jobs ()
-  in
-  if jobs <= 1 then Correlator.correlate ~telemetry cfg collection
-  else begin
-    let started = Unix.gettimeofday () in
-    let prepared =
-      R.time telemetry ~labels:[ ("stage", "transform") ] "pt_correlator_stage_seconds"
-        (fun () -> Transform.apply cfg.Correlator.transform collection)
-    in
+let resolve_jobs jobs pool =
+  match (jobs, pool) with
+  | Some j, _ -> max 1 j
+  | None, Some p -> Pool.size p
+  | None, None -> Pool.default_jobs ()
+
+(* The sharded pipeline after the transform: plan, correlate each epoch in
+   a worker domain, merge. Shared by the record-path and native-path
+   front-ends, which differ only in how [prepared] was produced. *)
+let correlate_sharded ~telemetry ~started ?pool ~jobs ?cut_margin (cfg : Correlator.config)
+    prepared =
+  begin
     let margin = Option.value cut_margin ~default:cfg.Correlator.window in
     let p =
       R.time telemetry ~labels:[ ("stage", "plan") ] "pt_parallel_stage_seconds" (fun () ->
@@ -296,6 +293,32 @@ let correlate ?(telemetry = R.default) ?pool ?jobs ?cut_margin (cfg : Correlator
       R.time telemetry ~labels:[ ("stage", "merge") ] "pt_parallel_stage_seconds" (fun () ->
           merge_results ~started results)
     end
+  end
+
+let correlate ?(telemetry = R.default) ?pool ?jobs ?cut_margin (cfg : Correlator.config)
+    collection =
+  let jobs = resolve_jobs jobs pool in
+  if jobs <= 1 then Correlator.correlate ~telemetry cfg collection
+  else begin
+    let started = Unix.gettimeofday () in
+    let prepared =
+      R.time telemetry ~labels:[ ("stage", "transform") ] "pt_correlator_stage_seconds"
+        (fun () -> Transform.apply cfg.Correlator.transform collection)
+    in
+    correlate_sharded ~telemetry ~started ?pool ~jobs ?cut_margin cfg prepared
+  end
+
+let correlate_arena ?(telemetry = R.default) ?pool ?jobs ?cut_margin
+    (cfg : Correlator.config) arenas =
+  let jobs = resolve_jobs jobs pool in
+  if jobs <= 1 then Correlator.correlate_arena ~telemetry cfg arenas
+  else begin
+    let started = Unix.gettimeofday () in
+    let prepared =
+      R.time telemetry ~labels:[ ("stage", "transform") ] "pt_correlator_stage_seconds"
+        (fun () -> Trace.Arena.to_collection (Transform.apply_native cfg.Correlator.transform arenas))
+    in
+    correlate_sharded ~telemetry ~started ?pool ~jobs ?cut_margin cfg prepared
   end
 
 let digest (result : Correlator.result) =

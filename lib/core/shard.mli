@@ -66,6 +66,21 @@ val correlate :
     totals match the serial run, see above) plus [pt_parallel_*]
     planning and per-epoch figures. *)
 
+val correlate_arena :
+  ?telemetry:Telemetry.Registry.t ->
+  ?pool:Parallel.Pool.t ->
+  ?jobs:int ->
+  ?cut_margin:Simnet.Sim_time.span ->
+  Correlator.config ->
+  Trace.Arena.t list ->
+  Correlator.result
+(** {!correlate} fed from the native representation: the transform runs
+    as {!Transform.apply_native} over the packed rows (filtering on
+    interned ids, materialising only survivors), then the planning and
+    per-epoch machinery is shared with the record path — so the digest
+    equals both the serial and the record-path sharded run's. [jobs <= 1]
+    falls back to {!Correlator.correlate_arena}. *)
+
 val digest : Correlator.result -> string
 (** A canonical hex digest of everything the pattern/report layer shows:
     finished/deformed counts, each pattern's signature, name, population

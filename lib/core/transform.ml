@@ -8,7 +8,11 @@ type config = {
   keep : Activity.t -> bool;
 }
 
-let config ~entry_points ?(drop_programs = []) ?(drop_ports = []) ?(keep = fun _ -> true) () =
+(* A nameable default so the native path can detect "no custom predicate"
+   physically and skip materialising records just to call it. *)
+let default_keep (_ : Activity.t) = true
+
+let config ~entry_points ?(drop_programs = []) ?(drop_ports = []) ?(keep = default_keep) () =
   { entry_points; drop_programs; drop_ports; keep }
 
 let is_entry cfg ep = List.exists (Address.endpoint_equal ep) cfg.entry_points
@@ -32,3 +36,86 @@ let classify cfg (a : Activity.t) =
     Some { a with kind }
 
 let apply cfg collection = Trace.Log.map_activities (classify cfg) collection
+
+(* ---- native path ---- *)
+
+module Arena = Trace.Arena
+module Intern = Trace.Intern
+
+(* Classification depends only on the context (program drop) and the flow
+   (port drop, entry rewrite) — both interned ids — so decisions are
+   computed once per distinct id and every further row with the same ids
+   is two int-keyed memo hits. *)
+type memo = {
+  cfg : config;
+  ctx_drop : (int, bool) Hashtbl.t;  (* context id -> dropped by program *)
+  flow_fate : (int, int) Hashtbl.t;  (* flow id -> fate bits below *)
+}
+
+let fate_drop = 1 (* flow touches a dropped port *)
+let fate_begin = 2 (* dst is an entry point: RECEIVE -> BEGIN *)
+let fate_end = 4 (* src is an entry point: SEND -> END *)
+
+let memo cfg = { cfg; ctx_drop = Hashtbl.create 64; flow_fate = Hashtbl.create 256 }
+
+let ctx_dropped m ctx =
+  match Hashtbl.find_opt m.ctx_drop ctx with
+  | Some b -> b
+  | None ->
+      let c = Intern.context_of_id ctx in
+      let b = List.exists (String.equal c.Activity.program) m.cfg.drop_programs in
+      Hashtbl.add m.ctx_drop ctx b;
+      b
+
+let flow_fate m flow =
+  match Hashtbl.find_opt m.flow_fate flow with
+  | Some f -> f
+  | None ->
+      let fl = Intern.flow_of_id flow in
+      let f =
+        if
+          List.exists
+            (fun p -> fl.Address.src.port = p || fl.Address.dst.port = p)
+            m.cfg.drop_ports
+        then fate_drop
+        else
+          (if is_entry m.cfg fl.Address.dst then fate_begin else 0)
+          lor if is_entry m.cfg fl.Address.src then fate_end else 0
+      in
+      Hashtbl.add m.flow_fate flow f;
+      f
+
+let has_custom_keep cfg = cfg.keep != default_keep
+
+(* The rewritten kind code of row [i], or [-1] when the row is filtered
+   out. Does not consult [cfg.keep]; callers with a custom predicate
+   materialise the row and apply it themselves. *)
+let classify_row m arena i =
+  if ctx_dropped m (Arena.ctx_id arena i) then -1
+  else begin
+    let fate = flow_fate m (Arena.flow_id arena i) in
+    if fate land fate_drop <> 0 then -1
+    else begin
+      let k = Arena.kind_code arena i in
+      if fate land fate_begin <> 0 && k = Activity.kind_to_code Activity.Receive then
+        Activity.kind_to_code Activity.Begin
+      else if fate land fate_end <> 0 && k = Activity.kind_to_code Activity.Send then
+        Activity.kind_to_code Activity.End_
+      else k
+    end
+  end
+
+let apply_native cfg arenas =
+  let m = memo cfg in
+  let custom = has_custom_keep cfg in
+  List.map
+    (fun a ->
+      let out = Arena.create_sid ~capacity:(max 1 (Arena.length a)) (Arena.host_sid a) in
+      for i = 0 to Arena.length a - 1 do
+        let k = classify_row m a i in
+        if k >= 0 && ((not custom) || cfg.keep (Arena.get a i)) then
+          Arena.append out ~kind:k ~ts:(Arena.ts a i) ~ctx:(Arena.ctx_id a i)
+            ~flow:(Arena.flow_id a i) ~size:(Arena.size a i)
+      done;
+      out)
+    arenas

@@ -34,3 +34,28 @@ val classify : config -> Trace.Activity.t -> Trace.Activity.t option
     to BEGIN/END when it crosses an entry point. *)
 
 val apply : config -> Trace.Log.collection -> Trace.Log.collection
+
+(** {1 Native path}
+
+    Classification depends only on interned context and flow ids, so the
+    arena path memoises one decision per distinct id instead of matching
+    strings and endpoints per record. *)
+
+type memo
+(** Per-run decision cache; create one per feed with {!memo}. *)
+
+val memo : config -> memo
+
+val classify_row : memo -> Trace.Arena.t -> int -> int
+(** The rewritten {!Trace.Activity.kind_to_code} of row [i], or [-1] when
+    the row is filtered out. Ignores [config.keep] — see
+    {!has_custom_keep}. *)
+
+val has_custom_keep : config -> bool
+(** Whether [keep] was overridden from the default; if so, native callers
+    must materialise surviving rows and apply it. *)
+
+val apply_native : config -> Trace.Arena.t list -> Trace.Arena.t list
+(** {!apply} in the native representation (same per-record semantics,
+    including a custom [keep]); host arenas are preserved even when every
+    row is dropped, like {!apply} keeps empty logs. *)

@@ -3,8 +3,12 @@ type ip = int
 let ip_of_string s =
   match String.split_on_char '.' s with
   | [ a; b; c; d ] -> (
+      (* strict decimal digits only: [int_of_string_opt] alone would also
+         admit [0x1f]/[0o17]/[0b11] prefixes and [1_000] separators,
+         which dotted-quad rendering never produces *)
       let octet x =
-        match int_of_string_opt x with
+        let decimal = String.length x > 0 && String.for_all (fun c -> c >= '0' && c <= '9') x in
+        match if decimal then int_of_string_opt x else None with
         | Some v when v >= 0 && v <= 255 -> v
         | Some _ | None -> invalid_arg ("Address.ip_of_string: bad octet in " ^ s)
       in
@@ -29,7 +33,7 @@ let pp_ip ppf ip = Format.pp_print_string ppf (ip_to_string ip)
 type endpoint = { ip : ip; port : int }
 
 let endpoint ip port = { ip; port }
-let endpoint_equal a b = ip_equal a.ip b.ip && Int.equal a.port b.port
+let endpoint_equal a b = a == b || (ip_equal a.ip b.ip && Int.equal a.port b.port)
 
 let endpoint_compare a b =
   match ip_compare a.ip b.ip with 0 -> Int.compare a.port b.port | c -> c
@@ -40,7 +44,9 @@ type flow = { src : endpoint; dst : endpoint }
 
 let flow ~src ~dst = { src; dst }
 let reverse f = { src = f.dst; dst = f.src }
-let flow_equal a b = endpoint_equal a.src b.src && endpoint_equal a.dst b.dst
+(* flows materialised from the trace intern tables are canonical shared
+   records, so the physical check settles most hot-path comparisons *)
+let flow_equal a b = a == b || (endpoint_equal a.src b.src && endpoint_equal a.dst b.dst)
 
 let flow_compare a b =
   match endpoint_compare a.src b.src with 0 -> endpoint_compare a.dst b.dst | c -> c

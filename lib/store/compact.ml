@@ -73,14 +73,14 @@ let run ?(telemetry = R.default) ?(min_records = 8192) ?retain_ns ~dir () =
             let rec read_all acc = function
               | [] -> Ok (List.rev acc)
               | (m : Segment.meta) :: tl -> (
-                  match Segment.read ~dir m with
+                  match Segment.read_native ~dir m with
                   | Ok c -> read_all (c :: acc) tl
                   | Error e -> Error e)
             in
             match read_all [] sources with
             | Error e -> Error e
             | Ok collections ->
-                let merged_collection = Query.merge collections in
+                let merged_collection = Query.merge_native collections in
                 let raw_records =
                   List.fold_left
                     (fun acc (m : Segment.meta) -> acc + m.Segment.raw_records)
@@ -92,7 +92,7 @@ let run ?(telemetry = R.default) ?(min_records = 8192) ?retain_ns ~dir () =
                     0 sources
                 in
                 let meta =
-                  Segment.write ~dir ~id:manifest.Manifest.next_id
+                  Segment.write_native ~dir ~id:manifest.Manifest.next_id
                     ~policy:(join_policies sources) ~raw_records ~raw_bytes
                     merged_collection
                 in

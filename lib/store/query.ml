@@ -49,15 +49,68 @@ let merge collections =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   |> List.map (fun (hostname, acts) -> Log.of_list ~hostname (List.rev acts))
 
+(* The native merge: logs of one hostname across segments concatenate by
+   integer row blits into one arena per host, stable-sorted once at the
+   end — same result order as the record-list [merge] above. *)
+let merge_native (collections : Trace.Arena.t list list) =
+  let by_host : (int, Trace.Arena.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun arenas ->
+      List.iter
+        (fun src ->
+          let acc =
+            match Hashtbl.find_opt by_host (Trace.Arena.host_sid src) with
+            | Some acc -> acc
+            | None ->
+                let acc =
+                  Trace.Arena.create_sid
+                    ~capacity:(max 64 (Trace.Arena.length src))
+                    (Trace.Arena.host_sid src)
+                in
+                Hashtbl.replace by_host (Trace.Arena.host_sid src) acc;
+                acc
+          in
+          for i = 0 to Trace.Arena.length src - 1 do
+            Trace.Arena.append_row acc src i
+          done)
+        arenas)
+    collections;
+  let arenas = Hashtbl.fold (fun _ a acc -> a :: acc) by_host [] in
+  List.iter Trace.Arena.sort_by_time arenas;
+  List.sort
+    (fun a b -> String.compare (Trace.Arena.hostname a) (Trace.Arena.hostname b))
+    arenas
+
 let record_matches predicate (a : Activity.t) =
   let ts = Sim_time.to_ns a.timestamp in
   (match predicate.since_ns with Some s -> ts >= s | None -> true)
   && match predicate.until_ns with Some u -> ts <= u | None -> true
 
-let run_with ?(telemetry = R.default) ?pool ?jobs ~read manifest predicate =
-  let t0 = Unix.gettimeofday () in
-  let selected = select manifest predicate in
-  let metas = Array.of_list selected in
+let ts_matches predicate ts =
+  (match predicate.since_ns with Some s -> ts >= s | None -> true)
+  && match predicate.until_ns with Some u -> ts <= u | None -> true
+
+let record_query_telemetry telemetry stats =
+  Telemetry.Histogram.observe
+    (R.histogram telemetry ~help:"Store query wall time, seconds" "pt_store_query_seconds")
+    stats.seconds;
+  R.add
+    (R.counter telemetry ~help:"Segments decoded by store queries"
+       "pt_store_query_segments_scanned_total")
+    stats.segments_scanned;
+  R.add
+    (R.counter telemetry ~help:"Segments skipped via the manifest index"
+       "pt_store_query_segments_pruned_total")
+    (stats.segments_total - stats.segments_scanned);
+  R.add
+    (R.counter telemetry ~help:"Records returned by store queries"
+       "pt_store_query_records_returned_total")
+    stats.records_returned
+
+(* Decode the selected segments (in parallel when there are several and
+   more than one worker), surfacing the first error in manifest order so
+   a failing query reports the same segment at any [jobs]. *)
+let decode_selected ?pool ?jobs ~read metas =
   let n = Array.length metas in
   let jobs =
     match (pool, jobs) with
@@ -71,8 +124,6 @@ let run_with ?(telemetry = R.default) ?pool ?jobs ~read manifest predicate =
       let scan p = Parallel.Pool.map p ~n (fun i -> read metas.(i)) in
       match pool with Some p -> scan p | None -> Parallel.Pool.with_pool ~jobs scan
   in
-  (* Surface the first error in manifest order, not completion order,
-     so a failing query reports the same segment at any [jobs]. *)
   let rec collect acc i =
     if i >= n then Ok (List.rev acc)
     else
@@ -80,7 +131,51 @@ let run_with ?(telemetry = R.default) ?pool ?jobs ~read manifest predicate =
       | Ok collection -> collect (collection :: acc) (i + 1)
       | Error e -> Error e
   in
-  match collect [] 0 with
+  collect [] 0
+
+let run_native_with ?(telemetry = R.default) ?pool ?jobs ~read manifest predicate =
+  let t0 = Unix.gettimeofday () in
+  let selected = select manifest predicate in
+  match decode_selected ?pool ?jobs ~read (Array.of_list selected) with
+  | Error e -> Error e
+  | Ok collections ->
+      let records_scanned =
+        List.fold_left (fun acc c -> acc + Trace.Arena.total c) 0 collections
+      in
+      let result =
+        merge_native collections
+        |> List.filter_map (fun arena ->
+               if not (host_wanted predicate (Trace.Arena.hostname arena)) then None
+               else begin
+                 let kept =
+                   Trace.Arena.create_sid
+                     ~capacity:(max 1 (Trace.Arena.length arena))
+                     (Trace.Arena.host_sid arena)
+                 in
+                 for i = 0 to Trace.Arena.length arena - 1 do
+                   if ts_matches predicate (Trace.Arena.ts arena i) then
+                     Trace.Arena.append_row kept arena i
+                 done;
+                 if Trace.Arena.length kept = 0 then None else Some kept
+               end)
+      in
+      let seconds = Unix.gettimeofday () -. t0 in
+      let stats =
+        {
+          segments_total = List.length manifest.Manifest.segments;
+          segments_scanned = List.length selected;
+          records_scanned;
+          records_returned = Trace.Arena.total result;
+          seconds;
+        }
+      in
+      record_query_telemetry telemetry stats;
+      Ok (result, stats)
+
+let run_with ?(telemetry = R.default) ?pool ?jobs ~read manifest predicate =
+  let t0 = Unix.gettimeofday () in
+  let selected = select manifest predicate in
+  match decode_selected ?pool ?jobs ~read (Array.of_list selected) with
   | Error e -> Error e
   | Ok collections ->
       let records_scanned = List.fold_left (fun acc c -> acc + Log.total c) 0 collections in
@@ -100,25 +195,18 @@ let run_with ?(telemetry = R.default) ?pool ?jobs ~read manifest predicate =
           seconds;
         }
       in
-      Telemetry.Histogram.observe
-        (R.histogram telemetry ~help:"Store query wall time, seconds" "pt_store_query_seconds")
-        seconds;
-      R.add
-        (R.counter telemetry ~help:"Segments decoded by store queries"
-           "pt_store_query_segments_scanned_total")
-        stats.segments_scanned;
-      R.add
-        (R.counter telemetry ~help:"Segments skipped via the manifest index"
-           "pt_store_query_segments_pruned_total")
-        (stats.segments_total - stats.segments_scanned);
-      R.add
-        (R.counter telemetry ~help:"Records returned by store queries"
-           "pt_store_query_records_returned_total")
-        stats.records_returned;
+      record_query_telemetry telemetry stats;
       Ok (result, stats)
 
-let run ?telemetry ?pool ?jobs ~dir predicate =
+let run_native ?telemetry ?pool ?jobs ~dir predicate =
   match Manifest.load ~dir with
   | Error e -> Error e
   | Ok manifest ->
-      run_with ?telemetry ?pool ?jobs ~read:(fun m -> Segment.read ~dir m) manifest predicate
+      run_native_with ?telemetry ?pool ?jobs
+        ~read:(fun m -> Segment.read_native ~dir m)
+        manifest predicate
+
+let run ?telemetry ?pool ?jobs ~dir predicate =
+  Result.map
+    (fun (arenas, stats) -> (Trace.Arena.to_collection arenas, stats))
+    (run_native ?telemetry ?pool ?jobs ~dir predicate)

@@ -49,6 +49,32 @@ val run_with :
     pruning, parallel decode, merge and record filtering is shared; the
     semantics and determinism guarantees of {!run} apply. *)
 
+val merge_native : Trace.Arena.t list list -> Trace.Arena.t list
+(** {!merge} in the native representation: per-host concatenation is an
+    integer row blit, with one stable sort per host at the end. *)
+
+val run_native_with :
+  ?telemetry:Telemetry.Registry.t ->
+  ?pool:Parallel.Pool.t ->
+  ?jobs:int ->
+  read:(Segment.meta -> (Trace.Arena.t list, string) result) ->
+  Manifest.t ->
+  predicate ->
+  (Trace.Arena.t list * stats, string) result
+(** {!run_with} without leaving the native representation: segments decode
+    straight into arenas, merge/filter are integer row copies. Same
+    pruning, ordering and determinism guarantees. *)
+
+val run_native :
+  ?telemetry:Telemetry.Registry.t ->
+  ?pool:Parallel.Pool.t ->
+  ?jobs:int ->
+  dir:string ->
+  predicate ->
+  (Trace.Arena.t list * stats, string) result
+(** {!run} in the native representation; {!run} itself is this plus a
+    record-list materialisation. *)
+
 val run :
   ?telemetry:Telemetry.Registry.t ->
   ?pool:Parallel.Pool.t ->

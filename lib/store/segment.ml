@@ -74,15 +74,17 @@ let meta_of_json j =
   let* policy = string_field j "policy" in
   Ok { id; file; min_ts_ns; max_ts_ns; hosts; records; bytes; raw_records; raw_bytes; policy }
 
-let time_bounds collection =
+let time_bounds arenas =
   let lo = ref max_int and hi = ref min_int in
   List.iter
-    (fun log ->
-      Log.iter log (fun a ->
-          let ts = Sim_time.to_ns a.Trace.Activity.timestamp in
-          if ts < !lo then lo := ts;
-          if ts > !hi then hi := ts))
-    collection;
+    (fun arena ->
+      match Trace.Arena.time_bounds arena with
+      | None -> ()
+      | Some (a, b) ->
+          let a = Sim_time.to_ns a and b = Sim_time.to_ns b in
+          if a < !lo then lo := a;
+          if b > !hi then hi := b)
+    arenas;
   (!lo, !hi)
 
 let u32be n =
@@ -99,20 +101,20 @@ let read_u32be s pos =
   lor (Char.code s.[pos + 2] lsl 8)
   lor Char.code s.[pos + 3]
 
-let encode ~id ~policy ?raw_records ?raw_bytes collection =
-  let records = Log.total collection in
+let encode_native ~id ~policy ?raw_records ?raw_bytes arenas =
+  let records = Trace.Arena.total arenas in
   if records = 0 then invalid_arg "Segment.encode: empty collection";
-  let payload = Trace.Binary_format.encode collection in
+  let payload = Trace.Binary_format.encode_native arenas in
   let raw_records = Option.value ~default:records raw_records in
   let raw_bytes = Option.value ~default:(String.length payload) raw_bytes in
-  let min_ts_ns, max_ts_ns = time_bounds collection in
+  let min_ts_ns, max_ts_ns = time_bounds arenas in
   let meta =
     {
       id;
       file = filename id;
       min_ts_ns;
       max_ts_ns;
-      hosts = List.map Log.hostname collection |> List.sort_uniq String.compare;
+      hosts = List.map Trace.Arena.hostname arenas |> List.sort_uniq String.compare;
       records;
       bytes = String.length payload;
       raw_records;
@@ -128,11 +130,19 @@ let encode ~id ~policy ?raw_records ?raw_bytes collection =
   Buffer.add_string buf payload;
   (meta, Buffer.contents buf)
 
-let write ~dir ~id ~policy ?raw_records ?raw_bytes collection =
-  let meta, data = encode ~id ~policy ?raw_records ?raw_bytes collection in
+let encode ~id ~policy ?raw_records ?raw_bytes collection =
+  encode_native ~id ~policy ?raw_records ?raw_bytes (Trace.Arena.of_collection collection)
+
+let write_data ~dir (meta, data) =
   let oc = open_out_bin (Filename.concat dir meta.file) in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data);
   meta
+
+let write ~dir ~id ~policy ?raw_records ?raw_bytes collection =
+  write_data ~dir (encode ~id ~policy ?raw_records ?raw_bytes collection)
+
+let write_native ~dir ~id ~policy ?raw_records ?raw_bytes arenas =
+  write_data ~dir (encode_native ~id ~policy ?raw_records ?raw_bytes arenas)
 
 let read_file path =
   match open_in_bin path with
@@ -176,7 +186,7 @@ let read_meta ~path =
   | Error e -> Error e
   | Ok data -> Result.map fst (parse_header data ~path)
 
-let read_embedded ~data ~pos ~len ~what meta =
+let read_embedded_native ~data ~pos ~len ~what meta =
   match parse_header_at data ~pos ~len ~what with
   | Error e -> Error e
   | Ok (header_meta, payload_at, payload_len) ->
@@ -186,19 +196,24 @@ let read_embedded ~data ~pos ~len ~what meta =
              "%s: header (id %d, %d records) disagrees with manifest (id %d, %d records)" what
              header_meta.id header_meta.records meta.id meta.records)
       else begin
-        match Trace.Binary_format.decode_region data ~pos:payload_at ~len:payload_len with
+        match Trace.Binary_format.decode_native_region data ~pos:payload_at ~len:payload_len with
         | Error e -> Error (Printf.sprintf "%s: %s" what e)
-        | Ok collection ->
-            let n = Log.total collection in
+        | Ok arenas ->
+            let n = Trace.Arena.total arenas in
             if n <> meta.records then
               Error
                 (Printf.sprintf "%s: payload holds %d records, header declares %d" what n
                    meta.records)
-            else Ok collection
+            else Ok arenas
       end
 
-let read ~dir meta =
+let read_embedded ~data ~pos ~len ~what meta =
+  Result.map Trace.Arena.to_collection (read_embedded_native ~data ~pos ~len ~what meta)
+
+let read_native ~dir meta =
   let path = Filename.concat dir meta.file in
   match read_file path with
   | Error e -> Error e
-  | Ok data -> read_embedded ~data ~pos:0 ~len:(String.length data) ~what:path meta
+  | Ok data -> read_embedded_native ~data ~pos:0 ~len:(String.length data) ~what:path meta
+
+let read ~dir meta = Result.map Trace.Arena.to_collection (read_native ~dir meta)

@@ -77,6 +77,36 @@ val read_embedded :
     with no copying. [what] names the container in error messages; all
     error offsets are absolute within [data], i.e. container-relative. *)
 
+(** {1 Native path}
+
+    The arena-backed codec the store runs on. [encode] / [read] above are
+    wrappers over these (byte-identical output), kept for the import/
+    export surfaces that still speak record lists. *)
+
+val encode_native :
+  id:int ->
+  policy:string ->
+  ?raw_records:int ->
+  ?raw_bytes:int ->
+  Trace.Arena.t list ->
+  meta * string
+
+val write_native :
+  dir:string ->
+  id:int ->
+  policy:string ->
+  ?raw_records:int ->
+  ?raw_bytes:int ->
+  Trace.Arena.t list ->
+  meta
+
+val read_native : dir:string -> meta -> (Trace.Arena.t list, string) result
+(** Decode the payload straight into arenas — no per-record allocation.
+    Rows come back in payload order (the writer sorts before encoding). *)
+
+val read_embedded_native :
+  data:string -> pos:int -> len:int -> what:string -> meta -> (Trace.Arena.t list, string) result
+
 val parse_header_at :
   string -> pos:int -> len:int -> what:string -> (meta * int * int, string) result
 (** Parse only the index header of an embedded segment: returns the meta

@@ -1,4 +1,6 @@
 module Activity = Trace.Activity
+module Arena = Trace.Arena
+module Intern = Trace.Intern
 module Log = Trace.Log
 module R = Telemetry.Registry
 
@@ -24,7 +26,7 @@ type t = {
   correlate : Core.Correlator.config option;
   roll_records : int;
   telemetry : R.t;
-  buffers : (string, Activity.t list ref) Hashtbl.t;
+  buffers : (int, Arena.t) Hashtbl.t;  (* host string id -> batch arena *)
   mutable pending : int;
   mutable manifest : Manifest.t;
   mutable stats : stats;
@@ -93,45 +95,53 @@ let create ?(telemetry = R.default) ?(policy = Policy.none) ?correlate
 
 let stats t = t.stats
 
+(* Per-host batch arenas, handed out sorted by hostname and each put into
+   Log order (timestamp, context, kind) — the order Log.of_list gave the
+   text-era batches, so segment bytes are unchanged. *)
 let take_batch t =
-  let collection =
-    Hashtbl.fold (fun host acts acc -> (host, !acts) :: acc) t.buffers []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-    |> List.map (fun (hostname, acts) -> Log.of_list ~hostname (List.rev acts))
+  let arenas =
+    Hashtbl.fold (fun _ arena acc -> arena :: acc) t.buffers []
+    |> List.sort (fun a b -> String.compare (Arena.hostname a) (Arena.hostname b))
   in
+  List.iter Arena.sort_by_time arenas;
   Hashtbl.reset t.buffers;
   t.pending <- 0;
-  collection
+  arenas
 
 let flush t =
   if t.pending > 0 then begin
     let t0 = Unix.gettimeofday () in
     let batch = take_batch t in
-    let reduced, raw_records, raw_bytes, requests_seen, requests_kept =
-      if Policy.is_none t.policy then (batch, Log.total batch, -1, 0, 0)
+    (* The unreduced path stays native end to end; reduction needs request
+       attribution over record lists, so only that path materialises. *)
+    let write_native, reduced, raw_records, raw_bytes, requests_seen, requests_kept =
+      if Policy.is_none t.policy then (Some batch, [], Arena.total batch, -1, 0, 0)
       else
         let correlate = Option.get t.correlate in
         let reduced, r =
-          Reduce.apply ~telemetry:t.telemetry ~correlate ~policy:t.policy batch
+          Reduce.apply ~telemetry:t.telemetry ~correlate ~policy:t.policy
+            (Arena.to_collection batch)
         in
-        ( reduced,
+        ( None,
+          reduced,
           r.Reduce.activities_before,
           r.Reduce.bytes_before,
           r.Reduce.requests_total,
           r.Reduce.requests_kept )
     in
-    let records_out = Log.total reduced in
+    let records_out =
+      match write_native with Some batch -> Arena.total batch | None -> Log.total reduced
+    in
     let meta =
       if records_out = 0 then None
       else begin
         let id = t.manifest.Manifest.next_id in
         let meta =
-          if raw_bytes < 0 then
-            (* No reduction: raw size is the written size. *)
-            Segment.write ~dir:t.dir ~id ~policy:t.policy_str reduced
-          else
-            Segment.write ~dir:t.dir ~id ~policy:t.policy_str ~raw_records ~raw_bytes
-              reduced
+          match write_native with
+          | Some batch -> Segment.write_native ~dir:t.dir ~id ~policy:t.policy_str batch
+          | None ->
+              Segment.write ~dir:t.dir ~id ~policy:t.policy_str ~raw_records ~raw_bytes
+                reduced
         in
         t.manifest <- Manifest.add t.manifest meta;
         Manifest.save t.manifest ~dir:t.dir;
@@ -157,18 +167,142 @@ let flush t =
     Telemetry.Histogram.observe t.m_flush (Unix.gettimeofday () -. t0)
   end
 
-let observe t (a : Activity.t) =
-  let host = a.Activity.context.host in
-  (match Hashtbl.find_opt t.buffers host with
-  | Some acts -> acts := a :: !acts
-  | None -> Hashtbl.replace t.buffers host (ref [ a ]));
+let buffer_for t host =
+  match Hashtbl.find_opt t.buffers host with
+  | Some arena -> arena
+  | None ->
+      let arena = Arena.create_sid ~capacity:256 host in
+      Hashtbl.replace t.buffers host arena;
+      arena
+
+(* The native ingest row: five ints in, one arena append, no allocation. *)
+let observe_row t ~host ~kind ~ts ~ctx ~flow ~size =
+  Arena.append (buffer_for t host) ~kind ~ts ~ctx ~flow ~size;
   t.pending <- t.pending + 1;
   if t.pending >= t.roll_records then flush t
 
-let ingest t collection =
-  List.concat_map Log.to_list collection
-  |> List.stable_sort Activity.compare_by_time
-  |> List.iter (observe t)
+let observe t (a : Activity.t) =
+  Arena.append_activity (buffer_for t (Intern.string_id a.Activity.context.host)) a;
+  t.pending <- t.pending + 1;
+  if t.pending >= t.roll_records then flush t
+
+(* Interleave the per-host arenas in global (timestamp, context, kind)
+   order — the same segment time-partitioning a live feed would produce,
+   and exactly the order the text-era ingest got from stable-sorting the
+   concatenated lists (ties across inputs resolve by input position). A
+   linear scan over the heads is plenty: inputs are per-host, and the
+   comparisons are on ints. *)
+let ingest_native t arenas =
+  let arenas =
+    List.filter_map
+      (fun a ->
+        if Arena.length a = 0 then None
+        else if Arena.is_sorted a then Some a
+        else begin
+          let c = Arena.copy a in
+          Arena.sort_by_time c;
+          Some c
+        end)
+      arenas
+    |> Array.of_list
+  in
+  let n = Array.length arenas in
+  let cursor = Array.make n 0 in
+  let len = Array.map Arena.length arenas in
+  (* Ties on timestamp are rare, so the scan compares only the head
+     timestamps and falls back to the full (context, kind, input index)
+     ordering on an exact tie. *)
+  let tie_break i j =
+    let a = arenas.(i) and b = arenas.(j) in
+    let ai = cursor.(i) and bj = cursor.(j) in
+    match Intern.compare_context_id (Arena.ctx_id a ai) (Arena.ctx_id b bj) with
+    | 0 -> (
+        match
+          Int.compare
+            (Activity.kind_priority (Arena.kind a ai))
+            (Activity.kind_priority (Arena.kind b bj))
+        with
+        | 0 -> Int.compare i j
+        | c -> c)
+    | c -> c
+  in
+  (* One destination batch arena per input (inputs are per-host), looked
+     up once and refreshed after each flush swaps the buffers out — not a
+     hash probe per record. *)
+  let dests = Array.map (fun a -> buffer_for t (Arena.host_sid a)) arenas in
+  (* Head timestamps live in a plain int array so the scan is array reads
+     and compares; each advance refreshes one slot. *)
+  let head_ts =
+    Array.init n (fun i -> if len.(i) > 0 then Arena.ts arenas.(i) 0 else max_int)
+  in
+  (* First index in [lo+1, cap) of [a] whose timestamp reaches [bound]:
+     exponential probe then binary search, assuming ts.(lo) < bound. *)
+  let gallop_hi a ~lo ~cap bound =
+    let prev = ref lo and step = ref 1 in
+    let probe = ref (lo + 1) in
+    while !probe < cap && Arena.ts a !probe < bound do
+      prev := !probe;
+      step := !step * 2;
+      probe := lo + !step
+    done;
+    let l = ref (!prev + 1) and r = ref (min !probe cap) in
+    while !l < !r do
+      let m = (!l + !r) / 2 in
+      if Arena.ts a m < bound then l := m + 1 else r := m
+    done;
+    !l
+  in
+  let remaining = ref 0 in
+  Array.iter (fun l -> remaining := !remaining + l) len;
+  while !remaining > 0 do
+    (* Best head, plus the runner-up timestamp bounding its run. *)
+    let best = ref (-1) and best_ts = ref max_int and next_ts = ref max_int in
+    for i = 0 to n - 1 do
+      if cursor.(i) < len.(i) then begin
+        let ts = head_ts.(i) in
+        if !best < 0 then begin
+          best := i;
+          best_ts := ts
+        end
+        else if ts < !best_ts then begin
+          next_ts := !best_ts;
+          best := i;
+          best_ts := ts
+        end
+        else if ts = !best_ts && tie_break i !best < 0 then begin
+          next_ts := !best_ts;
+          best := i
+        end
+        else if ts < !next_ts then next_ts := ts
+      end
+    done;
+    let i = !best in
+    let a = arenas.(i) in
+    let lo = cursor.(i) in
+    (* The whole strictly-smaller run moves in one blit: the merge is
+       stable per input, so a run is a contiguous slice and only its cut
+       points (roll boundary, or a cross-arena timestamp tie needing the
+       full tie-break) are decided row by row. *)
+    let room = t.roll_records - t.pending in
+    let cap = if room < len.(i) - lo then lo + room else len.(i) in
+    let hi =
+      if !best_ts = !next_ts then lo + 1
+      else if !next_ts = max_int then cap
+      else gallop_hi a ~lo ~cap !next_ts
+    in
+    let hi = max hi (lo + 1) in
+    Arena.append_range dests.(i) a ~lo ~hi;
+    cursor.(i) <- hi;
+    head_ts.(i) <- (if hi < len.(i) then Arena.ts a hi else max_int);
+    remaining := !remaining - (hi - lo);
+    t.pending <- t.pending + (hi - lo);
+    if t.pending >= t.roll_records then begin
+      flush t;
+      Array.iteri (fun j a -> dests.(j) <- buffer_for t (Arena.host_sid a)) arenas
+    end
+  done
+
+let ingest t collection = ingest_native t (Arena.of_collection collection)
 
 let close t =
   flush t;

@@ -18,15 +18,31 @@ let kind_of_string = function
   | "RECEIVE" -> Some Receive
   | _ -> None
 
+(* The wire codes of the PTB1 binary format and the arena's kind column
+   share this one mapping so the two can never drift. *)
+let kind_to_code = function Begin -> 0 | Send -> 1 | End_ -> 2 | Receive -> 3
+
+let kind_of_code = function
+  | 0 -> Some Begin
+  | 1 -> Some Send
+  | 2 -> Some End_
+  | 3 -> Some Receive
+  | _ -> None
+
 let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
 
 let equal_kind (a : kind) b = a = b
 
 type context = { host : string; program : string; pid : int; tid : int }
 
+(* Records materialised from {!Intern} are canonical (one allocation per
+   distinct context), so the physical check settles most comparisons on
+   the hot path before any string work. *)
 let equal_context a b =
-  String.equal a.host b.host && String.equal a.program b.program && a.pid = b.pid
-  && a.tid = b.tid
+  a == b
+  || String.equal a.host b.host
+     && String.equal a.program b.program
+     && a.pid = b.pid && a.tid = b.tid
 
 let compare_context a b =
   match String.compare a.host b.host with

@@ -18,6 +18,12 @@ val kind_to_string : kind -> string
 val kind_of_string : string -> kind option
 val equal_kind : kind -> kind -> bool
 
+val kind_to_code : kind -> int
+(** The PTB1 wire code (also the {!Arena} kind column): BEGIN 0, SEND 1,
+    END 2, RECEIVE 3. *)
+
+val kind_of_code : int -> kind option
+
 type context = { host : string; program : string; pid : int; tid : int }
 (** The (hostname, program name, process ID, thread ID) tuple. *)
 

@@ -1,0 +1,98 @@
+(** Flat, arena-backed activity storage — the pipeline's native
+    representation.
+
+    One arena holds the records of one origin host as a struct-of-arrays:
+    a kind byte plus four unboxed int columns (timestamp, {!Intern}
+    context id, {!Intern} flow id, message size). The decoder fills
+    arenas without allocating per record, the store writer batches and
+    merges them with integer blits, and the correlator materialises
+    {!Activity.t} views only where the ranking logic still wants records
+    — built from the canonical interned context/flow, so even that path
+    allocates two blocks, not five, and downstream equality checks
+    short-circuit on [==].
+
+    Arenas double in capacity as they fill ([pt_arena_grows_total],
+    [pt_arena_peak_rows]); rows are in whatever order they were appended
+    until {!sort_by_time}. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : ?capacity:int -> host:string -> unit -> t
+val create_sid : ?capacity:int -> int -> t
+(** [create_sid sid] with [sid] an {!Intern.string_id} of the hostname. *)
+
+val append : t -> kind:int -> ts:int -> ctx:int -> flow:int -> size:int -> unit
+(** Raw row append: [kind] is an {!Activity.kind_to_code} code, [ts] in
+    ns, [ctx]/[flow] interned ids. The zero-allocation hot path. *)
+
+val append_activity : t -> Activity.t -> unit
+(** Interns the record's attributes and appends. *)
+
+val append_row : t -> t -> int -> unit
+(** [append_row dst src i] copies row [i] of [src] — five integer stores,
+    valid across arenas because ids are process-wide. *)
+
+val append_range : t -> t -> lo:int -> hi:int -> unit
+(** [append_range dst src ~lo ~hi] copies rows [lo, hi) of [src] in one
+    blit per column — the bulk form of {!append_row} for run-at-a-time
+    merges. @raise Invalid_argument on an out-of-bounds range. *)
+
+val clear : t -> unit
+(** Forget all rows, keep capacity (writer buffer reuse). *)
+
+val copy : t -> t
+
+(** {1 Access} *)
+
+val host_sid : t -> int
+val hostname : t -> string
+val length : t -> int
+val capacity : t -> int
+
+val kind_code : t -> int -> int
+val kind : t -> int -> Activity.kind
+val ts : t -> int -> int
+val ctx_id : t -> int -> int
+val flow_id : t -> int -> int
+val size : t -> int -> int
+(** All row accessors raise [Invalid_argument] out of bounds. *)
+
+val get : t -> int -> Activity.t
+(** Materialise row [i] with canonical (shared) context and flow
+    records. *)
+
+val iter : t -> (Activity.t -> unit) -> unit
+
+(** Visit each row's raw fields in order without materialising records —
+    the encoder's inner loop. *)
+val iter_native :
+  t -> (kind:int -> ts:int -> ctx:int -> flow:int -> size:int -> unit) -> unit
+val iteri_rows : t -> (int -> unit) -> unit
+val fold : t -> ('a -> Activity.t -> 'a) -> 'a -> 'a
+
+(** {1 Order} *)
+
+val compare_rows : t -> int -> int -> int
+(** Mirrors {!Activity.compare_by_time} on rows (timestamp, context, kind
+    priority), breaking full ties by row index — so sorting with it is
+    stable. *)
+
+val is_sorted : t -> bool
+val sort_by_time : t -> unit
+(** In-place stable sort into {!compare_rows} order. *)
+
+val time_bounds : t -> (Simnet.Sim_time.t * Simnet.Sim_time.t) option
+(** [(min, max)] timestamp over all rows; [None] when empty. *)
+
+(** {1 Conversions} *)
+
+val of_log : Log.t -> t
+val to_log : t -> Log.t
+(** [to_log] sorts (like [Log.of_list]) when rows are out of order and
+    appends directly when already sorted. *)
+
+val of_collection : Log.collection -> t list
+val to_collection : t list -> Log.collection
+val total : t list -> int

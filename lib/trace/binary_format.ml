@@ -1,12 +1,13 @@
-module Address = Simnet.Address
-module Sim_time = Simnet.Sim_time
-
 let magic = "PTB1"
 
 (* ---- varint primitives (unsigned LEB128; signed values zigzagged) ---- *)
 
+(* An explicit raise, not [assert]: asserts compile out under --release,
+   and a negative here (e.g. a size that went negative upstream) must
+   never silently emit bytes the decoder cannot reject. *)
 let put_uvarint buf n =
-  assert (n >= 0);
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Binary_format.put_uvarint: negative value %d" n);
   let rec go n =
     if n < 0x80 then Buffer.add_char buf (Char.chr n)
     else begin
@@ -23,6 +24,66 @@ let put_varint buf n = put_uvarint buf (zigzag n)
 let put_string buf s =
   put_uvarint buf (String.length s);
   Buffer.add_string buf s
+
+(* The native encoder's writer: a growable [Bytes.t] with an inlined
+   LEB128 loop. [Buffer]'s per-char bounds checks and the closure-heavy
+   recursion in {!put_uvarint} cost real time at millions of varints per
+   second; emitting through [unsafe_set] after one up-front [ensure] per
+   field halves the encode wall time. Byte output is identical. *)
+type writer = { mutable bytes : Bytes.t; mutable wpos : int }
+
+let w_create n = { bytes = Bytes.create (max 64 n); wpos = 0 }
+
+let w_ensure w n =
+  let cap = Bytes.length w.bytes in
+  if w.wpos + n > cap then begin
+    let grown = Bytes.create (max (w.wpos + n) (2 * cap)) in
+    Bytes.blit w.bytes 0 grown 0 w.wpos;
+    w.bytes <- grown
+  end
+
+let w_uvarint w n =
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Binary_format.put_uvarint: negative value %d" n);
+  w_ensure w 10;
+  let n = ref n in
+  let b = w.bytes in
+  let p = ref w.wpos in
+  while !n >= 0x80 do
+    Bytes.unsafe_set b !p (Char.unsafe_chr (0x80 lor (!n land 0x7f)));
+    incr p;
+    n := !n lsr 7
+  done;
+  Bytes.unsafe_set b !p (Char.unsafe_chr !n);
+  w.wpos <- !p + 1
+
+(* Raw varint store into pre-ensured space: the record loop reserves one
+   row's worst case up front and skips the per-field capacity check. The
+   caller guarantees [n >= 0] and room for 10 bytes at [pos]. *)
+let unsafe_uv bytes pos n =
+  let n = ref n and p = ref pos in
+  while !n >= 0x80 do
+    Bytes.unsafe_set bytes !p (Char.unsafe_chr (0x80 lor (!n land 0x7f)));
+    incr p;
+    n := !n lsr 7
+  done;
+  Bytes.unsafe_set bytes !p (Char.unsafe_chr !n);
+  !p + 1
+
+let w_string w s =
+  let n = String.length s in
+  w_uvarint w n;
+  w_ensure w n;
+  Bytes.blit_string s 0 w.bytes w.wpos n;
+  w.wpos <- w.wpos + n
+
+let w_raw w s =
+  let n = String.length s in
+  w_ensure w n;
+  Bytes.blit_string s 0 w.bytes w.wpos n;
+  w.wpos <- w.wpos + n
+
+let w_contents w = Bytes.sub_string w.bytes 0 w.wpos
 
 (* [limit] is one past the last readable byte: decoding an embedded
    payload (a segment inside a bundle container) sets [pos]/[limit] to the
@@ -68,108 +129,120 @@ let get_string r =
 
 (* ---- encoding ---- *)
 
-let kind_code = function
-  | Activity.Begin -> 0
-  | Activity.Send -> 1
-  | Activity.End_ -> 2
-  | Activity.Receive -> 3
-
-let kind_of_code pos = function
-  | 0 -> Activity.Begin
-  | 1 -> Activity.Send
-  | 2 -> Activity.End_
-  | 3 -> Activity.Receive
-  | c -> raise (Corrupt (pos, Printf.sprintf "bad kind code %d" c))
-
 (* Contexts and flows repeat across most records (long-lived workers,
-   persistent connections), so both are interned into tables written once;
-   each record then carries two small table indices. *)
-let encode collection =
-  let buf = Buffer.create 65_536 in
-  Buffer.add_string buf magic;
-  let strings = Hashtbl.create 32 in
-  let rev_strings = ref [] in
-  let intern_string s =
-    match Hashtbl.find_opt strings s with
-    | Some i -> i
-    | None ->
-        let i = Hashtbl.length strings in
-        Hashtbl.replace strings s i;
-        rev_strings := s :: !rev_strings;
+   persistent connections), so both are interned into per-file tables
+   written once; each record then carries two small table indices. The
+   per-file tables are built over process-wide {!Intern} ids here — a
+   hash of two ints per distinct attribute, no string hashing — and the
+   traversal order (per log: hostname; per record: context host, context
+   program, context, flow) is exactly the order the record-list encoder
+   always used, so the bytes are unchanged. *)
+let encode_native arenas =
+  let buf = w_create 65_536 in
+  w_raw buf magic;
+  (* Each table maps a process-wide id to its dense per-file index. Global
+     ids are dense and every id in an arena was already issued, so a flat
+     array indexed by global id replaces hashing — the encoder's only
+     per-record table work is two array reads. The first-occurrence
+     interning order (per log: hostname; per record: context host,
+     context program, context, flow) is unchanged: a context's strings
+     are first seen exactly when the context itself first misses. *)
+  let n_strings, n_contexts, n_flows = Intern.counts () in
+  let local_table size =
+    let map = Array.make (max 1 size) (-1) in
+    let rev = ref [] in
+    let next = ref 0 in
+    let intern id =
+      let i = map.(id) in
+      if i >= 0 then i
+      else begin
+        let i = !next in
+        map.(id) <- i;
+        rev := id :: !rev;
+        incr next;
         i
+      end
+    in
+    (next, rev, intern)
   in
-  let contexts = Hashtbl.create 64 in
-  let rev_contexts = ref [] in
-  let intern_context (c : Activity.context) =
-    let key = (c.Activity.host, c.program, c.pid, c.tid) in
-    match Hashtbl.find_opt contexts key with
-    | Some i -> i
-    | None ->
-        let i = Hashtbl.length contexts in
-        Hashtbl.replace contexts key i;
-        rev_contexts := c :: !rev_contexts;
-        i
-  in
-  let flows = Address.Flow_table.create 64 in
-  let rev_flows = ref [] in
-  let intern_flow f =
-    match Address.Flow_table.find_opt flows f with
-    | Some i -> i
-    | None ->
-        let i = Address.Flow_table.length flows in
-        Address.Flow_table.replace flows f i;
-        rev_flows := f :: !rev_flows;
-        i
+  let n_strings_local, rev_strings, local_string = local_table n_strings in
+  let n_contexts_local, rev_contexts, local_context0 = local_table n_contexts in
+  let n_flows_local, rev_flows, local_flow = local_table n_flows in
+  let local_context cid =
+    let before = !n_contexts_local in
+    let i = local_context0 cid in
+    if !n_contexts_local > before then begin
+      (* first occurrence: intern its strings in the legacy order *)
+      let host, program, _, _ = Intern.context_parts_of_id cid in
+      ignore (local_string host);
+      ignore (local_string program)
+    end;
+    i
   in
   (* pre-intern so the tables can be written before the records *)
   List.iter
-    (fun log ->
-      ignore (intern_string (Log.hostname log));
-      Log.iter log (fun a ->
-          ignore (intern_string a.Activity.context.host);
-          ignore (intern_string a.Activity.context.program);
-          ignore (intern_context a.Activity.context);
-          ignore (intern_flow a.Activity.message.flow)))
-    collection;
-  put_uvarint buf (Hashtbl.length strings);
-  List.iter (put_string buf) (List.rev !rev_strings);
-  put_uvarint buf (Hashtbl.length contexts);
+    (fun a ->
+      ignore (local_string (Arena.host_sid a));
+      Arena.iter_native a (fun ~kind:_ ~ts:_ ~ctx ~flow ~size:_ ->
+          ignore (local_context ctx);
+          ignore (local_flow flow)))
+    arenas;
+  w_uvarint buf !n_strings_local;
+  List.iter (fun sid -> w_string buf (Intern.string_of_id sid)) (List.rev !rev_strings);
+  w_uvarint buf !n_contexts_local;
   List.iter
-    (fun (c : Activity.context) ->
-      put_uvarint buf (intern_string c.Activity.host);
-      put_uvarint buf (intern_string c.program);
-      put_uvarint buf c.pid;
-      put_uvarint buf c.tid)
+    (fun cid ->
+      let host, program, pid, tid = Intern.context_parts_of_id cid in
+      w_uvarint buf (local_string host);
+      w_uvarint buf (local_string program);
+      w_uvarint buf pid;
+      w_uvarint buf tid)
     (List.rev !rev_contexts);
-  put_uvarint buf (Address.Flow_table.length flows);
+  w_uvarint buf !n_flows_local;
   List.iter
-    (fun (f : Address.flow) ->
-      put_uvarint buf (Address.ip_to_int f.src.ip);
-      put_uvarint buf f.src.port;
-      put_uvarint buf (Address.ip_to_int f.dst.ip);
-      put_uvarint buf f.dst.port)
+    (fun fid ->
+      let src_ip, src_port, dst_ip, dst_port = Intern.flow_parts_of_id fid in
+      w_uvarint buf src_ip;
+      w_uvarint buf src_port;
+      w_uvarint buf dst_ip;
+      w_uvarint buf dst_port)
     (List.rev !rev_flows);
-  put_uvarint buf (List.length collection);
+  w_uvarint buf (List.length arenas);
   List.iter
-    (fun log ->
-      put_uvarint buf (intern_string (Log.hostname log));
-      put_uvarint buf (Log.length log);
+    (fun a ->
+      w_uvarint buf (local_string (Arena.host_sid a));
+      w_uvarint buf (Arena.length a);
       let prev_ts = ref 0 in
-      Log.iter log (fun a ->
-          put_uvarint buf (kind_code a.Activity.kind);
-          let ts = Sim_time.to_ns a.timestamp in
-          put_varint buf (ts - !prev_ts);
+      Arena.iter_native a (fun ~kind ~ts ~ctx ~flow ~size ->
+          if size < 0 then
+            invalid_arg (Printf.sprintf "Binary_format.put_uvarint: negative value %d" size);
+          (* worst case per row: 1 + 10 + 5 + 5 + 5 varint bytes *)
+          w_ensure buf 26;
+          let b = buf.bytes in
+          let p = unsafe_uv b buf.wpos kind in
+          let p = unsafe_uv b p (zigzag (ts - !prev_ts)) in
           prev_ts := ts;
-          put_uvarint buf (intern_context a.context);
-          put_uvarint buf (intern_flow a.message.flow);
-          put_uvarint buf a.message.size))
-    collection;
-  Buffer.contents buf
+          let p = unsafe_uv b p (local_context ctx) in
+          let p = unsafe_uv b p (local_flow flow) in
+          buf.wpos <- unsafe_uv b p size))
+    arenas;
+  w_contents buf
+
+let encode collection = encode_native (Arena.of_collection collection)
 
 let has_magic_at data pos =
   String.length data - pos >= 4 && String.equal (String.sub data pos 4) magic
 
-let decode_region data ~pos ~len =
+(* The zero-copy decode: table entries are interned into the process-wide
+   {!Intern} tables once each, then every record row is five varint reads
+   and an {!Arena.append} — no string, context or flow allocation per
+   record. All the corruption guarantees of the record-list decoder carry
+   over: [Corrupt] offsets are absolute within [data], counts are checked
+   against the remaining input before any allocation, and nothing
+   escapes as an exception. (A corrupt input may intern a few garbage
+   table entries before the error is noticed; the pollution is bounded by
+   the table sizes, which [get_count] bounds by the input length.) *)
+let decode_native_region data ~pos ~len =
   if pos < 0 || len < 0 || pos + len > String.length data then
     Error (Printf.sprintf "corrupt at offset %d: region [%d, %d) exceeds input" pos pos (pos + len))
   else if len < 4 || not (has_magic_at data pos) then
@@ -178,7 +251,7 @@ let decode_region data ~pos ~len =
     let r = { data; pos = pos + 4; limit = pos + len } in
     try
       let string_count = get_count r "string table" in
-      let strings = Array.init string_count (fun _ -> get_string r) in
+      let strings = Array.init string_count (fun _ -> Intern.string_id (get_string r)) in
       let lookup_string i =
         if i < 0 || i >= string_count then raise (Corrupt (r.pos, "string index out of range"));
         strings.(i)
@@ -190,57 +263,56 @@ let decode_region data ~pos ~len =
             let program = lookup_string (get_uvarint r) in
             let pid = get_uvarint r in
             let tid = get_uvarint r in
-            { Activity.host; program; pid; tid })
-      in
-      let lookup_context i =
-        if i < 0 || i >= context_count then
-          raise (Corrupt (r.pos, "context index out of range"));
-        contexts.(i)
+            Intern.context_id_parts ~host ~program ~pid ~tid)
       in
       let flow_count = get_count r "flow table" in
       let flows =
         Array.init flow_count (fun _ ->
-            let src_ip = Address.ip_of_int (get_uvarint r) in
+            let src_ip = get_uvarint r in
             let src_port = get_uvarint r in
-            let dst_ip = Address.ip_of_int (get_uvarint r) in
+            let dst_ip = get_uvarint r in
             let dst_port = get_uvarint r in
-            Address.flow
-              ~src:(Address.endpoint src_ip src_port)
-              ~dst:(Address.endpoint dst_ip dst_port))
-      in
-      let lookup_flow i =
-        if i < 0 || i >= flow_count then raise (Corrupt (r.pos, "flow index out of range"));
-        flows.(i)
+            (* validates ip/port ranges, raising Invalid_argument like the
+               Address constructors the record-list decoder called here *)
+            Intern.flow_id_parts ~src_ip ~src_port ~dst_ip ~dst_port)
       in
       let log_count = get_count r "log" in
-      let logs =
+      let arenas =
         List.init log_count (fun _ ->
-            let hostname = lookup_string (get_uvarint r) in
+            let host = lookup_string (get_uvarint r) in
             let n = get_count r "record" in
+            let a = Arena.create_sid ~capacity:(max 1 n) host in
             let prev_ts = ref 0 in
-            let items =
-              List.init n (fun _ ->
-                  let kind = kind_of_code r.pos (get_uvarint r) in
-                  let ts = !prev_ts + get_varint r in
-                  prev_ts := ts;
-                  let context = lookup_context (get_uvarint r) in
-                  let flow = lookup_flow (get_uvarint r) in
-                  let size = get_uvarint r in
-                  {
-                    Activity.kind;
-                    timestamp = Sim_time.of_ns ts;
-                    context;
-                    message = { flow; size };
-                  })
-            in
-            Log.of_list ~hostname items)
+            for _ = 1 to n do
+              let code = get_uvarint r in
+              if code < 0 || code > 3 then
+                raise (Corrupt (r.pos, Printf.sprintf "bad kind code %d" code));
+              let ts = !prev_ts + get_varint r in
+              prev_ts := ts;
+              let ctx = get_uvarint r in
+              if ctx < 0 || ctx >= context_count then
+                raise (Corrupt (r.pos, "context index out of range"));
+              let flow = get_uvarint r in
+              if flow < 0 || flow >= flow_count then
+                raise (Corrupt (r.pos, "flow index out of range"));
+              let size = get_uvarint r in
+              Arena.append a ~kind:code ~ts ~ctx:contexts.(ctx) ~flow:flows.(flow) ~size
+            done;
+            a)
       in
       if r.pos <> r.limit then Error (Printf.sprintf "trailing garbage at offset %d" r.pos)
-      else Ok logs
+      else Ok arenas
     with
     | Corrupt (pos, msg) -> Error (Printf.sprintf "corrupt at offset %d: %s" pos msg)
     | Invalid_argument msg -> Error (Printf.sprintf "corrupt at offset %d: %s" r.pos msg)
   end
+
+let decode_native data =
+  if not (has_magic_at data 0) then Error "not a PTB1 file"
+  else decode_native_region data ~pos:0 ~len:(String.length data)
+
+let decode_region data ~pos ~len =
+  Result.map Arena.to_collection (decode_native_region data ~pos ~len)
 
 let decode data =
   if not (has_magic_at data 0) then Error "not a PTB1 file"

@@ -57,9 +57,30 @@ val load : path:string -> (Log.collection, string) result
 (** Read a file written by {!save}. Errors name the offending offset. *)
 
 val encode : Log.collection -> string
-(** The raw encoded bytes (exposed for tests and benches). *)
+(** The raw encoded bytes (exposed for tests and benches). Equivalent to
+    [encode_native (Arena.of_collection c)] — the record-list API is a
+    wrapper over the native path, byte-for-byte. *)
 
 val decode : string -> (Log.collection, string) result
+
+(** {1 Native path}
+
+    The arena-backed codec the pipeline runs on: table entries are
+    interned into the process-wide {!Intern} tables once per file, record
+    rows decode straight into {!Arena}s with no per-record allocation.
+    Same bytes, same corruption guarantees (never raises, [Corrupt]
+    offsets absolute within [data]) as the record-list API above. *)
+
+val encode_native : Arena.t list -> string
+
+val decode_native : string -> (Arena.t list, string) result
+(** Rows come back in file order (the order they were encoded), not
+    re-sorted; {!Arena.to_log} restores [Log] order when needed. *)
+
+val decode_native_region : string -> pos:int -> len:int -> (Arena.t list, string) result
+(** {!decode_native} for a payload embedded at [pos] (spanning [len])
+    inside a larger string; error offsets stay absolute within [data],
+    exactly as {!decode_region}. *)
 
 val decode_region : string -> pos:int -> len:int -> (Log.collection, string) result
 (** Decode a PTB1 payload embedded at [pos] (spanning [len] bytes) inside

@@ -16,8 +16,15 @@ let pp_line ppf a = Format.pp_print_string ppf (to_line a)
 
 let ( let* ) r f = Result.bind r f
 
+(* Strict decimal, optionally '-'-signed — [int_of_string_opt] alone also
+   accepts [0x1f]/[0o17]/[0b11] prefixes and [1_000] separators, none of
+   which {!to_line} ever emits, so they must not parse back. *)
+let is_strict_decimal s =
+  let digits = if String.length s > 0 && s.[0] = '-' then String.sub s 1 (String.length s - 1) else s in
+  String.length digits > 0 && String.for_all (fun c -> c >= '0' && c <= '9') digits
+
 let parse_int field s =
-  match int_of_string_opt s with
+  match if is_strict_decimal s then int_of_string_opt s else None with
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "bad %s: %S" field s)
 
@@ -28,6 +35,10 @@ let parse_endpoint field s =
       let ip_str = String.sub s 0 i in
       let port_str = String.sub s (i + 1) (String.length s - i - 1) in
       let* port = parse_int (field ^ " port") port_str in
+      let* port =
+        if port >= 0 && port <= 65_535 then Ok port
+        else Error (Printf.sprintf "bad %s port (out of range): %S" field port_str)
+      in
       match Address.ip_of_string ip_str with
       | ip -> Ok (Address.endpoint ip port)
       | exception Invalid_argument msg -> Error msg)

@@ -79,8 +79,8 @@ let frame_equal (a : Frame.t) (b : Frame.t) =
   a.Frame.seq = b.Frame.seq && a.Frame.oldest = b.Frame.oldest
   && String.equal a.Frame.host b.Frame.host
   && ST.equal a.Frame.watermark b.Frame.watermark
-  && List.length a.Frame.activities = List.length b.Frame.activities
-  && List.for_all2 Activity.equal a.Frame.activities b.Frame.activities
+  && Frame.records a = Frame.records b
+  && List.for_all2 Activity.equal (Frame.activities a) (Frame.activities b)
 
 (* ---- codec round trip ---- *)
 
@@ -96,10 +96,10 @@ let test_frame_roundtrip () =
       Alcotest.(check int) "oldest" 3 f.Frame.oldest;
       Alcotest.(check string) "host" "web" f.Frame.host;
       Alcotest.(check int) "watermark" 123_456 (ST.to_ns f.Frame.watermark);
-      Alcotest.(check int) "records" (List.length web) (List.length f.Frame.activities);
+      Alcotest.(check int) "records" (List.length web) (Frame.records f);
       let sorted = Log.to_list (Log.of_list ~hostname:"web" web) in
       Alcotest.(check bool) "activities" true
-        (List.for_all2 Activity.equal sorted f.Frame.activities)
+        (List.for_all2 Activity.equal sorted (Frame.activities f))
   | Ok fs -> Alcotest.failf "expected 1 frame, got %d" (List.length fs)
 
 let test_empty_frame_roundtrip () =
@@ -109,7 +109,7 @@ let test_empty_frame_roundtrip () =
   in
   match decode_all [ bytes ] with
   | Ok [ f ] ->
-      Alcotest.(check int) "no records" 0 (List.length f.Frame.activities);
+      Alcotest.(check int) "no records" 0 (Frame.records f);
       Alcotest.(check string) "host" "db1" f.Frame.host
   | Ok _ | Error _ -> Alcotest.fail "empty frame must decode"
 
@@ -214,6 +214,27 @@ let test_byte_flip_corpus () =
           Alcotest.failf "flip at %d/%d raised %s" i bit (Printexc.to_string e)
     done
   done
+
+let test_encode_rejects_negative_varints () =
+  (* Frame's LEB128 writer raises [Invalid_argument] on negatives (it
+     used to be an [assert], invisible in release builds); the negative
+     watermark path reaches it directly since [encode] range-checks only
+     seq/oldest itself. *)
+  (match
+     Frame.encode ~seq:0 ~oldest:0 ~host:"w" ~watermark:(ST.of_ns (-1))
+       ~payload:(Frame.encode_payload ~host:"w" [])
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative watermark accepted");
+  (match Frame.encode_ack (-3) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative ack accepted");
+  match
+    Frame.encode ~seq:(-1) ~oldest:0 ~host:"w" ~watermark:(ST.of_ns 0)
+      ~payload:(Frame.encode_payload ~host:"w" [])
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative seq accepted"
 
 let test_decoder_error_is_sticky () =
   let dec = Frame.Decoder.create () in
@@ -469,6 +490,8 @@ let () =
             test_truncation_never_errors;
           Alcotest.test_case "byte-flip corpus" `Slow test_byte_flip_corpus;
           Alcotest.test_case "decoder error is sticky" `Quick test_decoder_error_is_sticky;
+          Alcotest.test_case "negative varints rejected" `Quick
+            test_encode_rejects_negative_varints;
           qtest prop_chopped_stream_decodes_identically;
           qtest prop_ack_stream_chop;
         ] );

@@ -248,6 +248,57 @@ let prop_interleaved_requests_all_resolve =
       && result.ranker_stats.Core.Ranker.forced_discards = 0
       && List.for_all (fun c -> Cag.validate c = Ok ()) result.Correlator.cags)
 
+(* ---- native (arena) path equivalence ---- *)
+
+let collection_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         String.equal (Log.hostname x) (Log.hostname y)
+         && Log.length x = Log.length y
+         && List.for_all2 Activity.equal (Log.to_list x) (Log.to_list y))
+       a b
+
+let test_apply_native_matches_apply () =
+  let logs = raw_multi_request ~n:4 ~askew:1500 () in
+  (* exercise every filter class plus a custom predicate *)
+  let cfg =
+    Transform.config ~entry_points:[ entry ] ~drop_programs:[ "java" ] ~drop_ports:[ 8009 ]
+      ~keep:(fun a -> a.Activity.message.size <> 2400)
+      ()
+  in
+  let legacy = Transform.apply cfg logs in
+  let native =
+    Trace.Arena.to_collection (Transform.apply_native cfg (Trace.Arena.of_collection logs))
+  in
+  Alcotest.(check bool) "filtered collections identical" true (collection_equal legacy native);
+  (* and with the default keep (the memo-only fast path) *)
+  let cfg = Transform.config ~entry_points:[ entry ] () in
+  let legacy = Transform.apply cfg logs in
+  let native =
+    Trace.Arena.to_collection (Transform.apply_native cfg (Trace.Arena.of_collection logs))
+  in
+  Alcotest.(check bool) "classified collections identical" true (collection_equal legacy native)
+
+let test_correlate_arena_matches_correlate () =
+  let logs = raw_multi_request ~n:6 ~askew:2000 () in
+  let cfg =
+    Correlator.config ~transform:(Transform.config ~entry_points:[ entry ] ()) ()
+  in
+  let record_result = Correlator.correlate cfg logs in
+  let native_result = Correlator.correlate_arena cfg (Trace.Arena.of_collection logs) in
+  Alcotest.(check int) "same finished count"
+    (List.length record_result.Correlator.cags)
+    (List.length native_result.Correlator.cags);
+  Alcotest.(check int) "same deformed count"
+    (List.length record_result.Correlator.deformed)
+    (List.length native_result.Correlator.deformed);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same shape" (Core.Pattern.signature_of a)
+        (Core.Pattern.signature_of b))
+    record_result.Correlator.cags native_result.Correlator.cags
+
 let () =
   Alcotest.run "correlator"
     [
@@ -267,6 +318,9 @@ let () =
           Alcotest.test_case "streaming callbacks" `Quick test_streaming_callback_order;
           Alcotest.test_case "multiple entry points" `Quick test_multiple_entry_points;
           Alcotest.test_case "memory proxy vs window" `Quick test_memory_proxy_grows_with_window;
+          Alcotest.test_case "apply_native matches apply" `Quick test_apply_native_matches_apply;
+          Alcotest.test_case "correlate_arena matches correlate" `Quick
+            test_correlate_arena_matches_correlate;
           qtest prop_interleaved_requests_all_resolve;
         ] );
     ]

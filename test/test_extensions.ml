@@ -283,6 +283,59 @@ let test_online_with_skew_and_noise () =
   Alcotest.(check bool) "noise discarded online" true
     ((Online.ranker_stats online).Core.Ranker.noise_discarded > 50)
 
+let test_online_arena_feed_matches_offline () =
+  (* The native feed — whole per-host arenas through [observe_arena] —
+     must land on exactly the offline result, like the record feed does. *)
+  let outcome = S.run { S.default with S.clients = 20; time_scale = 0.02 } in
+  let offline = correlate outcome in
+  let cfg = Core.Correlator.config ~transform:outcome.S.transform () in
+  let hosts = List.map Trace.Log.hostname outcome.S.logs in
+  let online = Online.create ~config:cfg ~hosts () in
+  List.iter (Online.observe_arena online) (Trace.Arena.of_collection outcome.S.logs);
+  Online.finish online;
+  let online_paths = Online.paths online in
+  Alcotest.(check int) "same path count"
+    (List.length offline.Core.Correlator.cags)
+    (List.length online_paths);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same shape" (Core.Pattern.signature_of a)
+        (Core.Pattern.signature_of b))
+    offline.Core.Correlator.cags online_paths
+
+let test_online_arena_feed_honours_custom_keep () =
+  (* A custom keep predicate forces the materialise-and-ask path; dropped
+     rows must not reach the ranker, and the tee still sees every raw
+     record. *)
+  let w, a, d = H.simple_request () in
+  let seen = ref 0 in
+  let transform =
+    Core.Transform.config ~entry_points:[ H.ep "10.0.1.1" 80 ]
+      ~keep:(fun (_ : Trace.Activity.t) -> false)
+      ()
+  in
+  let cfg = Core.Correlator.config ~transform () in
+  let online =
+    Online.create ~config:cfg ~hosts:[ "web"; "app"; "db" ]
+      ~on_activity:(fun _ -> incr seen)
+      ()
+  in
+  let arenas =
+    Trace.Arena.of_collection
+      [
+        Trace.Log.of_list ~hostname:"web" w;
+        Trace.Log.of_list ~hostname:"app" a;
+        Trace.Log.of_list ~hostname:"db" d;
+      ]
+  in
+  List.iter (Online.observe_arena online) arenas;
+  Online.finish online;
+  Alcotest.(check int) "tee saw every raw record"
+    (List.length w + List.length a + List.length d)
+    !seen;
+  Alcotest.(check int) "everything filtered" 0 (Online.pending online);
+  Alcotest.(check int) "no paths" 0 (List.length (Online.paths online))
+
 let test_online_withholds_until_watermark () =
   (* Feed only the entry BEGIN: nothing can be emitted (other nodes might
      still report earlier activities). *)
@@ -464,6 +517,10 @@ let () =
         [
           Alcotest.test_case "matches offline exactly" `Quick test_online_matches_offline;
           Alcotest.test_case "skew and noise" `Quick test_online_with_skew_and_noise;
+          Alcotest.test_case "arena feed matches offline" `Quick
+            test_online_arena_feed_matches_offline;
+          Alcotest.test_case "arena feed honours custom keep" `Quick
+            test_online_arena_feed_honours_custom_keep;
           Alcotest.test_case "watermark withholding" `Quick
             test_online_withholds_until_watermark;
           Alcotest.test_case "live during simulation" `Quick test_online_live_during_simulation;

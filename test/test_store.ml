@@ -172,6 +172,77 @@ let test_writer_rolls_segments () =
   | Ok m -> Alcotest.(check int) "manifest agrees" stats.records_out (Store.Manifest.total_records m)
   | Error e -> Alcotest.fail e
 
+let read_file p = In_channel.with_open_bin p In_channel.input_all
+
+let store_files dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
+
+let test_ingest_native_unsorted_matches_sorted () =
+  (* [ingest_native] must produce a byte-identical store whether its
+     arenas arrive sorted or not (unsorted inputs are sorted on a copy).
+     Globally unique timestamps keep the expected order total. *)
+  let acts host n offset =
+    List.init n (fun i ->
+        H.act
+          ~kind:(if i mod 2 = 0 then Activity.Send else Activity.Receive)
+          ~ts:((i * 2) + offset)
+          ~ctx:(H.ctx ~host ~program:"p" ~pid:7 ~tid:(100 + (i mod 3)) ())
+          ~flow:(H.flow "10.0.1.1" (4000 + (i mod 5)) "10.0.2.1" 8009)
+          ~size:(1 + i))
+  in
+  let web = acts "web" 40 0 and app = acts "app" 40 1 in
+  let collection =
+    [ Log.of_list ~hostname:"web" web; Log.of_list ~hostname:"app" app ]
+  in
+  let write_with dir feed =
+    let writer = Store.Writer.create ~roll_records:16 ~dir () in
+    feed writer;
+    ignore (Store.Writer.close writer)
+  in
+  with_dir @@ fun dir1 ->
+  with_dir @@ fun dir2 ->
+  write_with dir1 (fun w -> Store.Writer.ingest w collection);
+  write_with dir2 (fun w ->
+      let unsorted =
+        List.map
+          (fun (host, l) ->
+            let a = Trace.Arena.create ~host () in
+            List.iter (Trace.Arena.append_activity a) (List.rev l);
+            a)
+          [ ("web", web); ("app", app) ]
+      in
+      Store.Writer.ingest_native w unsorted);
+  let files1 = store_files dir1 and files2 = store_files dir2 in
+  Alcotest.(check (list string)) "same files" (List.map fst files1) (List.map fst files2);
+  List.iter2
+    (fun (name, b1) (_, b2) ->
+      Alcotest.(check bool) (Printf.sprintf "%s byte-identical" name) true (String.equal b1 b2))
+    files1 files2;
+  match Store.Query.run ~dir:dir2 Store.Query.all with
+  | Error e -> Alcotest.fail e
+  | Ok (loaded, _) ->
+      let by_host =
+        List.sort (fun a b -> String.compare (Log.hostname a) (Log.hostname b))
+      in
+      Alcotest.(check bool) "query returns the sorted records" true
+        (collection_equal (by_host collection) (by_host loaded))
+
+let test_query_native_matches_record_query () =
+  with_dir @@ fun dir ->
+  let collection = (Lazy.force outcome).S.logs in
+  let writer = Store.Writer.create ~roll_records:700 ~dir () in
+  Store.Writer.ingest writer collection;
+  ignore (Store.Writer.close writer);
+  let predicate = Store.Query.predicate ~hosts:[ "web"; "db1" ] () in
+  match (Store.Query.run ~dir predicate, Store.Query.run_native ~dir predicate) with
+  | Ok (records, s1), Ok (arenas, s2) ->
+      Alcotest.(check bool) "same collection" true
+        (collection_equal records (Trace.Arena.to_collection arenas));
+      Alcotest.(check int) "same segments scanned" s1.Store.Query.segments_scanned
+        s2.Store.Query.segments_scanned
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
 let test_writer_requires_correlate () =
   with_dir @@ fun dir ->
   let policy =
@@ -501,6 +572,10 @@ let () =
       ( "writer",
         [
           Alcotest.test_case "rolls segments" `Quick test_writer_rolls_segments;
+          Alcotest.test_case "native ingest: unsorted equals sorted" `Quick
+            test_ingest_native_unsorted_matches_sorted;
+          Alcotest.test_case "native query equals record query" `Quick
+            test_query_native_matches_record_query;
           Alcotest.test_case "reduction needs correlator" `Quick test_writer_requires_correlate;
           Alcotest.test_case "streaming reduction" `Quick test_writer_with_reduction;
           Alcotest.test_case "online correlation tee" `Quick test_online_tee;

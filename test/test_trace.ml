@@ -80,6 +80,55 @@ let test_raw_errors () =
       | Error _ -> ())
     bad
 
+(* OCaml's [int_of_string] admits radix prefixes and underscore
+   separators; none of these are valid TCP_TRACE integer fields, and a
+   lenient parser would silently misread e.g. a corrupted timestamp
+   column. One regression test per non-canonical form, each exercised in
+   an integer field of every position class (timestamp, pid/tid, port,
+   message size) plus the dotted-quad octets. *)
+let reject_line line =
+  match Raw_format.of_line line with
+  | Ok a -> Alcotest.failf "accepted %S as %s" line (Format.asprintf "%a" Activity.pp a)
+  | Error _ -> ()
+
+let lines_with n =
+  [
+    Printf.sprintf "%s web httpd 10 10 SEND 1.1.1.1:1-2.2.2.2:2 5" n;
+    Printf.sprintf "1 web httpd %s 10 SEND 1.1.1.1:1-2.2.2.2:2 5" n;
+    Printf.sprintf "1 web httpd 10 %s SEND 1.1.1.1:1-2.2.2.2:2 5" n;
+    Printf.sprintf "1 web httpd 10 10 SEND 1.1.1.1:%s-2.2.2.2:2 5" n;
+    Printf.sprintf "1 web httpd 10 10 SEND 1.1.1.1:1-2.2.2.2:%s 5" n;
+    Printf.sprintf "1 web httpd 10 10 SEND 1.1.1.1:1-2.2.2.2:2 %s" n;
+  ]
+
+let test_raw_rejects_hex () = List.iter reject_line (lines_with "0x1f")
+let test_raw_rejects_octal () = List.iter reject_line (lines_with "0o17")
+let test_raw_rejects_binary_literal () = List.iter reject_line (lines_with "0b11")
+let test_raw_rejects_underscores () = List.iter reject_line (lines_with "1_000")
+
+let test_ip_rejects_noncanonical_octets () =
+  List.iter
+    (fun s ->
+      match Simnet.Address.ip_of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "ip_of_string accepted %S" s)
+    [ "0x1f.2.3.4"; "1.0o17.3.4"; "1.2.0b11.4"; "1.2.3.1_0"; "1.2.3.256"; "1.2.3.-1" ]
+
+let test_raw_rejects_out_of_range_ports () =
+  reject_line "1 web httpd 10 10 SEND 1.1.1.1:99999-2.2.2.2:2 5";
+  reject_line "1 web httpd 10 10 SEND 1.1.1.1:1-2.2.2.2:65536 5";
+  (match Raw_format.of_line "1 web httpd 10 10 SEND 1.1.1.1:99999-2.2.2.2:2 5" with
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S names the sender port" msg)
+        true
+        (H.contains msg "sender port")
+  | Ok _ -> Alcotest.fail "out-of-range port accepted");
+  (* the boundary values are valid *)
+  match Raw_format.of_line "1 web httpd 10 10 SEND 1.1.1.1:65535-2.2.2.2:0 5" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "boundary ports rejected: %s" e
+
 let arbitrary_activity =
   let open QCheck.Gen in
   let kind = oneofl [ Activity.Begin; Activity.End_; Activity.Send; Activity.Receive ] in
@@ -448,6 +497,130 @@ let test_binary_truncated_file_load () =
       Alcotest.(check bool) "error names an offset" true (H.contains msg "offset"));
   Sys.remove path
 
+(* ---- Native (arena) codec path ---- *)
+
+module Arena = Trace.Arena
+
+let test_put_uvarint_negative () =
+  let buf = Buffer.create 8 in
+  (match Trace.Binary_format.put_uvarint buf (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative varint accepted");
+  (match Trace.Binary_format.put_uvarint buf min_int with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "min_int varint accepted");
+  Trace.Binary_format.put_uvarint buf 0;
+  Trace.Binary_format.put_uvarint buf max_int;
+  Alcotest.(check bool) "valid values still encode" true (Buffer.length buf > 0)
+
+let arena_rows a =
+  List.init (Arena.length a) (fun i ->
+      (Arena.kind_code a i, Arena.ts a i, Arena.ctx_id a i, Arena.flow_id a i, Arena.size a i))
+
+let arenas_equal xs ys =
+  List.length xs = List.length ys
+  && List.for_all2
+       (fun x y -> String.equal (Arena.hostname x) (Arena.hostname y) && arena_rows x = arena_rows y)
+       xs ys
+
+let prop_native_roundtrip =
+  QCheck.Test.make ~name:"native decode(encode) is structurally the identity" ~count:100
+    arbitrary_collection (fun collection ->
+      let arenas = Arena.of_collection collection in
+      match Trace.Binary_format.decode_native (Trace.Binary_format.encode_native arenas) with
+      | Ok loaded -> arenas_equal arenas loaded
+      | Error _ -> false)
+
+let prop_native_bytes_match_legacy =
+  QCheck.Test.make ~name:"encode_native bytes equal record-list encode bytes" ~count:100
+    arbitrary_collection (fun collection ->
+      String.equal
+        (Trace.Binary_format.encode collection)
+        (Trace.Binary_format.encode_native (Arena.of_collection collection)))
+
+let prop_text_native_text_stable =
+  (* Text import -> native codec roundtrip -> text export must be
+     byte-stable: the arena path may not perturb a single rendered
+     field. *)
+  QCheck.Test.make ~name:"text import -> native -> text export is byte-stable" ~count:100
+    arbitrary_collection (fun collection ->
+      let text_of c =
+        String.concat "\n"
+          (List.concat_map (fun l -> List.map Raw_format.to_line (Log.to_list l)) c)
+      in
+      let imported =
+        List.map
+          (fun l ->
+            let acts =
+              List.map
+                (fun a ->
+                  match Raw_format.of_line (Raw_format.to_line a) with
+                  | Ok a -> a
+                  | Error e -> failwith e)
+                (Log.to_list l)
+            in
+            Log.of_list ~hostname:(Log.hostname l) acts)
+          collection
+      in
+      let arenas = Arena.of_collection imported in
+      match Trace.Binary_format.decode_native (Trace.Binary_format.encode_native arenas) with
+      | Error _ -> false
+      | Ok loaded -> String.equal (text_of collection) (text_of (Arena.to_collection loaded)))
+
+(* Native corruption corpora: same never-raise guarantee as the
+   record-list decoder, with every reported offset in bounds. *)
+let error_offset_in_bounds n msg =
+  (* errors read "... offset %d..." — extract the integer after the
+     first "offset " occurrence *)
+  let marker = "offset " in
+  let rec find i =
+    if i + String.length marker > String.length msg then None
+    else if String.sub msg i (String.length marker) = marker then Some (i + String.length marker)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some start ->
+      let stop = ref start in
+      while !stop < String.length msg && msg.[!stop] >= '0' && msg.[!stop] <= '9' do
+        incr stop
+      done;
+      !stop > start
+      &&
+      let off = int_of_string (String.sub msg start (!stop - start)) in
+      off >= 0 && off <= n
+
+let test_native_truncation_corpus () =
+  let encoded = corpus_encoding () in
+  let n = String.length encoded in
+  for len = 4 to n - 1 do
+    match Trace.Binary_format.decode_native (String.sub encoded 0 len) with
+    | Ok _ -> Alcotest.failf "native: prefix of %d/%d bytes decoded" len n
+    | Error msg ->
+        if not (error_offset_in_bounds len msg) then
+          Alcotest.failf "native truncation at %d: error %S has no in-bounds offset" len msg
+    | exception e ->
+        Alcotest.failf "native truncation at %d raised %s" len (Printexc.to_string e)
+  done
+
+let test_native_byte_flip_corpus () =
+  let encoded = corpus_encoding () in
+  let n = String.length encoded in
+  List.iter
+    (fun mask ->
+      for i = 0 to n - 1 do
+        let b = Bytes.of_string encoded in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+        match Trace.Binary_format.decode_native (Bytes.to_string b) with
+        | Ok _ -> () (* flips in sizes/ports can still decode; that's fine *)
+        | Error msg ->
+            if i >= 4 && not (error_offset_in_bounds n msg) then
+              Alcotest.failf "native flip %#x at %d: error %S has no in-bounds offset" mask i msg
+        | exception e ->
+            Alcotest.failf "native flip %#x at %d raised %s" mask i (Printexc.to_string e)
+      done)
+    [ 0x01; 0x80; 0xFF ]
+
 (* ---- Ground truth ---- *)
 
 let test_gt_lifecycle () =
@@ -511,6 +684,12 @@ let () =
           Alcotest.test_case "line layout" `Quick test_raw_line;
           Alcotest.test_case "roundtrip" `Quick test_raw_roundtrip;
           Alcotest.test_case "malformed lines rejected" `Quick test_raw_errors;
+          Alcotest.test_case "hex literals rejected" `Quick test_raw_rejects_hex;
+          Alcotest.test_case "octal literals rejected" `Quick test_raw_rejects_octal;
+          Alcotest.test_case "binary literals rejected" `Quick test_raw_rejects_binary_literal;
+          Alcotest.test_case "underscored literals rejected" `Quick test_raw_rejects_underscores;
+          Alcotest.test_case "ip octet forms rejected" `Quick test_ip_rejects_noncanonical_octets;
+          Alcotest.test_case "port range enforced" `Quick test_raw_rejects_out_of_range_ports;
           qtest prop_raw_roundtrip;
         ] );
       ( "log",
@@ -545,6 +724,15 @@ let () =
           Alcotest.test_case "truncated file load" `Quick test_binary_truncated_file_load;
           qtest prop_binary_roundtrip;
           qtest prop_binary_collection_roundtrip;
+        ] );
+      ( "native_format",
+        [
+          Alcotest.test_case "put_uvarint rejects negatives" `Quick test_put_uvarint_negative;
+          Alcotest.test_case "truncation corpus (native)" `Quick test_native_truncation_corpus;
+          Alcotest.test_case "byte-flip corpus (native)" `Quick test_native_byte_flip_corpus;
+          qtest prop_native_roundtrip;
+          qtest prop_native_bytes_match_legacy;
+          qtest prop_text_native_text_stable;
         ] );
       ( "ground_truth",
         [
