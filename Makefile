@@ -17,20 +17,23 @@ test-parallel: build
 	PT_JOBS=2 dune runtest --force
 
 # A fast bench smoke: the store, degraded-feed, collection-plane,
-# sharded-correlation, diagnosis and bundle figures on quick grids, with
-# the machine-readable summary CI can diff (BENCH.json is untracked
-# output; the BENCH_*.json files in the repo are committed reference
-# runs).
+# hierarchical-correlation, sharded-correlation, diagnosis and bundle
+# figures on quick grids, with the machine-readable summary CI can diff
+# (BENCH.json is untracked output; the BENCH_*.json files in the repo
+# are committed reference runs).
 bench-quick: build
-	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure collect --figure parallel --figure diagnose --figure bundle --json BENCH.json
+	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure collect --figure hierarchy --figure parallel --figure diagnose --figure bundle --json BENCH.json
 
-# Ingest regression gate: run the store figure fresh and compare its
-# native-arena ingest throughput against the committed reference run
-# (BENCH_store.json). Fails when the fresh figure drops below half the
-# committed one — wide enough to absorb shared-host timing noise, tight
-# enough to catch a real hot-path regression.
+# Regression gates: run the store and hierarchy figures fresh. The store
+# gate compares native-arena ingest throughput against the committed
+# reference run (BENCH_store.json) and fails below half of it — wide
+# enough to absorb shared-host timing noise, tight enough to catch a
+# real hot-path regression. The hierarchy gate is deterministic: the
+# root's feed-volume reduction must stay at or above the 3x target (and
+# half the committed BENCH_hierarchy.json figure), and the hierarchical
+# digest must stay byte-identical to the monolithic correlator's.
 bench-gate: build
-	dune exec bench/main.exe -- --quick --figure store --gate BENCH_store.json
+	dune exec bench/main.exe -- --quick --figure store --figure hierarchy --gate BENCH_store.json --gate-hierarchy BENCH_hierarchy.json
 
 # Bundle round-trip gate: record a control and a faulted run as PTZ1
 # bundles, then exercise every reader path — info (container framing),

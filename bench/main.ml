@@ -2,10 +2,10 @@
    evaluation (§5), plus the extensions listed in DESIGN.md.
 
    Usage: main.exe [--figure ID]... [--scale S] [--quick] [--jobs N]
-                   [--json FILE] [--gate FILE] [--telemetry FILE]
-                   [--telemetry-format prom|json|report]
+                   [--json FILE] [--gate FILE] [--gate-hierarchy FILE]
+                   [--telemetry FILE] [--telemetry-format prom|json|report]
      IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro store
-          degraded collect parallel diagnose bundle all
+          degraded collect hierarchy parallel diagnose bundle all
    --jobs adds an extra domain count to the parallel figure's 1/2/4 grid.
    Default: everything, at time_scale 0.1 (stage durations shrunk 10x;
    service times, think times and all rates untouched, so shapes match the
@@ -48,6 +48,7 @@ let telemetry_format = ref `Prom
 let json_out = ref None
 let jobs_override = ref None
 let gate_file = ref None
+let gate_hierarchy_file = ref None
 
 (* ---- machine-readable results (--json) ---- *)
 
@@ -156,6 +157,67 @@ let run_gate file =
         Printf.printf
           "bench gate: ingest %.0f records/s >= %.0f (%.0f%% of committed %.0f) — ok\n" fresh
           floor (100.0 *. gate_slack) reference
+
+(* The hierarchy gate is not a timing gate: the simulation is deterministic,
+   so the feed-volume reduction and the digest identity must hold exactly.
+   It fails when the root's ingest reduction drops below the 3x target (or
+   well below the committed reference) or when the hierarchical digest stops
+   matching the monolithic correlator. *)
+let hierarchy_reduction_target = 3.0
+
+let run_hierarchy_gate file =
+  let fresh key =
+    List.fold_left
+      (fun acc (fig, (k, v)) ->
+        match acc with
+        | Some _ -> acc
+        | None -> if String.equal fig "hierarchy" && String.equal k key then Some v else None)
+      None !scalars
+  in
+  let as_float = function
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let reference =
+    let ( let* ) = Option.bind in
+    let* body =
+      match In_channel.with_open_bin file In_channel.input_all with
+      | body -> Some body
+      | exception Sys_error _ -> None
+    in
+    let* doc = Result.to_option (Json.of_string body) in
+    let* figures = Json.member "figures" doc in
+    let* fig = Json.member "hierarchy" figures in
+    let* results = Json.member "results" fig in
+    as_float (Json.member "root_reduction" results)
+  in
+  match (as_float (fresh "root_reduction"), fresh "identical", reference) with
+  | None, _, _ | _, None, _ ->
+      Printf.eprintf
+        "bench gate: no fresh hierarchy figure (run with --figure hierarchy)\n";
+      exit 1
+  | _, _, None ->
+      Printf.eprintf "bench gate: cannot read root_reduction from %s\n" file;
+      exit 1
+  | Some reduction, Some identical, Some reference ->
+      let floor = Float.max hierarchy_reduction_target (gate_slack *. reference) in
+      if not (match identical with Json.Bool b -> b | _ -> false) then begin
+        Printf.eprintf
+          "bench gate: hierarchical digest no longer matches the monolithic correlator\n";
+        exit 1
+      end
+      else if reduction < floor then begin
+        Printf.eprintf
+          "bench gate: root feed-volume reduction %.1fx is below %.1fx (target %.1fx, \
+           committed %.1fx in %s)\n"
+          reduction floor hierarchy_reduction_target reference file;
+        exit 1
+      end
+      else
+        Printf.printf
+          "bench gate: root feed-volume reduction %.1fx >= %.1fx, digest identical — ok\n"
+          reduction floor
 
 (* ---- memoised scenario runs and correlations ---- *)
 
@@ -919,6 +981,120 @@ let bench_collect () =
   record_float ~figure:"collect" "mean_rt_in_band_ms"
     (outcome.S.summary.Metrics.mean_rt_s *. 1e3)
 
+(* ---- ext-16: hierarchical scale-out correlation ---- *)
+
+let bench_hierarchy () =
+  let module P = Collect.Hierarchy in
+  (* The §5.3.3 noisy environment: unfilterable db-side chatter is exactly
+     what the per-level reduction exists for, so the cluster carries it. *)
+  let noisy base = { base with S.noise = S.Paper_noise { db_connections = 2 } } in
+  let cluster =
+    if !quick then
+      { S.base = noisy { S.default with S.clients = 12; time_scale = 0.02; seed = 5 };
+        S.replicas = 4 }
+    else { S.default_cluster with S.base = noisy S.default_cluster.S.base }
+  in
+  let shards = min P.default_config.P.shards cluster.S.replicas in
+  let plane =
+    P.create ~telemetry:(Telemetry.Registry.create ())
+      ~config:{ P.default_config with P.shards }
+      cluster
+  in
+  let co = S.run_cluster ~before_replica:(P.install plane) cluster in
+  let report = P.finish plane in
+  (* Flat-funnel baseline: the same cluster re-run with raw (Deploy) agents;
+     the sum of their shipped bytes is what a single flat root would have to
+     ingest over the wire. *)
+  let flat_bytes =
+    let reg = Telemetry.Registry.create () in
+    let deploys = ref [] in
+    let (_ : S.cluster_outcome) =
+      S.run_cluster
+        ~before_replica:(fun _ svc ->
+          deploys := Collect.Deploy.install ~telemetry:reg svc :: !deploys)
+        ~after_replica:(fun _ _ -> Collect.Deploy.finish (List.hd !deploys))
+        cluster
+    in
+    List.fold_left
+      (fun acc d ->
+        List.fold_left
+          (fun acc a -> acc + (Collect.Agent.stats a).Collect.Agent.bytes_shipped)
+          acc (Collect.Deploy.agents d))
+      0 !deploys
+  in
+  let raw_bytes = String.length (Trace.Binary_format.encode co.S.all_logs) in
+  let mono =
+    let cfg = Correlator.config ~transform:co.S.cluster_transform () in
+    Correlator.correlate cfg co.S.all_logs
+  in
+  let identical = String.equal report.P.digest (Core.Hierarchy.digest_result mono) in
+  let flat = float_of_int flat_bytes in
+  let level0_reduction = flat /. float_of_int (max 1 report.P.agent_bytes_shipped) in
+  let root_reduction = flat /. float_of_int (max 1 report.P.root_ingest_bytes) in
+  let t =
+    Report.table
+      ~title:
+        (Printf.sprintf
+           "ext-16: hierarchical correlation tree (%d replicas / %d hosts, %d shards, \
+            noisy)"
+           cluster.S.replicas (List.length co.S.hosts) shards)
+      ~columns:[ "feed"; "bytes"; "vs flat funnel" ]
+  in
+  Report.add_row t
+    [ "flat funnel -> root (raw frames)"; Report.cell_int flat_bytes; "1.0x" ];
+  Report.add_row t
+    [
+      "level 0 -> 1 (partial frames)";
+      Report.cell_int report.P.agent_bytes_shipped;
+      Printf.sprintf "%.1fx" level0_reduction;
+    ];
+  Report.add_row t
+    [
+      "level 1 -> root (PTH1 paths)";
+      Report.cell_int report.P.root_ingest_bytes;
+      Printf.sprintf "%.1fx" root_reduction;
+    ];
+  Report.add_row t
+    [
+      "(offline archive, for scale)";
+      Report.cell_int raw_bytes;
+      Printf.sprintf "%.1fx" (flat /. float_of_int (max 1 raw_bytes));
+    ];
+  Report.print t;
+  let s =
+    Report.table
+      ~title:"ext-16: per-shard ownership (no component sees the full feed)"
+      ~columns:[ "shard"; "replicas"; "paths"; "ingest records"; "PTH1 bytes" ]
+  in
+  List.iter
+    (fun (sh : P.shard_report) ->
+      Report.add_row s
+        [
+          Report.cell_int sh.P.shard_id;
+          String.concat "," (List.map string_of_int sh.P.shard_replicas);
+          Report.cell_int sh.P.paths_finished;
+          Report.cell_int sh.P.ingest_records;
+          Report.cell_int sh.P.output_bytes;
+        ])
+    report.P.shard_reports;
+  Report.print s;
+  Printf.printf
+    "root splice vs monolithic correlator over the intact feed: %s (%d paths, %d \
+     deformed)\n\n"
+    (if identical then "byte-identical digests" else "DIGESTS DIFFER")
+    (List.length report.P.finished)
+    (List.length report.P.deformed);
+  record_int ~figure:"hierarchy" "replicas" cluster.S.replicas;
+  record_int ~figure:"hierarchy" "hosts" (List.length co.S.hosts);
+  record_int ~figure:"hierarchy" "shards" shards;
+  record_int ~figure:"hierarchy" "paths" (List.length report.P.finished);
+  record_int ~figure:"hierarchy" "flat_funnel_bytes" flat_bytes;
+  record_int ~figure:"hierarchy" "agent_shipped_bytes" report.P.agent_bytes_shipped;
+  record_int ~figure:"hierarchy" "root_ingest_bytes" report.P.root_ingest_bytes;
+  record_float ~figure:"hierarchy" "level0_reduction" level0_reduction;
+  record_float ~figure:"hierarchy" "root_reduction" root_reduction;
+  record_scalar ~figure:"hierarchy" "identical" (Json.Bool identical)
+
 (* ---- ext-8: trace format sizes ---- *)
 
 let bench_formats () =
@@ -1538,6 +1714,7 @@ let all_figures =
     ("online", bench_online);
     ("degraded", bench_degraded);
     ("collect", bench_collect);
+    ("hierarchy", bench_hierarchy);
     ("store", bench_store);
     ("parallel", bench_parallel);
     ("diagnose", bench_diagnose);
@@ -1577,6 +1754,9 @@ let () =
         parse rest
     | "--gate" :: file :: rest ->
         gate_file := Some file;
+        parse rest
+    | "--gate-hierarchy" :: file :: rest ->
+        gate_hierarchy_file := Some file;
         parse rest
     | "--telemetry-format" :: fmt :: rest ->
         (match fmt with
@@ -1618,6 +1798,7 @@ let () =
     figures;
   (match !json_out with None -> () | Some file -> emit_json file);
   (match !gate_file with None -> () | Some file -> run_gate file);
+  (match !gate_hierarchy_file with None -> () | Some file -> run_hierarchy_gate file);
   match !telemetry_out with
   | None -> ()
   | Some file ->

@@ -312,6 +312,44 @@ let print_collect d =
         (h.p50 *. 1e3) (h.p90 *. 1e3) (h.p99 *. 1e3)
   | _ -> ()
 
+let print_cluster_summary (co : S.cluster_outcome) =
+  let requests =
+    List.fold_left (fun acc o -> acc + Metrics.total_recorded o.S.metrics) 0 co.S.outcomes
+  in
+  let activities = List.fold_left (fun acc o -> acc + o.S.activity_count) 0 co.S.outcomes in
+  Format.printf "cluster: %d replicas / %d traced hosts, %d requests completed, %d \
+                 activities captured@."
+    co.S.cluster.S.replicas (List.length co.S.hosts) requests activities
+
+let print_hierarchy (report : Collect.Hierarchy.report) =
+  let module P = Collect.Hierarchy in
+  Format.printf "hierarchy: %d causal paths at the root (%d deformed)@."
+    (List.length report.P.finished)
+    (List.length report.P.deformed);
+  Format.printf "  root digest %s@." report.P.digest;
+  Format.printf
+    "  level 0: %d records observed, %d removed before framing (%d coalesced, %d local \
+     flows, %d fallbacks), %d boundary entries, %d bytes shipped@."
+    report.P.agent_observed report.P.agent_reduced report.P.partial_coalesced
+    report.P.partial_local_flows report.P.partial_fallbacks report.P.boundary_entries
+    report.P.agent_bytes_shipped;
+  List.iter
+    (fun (sh : P.shard_report) ->
+      Format.printf
+        "  shard %d <- replicas [%s]: %d paths (%d deformed) from %d reduced records, %d \
+         boundary entries, %d PTH1 bytes to root@."
+        sh.P.shard_id
+        (String.concat "," (List.map string_of_int sh.P.shard_replicas))
+        sh.P.paths_finished sh.P.paths_deformed sh.P.ingest_records
+        sh.P.shard_boundary_entries sh.P.output_bytes)
+    report.P.shard_reports;
+  Format.printf "  root ingest: %d PTH1 bytes" report.P.root_ingest_bytes;
+  if report.P.root_ingest_bytes > 0 then
+    Format.printf " (%.1fx below the %d wire bytes level 1 ingested)"
+      (float_of_int report.P.agent_bytes_shipped /. float_of_int report.P.root_ingest_bytes)
+      report.P.agent_bytes_shipped;
+  Format.printf "@."
+
 let simulate_cmd =
   let out =
     Arg.(
@@ -390,8 +428,98 @@ let simulate_cmd =
             "Agent-local reduction applied before shipping, e.g. \
              $(b,causal,sample=0.25@7). Default $(b,none) (ship everything).")
   in
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:
+            "Scale the testbed out to $(docv) independent service replicas ($(docv) x 3 \
+             traced hosts, the cluster preset). Above 1 this requires the hierarchical \
+             plane: $(b,--collect-shards) or $(b,--agent-correlate).")
+  in
+  let collect_shards =
+    Arg.(
+      value & opt int 0
+      & info [ "collect-shards" ] ~docv:"N"
+          ~doc:
+            "Run the hierarchical collection plane with $(docv) level-1 collector shards: \
+             per-host agents partial-correlate before shipping, each shard correlates a \
+             partition of the entry connections, and the root splices the shards' PTH1 \
+             path feeds (see docs/COLLECT.md). Implies $(b,--agent-correlate).")
+  in
+  let agent_correlate =
+    Arg.(
+      value & flag
+      & info [ "agent-correlate" ]
+          ~doc:
+            "Run the agent-local partial-correlation pass (hierarchy level 0) on every \
+             traced host: prefilter, coalesce runs, resolve same-host flows, and ship \
+             reduced frames with an unresolved-boundary table. Without \
+             $(b,--collect-shards) a single level-1 shard is used.")
+  in
   let run spec out binary store_dir store_policy segment_records collect collect_batch
-      collect_buffer collect_overflow agent_policy bundle_out tfile tformat =
+      collect_buffer collect_overflow agent_policy replicas collect_shards agent_correlate
+      bundle_out tfile tformat =
+    let hierarchical = collect_shards > 0 || agent_correlate in
+    if replicas < 1 then begin
+      Format.eprintf "--replicas must be at least 1@.";
+      exit 1
+    end;
+    if collect_shards < 0 then begin
+      Format.eprintf "--collect-shards must be at least 1@.";
+      exit 1
+    end;
+    if replicas > 1 && not hierarchical then begin
+      Format.eprintf
+        "--replicas above 1 needs the hierarchical plane: add --collect-shards N or \
+         --agent-correlate@.";
+      exit 1
+    end;
+    if hierarchical then begin
+      if collect || Option.is_some store_dir || Option.is_some bundle_out then begin
+        Format.eprintf
+          "--collect-shards/--agent-correlate run their own collection plane and cannot \
+           be combined with --collect, --store or --bundle@.";
+        exit 1
+      end;
+      if not (Store.Policy.is_none agent_policy) then begin
+        Format.eprintf
+          "--agent-policy does not apply under --agent-correlate: the partial-correlation \
+           pass is the agent-local reduction@.";
+        exit 1
+      end;
+      let shards = if collect_shards > 0 then collect_shards else 1 in
+      let cluster = { S.base = spec; S.replicas } in
+      let agent =
+        {
+          Collect.Agent.default_config with
+          Collect.Agent.batch_records = collect_batch;
+          max_spool_records = collect_buffer;
+          overflow = collect_overflow;
+        }
+      in
+      let config =
+        { Collect.Hierarchy.default_config with Collect.Hierarchy.shards; agent }
+      in
+      let plane = Collect.Hierarchy.create ~config cluster in
+      let co = S.run_cluster ~before_replica:(Collect.Hierarchy.install plane) cluster in
+      let report = Collect.Hierarchy.finish plane in
+      print_cluster_summary co;
+      print_hierarchy report;
+      (match out with
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          if binary then
+            Trace.Binary_format.save co.S.all_logs
+              ~path:(Filename.concat dir "traces.ptb")
+          else Trace.Log.save co.S.all_logs ~dir;
+          Format.printf "%s written to %s@."
+            (if binary then "traces.ptb" else "trace files")
+            dir
+      | None -> ());
+      write_telemetry tfile tformat
+    end
+    else begin
     let deploy = ref None in
     let writer = ref None in
     let before_run svc =
@@ -460,13 +588,15 @@ let simulate_cmd =
           ~source:(`Logs outcome.S.logs) path)
       bundle_out;
     write_telemetry tfile tformat
+    end
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the simulated three-tier testbed.")
     Term.(
       const run $ spec_term $ out $ binary $ store_out $ store_policy $ segment_records
       $ collect $ collect_batch $ collect_buffer $ collect_overflow $ agent_policy
-      $ bundle_out_arg $ telemetry_file $ telemetry_format)
+      $ replicas $ collect_shards $ agent_correlate $ bundle_out_arg $ telemetry_file
+      $ telemetry_format)
 
 (* ---- correlate ---- *)
 

@@ -45,6 +45,13 @@ type config = {
   policy : Store.Policy.t;  (** Agent-local reduction; {!Store.Policy.none} to ship raw. *)
   correlate : Core.Correlator.config option;
       (** Attribution config for a non-none [policy]. *)
+  partial : Core.Partial.config option;
+      (** Agent-local partial correlation (hierarchy level 0): prefilter,
+          run coalescing and same-host matching before framing; reduced
+          frames carry a {!Trace.Boundary} table listing each unresolved
+          cross-host flow {e once}, in the frame where it first crossed
+          the boundary (re-listing every open connection per frame would
+          eat the reduction). [None] ships batches unreduced. *)
   max_inflight_frames : int;
       (** Send window: at most this many frames written to the socket
           but not yet acknowledged. Application-level flow control — the
@@ -102,7 +109,13 @@ val is_up : t -> bool
 
 type stats = {
   observed : int;  (** Own-host records accepted from the probe. *)
-  reduced : int;  (** Records removed by the agent-local policy. *)
+  reduced : int;
+      (** Records removed before framing — by the agent-local policy and
+          by the partial-correlation pass (prefilter + coalescing). *)
+  partial_coalesced : int;  (** Rows merged into a local run head. *)
+  partial_local_flows : int;  (** Flows resolved inside the host. *)
+  partial_fallbacks : int;  (** Batches shipped raw (budget exceeded). *)
+  boundary_entries : int;  (** Unresolved-boundary entries shipped. *)
   dropped : (string * int) list;
       (** Records lost, by reason: [agent_down], [buffer_full],
           [evicted], [crash]. Sorted by reason. *)

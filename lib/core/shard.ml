@@ -321,33 +321,12 @@ let correlate_arena ?(telemetry = R.default) ?pool ?jobs ?cut_margin
     correlate_sharded ~telemetry ~started ?pool ~jobs ?cut_margin cfg prepared
   end
 
+(* The digest preimage lives in {!Hierarchy.render} now, shared with the
+   hierarchical root's identity check; the bytes are unchanged. Ids are
+   digested as stored — for the sharded-vs-serial comparison they must
+   match without any canonical re-keying. *)
 let digest (result : Correlator.result) =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf
-    (Printf.sprintf "finished=%d deformed=%d\n"
-       (List.length result.Correlator.cags)
-       (List.length result.Correlator.deformed));
-  let patterns = Pattern.classify result.Correlator.cags in
-  List.iter
-    (fun (pat : Pattern.t) ->
-      Buffer.add_string buf
-        (Printf.sprintf "pattern %s n=%d sig=%s\n" pat.Pattern.name (Pattern.count pat)
-           pat.Pattern.signature);
-      List.iter
-        (fun (c : Cag.t) -> Buffer.add_string buf (Printf.sprintf " id=%d" c.Cag.cag_id))
-        pat.Pattern.cags;
-      Buffer.add_char buf '\n';
-      if List.exists Cag.is_finished pat.Pattern.cags then begin
-        let agg = Aggregate.of_pattern pat in
-        List.iter
-          (fun (c, pct) ->
-            Buffer.add_string buf
-              (Printf.sprintf "  %s %.9f\n" (Latency.component_label c) pct))
-          (Aggregate.component_percentages agg);
-        let tt = Aggregate.total_tail pat in
-        Buffer.add_string buf
-          (Printf.sprintf "  tail %.9f %.9f %.9f %.9f\n" tt.Aggregate.t_p50_s
-             tt.Aggregate.t_p90_s tt.Aggregate.t_p99_s tt.Aggregate.t_max_s)
-      end)
-    patterns;
-  Digest.to_hex (Digest.string (Buffer.contents buf))
+  Digest.to_hex
+    (Digest.string
+       (Hierarchy.render ~finished:result.Correlator.cags
+          ~deformed:result.Correlator.deformed))

@@ -69,14 +69,22 @@ let estimate ?reference cags =
     mins;
   let by_host = Hashtbl.create 8 in
   Hashtbl.replace by_host reference { host = reference; offset = Sim_time.span_zero; pairs_used = 0 };
-  (* BFS over the bidirectional-pair graph from the reference. *)
+  (* BFS over the bidirectional-pair graph from the reference, driven by a
+     sorted edge list: with inconsistent cycles the first-visit offset
+     depends on traversal order, so hash order would make the result vary
+     across runs. *)
+  let edges =
+    Hashtbl.fold (fun key th acc -> (key, th) :: acc) theta []
+    |> List.sort (fun ((a1, b1), _) ((a2, b2), _) ->
+           match String.compare a1 a2 with 0 -> String.compare b1 b2 | c -> c)
+  in
   let queue = Queue.create () in
   Queue.push reference queue;
   while not (Queue.is_empty queue) do
     let a = Queue.pop queue in
     let base = (Hashtbl.find by_host a).offset in
-    Hashtbl.iter
-      (fun (x, y) th ->
+    List.iter
+      (fun ((x, y), th) ->
         let visit host offset =
           match Hashtbl.find_opt by_host host with
           | Some e -> Hashtbl.replace by_host host { e with pairs_used = e.pairs_used + 1 }
@@ -86,7 +94,7 @@ let estimate ?reference cags =
         in
         if String.equal x a then visit y (Sim_time.span_add base th)
         else if String.equal y a then visit x (Sim_time.span_sub base th))
-      theta
+      edges
   done;
   (* Hosts with no usable pair keep offset 0. *)
   Hashtbl.iter

@@ -418,34 +418,43 @@ let check_mix t bl at =
           end)
         bl.Baseline.patterns
     in
-    (* Observed patterns absent from the baseline. *)
-    let novel =
+    (* Observed patterns absent from the baseline.  [freqs] is a hash
+       table, so collect the candidate signatures and sort them before
+       firing: alerts raised in one tick must come out in a stable order
+       (hash order varies across runs and OCaml versions). *)
+    let candidates =
       Hashtbl.fold
         (fun signature _ acc ->
           match Baseline.find bl ~signature with
           | Some _ -> acc
-          | None ->
-              let obs = freq signature in
-              let flags = mix_flags_for t signature in
-              if obs >= cfg.mix_min_frequency && flags.m_new_armed then begin
-                flags.m_new_armed <- false;
-                fire t ~at ~kind:Pattern_new ~pattern:(name_of signature)
-                  ~baseline_value:0.0 ~observed_value:obs
-                  (Printf.sprintf
-                     "new pattern %s at %.0f%% of traffic (absent from baseline)"
-                     (name_of signature) (100.0 *. obs))
-                :: acc
-              end
-              else begin
-                if
-                  obs < cfg.mix_min_frequency *. cfg.rearm_factor
-                  && not flags.m_new_armed
-                then flags.m_new_armed <- true;
-                acc
-              end)
+          | None -> signature :: acc)
         freqs []
+      |> List.sort String.compare
     in
-    from_baseline @ List.rev novel
+    let novel =
+      List.filter_map
+        (fun signature ->
+          let obs = freq signature in
+          let flags = mix_flags_for t signature in
+          if obs >= cfg.mix_min_frequency && flags.m_new_armed then begin
+            flags.m_new_armed <- false;
+            Some
+              (fire t ~at ~kind:Pattern_new ~pattern:(name_of signature)
+                 ~baseline_value:0.0 ~observed_value:obs
+                 (Printf.sprintf
+                    "new pattern %s at %.0f%% of traffic (absent from baseline)"
+                    (name_of signature) (100.0 *. obs)))
+          end
+          else begin
+            if
+              obs < cfg.mix_min_frequency *. cfg.rearm_factor
+              && not flags.m_new_armed
+            then flags.m_new_armed <- true;
+            None
+          end)
+        candidates
+    in
+    from_baseline @ novel
   end
 
 let check_throughput t bl at time_s =

@@ -18,6 +18,7 @@ type spec = {
   drift_ppm : float;
   time_scale : float;
   seed : int;
+  replica : int;
   fault_onset : Sim_time.span option;
 }
 
@@ -35,6 +36,7 @@ let default =
     drift_ppm = 0.0;
     time_scale = 0.1;
     seed = 42;
+    replica = 0;
     fault_onset = None;
   }
 
@@ -104,6 +106,7 @@ let run ?before_run ?after_run spec =
     {
       Service.default_config with
       Service.seed = spec.seed;
+      replica = spec.replica;
       max_threads = spec.max_threads;
       skew = spec.skew;
       drift_ppm = spec.drift_ppm;
@@ -158,3 +161,61 @@ let run ?before_run ?after_run spec =
     db = Service.db_stats svc;
     sim_events = Engine.events_fired engine;
   }
+
+(* ---- Cluster preset: R independent service replicas. ----
+
+   Each replica is a full three-tier deployment in its own engine with
+   disjoint hosts and addresses (see [Service.config.replica]); replicas
+   run sequentially, so a cluster run is deterministic exactly like a
+   single run. Requests never cross replicas — each replica's entry
+   connection set is a natural partition of the cluster's entry flows,
+   which is what the hierarchical correlation tree shards on. *)
+
+type cluster = { base : spec; replicas : int }
+
+(* 17 replicas x 3 traced server hosts = 51 hosts, the ROADMAP's 50+ host
+   target, sized so the closed loop still runs in CI time. *)
+let default_cluster =
+  { base = { default with clients = 60; time_scale = 0.02 }; replicas = 17 }
+
+type cluster_outcome = {
+  cluster : cluster;
+  outcomes : outcome list;  (* replica order *)
+  all_logs : Trace.Log.collection;  (* every replica's server logs *)
+  cluster_transform : Core.Transform.config;  (* union of the replicas' entry points *)
+  hosts : string list;  (* every traced server hostname, replica order *)
+}
+
+let replica_spec cluster i =
+  {
+    cluster.base with
+    name = Printf.sprintf "%s/r%d" cluster.base.name i;
+    replica = i;
+    seed = cluster.base.seed + i;
+  }
+
+let run_cluster ?before_replica ?after_replica cluster =
+  if cluster.replicas <= 0 then invalid_arg "Scenario.run_cluster: replicas";
+  let outcomes =
+    List.init cluster.replicas (fun i ->
+        let before_run = Option.map (fun f -> f i) before_replica in
+        let after_run = Option.map (fun f -> f i) after_replica in
+        run ?before_run ?after_run (replica_spec cluster i))
+  in
+  let logs = List.concat_map (fun o -> o.logs) outcomes in
+  let transform =
+    match outcomes with
+    | [] -> assert false
+    | o :: _ ->
+        {
+          o.transform with
+          Core.Transform.entry_points =
+            List.concat_map (fun o -> o.transform.Core.Transform.entry_points) outcomes;
+        }
+  in
+  let hosts =
+    List.init cluster.replicas (fun i ->
+        List.map (fun tier -> Printf.sprintf "%s%d" tier (i + 1)) [ "web"; "app"; "db" ])
+    |> List.concat
+  in
+  { cluster; outcomes; all_logs = logs; cluster_transform = transform; hosts }

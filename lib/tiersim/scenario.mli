@@ -29,6 +29,9 @@ type spec = {
   drift_ppm : float;
   time_scale : float;
   seed : int;
+  replica : int;
+      (** Cluster replica index (default 0) — see
+          [Service.config.replica]. *)
   fault_onset : Simnet.Sim_time.span option;
       (** Activate [faults] only from this sim instant (default: start). *)
 }
@@ -74,3 +77,40 @@ val mid_run_onset : ?frac:float -> time_scale:float -> unit -> Simnet.Sim_time.s
 val runtime_session : time_scale:float -> Simnet.Sim_time.t * Simnet.Sim_time.t
 (** The (start, end) instants of the runtime session: QoS and diagnosis
     verdicts are measured inside this interval only (ramps excluded). *)
+
+(** {1 Cluster preset}
+
+    A simulated cluster is [replicas] independent three-tier deployments
+    with disjoint hosts and addresses, run sequentially (deterministic).
+    Requests never cross replicas, so each replica's entry-connection set
+    partitions the cluster's entry flows — the property the hierarchical
+    correlation tree shards on. *)
+
+type cluster = { base : spec; replicas : int }
+
+val default_cluster : cluster
+(** 17 replicas x 3 traced hosts = 51 hosts (the ROADMAP's 50+ target),
+    with a lighter per-replica load so the closed loop fits in CI. *)
+
+type cluster_outcome = {
+  cluster : cluster;
+  outcomes : outcome list;  (** Per replica, in replica order. *)
+  all_logs : Trace.Log.collection;  (** Every replica's server logs. *)
+  cluster_transform : Core.Transform.config;
+      (** The cluster transform: union of the replicas' entry points. *)
+  hosts : string list;  (** Every traced server hostname. *)
+}
+
+val replica_spec : cluster -> int -> spec
+(** The effective spec of replica [i] ([replica = i], seed offset by
+    [i], name suffixed ["/r<i>"]). *)
+
+val run_cluster :
+  ?before_replica:(int -> Service.t -> unit) ->
+  ?after_replica:(int -> Service.t -> unit) ->
+  cluster ->
+  cluster_outcome
+(** Run every replica, in order. The hooks receive the replica index and
+    fire exactly like [run]'s [before_run]/[after_run] — the former is
+    where a hierarchical collection plane installs its per-replica agents
+    and collectors. *)

@@ -18,6 +18,10 @@ type Messaging.payload +=
 
 type config = {
   seed : int;
+  replica : int;
+      (* Replica index inside a simulated cluster: names the tier hosts
+         web/app/db{replica+1} and scopes every IP's second octet, so
+         replica 0 reproduces the historical single-service addresses. *)
   client_node_count : int;
   cores_per_node : int;
   max_clients : int;
@@ -37,6 +41,7 @@ type config = {
 let default_config =
   {
     seed = 42;
+    replica = 0;
     client_node_count = 3;
     cores_per_node = 2;
     max_clients = 1200;
@@ -106,10 +111,26 @@ let fresh_request_id t =
   t.next_request_id <- id + 1;
   id
 
+(* The replica addressing scheme, exposed standalone so a cluster-wide
+   consumer (the hierarchical collection plane) can know every replica's
+   entry endpoint and traced hosts before any replica is built. [create]
+   uses the same formulas. *)
+let replica_entry_endpoint ~replica =
+  Address.endpoint (Address.ip_of_string (Printf.sprintf "10.%d.1.1" replica)) 80
+
+let replica_server_hostnames ~replica =
+  List.map (fun tier -> Printf.sprintf "%s%d" tier (replica + 1)) [ "web"; "app"; "db" ]
+
+let standard_drop_programs = [ "rlogin"; "rlogind"; "ssh"; "sshd"; "mysql" ]
+
+let replica_transform_config ~replica =
+  Core.Transform.config
+    ~entry_points:[ replica_entry_endpoint ~replica ]
+    ~drop_programs:standard_drop_programs ()
+
 let transform_config t =
   Core.Transform.config ~entry_points:[ entry_endpoint t ]
-    ~drop_programs:[ "rlogin"; "rlogind"; "ssh"; "sshd"; "mysql" ]
-    ()
+    ~drop_programs:standard_drop_programs ()
 
 let context node (proc : Proc.t) =
   {
@@ -348,25 +369,34 @@ let create cfg =
   let messaging = Messaging.create stack in
   let rng = Rng.create ~seed:cfg.seed in
   let half s = Sim_time.span_scale 0.5 s in
+  if cfg.replica < 0 || cfg.replica > 255 then invalid_arg "Service.create: replica";
+  let r = cfg.replica in
+  let tier_host base = Printf.sprintf "%s%d" base (r + 1) in
   let client_nodes =
     Array.init cfg.client_node_count (fun i ->
         make_node engine
           ~hostname:(Printf.sprintf "client%d" (i + 1))
-          ~ip:(Printf.sprintf "10.0.0.%d" (10 + i))
+          ~ip:(Printf.sprintf "10.%d.0.%d" r (10 + i))
           ~cores:cfg.cores_per_node
           ~skew:(if i mod 2 = 0 then half cfg.skew else Sim_time.span_scale (-0.5) cfg.skew)
           ~drift_ppm:0.0 ~switch_penalty:0.0)
   in
   let web_node =
-    make_node engine ~hostname:"web1" ~ip:"10.0.1.1" ~cores:cfg.cores_per_node
-      ~skew:Sim_time.span_zero ~drift_ppm:cfg.drift_ppm ~switch_penalty:cfg.switch_penalty
+    make_node engine ~hostname:(tier_host "web")
+      ~ip:(Printf.sprintf "10.%d.1.1" r)
+      ~cores:cfg.cores_per_node ~skew:Sim_time.span_zero ~drift_ppm:cfg.drift_ppm
+      ~switch_penalty:cfg.switch_penalty
   in
   let app_node =
-    make_node engine ~hostname:"app1" ~ip:"10.0.2.1" ~cores:cfg.cores_per_node ~skew:cfg.skew
-      ~drift_ppm:(-.cfg.drift_ppm) ~switch_penalty:cfg.switch_penalty
+    make_node engine ~hostname:(tier_host "app")
+      ~ip:(Printf.sprintf "10.%d.2.1" r)
+      ~cores:cfg.cores_per_node ~skew:cfg.skew ~drift_ppm:(-.cfg.drift_ppm)
+      ~switch_penalty:cfg.switch_penalty
   in
   let db_node =
-    make_node engine ~hostname:"db1" ~ip:"10.0.3.1" ~cores:cfg.cores_per_node
+    make_node engine ~hostname:(tier_host "db")
+      ~ip:(Printf.sprintf "10.%d.3.1" r)
+      ~cores:cfg.cores_per_node
       ~skew:(Sim_time.span_scale (-1.0) cfg.skew)
       ~drift_ppm:cfg.drift_ppm ~switch_penalty:cfg.switch_penalty
   in

@@ -23,6 +23,11 @@ type Simnet.Messaging.payload +=
 
 type config = {
   seed : int;
+  replica : int;
+      (** Replica index inside a simulated cluster (default 0): tier
+          hosts are named web/app/db[replica+1] and every IP's second
+          octet is the replica, so replica 0 reproduces the historical
+          single-service addresses and replicas never share endpoints. *)
   client_node_count : int;  (** Paper: 3 client emulator nodes. *)
   cores_per_node : int;  (** Paper: 2-way SMP. *)
   max_clients : int;  (** Web-tier process pool size. *)
@@ -82,6 +87,25 @@ val fresh_request_id : t -> int
 val transform_config : t -> Core.Transform.config
 (** Correlator preprocessing for this deployment: the entry endpoint plus
     the standard noise program filters (rlogin, sshd, mysql client). *)
+
+(** {1 The replica addressing scheme, standalone}
+
+    Derivable from [config.replica] alone, before any replica is built —
+    what a cluster-wide consumer (the hierarchical collection plane, which
+    must create its shard correlators up front) uses to partition entry
+    flows and name traced hosts. [create] follows the same formulas. *)
+
+val replica_entry_endpoint : replica:int -> Simnet.Address.endpoint
+(** [10.<replica>.1.1:80] — replica [i]'s web-tier entry endpoint. *)
+
+val replica_server_hostnames : replica:int -> string list
+(** [[web<i+1>; app<i+1>; db<i+1>]]. *)
+
+val standard_drop_programs : string list
+(** The name-filterable noise programs every deployment drops. *)
+
+val replica_transform_config : replica:int -> Core.Transform.config
+(** [transform_config] of replica [i]'s deployment, computed standalone. *)
 
 (** {1 Load-dependent state, for assertions and reports} *)
 

@@ -1,0 +1,52 @@
+(** The unresolved-boundary table of an agent-side partial correlation.
+
+    When an agent reduces a batch locally (see [Core.Partial]), every
+    flow that crosses the host boundary stays unresolved: its peer's
+    records live on another machine and only the collector tree can match
+    them. The boundary table summarises those flows compactly — per flow,
+    how many rows and payload bytes the host observed in each direction —
+    so downstream tiers can account for in-flight interactions without
+    reading the reduced payload.
+
+    Encoding rides the PTB1 codec primitives ({!Binary_format} LEB128
+    varints) and is position-independent: flows are shipped as their raw
+    endpoint quadruple, not as process-local {!Intern} ids.
+
+    {v
+    magic   "PTBT" (4 bytes)
+    count   uvarint
+    entry*  src_ip src_port dst_ip dst_port   uvarint each
+            out_rows out_bytes in_rows in_bytes  uvarint each
+    v} *)
+
+type entry = {
+  src_ip : int;  (** {!Simnet.Address.ip_to_int} form. *)
+  src_port : int;
+  dst_ip : int;
+  dst_port : int;
+  out_rows : int;  (** SEND rows observed on the host for this flow. *)
+  out_bytes : int;
+  in_rows : int;  (** RECEIVE rows observed on the host for this flow. *)
+  in_bytes : int;
+}
+
+type t = entry list
+
+val magic : string
+(** ["PTBT"]. *)
+
+val empty : t
+
+val flow_id : entry -> int
+(** Re-intern the entry's flow on the receiving side
+    ({!Intern.flow_id_parts}). *)
+
+val entry_of_flow_id :
+  int -> out_rows:int -> out_bytes:int -> in_rows:int -> in_bytes:int -> entry
+(** Build an entry from a process-local interned flow id
+    ({!Intern.flow_parts_of_id}). *)
+
+val encode : t -> string
+
+val decode : string -> (t, string) result
+(** Errors name the offending offset, {!Binary_format} style. *)
