@@ -22,7 +22,7 @@ test-parallel: build
 # (BENCH.json is untracked output; the BENCH_*.json files in the repo
 # are committed reference runs).
 bench-quick: build
-	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure collect --figure hierarchy --figure parallel --figure diagnose --figure bundle --json BENCH.json
+	dune exec bench/main.exe -- --quick --figure store --figure degraded --figure collect --figure hierarchy --figure mesh --figure parallel --figure diagnose --figure bundle --json BENCH.json
 
 # Regression gates: run the store and hierarchy figures fresh. The store
 # gate compares native-arena ingest throughput against the committed
@@ -31,9 +31,13 @@ bench-quick: build
 # real hot-path regression. The hierarchy gate is deterministic: the
 # root's feed-volume reduction must stay at or above the 3x target (and
 # half the committed BENCH_hierarchy.json figure), and the hierarchical
-# digest must stay byte-identical to the monolithic correlator's.
+# digest must stay byte-identical to the monolithic correlator's. The
+# mesh gate is deterministic too: every scenario preset must correlate
+# at or above 0.95 accuracy (and within 0.02 of the committed
+# BENCH_mesh.json), the faultless control must stay free of false
+# positives, and serial/sharded correlation must stay byte-identical.
 bench-gate: build
-	dune exec bench/main.exe -- --quick --figure store --figure hierarchy --gate BENCH_store.json --gate-hierarchy BENCH_hierarchy.json
+	dune exec bench/main.exe -- --quick --figure store --figure hierarchy --figure mesh --gate BENCH_store.json --gate-hierarchy BENCH_hierarchy.json --gate-mesh BENCH_mesh.json
 
 # Bundle round-trip gate: record a control and a faulted run as PTZ1
 # bundles, then exercise every reader path — info (container framing),

@@ -3,9 +3,10 @@
 
    Usage: main.exe [--figure ID]... [--scale S] [--quick] [--jobs N]
                    [--json FILE] [--gate FILE] [--gate-hierarchy FILE]
+                   [--gate-mesh FILE]
                    [--telemetry FILE] [--telemetry-format prom|json|report]
      IDs: accuracy 8 9 10 11 12 13 14 15 16 17 baseline loss micro store
-          degraded collect hierarchy parallel diagnose bundle all
+          degraded collect hierarchy mesh parallel diagnose bundle all
    --jobs adds an extra domain count to the parallel figure's 1/2/4 grid.
    Default: everything, at time_scale 0.1 (stage durations shrunk 10x;
    service times, think times and all rates untouched, so shapes match the
@@ -49,6 +50,7 @@ let json_out = ref None
 let jobs_override = ref None
 let gate_file = ref None
 let gate_hierarchy_file = ref None
+let gate_mesh_file = ref None
 
 (* ---- machine-readable results (--json) ---- *)
 
@@ -218,6 +220,92 @@ let run_hierarchy_gate file =
         Printf.printf
           "bench gate: root feed-volume reduction %.1fx >= %.1fx, digest identical — ok\n"
           reduction floor
+
+(* The mesh gate is correctness-first, like the hierarchy gate: the
+   simulation is deterministic, so every scenario preset must correlate
+   at or above the accuracy floor, the faultless control must produce
+   zero false positives, and the serial and sharded correlations must
+   stay byte-identical. The committed reference (BENCH_mesh.json) guards
+   against a preset silently degrading across changes: fresh accuracy may
+   not drop more than [mesh_accuracy_slack] below it. *)
+let mesh_accuracy_floor = 0.95
+let mesh_accuracy_slack = 0.02
+
+let run_mesh_gate file =
+  let fresh key =
+    List.fold_left
+      (fun acc (fig, (k, v)) ->
+        match acc with
+        | Some _ -> acc
+        | None -> if String.equal fig "mesh" && String.equal k key then Some v else None)
+      None !scalars
+  in
+  let as_float = function
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let reference_results =
+    let ( let* ) = Option.bind in
+    let* body =
+      match In_channel.with_open_bin file In_channel.input_all with
+      | body -> Some body
+      | exception Sys_error _ -> None
+    in
+    let* doc = Result.to_option (Json.of_string body) in
+    let* figures = Json.member "figures" doc in
+    let* fig = Json.member "mesh" figures in
+    Json.member "results" fig
+  in
+  let fail fmt = Printf.eprintf ("bench gate: " ^^ fmt ^^ "\n") in
+  let ok = ref true in
+  List.iter
+    (fun preset ->
+      let acc_key = "accuracy_" ^ preset in
+      match as_float (fresh acc_key) with
+      | None ->
+          fail "no fresh mesh figure for preset %s (run with --figure mesh)" preset;
+          ok := false
+      | Some accuracy ->
+          let reference =
+            Option.bind reference_results (fun r -> as_float (Json.member acc_key r))
+          in
+          let floor =
+            match reference with
+            | Some r -> Float.max mesh_accuracy_floor (r -. mesh_accuracy_slack)
+            | None -> mesh_accuracy_floor
+          in
+          if accuracy < floor then begin
+            fail "mesh preset %s: accuracy %.4f below %.4f%s" preset accuracy floor
+              (match reference with
+              | Some r -> Printf.sprintf " (committed %.4f in %s)" r file
+              | None -> "");
+            ok := false
+          end;
+          (match fresh ("identical_" ^ preset) with
+          | Some (Json.Bool true) -> ()
+          | _ ->
+              fail "mesh preset %s: serial and sharded correlations differ" preset;
+              ok := false))
+    Mesh.Presets.names;
+  (match as_float (fresh "fp_control") with
+  | Some 0.0 -> ()
+  | Some fp ->
+      fail "mesh control run reported %.0f false positives (must be 0)" fp;
+      ok := false
+  | None ->
+      fail "no fresh mesh control figure (run with --figure mesh)";
+      ok := false);
+  if Option.is_none reference_results then begin
+    fail "cannot read mesh results from %s" file;
+    ok := false
+  end;
+  if not !ok then exit 1;
+  Printf.printf
+    "bench gate: all %d mesh presets at or above %.2f accuracy, control clean, digests \
+     identical — ok\n"
+    (List.length Mesh.Presets.names)
+    mesh_accuracy_floor
 
 (* ---- memoised scenario runs and correlations ---- *)
 
@@ -1693,6 +1781,74 @@ let bench_micro () =
     results;
   print_newline ()
 
+(* ---- mesh: adversarial scenario presets + correlation throughput ---- *)
+
+let bench_mesh () =
+  let jobs = Option.value !jobs_override ~default:2 in
+  (* The presets are deterministic and quick at any --scale, so the same
+     numbers land in BENCH_mesh.json on every machine — the mesh gate
+     compares them exactly, not within a timing slack. *)
+  let t =
+    Report.table
+      ~title:
+        (Printf.sprintf "ext-17: mesh scenario presets (seed %d, %d-way shard check)"
+           Mesh.Presets.default_seed jobs)
+      ~columns:
+        [ "preset"; "accuracy"; "fp"; "paths"; "patterns"; "retries"; "records"; "sharded=" ]
+  in
+  List.iter
+    (fun name ->
+      let r = Mesh.Presets.run ~jobs name in
+      Report.add_row t
+        [
+          name;
+          Report.cell_float ~decimals:4 r.Mesh.Presets.accuracy;
+          Report.cell_int r.false_positives;
+          Report.cell_int r.paths;
+          Report.cell_int r.patterns;
+          Report.cell_int r.retries;
+          Report.cell_int r.records;
+          (if r.sharded_identical then "yes" else "NO");
+        ];
+      record_float ~figure:"mesh" ("accuracy_" ^ name) r.accuracy;
+      record_scalar ~figure:"mesh" ("identical_" ^ name) (Json.Bool r.sharded_identical);
+      if String.equal name "control" then begin
+        record_int ~figure:"mesh" "fp_control" r.false_positives;
+        record_int ~figure:"mesh" "patterns_control" r.patterns
+      end;
+      if String.equal name "cascading_failure" then
+        record_int ~figure:"mesh" "retries_cascading" r.retries)
+    Mesh.Presets.names;
+  Report.print t;
+  (* Correlation throughput as the DAG widens: random declarative meshes
+     with a fixed workload, correlated serially. *)
+  let sweep = if !quick then [ 4; 8 ] else [ 4; 6; 8; 12 ] in
+  let s =
+    Report.table ~title:"ext-17: correlation throughput vs mesh width (serial)"
+      ~columns:[ "tiers"; "hosts"; "records"; "paths"; "corr ms"; "records/s" ]
+  in
+  List.iter
+    (fun tiers ->
+      let spec = Mesh.Spec.random ~tiers ~seed:21 () in
+      let spec = { spec with Mesh.Spec.clients = 12; requests_per_client = 6 } in
+      let b, sc = Mesh.Runtime.run ~jobs:1 spec in
+      let secs = sc.Mesh.Runtime.result.Core.Correlator.correlation_time in
+      let throughput = float_of_int sc.records /. Float.max 1e-9 secs in
+      Report.add_row s
+        [
+          Report.cell_int tiers;
+          Report.cell_int (List.length b.Mesh.Runtime.hostnames);
+          Report.cell_int sc.records;
+          Report.cell_int (List.length sc.result.Core.Correlator.cags);
+          Report.cell_float ~decimals:2 (secs *. 1e3);
+          Report.cell_int (int_of_float throughput);
+        ];
+      record_float ~figure:"mesh"
+        (Printf.sprintf "records_per_s_%dt" tiers)
+        throughput)
+    sweep;
+  Report.print s
+
 (* ---- driver ---- *)
 
 let all_figures =
@@ -1715,6 +1871,7 @@ let all_figures =
     ("degraded", bench_degraded);
     ("collect", bench_collect);
     ("hierarchy", bench_hierarchy);
+    ("mesh", bench_mesh);
     ("store", bench_store);
     ("parallel", bench_parallel);
     ("diagnose", bench_diagnose);
@@ -1758,6 +1915,9 @@ let () =
     | "--gate-hierarchy" :: file :: rest ->
         gate_hierarchy_file := Some file;
         parse rest
+    | "--gate-mesh" :: file :: rest ->
+        gate_mesh_file := Some file;
+        parse rest
     | "--telemetry-format" :: fmt :: rest ->
         (match fmt with
         | "prom" -> telemetry_format := `Prom
@@ -1799,6 +1959,7 @@ let () =
   (match !json_out with None -> () | Some file -> emit_json file);
   (match !gate_file with None -> () | Some file -> run_gate file);
   (match !gate_hierarchy_file with None -> () | Some file -> run_hierarchy_gate file);
+  (match !gate_mesh_file with None -> () | Some file -> run_mesh_gate file);
   match !telemetry_out with
   | None -> ()
   | Some file ->

@@ -11,7 +11,9 @@
                 and print the suspected components
      store      ingest | query | compact | stat on segmented trace stores
      bundle     pack | info | walk | query | diff on single-file PTZ1
-                recordings *)
+                recordings
+     mesh       run a declarative microservice-mesh scenario preset
+                end-to-end and score the correlator against its oracle *)
 
 module S = Tiersim.Scenario
 module Workload = Tiersim.Workload
@@ -457,10 +459,80 @@ let simulate_cmd =
              reduced frames with an unresolved-boundary table. Without \
              $(b,--collect-shards) a single level-1 shard is used.")
   in
+  let topology =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "topology" ] ~docv:"PRESET"
+          ~doc:
+            "Simulate a declarative microservice-mesh preset (see $(b,precisetracer mesh \
+             --list)) instead of the three-tier testbed. Only $(b,--seed), $(b,-o) and \
+             $(b,--binary) apply; use the $(b,mesh) subcommand to also correlate and \
+             score.")
+  in
   let run spec out binary store_dir store_policy segment_records collect collect_batch
       collect_buffer collect_overflow agent_policy replicas collect_shards agent_correlate
-      bundle_out tfile tformat =
+      bundle_out topology tfile tformat =
     let hierarchical = collect_shards > 0 || agent_correlate in
+    (match topology with
+    | None -> ()
+    | Some preset ->
+        if
+          collect || hierarchical || replicas > 1
+          || Option.is_some store_dir
+          || Option.is_some bundle_out
+        then begin
+          Format.eprintf
+            "--topology runs the mesh simulator and supports only --seed, -o and \
+             --binary; use the mesh subcommand to correlate and score@.";
+          exit 1
+        end;
+        (match Mesh.Presets.spec_of ~seed:spec.S.seed preset with
+        | None ->
+            Format.eprintf
+              "--topology %s: not a declarative mesh preset (try: %s)@." preset
+              (String.concat ", "
+                 (List.filter
+                    (fun n -> Mesh.Presets.spec_of ~seed:0 n <> None)
+                    Mesh.Presets.names));
+            exit 1
+        | Some mspec ->
+            let b = Mesh.Runtime.build mspec in
+            Simnet.Engine.run b.Mesh.Runtime.engine;
+            let logs = Trace.Probe.logs b.Mesh.Runtime.probe in
+            Format.printf
+              "mesh %s: %d requests completed, %d activities captured on %d hosts@."
+              preset
+              (Trace.Ground_truth.count b.Mesh.Runtime.gt)
+              (Trace.Probe.activity_count b.Mesh.Runtime.probe)
+              (List.length b.Mesh.Runtime.hostnames);
+            Format.printf "served:";
+            List.iter
+              (fun (h, n) -> Format.printf " %s=%d" h n)
+              (Mesh.Runtime.served b);
+            Format.printf "@.";
+            (match out with
+            | Some dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                if binary then
+                  Trace.Binary_format.save logs ~path:(Filename.concat dir "traces.ptb")
+                else Trace.Log.save logs ~dir;
+                Trace.Ground_truth.save b.Mesh.Runtime.gt
+                  ~path:(Filename.concat dir "ground_truth.txt");
+                Format.printf "%s and ground_truth.txt written to %s@."
+                  (if binary then "traces.ptb" else "trace files")
+                  dir;
+                (* The generic correlate command defaults its entry
+                   endpoint to the RUBiS web tier; mesh topologies listen
+                   elsewhere, so tell the user what to pass. *)
+                (match b.Mesh.Runtime.entries with
+                | e :: _ ->
+                    Format.printf "correlate with: precisetracer correlate %s --entry %a@."
+                      dir Simnet.Address.pp_endpoint e
+                | [] -> ())
+            | None -> ());
+            write_telemetry tfile tformat;
+            exit 0));
     if replicas < 1 then begin
       Format.eprintf "--replicas must be at least 1@.";
       exit 1
@@ -595,8 +667,8 @@ let simulate_cmd =
     Term.(
       const run $ spec_term $ out $ binary $ store_out $ store_policy $ segment_records
       $ collect $ collect_batch $ collect_buffer $ collect_overflow $ agent_policy
-      $ replicas $ collect_shards $ agent_correlate $ bundle_out_arg $ telemetry_file
-      $ telemetry_format)
+      $ replicas $ collect_shards $ agent_correlate $ bundle_out_arg $ topology
+      $ telemetry_file $ telemetry_format)
 
 (* ---- correlate ---- *)
 
@@ -1540,6 +1612,110 @@ let bundle_cmd =
        ~doc:"Single-file PTZ1 trace recordings: pack, inspect, walk, query, diff.")
     [ bundle_pack_cmd; bundle_info_cmd; bundle_walk_cmd; bundle_query_cmd; bundle_diff_cmd ]
 
+(* ---- mesh ---- *)
+
+let mesh_report_json (r : Mesh.Presets.report) =
+  let open Core.Json in
+  Obj
+    [
+      ("preset", String r.Mesh.Presets.preset);
+      ("seed", Int r.seed);
+      ("accuracy", Float r.accuracy);
+      ("correct", Int r.correct);
+      ("total_requests", Int r.total_requests);
+      ("false_positives", Int r.false_positives);
+      ("false_negatives", Int r.false_negatives);
+      ("paths", Int r.paths);
+      ("patterns", Int r.patterns);
+      ("records", Int r.records);
+      ("retries", Int r.retries);
+      ("cache_hits", Int r.cache_hits);
+      ("cache_misses", Int r.cache_misses);
+      ("async_jobs", Int r.async_jobs);
+      ("served", Obj (List.map (fun (h, n) -> (h, Int n)) r.served));
+      ("digest", String r.digest);
+      ("sharded_identical", Bool r.sharded_identical);
+      ("correlation_time_s", Float r.correlation_time);
+    ]
+
+let mesh_cmd =
+  let preset_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PRESET"
+          ~doc:"Scenario preset to run; omit (or pass $(b,--list)) to list them.")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the available presets.")
+  in
+  let mesh_seed =
+    Arg.(
+      value
+      & opt int Mesh.Presets.default_seed
+      & info [ "seed" ] ~docv:"N" ~doc:"Random seed (skews, workload, topology).")
+  in
+  let mesh_jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sharded correlation pass whose digest is checked \
+             against the serial one. Output is identical at any value.")
+  in
+  let mesh_window_ms =
+    Arg.(
+      value & opt float 5.0
+      & info [ "window-ms" ] ~docv:"MS" ~doc:"Correlator sliding-window size, milliseconds.")
+  in
+  let describe = function
+    | "control" -> "the healthy reference graph (faultless baseline)"
+    | "cascading_failure" -> "slow db + retry policies: timeout-driven duplicate flows"
+    | "hotspot_key" -> "key skew: one guaranteed-miss hot key hammers db partition db2"
+    | "canary_slow_version" -> "one api replica runs 6x slow behind the load balancer"
+    | "thundering_herd" -> "synchronized client burst into a slow async worker"
+    | "random" -> "seeded random synchronous call tree (unconstrained topology)"
+    | "random_mesh" -> "seeded random declarative DAG with caches and fan-out"
+    | _ -> ""
+  in
+  let run preset list seed jobs window_ms json_file =
+    match (preset, list) with
+    | None, _ | _, true ->
+        List.iter
+          (fun n -> Format.printf "%-22s %s@." n (describe n))
+          Mesh.Presets.names;
+        `Ok ()
+    | Some preset, false ->
+        if not (List.mem preset Mesh.Presets.names) then
+          `Error
+            ( false,
+              Printf.sprintf "unknown preset %s (try: %s)" preset
+                (String.concat ", " Mesh.Presets.names) )
+        else begin
+          let window = ST.us (int_of_float (window_ms *. 1000.)) in
+          let r = Mesh.Presets.run ~window ~jobs ~seed preset in
+          Format.printf "%a@." Mesh.Presets.pp_report r;
+          (match r.Mesh.Presets.served with
+          | [] -> ()
+          | served ->
+              Format.printf "served:";
+              List.iter (fun (h, n) -> Format.printf " %s=%d" h n) served;
+              Format.printf "@.");
+          write_json_out json_file (mesh_report_json r);
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "mesh"
+       ~doc:
+         "Run a declarative microservice-mesh scenario preset end-to-end: simulate the \
+          service DAG, correlate its traces (serial and sharded) and score the derived \
+          paths against the built-in oracle (see docs/MESH.md).")
+    Term.(
+      ret
+        (const run $ preset_arg $ list_flag $ mesh_seed $ mesh_jobs $ mesh_window_ms
+       $ json_out_arg))
+
 let () =
   let info =
     Cmd.info "precisetracer" ~version:Version.version
@@ -1548,4 +1724,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ simulate_cmd; correlate_cmd; evaluate_cmd; diagnose_cmd; store_cmd; bundle_cmd ]))
+          [
+            simulate_cmd;
+            correlate_cmd;
+            evaluate_cmd;
+            diagnose_cmd;
+            store_cmd;
+            bundle_cmd;
+            mesh_cmd;
+          ]))

@@ -121,7 +121,8 @@ let install ?(telemetry = R.default) ?(config = default_config) ?writer ?on_path
                        (fun () -> Agent.restart a)))
                 restart_after)
       | Faults.Ejb_delay _ | Faults.Database_lock _ | Faults.Ejb_network _
-      | Faults.Host_silence _ -> ())
+      | Faults.Host_silence _ | Faults.Tier_slow _ | Faults.Replica_slow _
+      | Faults.Key_skew _ -> ())
     (Service.config svc).Service.faults;
   { online; collector; agents; finished = false }
 

@@ -192,7 +192,8 @@ let install t i svc =
                        (fun () -> Agent.restart a)))
                 restart_after)
       | Faults.Ejb_delay _ | Faults.Database_lock _ | Faults.Ejb_network _
-      | Faults.Host_silence _ -> ())
+      | Faults.Host_silence _ | Faults.Tier_slow _ | Faults.Replica_slow _
+      | Faults.Key_skew _ -> ())
     (Service.config svc).Service.faults;
   t.planes <- { replica = i; plane_collector = coll; plane_agents = installed } :: t.planes
 

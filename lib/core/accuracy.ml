@@ -38,14 +38,32 @@ let within tol a b =
   let d = Sim_time.span_ns (Sim_time.diff a b) in
   abs d <= Sim_time.span_ns tol
 
+(* Visits are per-context merged intervals, so both a derived path and an
+   oracle request hold at most one visit per context: matching is a
+   context-keyed bijection, not a positional walk. The distinction
+   matters once requests branch — concurrent sibling subcalls reach the
+   CAG in correlation order (local clocks through the ranker) while the
+   oracle records them in arrival order, and under skew the two disagree
+   without either being wrong. Context identity plus per-context interval
+   agreement is exactly the paper's consistency criterion; first-touch
+   order was only ever a proxy for it on sequential chains. *)
 let visits_match tol (derived : Ground_truth.visit list) (truth : Ground_truth.visit list) =
   List.length derived = List.length truth
-  && List.for_all2
-       (fun (d : Ground_truth.visit) (t : Ground_truth.visit) ->
-         Activity.equal_context d.context t.context
-         && within tol d.begin_ts t.begin_ts
-         && within tol d.end_ts t.end_ts)
-       derived truth
+  &&
+  let key (c : Activity.context) = (c.Activity.host, c.program, c.pid, c.tid) in
+  let by_context = Hashtbl.create 8 in
+  List.iter
+    (fun (t : Ground_truth.visit) -> Hashtbl.replace by_context (key t.context) t)
+    truth;
+  Hashtbl.length by_context = List.length truth
+  && List.for_all
+       (fun (d : Ground_truth.visit) ->
+         match Hashtbl.find_opt by_context (key d.context) with
+         | Some (t : Ground_truth.visit) ->
+             Hashtbl.remove by_context (key d.context);
+             within tol d.begin_ts t.begin_ts && within tol d.end_ts t.end_ts
+         | None -> false)
+       derived
 
 let check_visits ?(tolerance = Sim_time.us 500) ~requests visits_list =
   let total_requests = List.length requests in

@@ -5,7 +5,10 @@
     execution entity; a derived causal path is {e correct} when all those
     attributes are consistent with exactly one logged request. Here the
     oracle comes from {!Trace.Ground_truth} and consistency means: the
-    same set of contexts, visited in the same first-touch order, with
+    same set of contexts — matched as a context-keyed bijection, since
+    concurrent sibling subcalls reach the CAG in correlation order,
+    which under clock skew legitimately differs from the oracle's
+    arrival order — with
     per-context intervals matching within a tolerance (the app-level
     oracle and the kernel-level probe stamp the "same" instant a few
     syscall-overheads apart — the paper's modified RUBiS had the same

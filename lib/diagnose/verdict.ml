@@ -42,6 +42,28 @@ let expectation_of fault =
                 String.equal src "java" || String.equal dst "java"
             | Analysis.Tier _ -> false);
         }
+  | Faults.Tier_slow { tier; _ } | Faults.Replica_slow { tier; _ } ->
+      (* Mesh scenario faults: the culprit is the slow tier itself,
+         whatever mesh topology it sits in. *)
+      Some
+        {
+          fault_name = Faults.name fault;
+          expected = Printf.sprintf "tier %s" tier;
+          accepts = (function Analysis.Tier t -> String.equal t tier | _ -> false);
+        }
+  | Faults.Key_skew { tier; _ } ->
+      (* A hot key overloads the partition that owns it: accept the
+         partitioned tier or an interaction into it. *)
+      Some
+        {
+          fault_name = Faults.name fault;
+          expected = Printf.sprintf "tier %s (or an interaction into it)" tier;
+          accepts =
+            (function
+            | Analysis.Tier t -> String.equal t tier
+            | Analysis.Interaction { dst; _ } -> String.equal dst tier
+            | _ -> false);
+        }
   | Faults.Host_silence _ | Faults.Agent_crash _ -> None
 
 type score = {

@@ -1,4 +1,6 @@
-(* Random multi-tier topologies for property testing.
+(* Random multi-tier call-tree topologies, promoted from the test suite
+   so the CLI and bench can drive them too (the `random` scenario
+   preset).
 
    Generates an arbitrary synchronous-RPC service: K tiers on K nodes, each
    request executing a random call tree (sequential sub-calls, arbitrary
@@ -6,7 +8,9 @@
    random per-node clock skews, and several concurrent closed-loop clients.
    The ground truth is recorded exactly as the real testbed records it, so
    the PreciseTracer accuracy property can be checked far beyond the
-   RUBiS-shaped pipeline. *)
+   RUBiS-shaped pipeline. Declarative DAG topologies with roles, replicas
+   and retries live in {!Spec}/{!Runtime}; this module keeps the
+   unconstrained call-tree space those presets do not cover. *)
 
 module Address = Simnet.Address
 module Clock = Simnet.Clock

@@ -1,0 +1,52 @@
+(** Random multi-tier call-tree topologies (promoted from the test
+    suite): arbitrary synchronous-RPC call trees over K tiers with random
+    sizes, chunking, skews and concurrent closed-loop clients, recorded
+    against a {!Trace.Ground_truth} oracle. The unconstrained
+    counterpart of the declarative {!Spec} DAGs — used by the accuracy
+    property tests, the [random] scenario preset and the bench. *)
+
+module Sim_time := Simnet.Sim_time
+
+type call = {
+  tier : int;
+  request_size : int;
+  compute_before : Sim_time.span;
+  subcalls : call list;  (** Executed sequentially. *)
+  compute_after : Sim_time.span;
+  response_size : int;
+}
+
+type plan = { id : int; root : call }
+
+type Simnet.Messaging.payload += Call_payload of { id : int; call : call }
+
+type spec = {
+  tiers : int;  (** >= 2: tier 0 is the entry. *)
+  clients : int;
+  requests_per_client : int;
+  max_depth : int;
+  max_fanout : int;
+  max_skew : Sim_time.span;
+  chunk : int;  (** Send chunk size: small values force n-to-n merging. *)
+  seed : int;
+}
+
+val default_spec : spec
+
+type built = {
+  engine : Simnet.Engine.t;
+  probe : Trace.Probe.t;
+  gt : Trace.Ground_truth.t;
+  entry : Simnet.Address.endpoint;
+  hostnames : string list;
+}
+
+val build : spec -> built
+(** Construct the topology and its load; run with [Simnet.Engine.run]. *)
+
+val run_and_score :
+  ?window:Sim_time.span ->
+  spec ->
+  Core.Correlator.result * Core.Accuracy.verdict * built
+(** Run the topology, correlate (default 5 ms window), and score against
+    the ground truth. *)

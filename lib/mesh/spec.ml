@@ -1,0 +1,242 @@
+module Sim_time = Simnet.Sim_time
+module Rng = Simnet.Rng
+module Faults = Tiersim.Faults
+
+type retry = { max_retries : int; timeout : Sim_time.span; backoff : Sim_time.span }
+type mode = Sequential | Concurrent
+type call_group = { targets : string list; mode : mode; retry : retry option }
+
+type role =
+  | Service
+  | Cache of { hit_ratio : float; backing : string; backing_retry : retry option }
+  | Load_balancer of { backend : string }
+  | Queue_worker
+
+type tier = {
+  name : string;
+  role : role;
+  replicas : int;
+  cores : int;
+  compute : Sim_time.span;
+  skew : Sim_time.span;
+  calls : call_group list;
+  response_size : int;
+}
+
+type t = {
+  name : string;
+  entry : string;
+  tiers : tier list;
+  clients : int;
+  requests_per_client : int;
+  think_mean : Sim_time.span;
+  sync_start : bool;
+  keys : int;
+  request_size : int;
+  chunk : int;
+  faults : Faults.t list;
+  seed : int;
+}
+
+let tier ?(role = Service) ?(replicas = 1) ?(cores = 2) ?(compute = Sim_time.us 500)
+    ?(skew = Sim_time.span_zero) ?(calls = []) ?(response_size = 2048) name =
+  { name; role; replicas; cores; compute; skew; calls; response_size }
+
+let group ?(mode = Sequential) ?retry targets = { targets; mode; retry }
+
+(* The hit set is a fixed prefix of the key space modulo 100, so hit/miss
+   is a deterministic property of the key (the same key always hits or
+   always misses, like a real cache in steady state) and a uniform draw
+   over a key space that is a multiple of 100 hits with probability
+   [hit_ratio] exactly. A preset that wants a guaranteed-miss hot key
+   picks one with [key mod 100 >= hit_ratio * 100]. *)
+let cache_hit ~hit_ratio ~key =
+  key mod 100 < int_of_float ((hit_ratio *. 100.) +. 0.5)
+
+(* Replicated tiers are key-partitioned: calls route by key, so a skewed
+   key distribution concentrates on one partition. Load balancers ignore
+   the key and round-robin instead. *)
+let route ~replicas ~key = if replicas <= 1 then 0 else key mod replicas
+
+(* ---- validation ---- *)
+
+let edges_of (t : t) =
+  List.concat_map
+    (fun (tr : tier) ->
+      let callees = List.concat_map (fun g -> g.targets) tr.calls in
+      let role_callees =
+        match tr.role with
+        | Cache { backing; _ } -> [ backing ]
+        | Load_balancer { backend } -> [ backend ]
+        | Service | Queue_worker -> []
+      in
+      List.map (fun dst -> (tr.name, dst)) (callees @ role_callees))
+    t.tiers
+
+let validate (t : t) =
+  let fail fmt = Printf.ksprintf invalid_arg ("Mesh.Spec: " ^^ fmt) in
+  if t.tiers = [] then fail "no tiers";
+  if List.length t.tiers > 60 then fail "too many tiers (max 60)";
+  let names = List.map (fun (tr : tier) -> tr.name) t.tiers in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then fail "duplicate tier %s" n;
+      Hashtbl.replace seen n ())
+    names;
+  let find n = List.find_opt (fun (tr : tier) -> tr.name = n) t.tiers in
+  (match find t.entry with
+  | None -> fail "entry tier %s not declared" t.entry
+  | Some e -> if e.role <> Service then fail "entry tier %s must have role Service" t.entry);
+  List.iter
+    (fun (tr : tier) ->
+      if tr.replicas < 1 || tr.replicas > 30 then fail "%s: replicas out of [1,30]" tr.name;
+      if tr.cores < 1 then fail "%s: cores" tr.name;
+      (match tr.role with
+      | Cache { hit_ratio; _ } when hit_ratio < 0.0 || hit_ratio > 1.0 ->
+          fail "%s: hit_ratio out of [0,1]" tr.name
+      | (Cache _ | Load_balancer _ | Queue_worker) when tr.calls <> [] ->
+          fail "%s: only Service tiers declare call groups" tr.name
+      | _ -> ());
+      List.iter
+        (fun g -> if g.targets = [] then fail "%s: empty call group" tr.name)
+        tr.calls)
+    t.tiers;
+  List.iter
+    (fun (src, dst) ->
+      if find dst = None then fail "%s calls undeclared tier %s" src dst;
+      if dst = src then fail "%s calls itself (synchronous self-RPC deadlocks)" src;
+      if dst = t.entry then fail "%s calls the entry tier (its port is reserved for clients)" src)
+    (edges_of t);
+  (* The call graph must be acyclic: tiers execute a fixed static call
+     list, so a tier cycle is unbounded recursion, not a call-back. *)
+  let adj = Hashtbl.create 16 in
+  List.iter (fun (s, d) -> Hashtbl.add adj s d) (edges_of t);
+  let state = Hashtbl.create 16 in
+  let rec visit n =
+    match Hashtbl.find_opt state n with
+    | Some `Done -> ()
+    | Some `Active -> fail "call graph has a cycle through %s" n
+    | None ->
+        Hashtbl.replace state n `Active;
+        List.iter visit (Hashtbl.find_all adj n);
+        Hashtbl.replace state n `Done
+  in
+  List.iter (fun (tr : tier) -> visit tr.name) t.tiers;
+  if t.clients < 1 then fail "clients";
+  if t.requests_per_client < 1 then fail "requests_per_client";
+  if t.keys < 1 then fail "keys";
+  if t.request_size < 1 || t.chunk < 1 then fail "sizes"
+
+(* ---- random mesh generator ---- *)
+
+(* Random declarative meshes for the accuracy property: layered DAGs
+   (edges only point to higher indices, so acyclicity is structural) with
+   replicated tiers, concurrent fan-out groups, a cache with hit/miss
+   branching, and optionally a load balancer and an async queue worker.
+   Retry policies are left to the named presets: the QCheck property
+   pins accuracy at exactly 1.0 for branching alone. *)
+let random ?tiers ~seed () =
+  let rng = Rng.create ~seed in
+  let n = match tiers with Some n -> max 3 n | None -> 3 + Rng.int rng 4 in
+  let name_of i = if i = 0 then "gw" else Printf.sprintf "t%d" i in
+  let pick_target rng ~above =
+    (* any tier strictly after [above] *)
+    above + 1 + Rng.int rng (n - above - 1)
+  in
+  let cache_idx = if n >= 3 then 1 + Rng.int rng (n - 2) else n in
+  let roles =
+    Array.init n (fun i ->
+        if i = 0 then Service
+        else if i = cache_idx && i < n - 1 then
+          Cache
+            {
+              hit_ratio = 0.4 +. (0.1 *. float_of_int (Rng.int rng 5));
+              backing = name_of (pick_target rng ~above:i);
+              backing_retry = None;
+            }
+        else if i < n - 1 && Rng.bernoulli rng ~p:0.2 then
+          Load_balancer { backend = name_of (pick_target rng ~above:i) }
+        else if i = n - 1 && Rng.bernoulli rng ~p:0.4 then Queue_worker
+        else Service)
+  in
+  let calls_of i =
+    match roles.(i) with
+    | Cache _ | Load_balancer _ | Queue_worker -> []
+    | Service when i = n - 1 -> []
+    | Service ->
+        let avail = n - 1 - i in
+        let n_groups = if i = 0 then 1 + Rng.int rng 2 else Rng.int rng 2 in
+        let n_groups = if i = 0 then max 1 n_groups else n_groups in
+        List.init n_groups (fun g ->
+            let fanout = 1 + Rng.int rng (min 3 avail) in
+            let targets =
+              List.sort_uniq compare
+                (List.init fanout (fun _ -> pick_target rng ~above:i))
+            in
+            let mode =
+              if List.length targets >= 2 && Rng.bernoulli rng ~p:0.7 then Concurrent
+              else Sequential
+            in
+            ignore g;
+            { targets = List.map name_of targets; mode; retry = None })
+  in
+  let tiers_list =
+    List.init n (fun i ->
+        {
+          name = name_of i;
+          role = roles.(i);
+          replicas = 1 + Rng.int rng 3;
+          cores = 1 + Rng.int rng 2;
+          compute = Sim_time.us (100 + Rng.int rng 1500);
+          skew = Sim_time.ms (Rng.int rng 80);
+          calls = calls_of i;
+          response_size = 128 + Rng.int rng 8192;
+        })
+  in
+  (* Guarantee the property's stress patterns are actually present: the
+     entry always has at least one concurrent two-target group when the
+     DAG is wide enough. *)
+  let tiers_list =
+    match tiers_list with
+    | entry :: rest when n >= 3 ->
+        let has_concurrent =
+          List.exists
+            (fun g -> g.mode = Concurrent && List.length g.targets >= 2)
+            entry.calls
+        in
+        let entry =
+          if has_concurrent then entry
+          else
+            let a = 1 + Rng.int rng (n - 1) in
+            let b = 1 + Rng.int rng (n - 1) in
+            let targets = List.sort_uniq compare [ a; b ] in
+            let targets = if List.length targets = 2 then targets else [ 1; 2 ] in
+            {
+              entry with
+              calls =
+                { targets = List.map name_of targets; mode = Concurrent; retry = None }
+                :: entry.calls;
+            }
+        in
+        entry :: rest
+    | l -> l
+  in
+  let spec =
+    {
+      name = Printf.sprintf "random_mesh-%d" seed;
+      entry = "gw";
+      tiers = tiers_list;
+      clients = 2 + Rng.int rng 4;
+      requests_per_client = 2 + Rng.int rng 3;
+      think_mean = Sim_time.ms 10;
+      sync_start = false;
+      keys = 100;
+      request_size = 256 + Rng.int rng 1024;
+      chunk = 1024 * (1 + Rng.int rng 8);
+      faults = [];
+      seed;
+    }
+  in
+  validate spec;
+  spec

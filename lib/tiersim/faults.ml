@@ -10,6 +10,9 @@ type t =
       after : Sim_time.span;
       restart_after : Sim_time.span option;
     }
+  | Tier_slow of { tier : string; factor : float }
+  | Replica_slow of { tier : string; replica : int; factor : float }
+  | Key_skew of { tier : string; hot_key : int; share : float }
 
 let name = function
   | Ejb_delay _ -> "EJB_Delay"
@@ -17,9 +20,15 @@ let name = function
   | Ejb_network _ -> "EJB_Network"
   | Host_silence _ -> "Host_Silence"
   | Agent_crash _ -> "Agent_Crash"
+  | Tier_slow _ -> "Tier_Slow"
+  | Replica_slow _ -> "Replica_Slow"
+  | Key_skew _ -> "Key_Skew"
 
 let ejb_delay = Ejb_delay { mean = Sim_time.ms 30 }
 let database_lock = Database_lock { extra_hold = Sim_time.ms 8 }
 let ejb_network = Ejb_network { bandwidth_mbps = 10.0 }
 let host_silence ~host ~after = Host_silence { host; after }
 let agent_crash ~host ~after ~restart_after = Agent_crash { host; after; restart_after }
+let tier_slow ~tier ~factor = Tier_slow { tier; factor }
+let replica_slow ~tier ~replica ~factor = Replica_slow { tier; replica; factor }
+let key_skew ~tier ~hot_key ~share = Key_skew { tier; hot_key; share }

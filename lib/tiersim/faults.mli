@@ -35,10 +35,24 @@ type t =
           collection plane ({!Collect.Deploy}) loses whatever the agent's
           backpressure semantics say it must. Ignored by deployments
           without a collection plane. *)
+  | Tier_slow of { tier : string; factor : float }
+      (** Every replica of [tier] multiplies its per-request compute by
+          [factor] — the seed of a cascading failure when upstream edges
+          carry retry policies. Scenario-level: interpreted by mesh
+          topologies ([lib/mesh]); the fixed RUBiS service ignores it. *)
+  | Replica_slow of { tier : string; replica : int; factor : float }
+      (** One replica of [tier] (a canary running a slow version) does
+          its compute [factor] times slower; the other replicas are
+          healthy. Scenario-level, mesh-interpreted. *)
+  | Key_skew of { tier : string; hot_key : int; share : float }
+      (** The client key distribution collapses: a [share] fraction of
+          requests use [hot_key], hammering the partition of [tier] that
+          owns it. Scenario-level, mesh-interpreted. *)
 
 val name : t -> string
 (** The paper's labels: ["EJB_Delay"], ["Database_Lock"], ["EJB_Network"]
-    — plus ["Host_Silence"] for the probe-crash fault. *)
+    — plus ["Host_Silence"] for the probe-crash fault and ["Tier_Slow"],
+    ["Replica_Slow"], ["Key_Skew"] for the mesh scenario presets. *)
 
 val ejb_delay : t
 (** 30 ms mean extra delay. *)
@@ -56,3 +70,7 @@ val agent_crash :
   after:Simnet.Sim_time.span ->
   restart_after:Simnet.Sim_time.span option ->
   t
+
+val tier_slow : tier:string -> factor:float -> t
+val replica_slow : tier:string -> replica:int -> factor:float -> t
+val key_skew : tier:string -> hot_key:int -> share:float -> t

@@ -1,0 +1,17 @@
+(* One hostname/address allocation scheme shared by every simulated
+   deployment, so replica-suffix and subnet logic is never duplicated
+   between the RUBiS cluster preset and mesh topologies. *)
+
+let replica_host ~tier ~index = Printf.sprintf "%s%d" tier (index + 1)
+
+let cluster_tier_ip ~replica ~tier_index =
+  Printf.sprintf "10.%d.%d.1" replica (tier_index + 1)
+
+let cluster_client_ip ~replica ~index = Printf.sprintf "10.%d.0.%d" replica (10 + index)
+
+(* Mesh topologies live in first octets 120+, disjoint from the cluster
+   preset (octet = replica number, small) and the random call-tree
+   topologies (10.9.x). *)
+let mesh_zone = 120
+let mesh_tier_ip ~tier_index ~replica = Printf.sprintf "10.%d.%d.1" (mesh_zone + tier_index) (replica + 1)
+let mesh_clients_ip = "10.119.0.1"

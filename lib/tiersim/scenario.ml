@@ -142,7 +142,8 @@ let run ?before_run ?after_run spec =
         | Faults.Host_silence { host; after } ->
             Trace.Loss.silence ~host ~after:(Sim_time.add Sim_time.zero after) logs
         | Faults.Ejb_delay _ | Faults.Database_lock _ | Faults.Ejb_network _
-        | Faults.Agent_crash _ -> logs)
+        | Faults.Agent_crash _ | Faults.Tier_slow _ | Faults.Replica_slow _
+        | Faults.Key_skew _ -> logs)
       (Trace.Probe.logs probe) spec.faults
   in
   {
@@ -214,8 +215,7 @@ let run_cluster ?before_replica ?after_replica cluster =
         }
   in
   let hosts =
-    List.init cluster.replicas (fun i ->
-        List.map (fun tier -> Printf.sprintf "%s%d" tier (i + 1)) [ "web"; "app"; "db" ])
+    List.init cluster.replicas (fun i -> Service.replica_server_hostnames ~replica:i)
     |> List.concat
   in
   { cluster; outcomes; all_logs = logs; cluster_transform = transform; hosts }

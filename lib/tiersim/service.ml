@@ -111,15 +111,15 @@ let fresh_request_id t =
   t.next_request_id <- id + 1;
   id
 
-(* The replica addressing scheme, exposed standalone so a cluster-wide
-   consumer (the hierarchical collection plane) can know every replica's
-   entry endpoint and traced hosts before any replica is built. [create]
-   uses the same formulas. *)
+(* The replica addressing scheme ({!Naming}), exposed standalone so a
+   cluster-wide consumer (the hierarchical collection plane) can know
+   every replica's entry endpoint and traced hosts before any replica is
+   built. [create] uses the same formulas. *)
 let replica_entry_endpoint ~replica =
-  Address.endpoint (Address.ip_of_string (Printf.sprintf "10.%d.1.1" replica)) 80
+  Address.endpoint (Address.ip_of_string (Naming.cluster_tier_ip ~replica ~tier_index:0)) 80
 
 let replica_server_hostnames ~replica =
-  List.map (fun tier -> Printf.sprintf "%s%d" tier (replica + 1)) [ "web"; "app"; "db" ]
+  List.map (fun tier -> Naming.replica_host ~tier ~index:replica) [ "web"; "app"; "db" ]
 
 let standard_drop_programs = [ "rlogin"; "rlogind"; "ssh"; "sshd"; "mysql" ]
 
@@ -371,31 +371,31 @@ let create cfg =
   let half s = Sim_time.span_scale 0.5 s in
   if cfg.replica < 0 || cfg.replica > 255 then invalid_arg "Service.create: replica";
   let r = cfg.replica in
-  let tier_host base = Printf.sprintf "%s%d" base (r + 1) in
+  let tier_host base = Naming.replica_host ~tier:base ~index:r in
   let client_nodes =
     Array.init cfg.client_node_count (fun i ->
         make_node engine
           ~hostname:(Printf.sprintf "client%d" (i + 1))
-          ~ip:(Printf.sprintf "10.%d.0.%d" r (10 + i))
+          ~ip:(Naming.cluster_client_ip ~replica:r ~index:i)
           ~cores:cfg.cores_per_node
           ~skew:(if i mod 2 = 0 then half cfg.skew else Sim_time.span_scale (-0.5) cfg.skew)
           ~drift_ppm:0.0 ~switch_penalty:0.0)
   in
   let web_node =
     make_node engine ~hostname:(tier_host "web")
-      ~ip:(Printf.sprintf "10.%d.1.1" r)
+      ~ip:(Naming.cluster_tier_ip ~replica:r ~tier_index:0)
       ~cores:cfg.cores_per_node ~skew:Sim_time.span_zero ~drift_ppm:cfg.drift_ppm
       ~switch_penalty:cfg.switch_penalty
   in
   let app_node =
     make_node engine ~hostname:(tier_host "app")
-      ~ip:(Printf.sprintf "10.%d.2.1" r)
+      ~ip:(Naming.cluster_tier_ip ~replica:r ~tier_index:1)
       ~cores:cfg.cores_per_node ~skew:cfg.skew ~drift_ppm:(-.cfg.drift_ppm)
       ~switch_penalty:cfg.switch_penalty
   in
   let db_node =
     make_node engine ~hostname:(tier_host "db")
-      ~ip:(Printf.sprintf "10.%d.3.1" r)
+      ~ip:(Naming.cluster_tier_ip ~replica:r ~tier_index:2)
       ~cores:cfg.cores_per_node
       ~skew:(Sim_time.span_scale (-1.0) cfg.skew)
       ~drift_ppm:cfg.drift_ppm ~switch_penalty:cfg.switch_penalty
@@ -422,7 +422,10 @@ let create cfg =
       (* Host_silence is a probe fault, not a service fault: the service
          runs unchanged and Scenario.run truncates the host's log. *)
       | Faults.Ejb_delay _ | Faults.Database_lock _ | Faults.Host_silence _
-      | Faults.Agent_crash _ -> ())
+      | Faults.Agent_crash _
+      (* Scenario-level faults are interpreted by mesh topologies, not by
+         the fixed RUBiS pipeline. *)
+      | Faults.Tier_slow _ | Faults.Replica_slow _ | Faults.Key_skew _ -> ())
     cfg.faults;
   let probe =
     Trace.Probe.attach ~stack ~overhead:cfg.probe_overhead

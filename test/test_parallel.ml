@@ -10,7 +10,7 @@ module Shard = Core.Shard
 module Correlator = Core.Correlator
 module Pattern = Core.Pattern
 module Aggregate = Core.Aggregate
-module Topo = Test_helpers.Topo
+module Topo = Mesh.Random_spec
 module Sim_time = Simnet.Sim_time
 
 (* ---- pool ---- *)

@@ -4,7 +4,7 @@
    concurrent-server design patterns of Stevens' catalogue. *)
 
 module H = Test_helpers.Helpers
-module Topo = Test_helpers.Topo
+module Topo = Mesh.Random_spec
 module ST = Simnet.Sim_time
 
 let qtest = QCheck_alcotest.to_alcotest
